@@ -1,0 +1,136 @@
+// Regenerates Fig. 10: CF-Bench overhead of NDroid vs the baselines.
+//
+// The paper runs CF-Bench 30 times on NDroid and on a vanilla emulator and
+// reports per-category slowdowns; NDroid averages 5.45x overall, "much
+// smaller than the result of DroidScope (i.e., at least 11 times slowdown)".
+// Expected shape here: Java-side categories near 1x under NDroid (TaintDroid
+// handles the Java context natively), native-side categories carry the
+// instruction-tracing cost, and DroidScope-mode is the most expensive
+// across the board.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "apps/cfbench.h"
+#include "core/ndroid.h"
+#include "droidscope/droidscope.h"
+
+using namespace ndroid;
+
+namespace {
+
+enum class Config { kVanilla, kTaintDroid, kNDroid, kDroidScope };
+
+
+u32 iterations_for(const std::string& name) {
+  if (name.find("Disk") != std::string::npos) return 400;
+  if (name.find("MALLOC") != std::string::npos) return 1200;
+  if (name.find("Java") != std::string::npos) return 1500;
+  return 4000;
+}
+
+/// Median wall time over `reps` runs of one workload.
+double time_workload(apps::CfBenchApp& bench, const apps::CfWorkload& w,
+                     u32 iters, int reps) {
+  std::vector<double> times;
+  bench.run(w, iters / 4);  // warm-up (populates handler caches)
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    bench.run(w, iters);
+    const auto t1 = std::chrono::steady_clock::now();
+    times.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 5;
+  const Config configs[] = {Config::kVanilla, Config::kTaintDroid,
+                            Config::kNDroid, Config::kDroidScope};
+
+  // workload -> config -> time
+  std::vector<std::string> names;
+  std::map<std::string, std::map<Config, double>> results;
+  std::map<std::string, bool> is_java;
+
+  for (Config config : configs) {
+    android::Device device("eu.chainfire.cfbench");
+    std::unique_ptr<core::NDroid> nd;
+    std::unique_ptr<droidscope::DroidScope> ds;
+    switch (config) {
+      case Config::kVanilla:
+        device.dvm.policy().propagate_java = false;
+        device.dvm.policy().jni_ret_union = false;
+        break;
+      case Config::kTaintDroid:
+        break;
+      case Config::kNDroid:
+        nd = std::make_unique<core::NDroid>(device);
+        break;
+      case Config::kDroidScope:
+        ds = std::make_unique<droidscope::DroidScope>(device);
+        break;
+    }
+    apps::CfBenchApp bench(device);
+    for (const auto& w : bench.workloads()) {
+      if (results.find(w.name) == results.end()) names.push_back(w.name);
+      results[w.name][config] =
+          time_workload(bench, w, iterations_for(w.name), reps);
+      is_java[w.name] = w.java;
+    }
+  }
+
+  std::printf(
+      "Fig. 10 — CF-Bench overhead (x slowdown vs vanilla emulator, "
+      "median of %d runs)\n\n", reps);
+  std::printf("%-22s %10s %10s %10s\n", "category", "TaintDroid", "NDroid",
+              "DroidScope");
+
+  std::vector<double> nd_all, nd_native, nd_java, ds_all;
+  for (const std::string& name : names) {
+    const double base = results[name][Config::kVanilla];
+    const double td = results[name][Config::kTaintDroid] / base;
+    const double ndx = results[name][Config::kNDroid] / base;
+    const double dsx = results[name][Config::kDroidScope] / base;
+    std::printf("%-22s %9.2fx %9.2fx %9.2fx\n", name.c_str(), td, ndx, dsx);
+    nd_all.push_back(ndx);
+    ds_all.push_back(dsx);
+    (is_java[name] ? nd_java : nd_native).push_back(ndx);
+  }
+
+  const double nd_native_score = geomean(nd_native);
+  const double nd_java_score = geomean(nd_java);
+  const double nd_overall = geomean(nd_all);
+  const double ds_overall = geomean(ds_all);
+  std::printf("%-22s %10s %9.2fx %10s\n", "Native Score", "", nd_native_score,
+              "");
+  std::printf("%-22s %10s %9.2fx %10s\n", "Java Score", "", nd_java_score, "");
+  std::printf("%-22s %10s %9.2fx %9.2fx\n", "Overall Score", "", nd_overall,
+              ds_overall);
+
+  std::printf(
+      "\npaper: NDroid overall 5.45x +/- 0.414; DroidScope >= 11x.\n"
+      "shape checks:\n");
+  const bool shape1 = nd_overall < ds_overall;
+  const bool shape2 = nd_java_score < nd_native_score;
+  const bool shape3 = nd_java_score < 2.0;
+  std::printf("  [%s] NDroid cheaper than DroidScope overall (%.2fx < %.2fx)\n",
+              shape1 ? "ok" : "FAIL", nd_overall, ds_overall);
+  std::printf("  [%s] Java categories cheaper than native under NDroid\n",
+              shape2 ? "ok" : "FAIL");
+  std::printf("  [%s] Java-side overhead near 1x under NDroid (%.2fx)\n",
+              shape3 ? "ok" : "FAIL", nd_java_score);
+  return (shape1 && shape2 && shape3) ? 0 : 1;
+}

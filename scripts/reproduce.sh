@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, and regenerate every table/figure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+echo "== tests =="
+ctest --test-dir build --output-on-failure
+
+echo "== experiments =="
+status=0
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    echo "===== $(basename "$b") ====="
+    "$b" || { echo "!! $(basename "$b") diverged from the paper's shape"; status=1; }
+    echo
+  fi
+done
+
+echo "== examples =="
+for e in build/examples/*; do
+  if [ -f "$e" ] && [ -x "$e" ]; then
+    "$e" > /dev/null || { echo "!! example $(basename "$e") failed"; status=1; }
+    echo "ok $(basename "$e")"
+  fi
+done
+
+exit "$status"

@@ -1,0 +1,51 @@
+// Helper for authoring third-party native libraries (.so images).
+//
+// Scenario apps assemble their JNI methods at the library's final load
+// address (no relocation machinery needed), embed string literals and data
+// buffers in the image, and install the result into the Device.
+#pragma once
+
+#include <string>
+
+#include "android/device.h"
+#include "arm/assembler.h"
+
+namespace ndroid::apps {
+
+class NativeLibBuilder {
+ public:
+  NativeLibBuilder(android::Device& device, std::string name)
+      : device_(device),
+        name_(std::move(name)),
+        asm_(device.next_lib_base()) {}
+
+  arm::Assembler& a() { return asm_; }
+
+  /// Marks the current position as a function entry point.
+  GuestAddr fn() {
+    asm_.align(4);
+    return asm_.here();
+  }
+
+  GuestAddr cstr(std::string_view s) { return asm_.cstring(s); }
+
+  /// Reserves a zero-initialised buffer inside the image.
+  GuestAddr buffer(u32 size) {
+    asm_.align(4);
+    const GuestAddr addr = asm_.here();
+    for (u32 i = 0; i < (size + 3) / 4; ++i) asm_.word(0);
+    return addr;
+  }
+
+  /// Installs the image into the device; the builder must not be used after.
+  GuestAddr install() {
+    return device_.load_native_lib(name_, asm_.finish());
+  }
+
+ private:
+  android::Device& device_;
+  std::string name_;
+  arm::Assembler asm_;
+};
+
+}  // namespace ndroid::apps

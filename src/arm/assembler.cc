@@ -1,0 +1,334 @@
+#include "arm/assembler.h"
+
+#include <bit>
+
+namespace ndroid::arm {
+
+namespace {
+constexpr u32 kCondAL = 0xEu << 28;
+
+constexpr u32 ror32(u32 v, u32 n) {
+  n &= 31;
+  return n == 0 ? v : (v >> n) | (v << (32 - n));
+}
+}  // namespace
+
+void Assembler::emit(u32 word) {
+  buf_.push_back(static_cast<u8>(word));
+  buf_.push_back(static_cast<u8>(word >> 8));
+  buf_.push_back(static_cast<u8>(word >> 16));
+  buf_.push_back(static_cast<u8>(word >> 24));
+}
+
+void Assembler::word(u32 value) { emit(value); }
+
+GuestAddr Assembler::cstring(std::string_view s) {
+  const GuestAddr addr = here();
+  for (char c : s) buf_.push_back(static_cast<u8>(c));
+  buf_.push_back(0);
+  align(4);
+  return addr;
+}
+
+void Assembler::align(u32 alignment) {
+  while (buf_.size() % alignment != 0) buf_.push_back(0);
+}
+
+bool Assembler::encodable_imm(u32 imm) {
+  for (u32 rot = 0; rot < 32; rot += 2) {
+    if ((ror32(imm, 32 - rot) & ~0xFFu) == 0) return true;
+  }
+  return false;
+}
+
+u32 Assembler::encode_imm(u32 imm) {
+  for (u32 rot = 0; rot < 32; rot += 2) {
+    const u32 rotated = ror32(imm, 32 - rot);
+    if ((rotated & ~0xFFu) == 0) return ((rot / 2) << 8) | rotated;
+  }
+  throw GuestFault("immediate not encodable: " + std::to_string(imm));
+}
+
+void Assembler::dp(u8 opcode, Reg rd, Reg rn, Reg rm, bool s, ShiftType shift,
+                   u8 amount, Cond cond) {
+  u32 w = (static_cast<u32>(cond) << 28) | (static_cast<u32>(opcode) << 21) |
+          (s ? 1u << 20 : 0) | (static_cast<u32>(rn.index) << 16) |
+          (static_cast<u32>(rd.index) << 12) | rm.index;
+  w |= (static_cast<u32>(shift) << 5) | (static_cast<u32>(amount & 31) << 7);
+  emit(w);
+}
+
+void Assembler::dp_imm(u8 opcode, Reg rd, Reg rn, u32 imm, bool s, Cond cond) {
+  const u32 enc = encode_imm(imm);
+  emit((static_cast<u32>(cond) << 28) | (1u << 25) |
+       (static_cast<u32>(opcode) << 21) | (s ? 1u << 20 : 0) |
+       (static_cast<u32>(rn.index) << 16) |
+       (static_cast<u32>(rd.index) << 12) | enc);
+}
+
+void Assembler::and_(Reg rd, Reg rn, Reg rm, bool s) { dp(0x0, rd, rn, rm, s); }
+void Assembler::eor(Reg rd, Reg rn, Reg rm, bool s) { dp(0x1, rd, rn, rm, s); }
+void Assembler::sub(Reg rd, Reg rn, Reg rm, bool s) { dp(0x2, rd, rn, rm, s); }
+void Assembler::rsb(Reg rd, Reg rn, Reg rm, bool s) { dp(0x3, rd, rn, rm, s); }
+void Assembler::add(Reg rd, Reg rn, Reg rm, bool s) { dp(0x4, rd, rn, rm, s); }
+void Assembler::adc(Reg rd, Reg rn, Reg rm, bool s) { dp(0x5, rd, rn, rm, s); }
+void Assembler::sbc(Reg rd, Reg rn, Reg rm, bool s) { dp(0x6, rd, rn, rm, s); }
+void Assembler::orr(Reg rd, Reg rn, Reg rm, bool s) { dp(0xC, rd, rn, rm, s); }
+void Assembler::bic(Reg rd, Reg rn, Reg rm, bool s) { dp(0xE, rd, rn, rm, s); }
+void Assembler::mov(Reg rd, Reg rm) { dp(0xD, rd, R(0), rm, false); }
+void Assembler::mvn(Reg rd, Reg rm) { dp(0xF, rd, R(0), rm, false); }
+void Assembler::lsl(Reg rd, Reg rm, u8 amount) {
+  dp(0xD, rd, R(0), rm, false, ShiftType::kLSL, amount);
+}
+void Assembler::lsr(Reg rd, Reg rm, u8 amount) {
+  dp(0xD, rd, R(0), rm, false, ShiftType::kLSR, amount);
+}
+void Assembler::asr(Reg rd, Reg rm, u8 amount) {
+  dp(0xD, rd, R(0), rm, false, ShiftType::kASR, amount);
+}
+void Assembler::tst(Reg rn, Reg rm) { dp(0x8, R(0), rn, rm, true); }
+void Assembler::cmp(Reg rn, Reg rm) { dp(0xA, R(0), rn, rm, true); }
+
+void Assembler::and_imm(Reg rd, Reg rn, u32 imm) { dp_imm(0x0, rd, rn, imm, false); }
+void Assembler::sub_imm(Reg rd, Reg rn, u32 imm, bool s) { dp_imm(0x2, rd, rn, imm, s); }
+void Assembler::add_imm(Reg rd, Reg rn, u32 imm, bool s) { dp_imm(0x4, rd, rn, imm, s); }
+void Assembler::orr_imm(Reg rd, Reg rn, u32 imm) { dp_imm(0xC, rd, rn, imm, false); }
+void Assembler::eor_imm(Reg rd, Reg rn, u32 imm) { dp_imm(0x1, rd, rn, imm, false); }
+void Assembler::mov_imm(Reg rd, u32 imm, Cond cond) {
+  dp_imm(0xD, rd, R(0), imm, false, cond);
+}
+void Assembler::cmp_imm(Reg rn, u32 imm) { dp_imm(0xA, R(0), rn, imm, true); }
+
+void Assembler::movw(Reg rd, u16 imm) {
+  emit(kCondAL | 0x03000000u | (static_cast<u32>(imm >> 12) << 16) |
+       (static_cast<u32>(rd.index) << 12) | (imm & 0xFFFu));
+}
+
+void Assembler::movt(Reg rd, u16 imm) {
+  emit(kCondAL | 0x03400000u | (static_cast<u32>(imm >> 12) << 16) |
+       (static_cast<u32>(rd.index) << 12) | (imm & 0xFFFu));
+}
+
+void Assembler::mov_imm32(Reg rd, u32 imm) {
+  if (encodable_imm(imm)) {
+    mov_imm(rd, imm);
+    return;
+  }
+  movw(rd, static_cast<u16>(imm));
+  if ((imm >> 16) != 0) movt(rd, static_cast<u16>(imm >> 16));
+}
+
+void Assembler::mul(Reg rd, Reg rn, Reg rm, bool s) {
+  emit(kCondAL | (s ? 1u << 20 : 0) | (static_cast<u32>(rd.index) << 16) |
+       (static_cast<u32>(rn.index) << 8) | 0x90u | rm.index);
+}
+
+void Assembler::mla(Reg rd, Reg rn, Reg rm, Reg ra) {
+  emit(kCondAL | (1u << 21) | (static_cast<u32>(rd.index) << 16) |
+       (static_cast<u32>(ra.index) << 12) | (static_cast<u32>(rn.index) << 8) |
+       0x90u | rm.index);
+}
+
+void Assembler::umull(Reg rdlo, Reg rdhi, Reg rn, Reg rm) {
+  emit(kCondAL | 0x00800090u | (static_cast<u32>(rdhi.index) << 16) |
+       (static_cast<u32>(rdlo.index) << 12) |
+       (static_cast<u32>(rn.index) << 8) | rm.index);
+}
+
+void Assembler::smull(Reg rdlo, Reg rdhi, Reg rn, Reg rm) {
+  emit(kCondAL | 0x00C00090u | (static_cast<u32>(rdhi.index) << 16) |
+       (static_cast<u32>(rdlo.index) << 12) |
+       (static_cast<u32>(rn.index) << 8) | rm.index);
+}
+
+void Assembler::sdiv(Reg rd, Reg rn, Reg rm) {
+  emit(kCondAL | 0x0710F010u | (static_cast<u32>(rd.index) << 16) |
+       (static_cast<u32>(rm.index) << 8) | rn.index);
+}
+
+void Assembler::udiv(Reg rd, Reg rn, Reg rm) {
+  emit(kCondAL | 0x0730F010u | (static_cast<u32>(rd.index) << 16) |
+       (static_cast<u32>(rm.index) << 8) | rn.index);
+}
+
+void Assembler::clz(Reg rd, Reg rm) {
+  emit(kCondAL | 0x016F0F10u | (static_cast<u32>(rd.index) << 12) | rm.index);
+}
+
+void Assembler::sxtb(Reg rd, Reg rm) {
+  emit(kCondAL | 0x06AF0070u | (static_cast<u32>(rd.index) << 12) | rm.index);
+}
+void Assembler::sxth(Reg rd, Reg rm) {
+  emit(kCondAL | 0x06BF0070u | (static_cast<u32>(rd.index) << 12) | rm.index);
+}
+void Assembler::uxtb(Reg rd, Reg rm) {
+  emit(kCondAL | 0x06EF0070u | (static_cast<u32>(rd.index) << 12) | rm.index);
+}
+void Assembler::uxth(Reg rd, Reg rm) {
+  emit(kCondAL | 0x06FF0070u | (static_cast<u32>(rd.index) << 12) | rm.index);
+}
+
+void Assembler::mem(bool load, bool byte, Reg rt, Reg rn, i32 offset, bool pre,
+                    bool writeback) {
+  const bool up = offset >= 0;
+  const u32 mag = static_cast<u32>(up ? offset : -offset);
+  if (mag > 0xFFF) throw GuestFault("ldr/str offset out of range");
+  emit(kCondAL | (1u << 26) | (pre ? 1u << 24 : 0) | (up ? 1u << 23 : 0) |
+       (byte ? 1u << 22 : 0) | (writeback && pre ? 1u << 21 : 0) |
+       (load ? 1u << 20 : 0) | (static_cast<u32>(rn.index) << 16) |
+       (static_cast<u32>(rt.index) << 12) | mag);
+}
+
+void Assembler::mem_h(Op op, Reg rt, Reg rn, i32 offset) {
+  const bool up = offset >= 0;
+  const u32 mag = static_cast<u32>(up ? offset : -offset);
+  if (mag > 0xFF) throw GuestFault("ldrh/strh offset out of range");
+  const bool load = op != Op::kStrh;
+  u32 sh = 1;  // H
+  if (op == Op::kLdrsb) sh = 2;
+  if (op == Op::kLdrsh) sh = 3;
+  emit(kCondAL | (1u << 24) | (up ? 1u << 23 : 0) | (1u << 22) |
+       (load ? 1u << 20 : 0) | (static_cast<u32>(rn.index) << 16) |
+       (static_cast<u32>(rt.index) << 12) | ((mag >> 4) << 8) | (1u << 7) |
+       (sh << 5) | (1u << 4) | (mag & 0xF));
+}
+
+void Assembler::ldr(Reg rt, Reg rn, i32 offset) { mem(true, false, rt, rn, offset, true, false); }
+void Assembler::str(Reg rt, Reg rn, i32 offset) { mem(false, false, rt, rn, offset, true, false); }
+void Assembler::ldrb(Reg rt, Reg rn, i32 offset) { mem(true, true, rt, rn, offset, true, false); }
+void Assembler::strb(Reg rt, Reg rn, i32 offset) { mem(false, true, rt, rn, offset, true, false); }
+void Assembler::ldrh(Reg rt, Reg rn, i32 offset) { mem_h(Op::kLdrh, rt, rn, offset); }
+void Assembler::strh(Reg rt, Reg rn, i32 offset) { mem_h(Op::kStrh, rt, rn, offset); }
+void Assembler::ldrsb(Reg rt, Reg rn, i32 offset) { mem_h(Op::kLdrsb, rt, rn, offset); }
+void Assembler::ldrsh(Reg rt, Reg rn, i32 offset) { mem_h(Op::kLdrsh, rt, rn, offset); }
+
+void Assembler::ldr_reg(Reg rt, Reg rn, Reg rm) {
+  emit(kCondAL | (3u << 25) | (1u << 24) | (1u << 23) | (1u << 20) |
+       (static_cast<u32>(rn.index) << 16) | (static_cast<u32>(rt.index) << 12) |
+       rm.index);
+}
+
+void Assembler::str_reg(Reg rt, Reg rn, Reg rm) {
+  emit(kCondAL | (3u << 25) | (1u << 24) | (1u << 23) |
+       (static_cast<u32>(rn.index) << 16) | (static_cast<u32>(rt.index) << 12) |
+       rm.index);
+}
+
+void Assembler::ldrb_reg(Reg rt, Reg rn, Reg rm) {
+  emit(kCondAL | (3u << 25) | (1u << 24) | (1u << 23) | (1u << 22) |
+       (1u << 20) | (static_cast<u32>(rn.index) << 16) |
+       (static_cast<u32>(rt.index) << 12) | rm.index);
+}
+
+void Assembler::strb_reg(Reg rt, Reg rn, Reg rm) {
+  emit(kCondAL | (3u << 25) | (1u << 24) | (1u << 23) | (1u << 22) |
+       (static_cast<u32>(rn.index) << 16) | (static_cast<u32>(rt.index) << 12) |
+       rm.index);
+}
+
+void Assembler::ldrb_pre(Reg rt, Reg rn, i32 offset) { mem(true, true, rt, rn, offset, true, true); }
+void Assembler::strb_pre(Reg rt, Reg rn, i32 offset) { mem(false, true, rt, rn, offset, true, true); }
+void Assembler::ldr_post(Reg rt, Reg rn, i32 offset) { mem(true, false, rt, rn, offset, false, true); }
+void Assembler::str_post(Reg rt, Reg rn, i32 offset) { mem(false, false, rt, rn, offset, false, true); }
+void Assembler::ldrb_post(Reg rt, Reg rn, i32 offset) { mem(true, true, rt, rn, offset, false, true); }
+void Assembler::strb_post(Reg rt, Reg rn, i32 offset) { mem(false, true, rt, rn, offset, false, true); }
+
+void Assembler::push(std::initializer_list<Reg> regs) {
+  u16 list = 0;
+  for (Reg r : regs) list |= static_cast<u16>(1u << r.index);
+  // STMDB sp!, {...}
+  emit(kCondAL | (4u << 25) | (1u << 24) | (1u << 21) | (13u << 16) | list);
+}
+
+void Assembler::pop(std::initializer_list<Reg> regs) {
+  u16 list = 0;
+  for (Reg r : regs) list |= static_cast<u16>(1u << r.index);
+  // LDMIA sp!, {...}
+  emit(kCondAL | (4u << 25) | (1u << 23) | (1u << 21) | (1u << 20) |
+       (13u << 16) | list);
+}
+
+void Assembler::ldm_ia(Reg rn, u16 reglist, bool writeback) {
+  emit(kCondAL | (4u << 25) | (1u << 23) | (writeback ? 1u << 21 : 0) |
+       (1u << 20) | (static_cast<u32>(rn.index) << 16) | reglist);
+}
+
+void Assembler::stm_ia(Reg rn, u16 reglist, bool writeback) {
+  emit(kCondAL | (4u << 25) | (1u << 23) | (writeback ? 1u << 21 : 0) |
+       (static_cast<u32>(rn.index) << 16) | reglist);
+}
+
+void Assembler::b(Label& label, Cond cond) {
+  if (label.bound_offset >= 0) {
+    const i32 delta =
+        label.bound_offset - static_cast<i32>(buf_.size()) - 8;
+    emit((static_cast<u32>(cond) << 28) | (5u << 25) |
+         ((static_cast<u32>(delta) >> 2) & 0xFFFFFFu));
+  } else {
+    label.fixups.push_back(static_cast<u32>(buf_.size()));
+    emit((static_cast<u32>(cond) << 28) | (5u << 25));
+  }
+}
+
+void Assembler::bl(Label& label) {
+  if (label.bound_offset >= 0) {
+    const i32 delta = label.bound_offset - static_cast<i32>(buf_.size()) - 8;
+    emit(kCondAL | (5u << 25) | (1u << 24) |
+         ((static_cast<u32>(delta) >> 2) & 0xFFFFFFu));
+  } else {
+    label.fixups.push_back(static_cast<u32>(buf_.size()));
+    emit(kCondAL | (5u << 25) | (1u << 24));
+  }
+}
+
+void Assembler::b_abs(GuestAddr target, Cond cond) {
+  const i32 delta =
+      static_cast<i32>(target) - static_cast<i32>(here()) - 8;
+  emit((static_cast<u32>(cond) << 28) | (5u << 25) |
+       ((static_cast<u32>(delta) >> 2) & 0xFFFFFFu));
+}
+
+void Assembler::bl_abs(GuestAddr target) {
+  const i32 delta = static_cast<i32>(target) - static_cast<i32>(here()) - 8;
+  emit(kCondAL | (5u << 25) | (1u << 24) |
+       ((static_cast<u32>(delta) >> 2) & 0xFFFFFFu));
+}
+
+void Assembler::bx(Reg rm) { emit(kCondAL | 0x012FFF10u | rm.index); }
+void Assembler::blx(Reg rm) { emit(kCondAL | 0x012FFF30u | rm.index); }
+
+void Assembler::call(GuestAddr target) {
+  mov_imm32(IP, target);
+  blx(IP);
+}
+
+void Assembler::svc(u32 number) {
+  emit(kCondAL | (0xFu << 24) | (number & 0xFFFFFFu));
+}
+
+void Assembler::nop() { mov(R(0), R(0)); }
+void Assembler::ret() { bx(LR); }
+
+void Assembler::bind(Label& label) {
+  if (label.bound_offset >= 0) throw GuestFault("label bound twice");
+  label.bound_offset = static_cast<i32>(buf_.size());
+  for (u32 site : label.fixups) {
+    u32 w = static_cast<u32>(buf_[site]) | (static_cast<u32>(buf_[site + 1]) << 8) |
+            (static_cast<u32>(buf_[site + 2]) << 16) |
+            (static_cast<u32>(buf_[site + 3]) << 24);
+    const i32 delta = label.bound_offset - static_cast<i32>(site) - 8;
+    w |= (static_cast<u32>(delta) >> 2) & 0xFFFFFFu;
+    buf_[site] = static_cast<u8>(w);
+    buf_[site + 1] = static_cast<u8>(w >> 8);
+    buf_[site + 2] = static_cast<u8>(w >> 16);
+    buf_[site + 3] = static_cast<u8>(w >> 24);
+  }
+  label.fixups.clear();
+}
+
+std::vector<u8> Assembler::finish() {
+  align(4);
+  return std::move(buf_);
+}
+
+}  // namespace ndroid::arm

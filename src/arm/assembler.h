@@ -1,0 +1,164 @@
+// Programmatic ARM (A32) assembler.
+//
+// Guest code in this reproduction — third-party "native libraries", the fake
+// libdvm.so JNI stubs, and libc.so — is authored through this assembler, the
+// way the paper's subject apps ship prebuilt .so files. Emits the same
+// encodings `decode_arm` consumes; round-trip equivalence is tested.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arm/insn.h"
+
+namespace ndroid::arm {
+
+/// Register operand, thin wrapper to keep call sites readable: R(0)..R(15).
+struct Reg {
+  u8 index;
+};
+constexpr Reg R(u8 i) { return Reg{i}; }
+[[maybe_unused]] inline constexpr Reg SP{13};
+[[maybe_unused]] inline constexpr Reg LR{14};
+[[maybe_unused]] inline constexpr Reg PC{15};
+[[maybe_unused]] inline constexpr Reg IP{12};  // AAPCS scratch for long calls
+
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class Assembler;
+  i32 bound_offset = -1;
+  std::vector<u32> fixups;  // offsets of B/BL words awaiting this label
+};
+
+class Assembler {
+ public:
+  explicit Assembler(GuestAddr base) : base_(base) {}
+
+  [[nodiscard]] GuestAddr base() const { return base_; }
+  [[nodiscard]] GuestAddr here() const {
+    return base_ + static_cast<u32>(buf_.size());
+  }
+  [[nodiscard]] const std::vector<u8>& buffer() const { return buf_; }
+
+  /// Finalises fixups; throws if any label is unbound.
+  [[nodiscard]] std::vector<u8> finish();
+
+  void bind(Label& label);
+
+  // --- Data processing (register operand 2, optional shift) -----------
+  void and_(Reg rd, Reg rn, Reg rm, bool s = false);
+  void eor(Reg rd, Reg rn, Reg rm, bool s = false);
+  void sub(Reg rd, Reg rn, Reg rm, bool s = false);
+  void rsb(Reg rd, Reg rn, Reg rm, bool s = false);
+  void add(Reg rd, Reg rn, Reg rm, bool s = false);
+  void adc(Reg rd, Reg rn, Reg rm, bool s = false);
+  void sbc(Reg rd, Reg rn, Reg rm, bool s = false);
+  void orr(Reg rd, Reg rn, Reg rm, bool s = false);
+  void bic(Reg rd, Reg rn, Reg rm, bool s = false);
+  void mov(Reg rd, Reg rm);
+  void mvn(Reg rd, Reg rm);
+  void lsl(Reg rd, Reg rm, u8 amount);
+  void lsr(Reg rd, Reg rm, u8 amount);
+  void asr(Reg rd, Reg rm, u8 amount);
+  void tst(Reg rn, Reg rm);
+  void cmp(Reg rn, Reg rm);
+
+  // --- Data processing (immediate operand 2) ---------------------------
+  // The immediate must be encodable as an 8-bit value rotated right by an
+  // even amount; mov_imm32 synthesises arbitrary 32-bit constants.
+  void and_imm(Reg rd, Reg rn, u32 imm);
+  void sub_imm(Reg rd, Reg rn, u32 imm, bool s = false);
+  void add_imm(Reg rd, Reg rn, u32 imm, bool s = false);
+  void orr_imm(Reg rd, Reg rn, u32 imm);
+  void eor_imm(Reg rd, Reg rn, u32 imm);
+  void mov_imm(Reg rd, u32 imm, Cond cond = Cond::kAL);
+  void cmp_imm(Reg rn, u32 imm);
+
+  void movw(Reg rd, u16 imm);
+  void movt(Reg rd, u16 imm);
+  /// movw/movt pair (or single mov when encodable).
+  void mov_imm32(Reg rd, u32 imm);
+
+  // --- Multiply / divide ------------------------------------------------
+  void mul(Reg rd, Reg rn, Reg rm, bool s = false);
+  void mla(Reg rd, Reg rn, Reg rm, Reg ra);
+  void umull(Reg rdlo, Reg rdhi, Reg rn, Reg rm);
+  void smull(Reg rdlo, Reg rdhi, Reg rn, Reg rm);
+  void sdiv(Reg rd, Reg rn, Reg rm);
+  void udiv(Reg rd, Reg rn, Reg rm);
+  void clz(Reg rd, Reg rm);
+  void sxtb(Reg rd, Reg rm);
+  void sxth(Reg rd, Reg rm);
+  void uxtb(Reg rd, Reg rm);
+  void uxth(Reg rd, Reg rm);
+
+  // --- Loads / stores ----------------------------------------------------
+  void ldr(Reg rt, Reg rn, i32 offset = 0);
+  void str(Reg rt, Reg rn, i32 offset = 0);
+  void ldrb(Reg rt, Reg rn, i32 offset = 0);
+  void strb(Reg rt, Reg rn, i32 offset = 0);
+  void ldrh(Reg rt, Reg rn, i32 offset = 0);
+  void strh(Reg rt, Reg rn, i32 offset = 0);
+  void ldrsb(Reg rt, Reg rn, i32 offset = 0);
+  void ldrsh(Reg rt, Reg rn, i32 offset = 0);
+  void ldr_reg(Reg rt, Reg rn, Reg rm);  // ldr rt, [rn, rm]
+  void str_reg(Reg rt, Reg rn, Reg rm);
+  void ldrb_reg(Reg rt, Reg rn, Reg rm);
+  void strb_reg(Reg rt, Reg rn, Reg rm);
+  /// Pre-indexed with writeback: ldrb rt, [rn, #offset]!.
+  void ldrb_pre(Reg rt, Reg rn, i32 offset);
+  void strb_pre(Reg rt, Reg rn, i32 offset);
+  /// Post-indexed: ldr rt, [rn], #offset.
+  void ldr_post(Reg rt, Reg rn, i32 offset);
+  void str_post(Reg rt, Reg rn, i32 offset);
+  void ldrb_post(Reg rt, Reg rn, i32 offset);
+  void strb_post(Reg rt, Reg rn, i32 offset);
+
+  void push(std::initializer_list<Reg> regs);
+  void pop(std::initializer_list<Reg> regs);
+  void ldm_ia(Reg rn, u16 reglist, bool writeback);
+  void stm_ia(Reg rn, u16 reglist, bool writeback);
+
+  // --- Control flow -------------------------------------------------------
+  void b(Label& label, Cond cond = Cond::kAL);
+  void bl(Label& label);
+  void b_abs(GuestAddr target, Cond cond = Cond::kAL);
+  void bl_abs(GuestAddr target);
+  void bx(Reg rm);
+  void blx(Reg rm);
+  /// Long call to an arbitrary absolute address: movw/movt ip + blx ip.
+  void call(GuestAddr target);
+
+  void svc(u32 number);
+  void nop();
+  /// Emits `bx lr`.
+  void ret();
+
+  // --- Data -------------------------------------------------------------
+  void word(u32 value);
+  /// Emits a NUL-terminated string, 4-byte aligned afterwards.
+  GuestAddr cstring(std::string_view s);
+  void align(u32 alignment);
+
+  /// True if `imm` fits ARM's rotated-8-bit immediate encoding.
+  static bool encodable_imm(u32 imm);
+
+ private:
+  void emit(u32 word);
+  void dp(u8 opcode, Reg rd, Reg rn, Reg rm, bool s, ShiftType shift = ShiftType::kLSL,
+          u8 amount = 0, Cond cond = Cond::kAL);
+  void dp_imm(u8 opcode, Reg rd, Reg rn, u32 imm, bool s,
+              Cond cond = Cond::kAL);
+  void mem(bool load, bool byte, Reg rt, Reg rn, i32 offset, bool pre,
+           bool writeback);
+  void mem_h(Op op, Reg rt, Reg rn, i32 offset);
+  static u32 encode_imm(u32 imm);  // throws if not encodable
+
+  GuestAddr base_;
+  std::vector<u8> buf_;
+};
+
+}  // namespace ndroid::arm

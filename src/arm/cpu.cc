@@ -1,0 +1,157 @@
+#include "arm/cpu.h"
+
+#include <algorithm>
+
+namespace ndroid::arm {
+
+int Cpu::add_insn_hook(InsnHook hook) {
+  const int id = next_hook_id_++;
+  insn_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Cpu::remove_insn_hook(int id) {
+  std::erase_if(insn_hooks_, [&](const auto& p) { return p.first == id; });
+}
+
+int Cpu::add_branch_hook(BranchHook hook) {
+  const int id = next_hook_id_++;
+  branch_hooks_.emplace_back(id, std::move(hook));
+  return id;
+}
+
+void Cpu::remove_branch_hook(int id) {
+  std::erase_if(branch_hooks_, [&](const auto& p) { return p.first == id; });
+}
+
+void Cpu::register_helper(GuestAddr addr, Helper helper) {
+  helpers_[addr & ~1u] = std::move(helper);
+}
+
+GuestAddr Cpu::register_helper_auto(Helper helper) {
+  const GuestAddr addr = next_helper_addr_;
+  next_helper_addr_ += 4;
+  register_helper(addr, std::move(helper));
+  return addr;
+}
+
+void Cpu::fire_branch_hooks(GuestAddr from, GuestAddr to) {
+  for (auto& [id, hook] : branch_hooks_) hook(*this, from, to);
+}
+
+const Insn& Cpu::decode_cached(u64 key, u32 word, u16 hw2) {
+  const u32 index =
+      static_cast<u32>((key * 0x9E3779B97F4A7C15ull) >>
+                       (64 - kDecodeCacheBits));
+  DecodeEntry& entry = decode_cache_[index];
+  if (entry.key != key) {
+    entry.insn = (key >> 62) == 2 ? decode_thumb(static_cast<u16>(word), hw2)
+                                  : decode_arm(word);
+    entry.key = key;
+  }
+  return entry.insn;
+}
+
+void Cpu::step() {
+  const GuestAddr pc = state_.pc();
+
+  // Helpers live in the 0xF0000000+ window; skip the hash lookup for
+  // ordinary guest code.
+  if (pc >= 0xF0000000u) {
+    if (auto it = helpers_.find(pc); it != helpers_.end()) {
+      ++retired_;
+      const GuestAddr ret = state_.lr();
+      it->second(*this);
+      if (state_.pc() == pc) {
+        state_.thumb = (ret & 1) != 0;
+        state_.set_pc(ret & ~1u);
+        fire_branch_hooks(pc, state_.pc());
+      }
+      return;
+    }
+  }
+  u64 key;
+  u32 word;
+  u16 hw2 = 0;
+  if (state_.thumb) {
+    const u16 hw = memory_.read16(pc);
+    hw2 = memory_.read16(pc + 2);
+    word = hw;
+    key = (static_cast<u64>(hw2) << 16) | hw | (2ull << 62);
+  } else {
+    word = memory_.read32(pc);
+    key = static_cast<u64>(word) | (1ull << 62);
+  }
+  const Insn& insn = decode_cached(key, word, hw2);
+
+  for (auto& [id, hook] : insn_hooks_) hook(*this, insn, pc);
+
+  if (insn.op == Op::kSvc && condition_passed(insn.cond, state_)) {
+    if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+    state_.set_pc(pc + insn.length);
+    ++retired_;
+    svc_handler_(*this, insn.imm);
+    return;
+  }
+
+  execute(insn, state_, memory_);
+  ++retired_;
+
+  if (state_.pc() != pc + insn.length) fire_branch_hooks(pc, state_.pc());
+}
+
+bool Cpu::run(u64 max_steps) {
+  for (u64 i = 0; i < max_steps; ++i) {
+    if (state_.pc() == kHostReturnAddr) return true;
+    step();
+  }
+  return state_.pc() == kHostReturnAddr;
+}
+
+u32 Cpu::call_function(GuestAddr addr, const std::vector<u32>& args) {
+  // Re-entrant: guest code may invoke helpers that call back into guest
+  // functions (the JNI call chains rely on this).
+  CPUState saved = state_;
+  ++call_depth_;
+  if (call_depth_ > 64) {
+    --call_depth_;
+    throw GuestFault("guest call depth exceeded");
+  }
+
+  const u32 nreg = std::min<u32>(4, static_cast<u32>(args.size()));
+  for (u32 i = 0; i < nreg; ++i) state_.regs[i] = args[i];
+
+  u32 sp = state_.sp();
+  if (args.size() > 4) {
+    const u32 extra = static_cast<u32>(args.size()) - 4;
+    sp -= 4 * extra;
+    sp &= ~7u;  // AAPCS stack alignment
+    for (u32 i = 0; i < extra; ++i) {
+      memory_.write32(sp + 4 * i, args[4 + i]);
+    }
+  } else {
+    sp &= ~7u;
+  }
+  state_.set_sp(sp);
+  state_.set_lr(kHostReturnAddr);
+  state_.thumb = (addr & 1) != 0;
+  state_.set_pc(addr & ~1u);
+  // A host-initiated call is still a control transfer into guest code; make
+  // it visible so address-triggered hooks (e.g. NDroid's SourcePolicy
+  // application at a native method's first instruction) fire uniformly.
+  fire_branch_hooks(saved.pc(), state_.pc());
+
+  if (!run(step_budget_)) {
+    --call_depth_;
+    state_ = saved;
+    throw GuestFault("guest call did not return (step budget exhausted)");
+  }
+
+  const u32 result = state_.regs[0];
+  --call_depth_;
+  // Restore everything but keep the result visible to the caller.
+  state_ = saved;
+  return result;
+}
+
+}  // namespace ndroid::arm

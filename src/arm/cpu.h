@@ -1,0 +1,129 @@
+// The emulated ARM core with instrumentation points.
+//
+// This is the substrate role QEMU plays for NDroid (paper §V-A, §V-G):
+//  * an *instruction hook* fires before each decoded instruction executes —
+//    NDroid's Instruction Tracer attaches here (the analogue of inserting
+//    TCG ops at translation time);
+//  * a *branch hook* fires on every non-sequential control transfer with
+//    (I_from, I_to) — exactly the pair the multilevel-hooking conditions
+//    T1..T6 are defined over (paper Fig. 5);
+//  * *function hooks* fire when control reaches a registered guest address
+//    (entry) and when the hooked call returns (exit) — how NDroid hooks
+//    dvmCallJNIMethod, the JNI functions, and libc entry points;
+//  * *helpers* are C++ implementations behind guest addresses: when the PC
+//    lands on one, the helper runs and control returns to LR. Guest stubs in
+//    our fake libdvm/libc call them, keeping call chains visible as guest
+//    branches.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "arm/cpu_state.h"
+#include "arm/decoder.h"
+#include "arm/executor.h"
+#include "mem/address_space.h"
+#include "mem/memory_map.h"
+
+namespace ndroid::arm {
+
+class Cpu;
+
+using InsnHook = std::function<void(Cpu&, const Insn&, GuestAddr pc)>;
+using BranchHook = std::function<void(Cpu&, GuestAddr from, GuestAddr to)>;
+using Helper = std::function<void(Cpu&)>;
+using SvcHandler = std::function<void(Cpu&, u32 svc_number)>;
+
+/// Address the run loop treats as "return to host": calling convention glue
+/// sets LR to this before entering guest code.
+inline constexpr GuestAddr kHostReturnAddr = 0xFFFF0000u;
+
+class Cpu {
+ public:
+  explicit Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
+      : memory_(memory), memmap_(memmap) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  CPUState& state() { return state_; }
+  [[nodiscard]] const CPUState& state() const { return state_; }
+  mem::AddressSpace& memory() { return memory_; }
+  mem::MemoryMap& memmap() { return memmap_; }
+
+  // --- Instrumentation ------------------------------------------------
+
+  /// Returns an id usable with remove_insn_hook.
+  int add_insn_hook(InsnHook hook);
+  void remove_insn_hook(int id);
+
+  int add_branch_hook(BranchHook hook);
+  void remove_branch_hook(int id);
+
+  /// Registers a C++ helper behind guest address `addr`. When the PC lands
+  /// there the helper runs with AAPCS argument registers live, then control
+  /// returns to LR (unless the helper redirected the PC itself).
+  void register_helper(GuestAddr addr, Helper helper);
+
+  /// Registers a helper at the next free address in the helper window
+  /// (0xF0000000+) and returns that address.
+  GuestAddr register_helper_auto(Helper helper);
+
+  void set_svc_handler(SvcHandler handler) { svc_handler_ = std::move(handler); }
+
+  // --- Execution -------------------------------------------------------
+
+  /// Executes one instruction (or one helper). Throws GuestFault on
+  /// undecodable instructions or a missing SVC handler.
+  void step();
+
+  /// Runs until the PC reaches kHostReturnAddr or `max_steps` instructions
+  /// retire. Returns true if the host-return address was reached.
+  bool run(u64 max_steps = 1'000'000'000);
+
+  /// Calls a guest function: sets up R0-R3 (+ stack for extra args), runs to
+  /// completion, restores SP, returns R0. `addr` bit 0 selects Thumb.
+  u32 call_function(GuestAddr addr, const std::vector<u32>& args = {});
+
+  /// Total instructions retired (helpers count as one).
+  [[nodiscard]] u64 instructions_retired() const { return retired_; }
+
+  /// Guest stack for host-initiated calls; must be set before call_function.
+  void set_initial_sp(GuestAddr sp) { state_.set_sp(sp); }
+
+  /// Step budget used by call_function (guards against runaway guest code).
+  void set_step_budget(u64 steps) { step_budget_ = steps; }
+
+ private:
+  void fire_branch_hooks(GuestAddr from, GuestAddr to);
+
+  mem::AddressSpace& memory_;
+  mem::MemoryMap& memmap_;
+  CPUState state_{};
+
+  /// Decode cache (the analogue of QEMU's translation cache): decoding
+  /// depends only on the instruction word(s) and mode, never the address,
+  /// so a direct-mapped word-keyed cache is safe under self-modifying code.
+  struct DecodeEntry {
+    u64 key = ~0ull;
+    Insn insn;
+  };
+  static constexpr u32 kDecodeCacheBits = 14;
+  const Insn& decode_cached(u64 key, u32 word, u16 hw2);
+
+  std::vector<DecodeEntry> decode_cache_ =
+      std::vector<DecodeEntry>(1u << kDecodeCacheBits);
+
+  std::vector<std::pair<int, InsnHook>> insn_hooks_;
+  std::vector<std::pair<int, BranchHook>> branch_hooks_;
+  std::unordered_map<GuestAddr, Helper> helpers_;
+  GuestAddr next_helper_addr_ = 0xF0000000;
+  SvcHandler svc_handler_;
+  int next_hook_id_ = 1;
+  u64 retired_ = 0;
+  u64 step_budget_ = 1'000'000'000;
+  int call_depth_ = 0;
+};
+
+}  // namespace ndroid::arm

@@ -1,0 +1,559 @@
+#include "arm/decoder.h"
+
+#include "arm/cpu_state.h"
+
+namespace ndroid::arm {
+
+namespace {
+
+constexpr u32 bits(u32 w, u32 hi, u32 lo) {
+  return (w >> lo) & ((1u << (hi - lo + 1)) - 1);
+}
+constexpr bool bit(u32 w, u32 n) { return ((w >> n) & 1u) != 0; }
+
+constexpr u32 ror32(u32 v, u32 n) {
+  n &= 31;
+  return n == 0 ? v : (v >> n) | (v << (32 - n));
+}
+
+constexpr i32 sign_extend(u32 v, u32 sign_bit) {
+  const u32 mask = 1u << sign_bit;
+  return static_cast<i32>((v ^ mask) - mask);
+}
+
+Op dp_opcode(u32 code) {
+  switch (code) {
+    case 0x0: return Op::kAnd;
+    case 0x1: return Op::kEor;
+    case 0x2: return Op::kSub;
+    case 0x3: return Op::kRsb;
+    case 0x4: return Op::kAdd;
+    case 0x5: return Op::kAdc;
+    case 0x6: return Op::kSbc;
+    case 0x7: return Op::kRsc;
+    case 0x8: return Op::kTst;
+    case 0x9: return Op::kTeq;
+    case 0xA: return Op::kCmp;
+    case 0xB: return Op::kCmn;
+    case 0xC: return Op::kOrr;
+    case 0xD: return Op::kMov;
+    case 0xE: return Op::kBic;
+    case 0xF: return Op::kMvn;
+  }
+  return Op::kUndefined;
+}
+
+Insn decode_arm_data_processing(u32 w, Insn insn) {
+  const u32 code = bits(w, 24, 21);
+  insn.op = dp_opcode(code);
+  insn.set_flags = bit(w, 20);
+  insn.rn = static_cast<u8>(bits(w, 19, 16));
+  insn.rd = static_cast<u8>(bits(w, 15, 12));
+  // TST/TEQ/CMP/CMN without S are MSR/MRS-class instructions we do not model.
+  if (code >= 0x8 && code <= 0xB && !insn.set_flags) {
+    insn.op = Op::kUndefined;
+    return insn;
+  }
+  if (bit(w, 25)) {
+    insn.imm_operand = true;
+    insn.imm = ror32(bits(w, 7, 0), 2 * bits(w, 11, 8));
+    insn.shift_amount = static_cast<u8>(2 * bits(w, 11, 8));  // for carry-out
+  } else {
+    insn.rm = static_cast<u8>(bits(w, 3, 0));
+    insn.shift = static_cast<ShiftType>(bits(w, 6, 5));
+    if (bit(w, 4)) {
+      insn.shift_by_reg = true;
+      insn.rs = static_cast<u8>(bits(w, 11, 8));
+    } else {
+      insn.shift_amount = static_cast<u8>(bits(w, 11, 7));
+      if (insn.shift_amount == 0) {
+        // Special imm-shift encodings: LSR/ASR #0 mean #32; ROR #0 is RRX.
+        if (insn.shift == ShiftType::kLSR || insn.shift == ShiftType::kASR) {
+          insn.shift_amount = 32;
+        } else if (insn.shift == ShiftType::kROR) {
+          insn.shift = ShiftType::kRRX;
+        }
+      }
+    }
+  }
+  return insn;
+}
+
+Insn decode_arm_halfword_ls(u32 w, Insn insn) {
+  const bool load = bit(w, 20);
+  const u32 sh = bits(w, 6, 5);
+  if (load) {
+    insn.op = sh == 1 ? Op::kLdrh : sh == 2 ? Op::kLdrsb : Op::kLdrsh;
+  } else if (sh == 1) {
+    insn.op = Op::kStrh;
+  } else {
+    insn.op = Op::kUndefined;  // LDRD/STRD not modelled
+    return insn;
+  }
+  insn.rn = static_cast<u8>(bits(w, 19, 16));
+  insn.rd = static_cast<u8>(bits(w, 15, 12));
+  insn.pre_index = bit(w, 24);
+  insn.add_offset = bit(w, 23);
+  insn.writeback = bit(w, 21) || !insn.pre_index;
+  if (bit(w, 22)) {
+    insn.imm = (bits(w, 11, 8) << 4) | bits(w, 3, 0);
+  } else {
+    insn.reg_offset = true;
+    insn.rm = static_cast<u8>(bits(w, 3, 0));
+  }
+  return insn;
+}
+
+}  // namespace
+
+Insn decode_arm(u32 w) {
+  Insn insn;
+  insn.raw = w;
+  insn.length = 4;
+  const u32 cond = bits(w, 31, 28);
+  if (cond == 0xF) {
+    insn.op = Op::kUndefined;  // unconditional space not modelled
+    return insn;
+  }
+  insn.cond = static_cast<Cond>(cond);
+
+  const u32 group = bits(w, 27, 25);
+  switch (group) {
+    case 0b000: {
+      // Miscellaneous encodings carved out of the data-processing space.
+      if ((w & 0x0FFFFFF0u) == 0x012FFF10u) {
+        insn.op = Op::kBx;
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        return insn;
+      }
+      if ((w & 0x0FFFFFF0u) == 0x012FFF30u) {
+        insn.op = Op::kBlxReg;
+        insn.link = true;
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        return insn;
+      }
+      if ((w & 0x0FFF0FF0u) == 0x016F0F10u) {
+        insn.op = Op::kClz;
+        insn.rd = static_cast<u8>(bits(w, 15, 12));
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        return insn;
+      }
+      if ((w & 0x0FC000F0u) == 0x00000090u) {
+        insn.op = bit(w, 21) ? Op::kMla : Op::kMul;
+        insn.set_flags = bit(w, 20);
+        insn.rd = static_cast<u8>(bits(w, 19, 16));
+        insn.rs = static_cast<u8>(bits(w, 15, 12));  // accumulator (MLA)
+        insn.rn = static_cast<u8>(bits(w, 11, 8));
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        return insn;
+      }
+      if ((w & 0x0F8000F0u) == 0x00800090u) {
+        const u32 op = bits(w, 23, 21);
+        if (op == 0b100) {
+          insn.op = Op::kUmull;
+        } else if (op == 0b110) {
+          insn.op = Op::kSmull;
+        } else {
+          insn.op = Op::kUndefined;  // UMLAL/SMLAL not modelled
+          return insn;
+        }
+        insn.set_flags = bit(w, 20);
+        insn.rn = static_cast<u8>(bits(w, 19, 16));  // RdHi
+        insn.rd = static_cast<u8>(bits(w, 15, 12));  // RdLo
+        insn.rs = static_cast<u8>(bits(w, 11, 8));
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        return insn;
+      }
+      if ((w & 0x0E000090u) == 0x00000090u && bits(w, 6, 5) != 0) {
+        return decode_arm_halfword_ls(w, insn);
+      }
+      if (bit(w, 4) && bit(w, 7)) {
+        insn.op = Op::kUndefined;
+        return insn;
+      }
+      return decode_arm_data_processing(w, insn);
+    }
+    case 0b001: {
+      if ((w & 0x0FF00000u) == 0x03000000u ||
+          (w & 0x0FF00000u) == 0x03400000u) {
+        insn.op = (w & 0x00400000u) ? Op::kMovt : Op::kMovw;
+        insn.rd = static_cast<u8>(bits(w, 15, 12));
+        insn.imm = (bits(w, 19, 16) << 12) | bits(w, 11, 0);
+        insn.imm_operand = true;
+        return insn;
+      }
+      return decode_arm_data_processing(w, insn);
+    }
+    case 0b010:
+    case 0b011: {
+      if (group == 0b011) {
+        if ((w & 0x0FF0F0F0u) == 0x0710F010u ||
+            (w & 0x0FF0F0F0u) == 0x0730F010u) {
+          insn.op = (w & 0x00200000u) ? Op::kUdiv : Op::kSdiv;
+          // Encoding order is Rd, Rm(divisor), Rn(dividend); the executor
+          // computes Rd = Rn / Rm.
+          insn.rd = static_cast<u8>(bits(w, 19, 16));
+          insn.rm = static_cast<u8>(bits(w, 11, 8));
+          insn.rn = static_cast<u8>(bits(w, 3, 0));
+          return insn;
+        }
+        // Media-space sign/zero extension (rotation 0 form).
+        if ((w & 0x0FFF03F0u) == 0x06AF0070u ||
+            (w & 0x0FFF03F0u) == 0x06BF0070u ||
+            (w & 0x0FFF03F0u) == 0x06EF0070u ||
+            (w & 0x0FFF03F0u) == 0x06FF0070u) {
+          switch (bits(w, 22, 20)) {
+            case 0b010: insn.op = Op::kSxtb; break;
+            case 0b011: insn.op = Op::kSxth; break;
+            case 0b110: insn.op = Op::kUxtb; break;
+            default: insn.op = Op::kUxth; break;
+          }
+          insn.rd = static_cast<u8>(bits(w, 15, 12));
+          insn.rm = static_cast<u8>(bits(w, 3, 0));
+          return insn;
+        }
+        if (bit(w, 4)) {
+          insn.op = Op::kUndefined;  // other media instructions not modelled
+          return insn;
+        }
+      }
+      const bool load = bit(w, 20);
+      const bool byte = bit(w, 22);
+      insn.op = load ? (byte ? Op::kLdrb : Op::kLdr)
+                     : (byte ? Op::kStrb : Op::kStr);
+      insn.rn = static_cast<u8>(bits(w, 19, 16));
+      insn.rd = static_cast<u8>(bits(w, 15, 12));
+      insn.pre_index = bit(w, 24);
+      insn.add_offset = bit(w, 23);
+      insn.writeback = bit(w, 21) || !insn.pre_index;
+      if (group == 0b011) {
+        insn.reg_offset = true;
+        insn.rm = static_cast<u8>(bits(w, 3, 0));
+        insn.shift = static_cast<ShiftType>(bits(w, 6, 5));
+        insn.shift_amount = static_cast<u8>(bits(w, 11, 7));
+        if (insn.shift_amount == 0 &&
+            (insn.shift == ShiftType::kLSR || insn.shift == ShiftType::kASR)) {
+          insn.shift_amount = 32;
+        }
+      } else {
+        insn.imm = bits(w, 11, 0);
+      }
+      return insn;
+    }
+    case 0b100: {
+      insn.op = bit(w, 20) ? Op::kLdm : Op::kStm;
+      insn.rn = static_cast<u8>(bits(w, 19, 16));
+      insn.before = bit(w, 24);
+      insn.base_increment = bit(w, 23);
+      insn.writeback = bit(w, 21);
+      insn.reglist = static_cast<u16>(bits(w, 15, 0));
+      if (bit(w, 22)) insn.op = Op::kUndefined;  // user-bank forms
+      return insn;
+    }
+    case 0b101: {
+      insn.op = bit(w, 24) ? Op::kBl : Op::kB;
+      insn.link = bit(w, 24);
+      insn.branch_offset = sign_extend(bits(w, 23, 0), 23) * 4;
+      return insn;
+    }
+    case 0b111: {
+      if (bit(w, 24)) {
+        insn.op = Op::kSvc;
+        insn.imm = bits(w, 23, 0);
+        return insn;
+      }
+      insn.op = Op::kUndefined;
+      return insn;
+    }
+    default:
+      insn.op = Op::kUndefined;
+      return insn;
+  }
+}
+
+Insn decode_thumb(u16 hw, u16 hw2) {
+  Insn insn;
+  insn.raw = hw;
+  insn.length = 2;
+  insn.set_flags = true;  // most Thumb-16 data ops set flags
+  const u32 w = hw;
+
+  const u32 top5 = bits(w, 15, 11);
+  switch (top5) {
+    case 0b00000:
+    case 0b00001:
+    case 0b00010: {
+      // Shift by immediate: LSLS/LSRS/ASRS Rd, Rm, #imm5.
+      insn.op = Op::kMov;
+      insn.rd = static_cast<u8>(bits(w, 2, 0));
+      insn.rm = static_cast<u8>(bits(w, 5, 3));
+      insn.shift = static_cast<ShiftType>(top5);
+      insn.shift_amount = static_cast<u8>(bits(w, 10, 6));
+      if (insn.shift_amount == 0 && insn.shift != ShiftType::kLSL) {
+        insn.shift_amount = 32;
+      }
+      return insn;
+    }
+    case 0b00011: {
+      insn.op = bit(w, 9) ? Op::kSub : Op::kAdd;
+      insn.rd = static_cast<u8>(bits(w, 2, 0));
+      insn.rn = static_cast<u8>(bits(w, 5, 3));
+      if (bit(w, 10)) {
+        insn.imm_operand = true;
+        insn.imm = bits(w, 8, 6);
+      } else {
+        insn.rm = static_cast<u8>(bits(w, 8, 6));
+      }
+      return insn;
+    }
+    case 0b00100:
+      insn.op = Op::kMov;
+      insn.imm_operand = true;
+      insn.rd = static_cast<u8>(bits(w, 10, 8));
+      insn.imm = bits(w, 7, 0);
+      return insn;
+    case 0b00101:
+      insn.op = Op::kCmp;
+      insn.imm_operand = true;
+      insn.rn = static_cast<u8>(bits(w, 10, 8));
+      insn.imm = bits(w, 7, 0);
+      return insn;
+    case 0b00110:
+    case 0b00111:
+      insn.op = top5 == 0b00110 ? Op::kAdd : Op::kSub;
+      insn.imm_operand = true;
+      insn.rd = insn.rn = static_cast<u8>(bits(w, 10, 8));
+      insn.imm = bits(w, 7, 0);
+      return insn;
+    default:
+      break;
+  }
+
+  if (bits(w, 15, 10) == 0b010000) {
+    const u32 alu = bits(w, 9, 6);
+    const u8 rdn = static_cast<u8>(bits(w, 2, 0));
+    const u8 rm = static_cast<u8>(bits(w, 5, 3));
+    insn.rd = insn.rn = rdn;
+    insn.rm = rm;
+    switch (alu) {
+      case 0x0: insn.op = Op::kAnd; break;
+      case 0x1: insn.op = Op::kEor; break;
+      case 0x2:
+      case 0x3:
+      case 0x4:
+      case 0x7:
+        // Shift by register: MOVS Rdn, Rdn, <shift> Rm.
+        insn.op = Op::kMov;
+        insn.rm = rdn;
+        insn.rs = rm;
+        insn.shift_by_reg = true;
+        insn.shift = alu == 0x2   ? ShiftType::kLSL
+                     : alu == 0x3 ? ShiftType::kLSR
+                     : alu == 0x4 ? ShiftType::kASR
+                                  : ShiftType::kROR;
+        break;
+      case 0x5: insn.op = Op::kAdc; break;
+      case 0x6: insn.op = Op::kSbc; break;
+      case 0x8: insn.op = Op::kTst; break;
+      case 0x9:  // NEG/RSBS Rd, Rm, #0
+        insn.op = Op::kRsb;
+        insn.rn = rm;
+        insn.imm_operand = true;
+        insn.imm = 0;
+        break;
+      case 0xA: insn.op = Op::kCmp; insn.rn = rdn; break;
+      case 0xB: insn.op = Op::kCmn; insn.rn = rdn; break;
+      case 0xC: insn.op = Op::kOrr; break;
+      case 0xD:
+        insn.op = Op::kMul;
+        insn.rn = rm;
+        insn.rm = rdn;
+        break;
+      case 0xE: insn.op = Op::kBic; break;
+      case 0xF: insn.op = Op::kMvn; break;
+    }
+    return insn;
+  }
+
+  if (bits(w, 15, 10) == 0b010001) {
+    insn.set_flags = false;
+    const u32 op = bits(w, 9, 8);
+    const u8 rm = static_cast<u8>(bits(w, 6, 3));
+    const u8 rdn = static_cast<u8>((bit(w, 7) ? 8 : 0) | bits(w, 2, 0));
+    switch (op) {
+      case 0b00:
+        insn.op = Op::kAdd;
+        insn.rd = insn.rn = rdn;
+        insn.rm = rm;
+        return insn;
+      case 0b01:
+        insn.op = Op::kCmp;
+        insn.set_flags = true;
+        insn.rn = rdn;
+        insn.rm = rm;
+        return insn;
+      case 0b10:
+        insn.op = Op::kMov;
+        insn.rd = rdn;
+        insn.rm = rm;
+        return insn;
+      case 0b11:
+        insn.op = bit(w, 7) ? Op::kBlxReg : Op::kBx;
+        insn.link = bit(w, 7);
+        insn.rm = rm;
+        return insn;
+    }
+  }
+
+  if (top5 == 0b01001) {
+    // LDR Rt, [PC, #imm8<<2] (literal).
+    insn.op = Op::kLdr;
+    insn.set_flags = false;
+    insn.rd = static_cast<u8>(bits(w, 10, 8));
+    insn.rn = kRegPC;
+    insn.imm = bits(w, 7, 0) * 4;
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b0101) {
+    insn.set_flags = false;
+    static constexpr Op kOps[8] = {Op::kStr,  Op::kStrh,  Op::kStrb,
+                                   Op::kLdrsb, Op::kLdr,  Op::kLdrh,
+                                   Op::kLdrb, Op::kLdrsh};
+    insn.op = kOps[bits(w, 11, 9)];
+    insn.reg_offset = true;
+    insn.rm = static_cast<u8>(bits(w, 8, 6));
+    insn.rn = static_cast<u8>(bits(w, 5, 3));
+    insn.rd = static_cast<u8>(bits(w, 2, 0));
+    return insn;
+  }
+
+  if (bits(w, 15, 13) == 0b011) {
+    insn.set_flags = false;
+    const bool byte = bit(w, 12);
+    const bool load = bit(w, 11);
+    insn.op = load ? (byte ? Op::kLdrb : Op::kLdr)
+                   : (byte ? Op::kStrb : Op::kStr);
+    insn.imm = bits(w, 10, 6) * (byte ? 1 : 4);
+    insn.rn = static_cast<u8>(bits(w, 5, 3));
+    insn.rd = static_cast<u8>(bits(w, 2, 0));
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b1000) {
+    insn.set_flags = false;
+    insn.op = bit(w, 11) ? Op::kLdrh : Op::kStrh;
+    insn.imm = bits(w, 10, 6) * 2;
+    insn.rn = static_cast<u8>(bits(w, 5, 3));
+    insn.rd = static_cast<u8>(bits(w, 2, 0));
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b1001) {
+    insn.set_flags = false;
+    insn.op = bit(w, 11) ? Op::kLdr : Op::kStr;
+    insn.rn = kRegSP;
+    insn.rd = static_cast<u8>(bits(w, 10, 8));
+    insn.imm = bits(w, 7, 0) * 4;
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b1010) {
+    // ADR / ADD Rd, SP, #imm.
+    insn.set_flags = false;
+    insn.op = Op::kAdd;
+    insn.imm_operand = true;
+    insn.rn = bit(w, 11) ? kRegSP : kRegPC;
+    insn.rd = static_cast<u8>(bits(w, 10, 8));
+    insn.imm = bits(w, 7, 0) * 4;
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b1011) {
+    insn.set_flags = false;
+    if (bits(w, 11, 8) == 0b0000) {
+      insn.op = bit(w, 7) ? Op::kSub : Op::kAdd;
+      insn.imm_operand = true;
+      insn.rd = insn.rn = kRegSP;
+      insn.imm = bits(w, 6, 0) * 4;
+      return insn;
+    }
+    if (bits(w, 11, 6) == 0b001000 || bits(w, 11, 6) == 0b001001 ||
+        bits(w, 11, 6) == 0b001010 || bits(w, 11, 6) == 0b001011) {
+      static constexpr Op kExt[4] = {Op::kSxth, Op::kSxtb, Op::kUxth,
+                                     Op::kUxtb};
+      insn.op = kExt[bits(w, 7, 6)];
+      insn.rm = static_cast<u8>(bits(w, 5, 3));
+      insn.rd = static_cast<u8>(bits(w, 2, 0));
+      return insn;
+    }
+    if (bits(w, 11, 9) == 0b010) {  // PUSH
+      insn.op = Op::kStm;
+      insn.rn = kRegSP;
+      insn.writeback = true;
+      insn.before = true;
+      insn.base_increment = false;
+      insn.reglist = static_cast<u16>(bits(w, 7, 0));
+      if (bit(w, 8)) insn.reglist |= 1u << kRegLR;
+      return insn;
+    }
+    if (bits(w, 11, 9) == 0b110) {  // POP
+      insn.op = Op::kLdm;
+      insn.rn = kRegSP;
+      insn.writeback = true;
+      insn.before = false;
+      insn.base_increment = true;
+      insn.reglist = static_cast<u16>(bits(w, 7, 0));
+      if (bit(w, 8)) insn.reglist |= 1u << kRegPC;
+      return insn;
+    }
+    if (w == 0xBF00) {
+      insn.op = Op::kNop;
+      return insn;
+    }
+    insn.op = Op::kUndefined;
+    return insn;
+  }
+
+  if (bits(w, 15, 12) == 0b1101) {
+    insn.set_flags = false;
+    const u32 cond = bits(w, 11, 8);
+    if (cond == 0xF) {
+      insn.op = Op::kSvc;
+      insn.imm = bits(w, 7, 0);
+      return insn;
+    }
+    if (cond == 0xE) {
+      insn.op = Op::kUndefined;
+      return insn;
+    }
+    insn.op = Op::kB;
+    insn.cond = static_cast<Cond>(cond);
+    insn.branch_offset = sign_extend(bits(w, 7, 0), 7) * 2;
+    return insn;
+  }
+
+  if (top5 == 0b11100) {
+    insn.set_flags = false;
+    insn.op = Op::kB;
+    insn.branch_offset = sign_extend(bits(w, 10, 0), 10) * 2;
+    return insn;
+  }
+
+  if (top5 == 0b11110 && bits(hw2, 15, 11) == 0b11111) {
+    // Classic two-halfword Thumb BL.
+    insn.set_flags = false;
+    insn.op = Op::kBl;
+    insn.link = true;
+    insn.length = 4;
+    insn.raw = (static_cast<u32>(hw) << 16) | hw2;
+    const u32 off = (bits(w, 10, 0) << 12) | (bits(hw2, 10, 0) << 1);
+    insn.branch_offset = sign_extend(off, 22);
+    return insn;
+  }
+
+  insn.op = Op::kUndefined;
+  return insn;
+}
+
+}  // namespace ndroid::arm

@@ -1,0 +1,25 @@
+// ARM and Thumb instruction decoders.
+//
+// Real ARMv7 encodings for a representative subset: the full data-processing
+// group with shifter operands, multiplies (including long forms and v7
+// divide), wide moves, all byte/half/word load-store addressing modes,
+// LDM/STM/PUSH/POP, branches (B/BL/BX/BLX), SVC, and the common Thumb-16
+// formats plus the Thumb BL pair. The paper's NDroid manually classified all
+// 148 ARM / 73 Thumb instructions and handles the 101 / 55 that affect taint
+// propagation (§V-C); this subset covers the same taint-relevant classes
+// (Table V) end to end.
+#pragma once
+
+#include "arm/insn.h"
+
+namespace ndroid::arm {
+
+/// Decodes one 32-bit ARM instruction. Undecodable -> Op::kUndefined.
+[[nodiscard]] Insn decode_arm(u32 word);
+
+/// Decodes one Thumb instruction. `hw2` is the following halfword, consumed
+/// only by 32-bit encodings (the BL/BLX pair); `insn.length` reports how
+/// many bytes were consumed (2 or 4).
+[[nodiscard]] Insn decode_thumb(u16 hw, u16 hw2);
+
+}  // namespace ndroid::arm

@@ -1,0 +1,54 @@
+// Interprets decoded instructions against CPUState + guest memory.
+//
+// The helpers `condition_passed`, `operand2_value`, and
+// `mem_effective_address` are shared with NDroid's instruction tracer, which
+// must compute the same addresses/operands *before* execution to apply the
+// Table V taint rules (paper §V-G: "the instruction tracer parses each
+// ARM/Thumb instruction and calls the related handler to complete the taint
+// propagation before the instruction is executed").
+#pragma once
+
+#include "arm/cpu_state.h"
+#include "arm/insn.h"
+#include "mem/address_space.h"
+
+namespace ndroid::arm {
+
+[[nodiscard]] bool condition_passed(Cond cond, const CPUState& state);
+
+/// Value a register read yields inside an instruction at `pc` (PC reads as
+/// pc+8 in ARM state, pc+4 in Thumb state).
+[[nodiscard]] u32 read_reg(const CPUState& state, u8 reg, GuestAddr pc,
+                           bool align_pc = false);
+
+struct Operand2 {
+  u32 value = 0;
+  bool carry = false;
+};
+
+/// Computes the shifter operand (immediate or shifted register) and its
+/// carry-out. `pc` is the address of the instruction being executed.
+[[nodiscard]] Operand2 operand2_value(const Insn& insn, const CPUState& state,
+                                      GuestAddr pc);
+
+/// Effective memory address of a load/store (the post-index form returns the
+/// base, which is the address actually accessed).
+[[nodiscard]] GuestAddr mem_effective_address(const Insn& insn,
+                                              const CPUState& state,
+                                              GuestAddr pc);
+
+/// First address accessed by an LDM/STM and the transfer count.
+struct BlockTransfer {
+  GuestAddr start = 0;
+  u32 count = 0;
+  u32 new_base = 0;
+};
+[[nodiscard]] BlockTransfer block_transfer(const Insn& insn,
+                                           const CPUState& state);
+
+/// Executes one instruction. On entry `state.pc()` must be the instruction's
+/// address; on exit it is the next PC (sequential or branch target).
+/// Interworking branches (BX/BLX/loads to PC) update `state.thumb`.
+void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory);
+
+}  // namespace ndroid::arm

@@ -1,0 +1,236 @@
+#include "arm/insn.h"
+
+#include <sstream>
+
+namespace ndroid::arm {
+
+TaintClass Insn::taint_class() const {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kOrr:
+    case Op::kBic:
+    case Op::kMul:
+    case Op::kMla:
+    case Op::kUmull:
+    case Op::kSmull:
+    case Op::kSdiv:
+    case Op::kUdiv:
+      return TaintClass::kBinaryOp3;
+    case Op::kMvn:
+    case Op::kClz:
+    case Op::kSxtb:
+    case Op::kSxth:
+    case Op::kUxtb:
+    case Op::kUxth:
+      return imm_operand ? TaintClass::kMovImm : TaintClass::kUnary;
+    case Op::kMov:
+      return imm_operand ? TaintClass::kMovImm : TaintClass::kMovReg;
+    case Op::kMovw:
+      return TaintClass::kMovImm;
+    case Op::kMovt:
+      // MOVT keeps the low half of Rd: treat as binary Rd = Rd op imm.
+      return TaintClass::kBinaryOp2;
+    case Op::kLdr:
+    case Op::kLdrb:
+    case Op::kLdrh:
+    case Op::kLdrsb:
+    case Op::kLdrsh:
+      return TaintClass::kLoad;
+    case Op::kStr:
+    case Op::kStrb:
+    case Op::kStrh:
+      return TaintClass::kStore;
+    case Op::kLdm:
+      return TaintClass::kLdm;
+    case Op::kStm:
+      return TaintClass::kStm;
+    case Op::kTst:
+    case Op::kTeq:
+    case Op::kCmp:
+    case Op::kCmn:
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlxReg:
+    case Op::kSvc:
+    case Op::kNop:
+    case Op::kUndefined:
+      return TaintClass::kNone;
+  }
+  return TaintClass::kNone;
+}
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kUndefined: return "udf";
+    case Op::kAnd: return "and";
+    case Op::kEor: return "eor";
+    case Op::kSub: return "sub";
+    case Op::kRsb: return "rsb";
+    case Op::kAdd: return "add";
+    case Op::kAdc: return "adc";
+    case Op::kSbc: return "sbc";
+    case Op::kRsc: return "rsc";
+    case Op::kTst: return "tst";
+    case Op::kTeq: return "teq";
+    case Op::kCmp: return "cmp";
+    case Op::kCmn: return "cmn";
+    case Op::kOrr: return "orr";
+    case Op::kMov: return "mov";
+    case Op::kBic: return "bic";
+    case Op::kMvn: return "mvn";
+    case Op::kMovw: return "movw";
+    case Op::kMovt: return "movt";
+    case Op::kMul: return "mul";
+    case Op::kMla: return "mla";
+    case Op::kUmull: return "umull";
+    case Op::kSmull: return "smull";
+    case Op::kSdiv: return "sdiv";
+    case Op::kUdiv: return "udiv";
+    case Op::kClz: return "clz";
+    case Op::kSxtb: return "sxtb";
+    case Op::kSxth: return "sxth";
+    case Op::kUxtb: return "uxtb";
+    case Op::kUxth: return "uxth";
+    case Op::kLdr: return "ldr";
+    case Op::kLdrb: return "ldrb";
+    case Op::kLdrh: return "ldrh";
+    case Op::kLdrsb: return "ldrsb";
+    case Op::kLdrsh: return "ldrsh";
+    case Op::kStr: return "str";
+    case Op::kStrb: return "strb";
+    case Op::kStrh: return "strh";
+    case Op::kLdm: return "ldm";
+    case Op::kStm: return "stm";
+    case Op::kB: return "b";
+    case Op::kBl: return "bl";
+    case Op::kBx: return "bx";
+    case Op::kBlxReg: return "blx";
+    case Op::kSvc: return "svc";
+    case Op::kNop: return "nop";
+  }
+  return "?";
+}
+
+std::string to_string(Cond cond) {
+  switch (cond) {
+    case Cond::kEQ: return "eq";
+    case Cond::kNE: return "ne";
+    case Cond::kCS: return "cs";
+    case Cond::kCC: return "cc";
+    case Cond::kMI: return "mi";
+    case Cond::kPL: return "pl";
+    case Cond::kVS: return "vs";
+    case Cond::kVC: return "vc";
+    case Cond::kHI: return "hi";
+    case Cond::kLS: return "ls";
+    case Cond::kGE: return "ge";
+    case Cond::kLT: return "lt";
+    case Cond::kGT: return "gt";
+    case Cond::kLE: return "le";
+    case Cond::kAL: return "";
+  }
+  return "?";
+}
+
+namespace {
+std::string reg_name(u8 r) {
+  switch (r) {
+    case 13: return "sp";
+    case 14: return "lr";
+    case 15: return "pc";
+    default: return "r" + std::to_string(r);
+  }
+}
+}  // namespace
+
+std::string disassemble(const Insn& insn, GuestAddr pc) {
+  std::ostringstream os;
+  os << to_string(insn.op) << to_string(insn.cond);
+  if (insn.set_flags) os << "s";
+  os << " ";
+  switch (insn.taint_class()) {
+    case TaintClass::kBinaryOp3:
+      os << reg_name(insn.rd) << ", " << reg_name(insn.rn) << ", ";
+      if (insn.imm_operand) {
+        os << "#" << insn.imm;
+      } else {
+        os << reg_name(insn.rm);
+      }
+      break;
+    case TaintClass::kBinaryOp2:
+      os << reg_name(insn.rd) << ", #" << insn.imm;
+      break;
+    case TaintClass::kUnary:
+    case TaintClass::kMovReg:
+      os << reg_name(insn.rd) << ", " << reg_name(insn.rm);
+      break;
+    case TaintClass::kMovImm:
+      os << reg_name(insn.rd) << ", #" << insn.imm;
+      break;
+    case TaintClass::kLoad:
+    case TaintClass::kStore:
+      os << reg_name(insn.rd) << ", [" << reg_name(insn.rn);
+      if (insn.reg_offset) {
+        os << ", " << (insn.add_offset ? "" : "-") << reg_name(insn.rm);
+      } else if (insn.imm != 0) {
+        os << ", #" << (insn.add_offset ? "" : "-") << insn.imm;
+      }
+      os << "]";
+      if (insn.writeback) os << "!";
+      break;
+    case TaintClass::kLdm:
+    case TaintClass::kStm: {
+      os << reg_name(insn.rn) << (insn.writeback ? "!" : "") << ", {";
+      bool first = true;
+      for (u8 r = 0; r < 16; ++r) {
+        if (insn.reglist & (1u << r)) {
+          if (!first) os << ",";
+          os << reg_name(r);
+          first = false;
+        }
+      }
+      os << "}";
+      break;
+    }
+    case TaintClass::kNone:
+      switch (insn.op) {
+        case Op::kB:
+        case Op::kBl:
+          os << "0x" << std::hex
+             << (pc + (insn.length == 2 ? 4 : 8) + insn.branch_offset);
+          break;
+        case Op::kBx:
+        case Op::kBlxReg:
+          os << reg_name(insn.rm);
+          break;
+        case Op::kCmp:
+        case Op::kCmn:
+        case Op::kTst:
+        case Op::kTeq:
+          os << reg_name(insn.rn) << ", ";
+          if (insn.imm_operand) {
+            os << "#" << insn.imm;
+          } else {
+            os << reg_name(insn.rm);
+          }
+          break;
+        case Op::kSvc:
+          os << "#" << insn.imm;
+          break;
+        default:
+          break;
+      }
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ndroid::arm

@@ -1,0 +1,255 @@
+#include "arm/thumb_assembler.h"
+
+#include "arm/cpu_state.h"
+
+namespace ndroid::arm {
+
+void ThumbAssembler::emit(u16 hw) {
+  buf_.push_back(static_cast<u8>(hw));
+  buf_.push_back(static_cast<u8>(hw >> 8));
+}
+
+void ThumbAssembler::movs_imm(Reg rd, u8 imm) {
+  emit(static_cast<u16>(0x2000 | (rd.index << 8) | imm));
+}
+void ThumbAssembler::adds_imm8(Reg rdn, u8 imm) {
+  emit(static_cast<u16>(0x3000 | (rdn.index << 8) | imm));
+}
+void ThumbAssembler::subs_imm8(Reg rdn, u8 imm) {
+  emit(static_cast<u16>(0x3800 | (rdn.index << 8) | imm));
+}
+void ThumbAssembler::adds_imm3(Reg rd, Reg rn, u8 imm) {
+  emit(static_cast<u16>(0x1C00 | ((imm & 7) << 6) | (rn.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::subs_imm3(Reg rd, Reg rn, u8 imm) {
+  emit(static_cast<u16>(0x1E00 | ((imm & 7) << 6) | (rn.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::adds(Reg rd, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x1800 | (rm.index << 6) | (rn.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::subs(Reg rd, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x1A00 | (rm.index << 6) | (rn.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::lsls(Reg rd, Reg rm, u8 imm) {
+  emit(static_cast<u16>(0x0000 | ((imm & 31) << 6) | (rm.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::lsrs(Reg rd, Reg rm, u8 imm) {
+  emit(static_cast<u16>(0x0800 | ((imm & 31) << 6) | (rm.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::asrs(Reg rd, Reg rm, u8 imm) {
+  emit(static_cast<u16>(0x1000 | ((imm & 31) << 6) | (rm.index << 3) |
+                        rd.index));
+}
+void ThumbAssembler::cmp_imm(Reg rn, u8 imm) {
+  emit(static_cast<u16>(0x2800 | (rn.index << 8) | imm));
+}
+
+namespace {
+constexpr u16 alu(u8 opcode, Reg rm, Reg rdn) {
+  return static_cast<u16>(0x4000 | (opcode << 6) | (rm.index << 3) |
+                          rdn.index);
+}
+}  // namespace
+
+void ThumbAssembler::ands(Reg rdn, Reg rm) { emit(alu(0x0, rm, rdn)); }
+void ThumbAssembler::eors(Reg rdn, Reg rm) { emit(alu(0x1, rm, rdn)); }
+void ThumbAssembler::orrs(Reg rdn, Reg rm) { emit(alu(0xC, rm, rdn)); }
+void ThumbAssembler::bics(Reg rdn, Reg rm) { emit(alu(0xE, rm, rdn)); }
+void ThumbAssembler::mvns(Reg rd, Reg rm) { emit(alu(0xF, rm, rd)); }
+void ThumbAssembler::muls(Reg rdn, Reg rm) { emit(alu(0xD, rm, rdn)); }
+void ThumbAssembler::tst(Reg rn, Reg rm) { emit(alu(0x8, rm, rn)); }
+void ThumbAssembler::cmp(Reg rn, Reg rm) { emit(alu(0xA, rm, rn)); }
+void ThumbAssembler::negs(Reg rd, Reg rm) { emit(alu(0x9, rm, rd)); }
+
+void ThumbAssembler::mov(Reg rd, Reg rm) {
+  emit(static_cast<u16>(0x4600 | ((rd.index & 8) ? 0x80 : 0) |
+                        (rm.index << 3) | (rd.index & 7)));
+}
+void ThumbAssembler::add(Reg rdn, Reg rm) {
+  emit(static_cast<u16>(0x4400 | ((rdn.index & 8) ? 0x80 : 0) |
+                        (rm.index << 3) | (rdn.index & 7)));
+}
+void ThumbAssembler::bx(Reg rm) {
+  emit(static_cast<u16>(0x4700 | (rm.index << 3)));
+}
+void ThumbAssembler::blx(Reg rm) {
+  emit(static_cast<u16>(0x4780 | (rm.index << 3)));
+}
+
+void ThumbAssembler::ldr(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x6800 | ((offset / 4) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::str(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x6000 | ((offset / 4) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::ldrb(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x7800 | ((offset & 31) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::strb(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x7000 | ((offset & 31) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::ldrh(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x8800 | ((offset / 2) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::strh(Reg rt, Reg rn, u8 offset) {
+  emit(static_cast<u16>(0x8000 | ((offset / 2) << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::ldr_reg(Reg rt, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x5800 | (rm.index << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::str_reg(Reg rt, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x5000 | (rm.index << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::ldrb_reg(Reg rt, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x5C00 | (rm.index << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::strb_reg(Reg rt, Reg rn, Reg rm) {
+  emit(static_cast<u16>(0x5400 | (rm.index << 6) | (rn.index << 3) |
+                        rt.index));
+}
+void ThumbAssembler::ldr_pc(Reg rt, u8 word_offset) {
+  emit(static_cast<u16>(0x4800 | (rt.index << 8) | word_offset));
+}
+
+void ThumbAssembler::ldr_sp(Reg rt, u16 offset) {
+  emit(static_cast<u16>(0x9800 | (rt.index << 8) | (offset / 4)));
+}
+
+void ThumbAssembler::str_sp(Reg rt, u16 offset) {
+  emit(static_cast<u16>(0x9000 | (rt.index << 8) | (offset / 4)));
+}
+
+void ThumbAssembler::push(std::initializer_list<Reg> regs) {
+  u16 w = 0xB400;
+  for (Reg r : regs) {
+    if (r.index == kRegLR) {
+      w |= 0x100;
+    } else {
+      w |= static_cast<u16>(1u << r.index);
+    }
+  }
+  emit(w);
+}
+
+void ThumbAssembler::pop(std::initializer_list<Reg> regs) {
+  u16 w = 0xBC00;
+  for (Reg r : regs) {
+    if (r.index == kRegPC) {
+      w |= 0x100;
+    } else {
+      w |= static_cast<u16>(1u << r.index);
+    }
+  }
+  emit(w);
+}
+
+void ThumbAssembler::add_sp(u16 imm) {
+  emit(static_cast<u16>(0xB000 | (imm / 4)));
+}
+void ThumbAssembler::sub_sp(u16 imm) {
+  emit(static_cast<u16>(0xB080 | (imm / 4)));
+}
+
+void ThumbAssembler::sxth(Reg rd, Reg rm) {
+  emit(static_cast<u16>(0xB200 | (rm.index << 3) | rd.index));
+}
+void ThumbAssembler::sxtb(Reg rd, Reg rm) {
+  emit(static_cast<u16>(0xB240 | (rm.index << 3) | rd.index));
+}
+void ThumbAssembler::uxth(Reg rd, Reg rm) {
+  emit(static_cast<u16>(0xB280 | (rm.index << 3) | rd.index));
+}
+void ThumbAssembler::uxtb(Reg rd, Reg rm) {
+  emit(static_cast<u16>(0xB2C0 | (rm.index << 3) | rd.index));
+}
+
+void ThumbAssembler::b(ThumbLabel& label, Cond cond) {
+  const bool is_cond = cond != Cond::kAL;
+  if (label.bound_offset < 0) {
+    label.fixups.emplace_back(static_cast<u32>(buf_.size()), is_cond);
+    emit(is_cond ? static_cast<u16>(0xD000 | (static_cast<u16>(cond) << 8))
+                 : static_cast<u16>(0xE000));
+    return;
+  }
+  const i32 delta = label.bound_offset - static_cast<i32>(buf_.size()) - 4;
+  if (is_cond) {
+    emit(static_cast<u16>(0xD000 | (static_cast<u16>(cond) << 8) |
+                          ((delta / 2) & 0xFF)));
+  } else {
+    emit(static_cast<u16>(0xE000 | ((delta / 2) & 0x7FF)));
+  }
+}
+
+void ThumbAssembler::bl(ThumbLabel& label) {
+  if (label.bound_offset < 0) {
+    label.fixups.emplace_back(static_cast<u32>(buf_.size()), false);
+    emit(0xF000);
+    emit(0xF800);
+    return;
+  }
+  const i32 delta = label.bound_offset - static_cast<i32>(buf_.size()) - 4;
+  emit(static_cast<u16>(0xF000 | ((delta >> 12) & 0x7FF)));
+  emit(static_cast<u16>(0xF800 | ((delta >> 1) & 0x7FF)));
+}
+
+void ThumbAssembler::bind(ThumbLabel& label) {
+  if (label.bound_offset >= 0) throw GuestFault("thumb label bound twice");
+  label.bound_offset = static_cast<i32>(buf_.size());
+  for (auto [site, is_cond] : label.fixups) {
+    u16 hw = static_cast<u16>(buf_[site] | (buf_[site + 1] << 8));
+    const i32 delta = label.bound_offset - static_cast<i32>(site) - 4;
+    if ((hw & 0xF800) == 0xF000) {  // BL pair
+      hw |= static_cast<u16>((delta >> 12) & 0x7FF);
+      u16 hw2 = static_cast<u16>(buf_[site + 2] | (buf_[site + 3] << 8));
+      hw2 |= static_cast<u16>((delta >> 1) & 0x7FF);
+      buf_[site + 2] = static_cast<u8>(hw2);
+      buf_[site + 3] = static_cast<u8>(hw2 >> 8);
+    } else if (is_cond) {
+      hw |= static_cast<u16>((delta / 2) & 0xFF);
+    } else {
+      hw |= static_cast<u16>((delta / 2) & 0x7FF);
+    }
+    buf_[site] = static_cast<u8>(hw);
+    buf_[site + 1] = static_cast<u8>(hw >> 8);
+  }
+  label.fixups.clear();
+}
+
+void ThumbAssembler::svc(u8 number) {
+  emit(static_cast<u16>(0xDF00 | number));
+}
+void ThumbAssembler::nop() { emit(0xBF00); }
+
+void ThumbAssembler::load_imm32(Reg rd, u32 imm) {
+  // Build byte by byte: movs rd, #b3; lsls; adds #b2; ... Constant-length
+  // sequences keep branch offsets stable.
+  movs_imm(rd, static_cast<u8>(imm >> 24));
+  lsls(rd, rd, 8);
+  adds_imm8(rd, static_cast<u8>(imm >> 16));
+  lsls(rd, rd, 8);
+  adds_imm8(rd, static_cast<u8>(imm >> 8));
+  lsls(rd, rd, 8);
+  adds_imm8(rd, static_cast<u8>(imm));
+}
+
+void ThumbAssembler::call(GuestAddr target, Reg scratch) {
+  load_imm32(scratch, target);
+  blx(scratch);
+}
+
+}  // namespace ndroid::arm

@@ -1,0 +1,112 @@
+// Programmatic Thumb-16 assembler (plus the two-halfword BL).
+//
+// Used to author Thumb-mode native libraries; the paper's tracer handles
+// both ARM and Thumb instruction streams (§V-C), so the test suite and the
+// scenario apps exercise both.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arm/assembler.h"  // Reg
+
+namespace ndroid::arm {
+
+class ThumbLabel {
+ public:
+  ThumbLabel() = default;
+
+ private:
+  friend class ThumbAssembler;
+  i32 bound_offset = -1;
+  std::vector<std::pair<u32, bool>> fixups;  // (offset, is_cond)
+};
+
+class ThumbAssembler {
+ public:
+  explicit ThumbAssembler(GuestAddr base) : base_(base) {}
+
+  [[nodiscard]] GuestAddr base() const { return base_; }
+  [[nodiscard]] GuestAddr here() const {
+    return base_ + static_cast<u32>(buf_.size());
+  }
+  /// Entry-point address with the Thumb bit set.
+  [[nodiscard]] GuestAddr here_entry() const { return here() | 1u; }
+  [[nodiscard]] std::vector<u8> finish() { return std::move(buf_); }
+
+  void bind(ThumbLabel& label);
+
+  // Low registers only (r0-r7) unless noted.
+  void movs_imm(Reg rd, u8 imm);
+  void adds_imm8(Reg rdn, u8 imm);
+  void subs_imm8(Reg rdn, u8 imm);
+  void adds_imm3(Reg rd, Reg rn, u8 imm);
+  void subs_imm3(Reg rd, Reg rn, u8 imm);
+  void adds(Reg rd, Reg rn, Reg rm);
+  void subs(Reg rd, Reg rn, Reg rm);
+  void lsls(Reg rd, Reg rm, u8 imm);
+  void lsrs(Reg rd, Reg rm, u8 imm);
+  void asrs(Reg rd, Reg rm, u8 imm);
+  void cmp_imm(Reg rn, u8 imm);
+
+  // ALU register forms (Rdn op= Rm).
+  void ands(Reg rdn, Reg rm);
+  void eors(Reg rdn, Reg rm);
+  void orrs(Reg rdn, Reg rm);
+  void bics(Reg rdn, Reg rm);
+  void mvns(Reg rd, Reg rm);
+  void muls(Reg rdn, Reg rm);
+  void tst(Reg rn, Reg rm);
+  void cmp(Reg rn, Reg rm);
+  void negs(Reg rd, Reg rm);
+
+  // Hi-register forms (any of r0-r15).
+  void mov(Reg rd, Reg rm);
+  void add(Reg rdn, Reg rm);
+  void bx(Reg rm);
+  void blx(Reg rm);
+
+  void ldr(Reg rt, Reg rn, u8 offset);   // word, offset multiple of 4, <=124
+  void str(Reg rt, Reg rn, u8 offset);
+  void ldrb(Reg rt, Reg rn, u8 offset);  // offset <= 31
+  void strb(Reg rt, Reg rn, u8 offset);
+  void ldrh(Reg rt, Reg rn, u8 offset);  // offset multiple of 2, <= 62
+  void strh(Reg rt, Reg rn, u8 offset);
+  void ldr_reg(Reg rt, Reg rn, Reg rm);
+  void str_reg(Reg rt, Reg rn, Reg rm);
+  void ldrb_reg(Reg rt, Reg rn, Reg rm);
+  void strb_reg(Reg rt, Reg rn, Reg rm);
+  void ldr_pc(Reg rt, u8 word_offset);  // ldr rt, [pc, #off<<2]
+  void ldr_sp(Reg rt, u16 offset);      // word, offset multiple of 4, <=1020
+  void str_sp(Reg rt, u16 offset);
+
+  void push(std::initializer_list<Reg> regs);  // may include LR
+  void pop(std::initializer_list<Reg> regs);   // may include PC
+
+  void add_sp(u16 imm);  // multiple of 4, <= 508
+  void sub_sp(u16 imm);
+
+  void sxtb(Reg rd, Reg rm);
+  void sxth(Reg rd, Reg rm);
+  void uxtb(Reg rd, Reg rm);
+  void uxth(Reg rd, Reg rm);
+
+  void b(ThumbLabel& label, Cond cond = Cond::kAL);
+  void bl(ThumbLabel& label);
+  void svc(u8 number);
+  void nop();
+
+  /// Loads a 32-bit constant via movs/lsls/adds sequence (no literal pool).
+  void load_imm32(Reg rd, u32 imm);
+
+  /// Long call to an absolute address: load_imm32 + blx.
+  void call(GuestAddr target, Reg scratch = R(7));
+
+ private:
+  void emit(u16 hw);
+
+  GuestAddr base_;
+  std::vector<u8> buf_;
+};
+
+}  // namespace ndroid::arm

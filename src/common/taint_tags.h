@@ -1,0 +1,33 @@
+// TaintDroid taint-tag bit assignments.
+//
+// "The taint labels in TaintDroid are represented by 32bit integers, each
+// bit of a taint label indicates one type of sensitive information, and
+// different types of sensitive information are combined by the union
+// operation" (paper §II-B). Values follow TaintDroid's taint.h so the tag
+// values seen in the paper's logs reproduce literally: QQPhoneBook's 0x202
+// is SMS|CONTACTS (Fig. 6); the case-3 PoC's 0x1602 is
+// ICCID|IMEI|SMS|CONTACTS (Fig. 9).
+#pragma once
+
+#include "common/types.h"
+
+namespace ndroid {
+
+inline constexpr Taint kTaintLocation = 0x00000001;
+inline constexpr Taint kTaintContacts = 0x00000002;
+inline constexpr Taint kTaintMic = 0x00000004;
+inline constexpr Taint kTaintPhoneNumber = 0x00000008;
+inline constexpr Taint kTaintLocationGps = 0x00000010;
+inline constexpr Taint kTaintLocationNet = 0x00000020;
+inline constexpr Taint kTaintLocationLast = 0x00000040;
+inline constexpr Taint kTaintCamera = 0x00000080;
+inline constexpr Taint kTaintAccelerometer = 0x00000100;
+inline constexpr Taint kTaintSms = 0x00000200;
+inline constexpr Taint kTaintImei = 0x00000400;
+inline constexpr Taint kTaintImsi = 0x00000800;
+inline constexpr Taint kTaintIccid = 0x00001000;
+inline constexpr Taint kTaintDeviceSn = 0x00002000;
+inline constexpr Taint kTaintAccount = 0x00004000;
+inline constexpr Taint kTaintHistory = 0x00008000;
+
+}  // namespace ndroid

@@ -1,0 +1,34 @@
+// Common fixed-width aliases and small utilities shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace ndroid {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Guest virtual address (the emulated machine is 32-bit ARM).
+using GuestAddr = u32;
+
+/// Taint label: 32-bit bitvector, one bit per sensitive-information type,
+/// combined with bitwise OR (TaintDroid's representation, paper §II-B).
+using Taint = u32;
+
+inline constexpr Taint kTaintClear = 0;
+
+/// Fatal guest-side error (bad memory access, undecodable instruction, ...).
+class GuestFault : public std::runtime_error {
+ public:
+  explicit GuestFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace ndroid

@@ -1,0 +1,77 @@
+// NDroid's Instruction Tracer (paper §V-C).
+//
+// "By instrumenting third-party native libraries, the instruction tracer
+// monitors each ARM/Thumb instruction to determine how the taint
+// propagates." Implements the Table V propagation logic:
+//
+//   binary-op Rd,Rn,Rm    t(Rd) = t(Rn) | t(Rm)
+//   binary-op Rd,Rm       t(Rd) = t(Rd) | t(Rm)
+//   binary-op Rd,Rm,#imm  t(Rd) = t(Rm)
+//   unary Rd,Rm           t(Rd) = t(Rm)
+//   mov Rd,#imm           t(Rd) = clear
+//   mov Rd,Rm             t(Rd) = t(Rm)
+//   LDR* Rd,[Rn,#imm]     t(Rd) = t(M[addr]) | t(Rn)
+//   LDM/POP               t(Ri) = t(M[addr_i]) | t(Rn)
+//   STR* Rd,[Rn,#imm]     t(M[addr]) = t(Rd)
+//   STM/PUSH              t(M[addr_i]) = t(Ri)
+//
+// "To speed up the identification of the instruction type and the search of
+// the handler, NDroid caches hot instructions and the corresponding
+// handlers" — the handler cache is keyed by raw instruction word and can be
+// disabled for the ablation experiment.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "arm/cpu.h"
+#include "core/report.h"
+#include "core/taint_engine.h"
+
+namespace ndroid::core {
+
+class InstructionTracer {
+ public:
+  /// `in_scope` decides whether an instruction at a given address belongs to
+  /// code the tracer instruments (third-party native libraries for NDroid;
+  /// everything for DroidScope-mode).
+  InstructionTracer(TaintEngine& engine,
+                    std::function<bool(GuestAddr)> in_scope,
+                    bool use_handler_cache = true,
+                    TraceLog* disasm_log = nullptr);
+
+  /// Applies the Table V rule for `insn` (called before execution, with the
+  /// pre-state in `cpu`). No-op when the address is out of scope.
+  void on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+
+  [[nodiscard]] u64 instructions_traced() const { return traced_; }
+  [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
+
+ private:
+  /// Pre-classified handler for one raw instruction encoding.
+  using Handler = void (InstructionTracer::*)(arm::Cpu&, const arm::Insn&,
+                                              GuestAddr);
+
+  void handle_binary3(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_binary2(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_unary(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_mov_imm(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_mov_reg(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_load(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_store(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_ldm(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+  void handle_stm(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+
+  [[nodiscard]] Handler classify(const arm::Insn& insn) const;
+  [[nodiscard]] static u32 access_size(const arm::Insn& insn);
+
+  TaintEngine& engine_;
+  std::function<bool(GuestAddr)> in_scope_;
+  bool use_cache_;
+  TraceLog* disasm_log_;  // per-instruction disassembly when non-null
+  std::unordered_map<u32, Handler> handler_cache_;
+  u64 traced_ = 0;
+  u64 cache_hits_ = 0;
+};
+
+}  // namespace ndroid::core

@@ -1,0 +1,64 @@
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+
+std::function<bool(GuestAddr)> NDroid::scope_predicate() const {
+  using android::Layout;
+  switch (config_.scope) {
+    case NDroidConfig::Scope::kThirdParty:
+      return [](GuestAddr pc) {
+        return pc >= Layout::kAppLibBase && pc < Layout::kHeapBase;
+      };
+    case NDroidConfig::Scope::kThirdPartyAndLibc:
+      return [](GuestAddr pc) {
+        return (pc >= Layout::kAppLibBase && pc < Layout::kHeapBase) ||
+               (pc >= Layout::kLibc && pc < Layout::kLibc + Layout::kLibcSize);
+      };
+    case NDroidConfig::Scope::kAll:
+      return [](GuestAddr) { return true; };
+  }
+  return [](GuestAddr) { return false; };
+}
+
+NDroid::NDroid(android::Device& device, NDroidConfig config)
+    : device_(device), config_(config) {
+  log_.echo = config_.echo_log;
+
+  tracer_ = std::make_unique<InstructionTracer>(
+      engine_, scope_predicate(), config_.handler_cache,
+      config_.trace_disassembly ? &log_ : nullptr);
+  syslib_ = std::make_unique<SysLibHookEngine>(
+      device_.libc, device_.kernel, engine_, log_, config_.syslib_models);
+  // T1 of the multilevel chain asks whether the branch source is in the
+  // third-party native library under examination.
+  auto third_party = [](GuestAddr pc) {
+    using android::Layout;
+    return pc >= Layout::kAppLibBase && pc < Layout::kHeapBase;
+  };
+  dvm_hooks_ = std::make_unique<DvmHookEngine>(
+      device_, engine_, log_, third_party, config_.multilevel_hooking);
+  if (config_.taint_protection) {
+    guard_ = std::make_unique<TaintGuard>(device_, third_party);
+  }
+
+  branch_hook_id_ = device_.cpu.add_branch_hook(
+      [this](arm::Cpu& cpu, GuestAddr from, GuestAddr to) {
+        if (config_.dvm_hooks) dvm_hooks_->on_branch(cpu, from, to);
+        if (config_.syslib_models || config_.sink_checks) {
+          syslib_->on_branch(cpu, from, to);
+        }
+      });
+  insn_hook_id_ = device_.cpu.add_insn_hook(
+      [this](arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc) {
+        if (config_.instruction_tracer) tracer_->on_insn(cpu, insn, pc);
+        if (config_.sink_checks) syslib_->on_insn(cpu, insn, pc);
+        if (guard_) guard_->on_insn(cpu, insn, pc);
+      });
+}
+
+NDroid::~NDroid() {
+  device_.cpu.remove_branch_hook(branch_hook_id_);
+  device_.cpu.remove_insn_hook(insn_hook_id_);
+}
+
+}  // namespace ndroid::core

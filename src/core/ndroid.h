@@ -1,0 +1,115 @@
+// NDroid: the paper's dynamic taint analysis system (§V).
+//
+// Attaches four modules to the emulator's instrumentation surfaces
+// (paper Fig. 4):
+//   (1) DVM Hook Engine          — JNI-related function hooks;
+//   (2) Instruction Tracer       — per-instruction Table V propagation in
+//                                  third-party native code;
+//   (3) System Lib Hook Engine   — Table VI models + Table VII sinks;
+//   (4) Taint Engine             — shadow registers + byte-granular map.
+// The OS-level view reconstructor (§V-F) is available as
+// os::ViewReconstructor and is used to resolve module scopes.
+//
+// Configuration toggles expose the paper's design choices for the ablation
+// benches, and allow building the comparison systems:
+//   * NDroidConfig{}                          — NDroid as published;
+//   * droidscope_mode()                       — whole-system instruction
+//     tracing, no models, no JNI semantics (the DroidScope-style baseline);
+//   * disabling everything ~ TaintDroid-only (just don't attach NDroid).
+#pragma once
+
+#include <memory>
+
+#include "android/device.h"
+#include "core/dvm_hook_engine.h"
+#include "core/instruction_tracer.h"
+#include "core/report.h"
+#include "core/syslib_hook_engine.h"
+#include "core/taint_engine.h"
+#include "core/taint_guard.h"
+
+namespace ndroid::core {
+
+struct NDroidConfig {
+  /// Attach the DVM Hook Engine (JNI entry/exit, object creation, field
+  /// access, exception hooks).
+  bool dvm_hooks = true;
+  /// Attach the per-instruction tracer.
+  bool instruction_tracer = true;
+  /// Model standard-library functions (Table VI) instead of tracing them.
+  bool syslib_models = true;
+  /// Guard dvmCallMethod*/dvmInterpret hooks with the T1..T6 precondition
+  /// chains (Fig. 5). Off = hook every entry (ablation).
+  bool multilevel_hooking = true;
+  /// Cache instruction->handler classifications (§V-C). Off = re-classify
+  /// every instruction (ablation).
+  bool handler_cache = true;
+  /// Check native sinks (Table VII).
+  bool sink_checks = true;
+  /// §VII extension: flag third-party stores into the DVM stack, libdvm, or
+  /// kernel structures (taint tampering / trusted-function modification).
+  bool taint_protection = false;
+
+  enum class Scope {
+    kThirdParty,          // app .so files only (NDroid, §V-C)
+    kThirdPartyAndLibc,   // ablation: no models -> must trace libc loops
+    kAll,                 // whole system (DroidScope-mode)
+  };
+  Scope scope = Scope::kThirdParty;
+
+  bool echo_log = false;  // stream the trace log to stdout (figure benches)
+  /// Log the disassembly of every traced instruction (debugging aid).
+  bool trace_disassembly = false;
+
+  /// The DroidScope-style configuration: instruction-level whole-system
+  /// tracking without JNI semantic hooks or library models.
+  static NDroidConfig droidscope_mode() {
+    NDroidConfig cfg;
+    cfg.dvm_hooks = false;
+    cfg.syslib_models = false;
+    cfg.multilevel_hooking = false;
+    cfg.sink_checks = false;
+    cfg.scope = Scope::kAll;
+    return cfg;
+  }
+};
+
+class NDroid {
+ public:
+  explicit NDroid(android::Device& device, NDroidConfig config = {});
+  ~NDroid();
+
+  NDroid(const NDroid&) = delete;
+  NDroid& operator=(const NDroid&) = delete;
+
+  /// Leaks detected at native-context sinks.
+  [[nodiscard]] const std::vector<NativeLeak>& leaks() const {
+    return syslib_->leaks();
+  }
+  void clear_leaks() { syslib_->clear_leaks(); }
+
+  TraceLog& log() { return log_; }
+  TaintEngine& taint_engine() { return engine_; }
+  DvmHookEngine& dvm_hooks() { return *dvm_hooks_; }
+  SysLibHookEngine& syslib() { return *syslib_; }
+  InstructionTracer& tracer() { return *tracer_; }
+  /// Non-null only when config.taint_protection is on.
+  [[nodiscard]] TaintGuard* guard() { return guard_.get(); }
+  [[nodiscard]] const NDroidConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] std::function<bool(GuestAddr)> scope_predicate() const;
+
+  android::Device& device_;
+  NDroidConfig config_;
+  TaintEngine engine_;
+  TraceLog log_;
+  std::unique_ptr<InstructionTracer> tracer_;
+  std::unique_ptr<DvmHookEngine> dvm_hooks_;
+  std::unique_ptr<SysLibHookEngine> syslib_;
+  std::unique_ptr<TaintGuard> guard_;
+  int branch_hook_id_ = 0;
+  int insn_hook_id_ = 0;
+};
+
+}  // namespace ndroid::core

@@ -1,0 +1,78 @@
+// Leak reports and the analysis trace log.
+//
+// The trace log reproduces the style of the paper's case-study figures
+// (Figs. 6-9): one line per analysis event — method info at dvmCallJNIMethod,
+// SourcePolicy application, TrustCall handlers, sink handlers.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::core {
+
+/// A leak NDroid detected at a native-context sink (Table VII's starred
+/// functions: write*, send*, sendto*, fwrite*, fputc*, fputs*, fprintf).
+struct NativeLeak {
+  std::string sink;         // function name, e.g. "sendto", "fprintf"
+  std::string destination;  // remote host or file path
+  Taint taint = kTaintClear;
+  std::string data;         // bytes that reached the sink
+  GuestAddr pc = 0;         // where the sink call happened
+};
+
+/// Aggregate view over a leak list (reporting convenience).
+struct LeakSummary {
+  u32 total = 0;
+  Taint taint_union = kTaintClear;
+  std::map<std::string, u32> by_sink;
+  std::map<std::string, u32> by_destination;
+};
+
+inline LeakSummary summarize(const std::vector<NativeLeak>& leaks) {
+  LeakSummary s;
+  for (const NativeLeak& leak : leaks) {
+    ++s.total;
+    s.taint_union |= leak.taint;
+    ++s.by_sink[leak.sink];
+    ++s.by_destination[leak.destination];
+  }
+  return s;
+}
+
+class TraceLog {
+ public:
+  void line(std::string s) {
+    if (echo) std::fputs((s + "\n").c_str(), stdout);
+    if (lines_.size() >= kMaxLines) {
+      ++dropped_;
+      return;
+    }
+    lines_.push_back(std::move(s));
+  }
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+  [[nodiscard]] bool contains(std::string_view needle) const {
+    for (const std::string& l : lines_) {
+      if (l.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+  void clear() { lines_.clear(); }
+
+  [[nodiscard]] u64 dropped() const { return dropped_; }
+
+  /// Echo to stdout as lines arrive (the figure benches enable this).
+  bool echo = false;
+
+ private:
+  static constexpr std::size_t kMaxLines = 65536;
+  std::vector<std::string> lines_;
+  u64 dropped_ = 0;
+};
+
+}  // namespace ndroid::core

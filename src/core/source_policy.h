@@ -1,0 +1,61 @@
+// SourcePolicy: the record NDroid builds when tainted data enters a native
+// method (paper §V-B, Listing 1 verbatim):
+//
+//   typedef struct _SourcePolicy{
+//     int method_address;
+//     int tR0, tR1, tR2, tR3;
+//     int stack_args_num;
+//     int* stack_args_taints;
+//     char* method_shorty;
+//     int access_flag;
+//     void (*handler) (struct _SourcePolicy*, CPUState*);
+//   } SourcePolicy;
+//
+// "Each native method receiving tainted parameters will have a SourcePolicy
+// and we use a hash map to store the pairs of <addr, SourcePolicy>, where
+// addr is the native method's address."
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arm/cpu_state.h"
+#include "common/types.h"
+
+namespace ndroid::core {
+
+struct SourcePolicy {
+  GuestAddr method_address = 0;
+  Taint tR0 = 0, tR1 = 0, tR2 = 0, tR3 = 0;
+  u32 stack_args_num = 0;
+  std::vector<Taint> stack_args_taints;
+  std::string method_shorty;
+  u32 access_flag = 0;
+  /// Completes taint initialisation when execution reaches the method's
+  /// first instruction (set by the DVM hook engine).
+  std::function<void(SourcePolicy&, arm::CPUState&)> handler;
+
+  /// Indirect references passed as L-type parameters, with their taints
+  /// (feeds the iref-keyed object shadow).
+  std::vector<std::pair<u32, Taint>> object_args;
+};
+
+class SourcePolicyMap {
+ public:
+  void put(SourcePolicy policy) {
+    policies_[policy.method_address] = std::move(policy);
+  }
+  [[nodiscard]] SourcePolicy* find(GuestAddr method_address) {
+    auto it = policies_.find(method_address);
+    return it == policies_.end() ? nullptr : &it->second;
+  }
+  void erase(GuestAddr method_address) { policies_.erase(method_address); }
+  [[nodiscard]] std::size_t size() const { return policies_.size(); }
+
+ private:
+  std::unordered_map<GuestAddr, SourcePolicy> policies_;
+};
+
+}  // namespace ndroid::core

@@ -1,0 +1,420 @@
+#include "core/syslib_hook_engine.h"
+
+namespace ndroid::core {
+
+namespace {
+/// Listing 3: per-byte OR-copy of taints from src to dst.
+void memcpy_taint(mem::ShadowMemory& map, GuestAddr dst, GuestAddr src,
+                  u32 n) {
+  for (u32 i = 0; i < n; ++i) map.add(dst + i, map.get(src + i));
+}
+}  // namespace
+
+SysLibHookEngine::SysLibHookEngine(libc::Libc& libc, os::Kernel& kernel,
+                                   TaintEngine& engine, TraceLog& log,
+                                   bool models_enabled)
+    : libc_(libc),
+      kernel_(kernel),
+      engine_(engine),
+      log_(log),
+      models_enabled_(models_enabled) {
+  if (models_enabled_) install_models();
+  install_sinks();
+}
+
+u32 SysLibHookEngine::guest_strlen(arm::Cpu& cpu, GuestAddr s) {
+  // Word-at-a-time scan (the helper is hot inside Table VI models).
+  u32 n = 0;
+  while (n < (1u << 20)) {
+    const u32 w = cpu.memory().read32(s + n);
+    if ((w & 0xFF) == 0) return n;
+    if ((w & 0xFF00) == 0) return n + 1;
+    if ((w & 0xFF0000) == 0) return n + 2;
+    if ((w & 0xFF000000) == 0) return n + 3;
+    n += 4;
+  }
+  return n;
+}
+
+void SysLibHookEngine::add_model(const std::string& name,
+                                 std::function<void(arm::Cpu&)> entry) {
+  entry_hooks_[libc_.fn(name)] = {name, std::move(entry)};
+}
+
+void SysLibHookEngine::add_model_with_exit(
+    const std::string& name,
+    std::function<std::function<void(arm::Cpu&)>(arm::Cpu&)> entry) {
+  entry_hooks_[libc_.fn(name)] = {
+      name, [this, entry](arm::Cpu& cpu) {
+        auto exit_fn = entry(cpu);
+        if (exit_fn) {
+          exits_.push_back(PendingExit{cpu.state().lr() & ~1u,
+                                       std::move(exit_fn)});
+        }
+      }};
+}
+
+void SysLibHookEngine::on_branch(arm::Cpu& cpu, GuestAddr /*from*/,
+                                 GuestAddr to) {
+  if (!exits_.empty() && exits_.back().ret_to == to) {
+    auto fn = std::move(exits_.back().fn);
+    exits_.pop_back();
+    fn(cpu);
+    return;
+  }
+  auto it = entry_hooks_.find(to);
+  if (it == entry_hooks_.end()) return;
+  ++models_applied_;
+  it->second.second(cpu);
+}
+
+// ---------------------------------------------------------------------------
+// Table VI models
+// ---------------------------------------------------------------------------
+
+void SysLibHookEngine::install_models() {
+  auto& map = engine_.map();
+
+  add_model("memcpy", [&map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    memcpy_taint(map, r[0], r[1], r[2]);
+  });
+  add_model("memmove", [&map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    map.copy_range(r[0], r[1], r[2]);
+  });
+  add_model("memset", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    map.set_range(r[0], r[2], engine_.reg(1));
+  });
+
+  add_model("strcpy", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    memcpy_taint(map, r[0], r[1], guest_strlen(c, r[1]) + 1);
+  });
+  add_model("strncpy", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    const u32 len = std::min(guest_strlen(c, r[1]) + 1, r[2]);
+    memcpy_taint(map, r[0], r[1], len);
+    if (len < r[2]) map.clear_range(r[0] + len, r[2] - len);
+  });
+  add_model("strcat", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    const u32 dlen = guest_strlen(c, r[0]);
+    memcpy_taint(map, r[0] + dlen, r[1], guest_strlen(c, r[1]) + 1);
+  });
+  add_model_with_exit("strdup", [this, &map](arm::Cpu& c) {
+    const GuestAddr src = c.state().regs[0];
+    const u32 len = guest_strlen(c, src) + 1;
+    return [&map, src, len](arm::Cpu& c2) {
+      memcpy_taint(map, c2.state().regs[0], src, len);
+    };
+  });
+
+  // Result-tainting models: t(ret) = union over examined bytes.
+  auto ret_from_string = [this, &map](const char* name) {
+    add_model_with_exit(name, [this, &map](arm::Cpu& c) {
+      const GuestAddr s = c.state().regs[0];
+      const u32 len = guest_strlen(c, s);
+      return [this, &map, s, len](arm::Cpu&) {
+        engine_.set_reg(0, map.get_range(s, len));
+      };
+    });
+  };
+  ret_from_string("strlen");
+  ret_from_string("atoi");
+  ret_from_string("atol");
+  ret_from_string("strtoul");
+  ret_from_string("strtol");
+  ret_from_string("strtod");
+
+  auto ret_from_two_strings = [this, &map](const char* name) {
+    add_model_with_exit(name, [this, &map](arm::Cpu& c) {
+      const GuestAddr a = c.state().regs[0];
+      const GuestAddr b = c.state().regs[1];
+      const u32 la = guest_strlen(c, a);
+      const u32 lb = guest_strlen(c, b);
+      return [this, &map, a, b, la, lb](arm::Cpu&) {
+        engine_.set_reg(0, map.get_range(a, la) | map.get_range(b, lb));
+      };
+    });
+  };
+  ret_from_two_strings("strcmp");
+  ret_from_two_strings("strcasecmp");
+  add_model_with_exit("strncmp", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    const GuestAddr a = r[0], b = r[1];
+    const u32 n = r[2];
+    return [this, &map, a, b, n](arm::Cpu&) {
+      engine_.set_reg(0, map.get_range(a, n) | map.get_range(b, n));
+    };
+  });
+  add_model_with_exit("memcmp", [this, &map](arm::Cpu& c) {
+    const auto& r = c.state().regs;
+    const GuestAddr a = r[0], b = r[1];
+    const u32 n = r[2];
+    return [this, &map, a, b, n](arm::Cpu&) {
+      engine_.set_reg(0, map.get_range(a, n) | map.get_range(b, n));
+    };
+  });
+
+  // Pointer-into-argument models: the result aliases the input string.
+  auto ret_aliases_arg0 = [this](const char* name) {
+    add_model_with_exit(name, [this](arm::Cpu&) {
+      const Taint t = engine_.reg(0);
+      return [this, t](arm::Cpu&) { engine_.add_reg(0, t); };
+    });
+  };
+  ret_aliases_arg0("strchr");
+  ret_aliases_arg0("strrchr");
+  ret_aliases_arg0("memchr");
+  ret_aliases_arg0("strstr");
+
+  // Allocation family: fresh memory starts clear; realloc moves taints.
+  add_model_with_exit("malloc", [&map](arm::Cpu& c) {
+    const u32 size = c.state().regs[0];
+    return [&map, size](arm::Cpu& c2) {
+      map.clear_range(c2.state().regs[0], size);
+    };
+  });
+  add_model_with_exit("calloc", [&map](arm::Cpu& c) {
+    const u32 size = c.state().regs[0] * c.state().regs[1];
+    return [&map, size](arm::Cpu& c2) {
+      map.clear_range(c2.state().regs[0], size);
+    };
+  });
+  add_model_with_exit("realloc", [&map](arm::Cpu& c) {
+    const GuestAddr old = c.state().regs[0];
+    const u32 size = c.state().regs[1];
+    return [&map, old, size](arm::Cpu& c2) {
+      const GuestAddr now = c2.state().regs[0];
+      if (old != 0 && now != old) map.copy_range(now, old, size);
+    };
+  });
+  add_model("free", [](arm::Cpu&) {});
+
+  add_model("sprintf", [this, &map](arm::Cpu& c) {
+    const std::string fmt = c.memory().read_cstr(c.state().regs[1]);
+    auto [out, taint] = format_taint(c, fmt, 2);
+    map.set_range(c.state().regs[0], static_cast<u32>(out.size()) + 1, taint);
+  });
+  add_model("snprintf", [this, &map](arm::Cpu& c) {
+    const std::string fmt = c.memory().read_cstr(c.state().regs[2]);
+    auto [out, taint] = format_taint(c, fmt, 3);
+    const u32 n = std::min<u32>(static_cast<u32>(out.size()) + 1,
+                                c.state().regs[1]);
+    map.set_range(c.state().regs[0], n, taint);
+  });
+  add_model("sscanf", [this, &map](arm::Cpu& c) {
+    const GuestAddr input = c.state().regs[0];
+    const Taint t = map.get_range(input, guest_strlen(c, input));
+    if (t == kTaintClear) return;
+    const std::string fmt = c.memory().read_cstr(c.state().regs[1]);
+    u32 reg = 2, stack_idx = 0;
+    for (u32 i = 0; i + 1 < fmt.size(); ++i) {
+      if (fmt[i] != '%') continue;
+      const char spec = fmt[i + 1];
+      if (spec != 'd' && spec != 's') continue;
+      const GuestAddr out = reg <= 3
+                                ? c.state().regs[reg++]
+                                : c.memory().read32(c.state().sp() +
+                                                    4 * stack_idx++);
+      map.add_range(out, spec == 'd' ? 4 : 64, t);
+    }
+  });
+
+  // libm: value-pure functions; t(ret) = t(arg0) | t(arg1).
+  for (const char* name :
+       {"sin",  "sinf",  "cos",   "cosf", "sqrt", "sqrtf", "exp",  "expf",
+        "log",  "logf",  "log10", "floor", "ceil", "tan",   "atan", "asin",
+        "acos", "sinh",  "cosh",  "pow",  "powf", "atan2", "atan2f",
+        "fmod", "ldexp"}) {
+    add_model_with_exit(name, [this](arm::Cpu&) {
+      const Taint t = engine_.reg(0) | engine_.reg(1);
+      return [this, t](arm::Cpu&) { engine_.set_reg(0, t); };
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table VII sinks
+// ---------------------------------------------------------------------------
+
+std::pair<std::string, Taint> SysLibHookEngine::format_taint(
+    arm::Cpu& c, const std::string& fmt, u32 first_reg) {
+  std::string out;
+  Taint taint = kTaintClear;
+  u32 reg = first_reg;
+  u32 stack_idx = 0;
+  auto next_arg = [&](Taint& arg_taint) -> u32 {
+    if (reg <= 3) {
+      arg_taint = engine_.reg(static_cast<u8>(reg));
+      return c.state().regs[reg++];
+    }
+    const GuestAddr at = c.state().sp() + 4 * stack_idx++;
+    arg_taint = engine_.map().get_range(at, 4);
+    return c.memory().read32(at);
+  };
+  for (u32 i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') {
+      out.push_back(fmt[i]);
+      continue;
+    }
+    if (i + 1 >= fmt.size()) break;
+    const char spec = fmt[++i];
+    Taint arg_taint = kTaintClear;
+    switch (spec) {
+      case 's': {
+        const u32 p = next_arg(arg_taint);
+        const std::string s =
+            p == 0 ? "(null)" : c.memory().read_cstr(p);
+        arg_taint |= engine_.map().get_range(p, static_cast<u32>(s.size()));
+        if (arg_taint != kTaintClear) {
+          log_.line("t[" + std::to_string(p) + "] = " +
+                    std::to_string(arg_taint));
+          log_.line("write: " + s);
+        }
+        out += s;
+        break;
+      }
+      case 'd':
+        out += std::to_string(static_cast<i32>(next_arg(arg_taint)));
+        break;
+      case 'u':
+        out += std::to_string(next_arg(arg_taint));
+        break;
+      case 'x': {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "%x", next_arg(arg_taint));
+        out += buf;
+        break;
+      }
+      case 'c':
+        out.push_back(static_cast<char>(next_arg(arg_taint)));
+        break;
+      case '%':
+        out.push_back('%');
+        break;
+      default:
+        break;
+    }
+    taint |= arg_taint;
+  }
+  return {out, taint};
+}
+
+void SysLibHookEngine::record_leak(std::string sink, std::string destination,
+                                   Taint taint, std::string data,
+                                   GuestAddr pc) {
+  leaks_.push_back(NativeLeak{std::move(sink), std::move(destination), taint,
+                              std::move(data), pc});
+}
+
+void SysLibHookEngine::install_sinks() {
+  // FILE*-level sinks (no SVC is reached; the libc helpers write directly).
+  entry_hooks_[libc_.fn("fprintf")] = {
+      "fprintf", [this](arm::Cpu& c) {
+        const GuestAddr file = c.state().regs[0];
+        const std::string fmt = c.memory().read_cstr(c.state().regs[1]);
+        log_.line("SinkHandler[fprintf] begin");
+        auto [out, taint] = format_taint(c, fmt, 2);
+        log_.line("SinkHandler[fprintf] end");
+        if (taint != kTaintClear) {
+          const int fd = libc_.fd_of_file(file);
+          const auto* e = kernel_.fd_entry(fd);
+          record_leak("fprintf", e ? e->path : "<unknown>", taint, out,
+                      c.state().pc());
+        }
+      }};
+
+  entry_hooks_[libc_.fn("fwrite")] = {
+      "fwrite", [this](arm::Cpu& c) {
+        const auto& r = c.state().regs;
+        const u32 bytes = r[1] * r[2];
+        const Taint t = engine_.map().get_range(r[0], bytes);
+        if (t != kTaintClear) {
+          std::vector<u8> data(bytes);
+          c.memory().read_bytes(r[0], data);
+          const auto* e = kernel_.fd_entry(libc_.fd_of_file(r[3]));
+          record_leak("fwrite", e ? e->path : "<unknown>", t,
+                      std::string(data.begin(), data.end()), c.state().pc());
+        }
+      }};
+
+  entry_hooks_[libc_.fn("fputs")] = {
+      "fputs", [this](arm::Cpu& c) {
+        const GuestAddr s = c.state().regs[0];
+        const u32 len = guest_strlen(c, s);
+        const Taint t = engine_.map().get_range(s, len);
+        if (t != kTaintClear) {
+          const auto* e =
+              kernel_.fd_entry(libc_.fd_of_file(c.state().regs[1]));
+          record_leak("fputs", e ? e->path : "<unknown>", t,
+                      c.memory().read_cstr(s), c.state().pc());
+        }
+      }};
+
+  entry_hooks_[libc_.fn("fputc")] = {
+      "fputc", [this](arm::Cpu& c) {
+        const Taint t = engine_.reg(0);
+        if (t != kTaintClear) {
+          const auto* e =
+              kernel_.fd_entry(libc_.fd_of_file(c.state().regs[1]));
+          record_leak("fputc", e ? e->path : "<unknown>", t,
+                      std::string(1, static_cast<char>(c.state().regs[0])),
+                      c.state().pc());
+        }
+      }};
+
+  // Useful TrustCall logging for the case-study figures.
+  entry_hooks_[libc_.fn("fopen")] = {
+      "fopen", [this](arm::Cpu& c) {
+        log_.line("TrustCallHandler[fopen] begin");
+        log_.line("Open '" + c.memory().read_cstr(c.state().regs[0]) + "'");
+        log_.line("TrustCallHandler[fopen] end");
+      }};
+  entry_hooks_[libc_.fn("fclose")] = {
+      "fclose", [this](arm::Cpu& c) {
+        log_.line("TrustCallHandler[fclose] begin");
+        log_.line("Close FILE@" + std::to_string(c.state().regs[0]));
+        log_.line("TrustCallHandler[fclose] end");
+      }};
+}
+
+void SysLibHookEngine::on_insn(arm::Cpu& cpu, const arm::Insn& insn,
+                               GuestAddr pc) {
+  if (insn.op != arm::Op::kSvc) return;
+  if (!arm::condition_passed(insn.cond, cpu.state())) return;
+  const auto& r = cpu.state().regs;
+  const u32 number = insn.imm != 0 ? insn.imm : r[7];
+  const auto sys = static_cast<os::Sys>(number);
+  if (sys != os::Sys::kWrite && sys != os::Sys::kSend &&
+      sys != os::Sys::kSendto) {
+    return;
+  }
+  const GuestAddr buf = r[1];
+  const u32 len = r[2];
+  const Taint t = engine_.map().get_range(buf, len);
+  if (t == kTaintClear) return;
+
+  std::vector<u8> data(len);
+  cpu.memory().read_bytes(buf, data);
+  std::string destination = "<unknown>";
+  const auto* e = kernel_.fd_entry(static_cast<int>(r[0]));
+  if (sys == os::Sys::kSendto) {
+    destination = cpu.memory().read_cstr(r[3]);
+  } else if (e != nullptr) {
+    destination = e->kind == os::FdEntry::Kind::kSocket
+                      ? kernel_.network().socket(e->socket_id).remote_host
+                      : e->path;
+  }
+  const char* name = sys == os::Sys::kWrite    ? "write"
+                     : sys == os::Sys::kSend   ? "send"
+                                               : "sendto";
+  record_leak(name, destination, t, std::string(data.begin(), data.end()),
+              pc);
+  log_.line(std::string("SinkHandler[") + name + "] taint=0x" +
+            std::to_string(t) + " dest=" + destination);
+}
+
+}  // namespace ndroid::core

@@ -1,0 +1,91 @@
+// NDroid's System Lib Hook Engine (paper §V-D).
+//
+// "Since the system standard functions will be frequently called by native
+// libraries, instrumenting every instruction in these standard functions
+// will take a long time and incur heavy overhead. Instead, we model the
+// taint propagation operations for popular functions" (Table VI).
+//
+// Each modeled function gets an entry handler (and optionally an exit
+// handler fired when control returns to the captured LR). The memcpy model
+// is Listing 3 verbatim: per-byte addTaint(dst+i, getTaint(src+i)).
+//
+// Sink checking (Table VII): functions marked * in the paper — write*,
+// send*, sendto*, fwrite*, fputc*, fputs* — plus fprintf (the Fig. 8
+// SinkHandler). Kernel-level sinks are checked at SVC instructions; libc
+// FILE* sinks at function entry.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "arm/cpu.h"
+#include "core/report.h"
+#include "core/taint_engine.h"
+#include "libc/libc.h"
+#include "os/kernel.h"
+
+namespace ndroid::core {
+
+class SysLibHookEngine {
+ public:
+  SysLibHookEngine(libc::Libc& libc, os::Kernel& kernel, TaintEngine& engine,
+                   TraceLog& log, bool models_enabled);
+
+  /// Branch-event dispatch (modeled-function entry/exit).
+  void on_branch(arm::Cpu& cpu, GuestAddr from, GuestAddr to);
+
+  /// Instruction-event dispatch (SVC sink checks).
+  void on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+
+  [[nodiscard]] const std::vector<NativeLeak>& leaks() const {
+    return leaks_;
+  }
+  void clear_leaks() { leaks_.clear(); }
+
+  [[nodiscard]] u64 models_applied() const { return models_applied_; }
+
+ private:
+  struct Hooks {
+    std::function<void(arm::Cpu&)> entry;
+    /// Built per-invocation by `entry` when exit work is needed.
+  };
+
+  void add_model(const std::string& name,
+                 std::function<void(arm::Cpu&)> entry);
+  /// Registers a model whose exit handler needs entry-time arguments.
+  void add_model_with_exit(
+      const std::string& name,
+      std::function<std::function<void(arm::Cpu&)>(arm::Cpu&)> entry);
+
+  void install_models();
+  void install_sinks();
+
+  u32 guest_strlen(arm::Cpu& cpu, GuestAddr s);
+  /// Renders a printf-style call and computes the taint union of its
+  /// arguments (mirrors the libc helper's format logic).
+  std::pair<std::string, Taint> format_taint(arm::Cpu& cpu,
+                                             const std::string& fmt,
+                                             u32 first_reg);
+  void record_leak(std::string sink, std::string destination, Taint taint,
+                   std::string data, GuestAddr pc);
+
+  libc::Libc& libc_;
+  os::Kernel& kernel_;
+  TaintEngine& engine_;
+  TraceLog& log_;
+  bool models_enabled_;
+
+  std::unordered_map<GuestAddr, std::pair<std::string,
+                                          std::function<void(arm::Cpu&)>>>
+      entry_hooks_;
+  struct PendingExit {
+    GuestAddr ret_to;
+    std::function<void(arm::Cpu&)> fn;
+  };
+  std::vector<PendingExit> exits_;
+
+  std::vector<NativeLeak> leaks_;
+  u64 models_applied_ = 0;
+};
+
+}  // namespace ndroid::core

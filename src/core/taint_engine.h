@@ -1,0 +1,59 @@
+// NDroid's Taint Engine (paper §V-E).
+//
+// "NDroid maintains shadow registers to store the related registers' taints
+// and a taint map to store the memories' taints. The taint granularity of
+// NDroid is byte. The general propagation logic behind NDroid follows the
+// 'or' operation."
+//
+// The engine also keeps the indirect-reference-keyed shadow for Java objects
+// held from native code (§V-B): "the shadow memory uses the indirect
+// reference as key to locate the taint information", because the moving GC
+// invalidates direct pointers.
+#pragma once
+
+#include <array>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "mem/shadow_memory.h"
+
+namespace ndroid::core {
+
+class TaintEngine {
+ public:
+  // --- Shadow registers ---------------------------------------------------
+  [[nodiscard]] Taint reg(u8 index) const { return regs_[index]; }
+  void set_reg(u8 index, Taint t) { regs_[index] = t; }
+  void add_reg(u8 index, Taint t) { regs_[index] |= t; }
+  void clear_regs() { regs_.fill(kTaintClear); }
+
+  // --- Taint map (guest memory shadows) ------------------------------------
+  mem::ShadowMemory& map() { return map_; }
+  [[nodiscard]] const mem::ShadowMemory& map() const { return map_; }
+
+  // --- Java-object shadow keyed by indirect reference ----------------------
+  [[nodiscard]] Taint object_shadow(u32 iref) const {
+    auto it = object_shadow_.find(iref);
+    return it == object_shadow_.end() ? kTaintClear : it->second;
+  }
+  void add_object_shadow(u32 iref, Taint t) {
+    if (t != kTaintClear) object_shadow_[iref] |= t;
+  }
+  void clear_object_shadow() { object_shadow_.clear(); }
+
+  void clear_all() {
+    clear_regs();
+    map_.clear_all();
+    object_shadow_.clear();
+  }
+
+  // --- Statistics -----------------------------------------------------------
+  u64 propagations = 0;  // taint-rule applications by the instruction tracer
+
+ private:
+  std::array<Taint, 16> regs_{};
+  mem::ShadowMemory map_;
+  std::unordered_map<u32, Taint> object_shadow_;
+};
+
+}  // namespace ndroid::core

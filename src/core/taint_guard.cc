@@ -1,0 +1,50 @@
+#include "core/taint_guard.h"
+
+#include "arm/executor.h"
+
+namespace ndroid::core {
+
+TaintGuard::TaintGuard(android::Device& device,
+                       std::function<bool(GuestAddr)> third_party)
+    : device_(device), third_party_(std::move(third_party)) {
+  using android::Layout;
+  protected_.push_back({Layout::kDalvikStack,
+                        Layout::kDalvikStack + Layout::kDalvikStackSize,
+                        "[dalvik-stack]"});
+  protected_.push_back(
+      {Layout::kLibdvm, Layout::kLibdvm + Layout::kLibdvmSize, "libdvm.so"});
+  protected_.push_back({os::Kernel::kKernelBase,
+                        os::Kernel::kKernelBase + os::Kernel::kKernelSize,
+                        "[kernel]"});
+}
+
+void TaintGuard::check(arm::Cpu& cpu, GuestAddr pc, GuestAddr target) {
+  for (const Protected& p : protected_) {
+    if (target >= p.start && target < p.end) {
+      alerts_.push_back(TamperAlert{pc, target, p.name,
+                                    cpu.memmap().module_of(pc)});
+      return;
+    }
+  }
+}
+
+void TaintGuard::on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc) {
+  if (!third_party_(pc)) return;
+  if (!arm::condition_passed(insn.cond, cpu.state())) return;
+  switch (insn.taint_class()) {
+    case arm::TaintClass::kStore:
+      check(cpu, pc, arm::mem_effective_address(insn, cpu.state(), pc));
+      break;
+    case arm::TaintClass::kStm: {
+      const arm::BlockTransfer bt = arm::block_transfer(insn, cpu.state());
+      for (u32 i = 0; i < bt.count; ++i) {
+        check(cpu, pc, bt.start + 4 * i);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace ndroid::core

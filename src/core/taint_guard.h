@@ -1,0 +1,65 @@
+// Taint protection (paper §VII, implemented extension).
+//
+// "We will realize a protection mechanism for taints before applying NDroid
+// to analyze advanced malicious apps because they may modify or remove the
+// taints. For example, an app without root privileges can manipulate the
+// taints in DVM. ... NDroid can be easily extended to protect taints and
+// prevent evasions through stack manipulation or trusted function
+// modification, because it monitors the memory, hooks major file and memory
+// functions, and inspects every native instruction."
+//
+// The guard watches every store executed by third-party native code and
+// flags writes into protected guest regions:
+//   * the DVM stack (where TaintDroid keeps the interleaved taint tags —
+//     overwriting a tag slot silently launders a taint);
+//   * libdvm.so (trusted-function modification);
+//   * the kernel structure area (VMI tampering).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "arm/cpu.h"
+
+namespace ndroid::core {
+
+struct TamperAlert {
+  GuestAddr pc = 0;        // the offending store instruction
+  GuestAddr target = 0;    // where it wrote
+  std::string region;      // protected region name
+  std::string module;      // module the store executed from
+};
+
+class TaintGuard {
+ public:
+  /// `third_party` classifies code addresses as app native code; stores
+  /// from system code (libdvm itself, libc) are legitimate.
+  TaintGuard(android::Device& device,
+             std::function<bool(GuestAddr)> third_party);
+
+  /// Instruction-event dispatch: call before each instruction executes.
+  void on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
+
+  [[nodiscard]] const std::vector<TamperAlert>& alerts() const {
+    return alerts_;
+  }
+  void clear() { alerts_.clear(); }
+
+ private:
+  struct Protected {
+    GuestAddr start;
+    GuestAddr end;
+    std::string name;
+  };
+
+  void check(arm::Cpu& cpu, GuestAddr pc, GuestAddr target);
+
+  android::Device& device_;
+  std::function<bool(GuestAddr)> third_party_;
+  std::vector<Protected> protected_;
+  std::vector<TamperAlert> alerts_;
+};
+
+}  // namespace ndroid::core

@@ -1,0 +1,164 @@
+// Dalvik-like register-based bytecode.
+//
+// A representative subset of the Dalvik instruction set, enough to express
+// the paper's scenario apps and the CF-Bench Java workloads, with the
+// instruction classes TaintDroid's propagation rules distinguish: moves,
+// constants, arithmetic, array/field accesses, invokes, and branches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::dvm {
+
+struct Method;
+class ClassObject;
+
+enum class DOp : u8 {
+  kNop,
+  kMove,         // vA = vB
+  kMoveResult,   // vA = retval (and its taint, from InterpSaveState)
+  kReturnVoid,
+  kReturn,       // retval = vA
+  kConst,        // vA = imm        (clears taint)
+  kConstString,  // vA = new String(str)
+  kNewInstance,  // vA = new cls()
+  kNewArray,     // vA = new type[vB]
+  kArrayLength,  // vA = vB.length
+  kAget,         // vA = vB[vC]     taint: t(vA) = t(array) | t(vC)
+  kAput,         // vB[vC] = vA     taint: t(array) |= t(vA)
+  kIget,         // vA = vB.field   (field index in `idx`)
+  kIput,         // vB.field = vA
+  kSget,         // vA = cls.static[idx]
+  kSput,         // cls.static[idx] = vA
+  kAdd,          // vA = vB + vC    taint: union
+  kSub,
+  kMul,
+  kDiv,
+  kRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kAddFloat,     // float ops reinterpret the 32-bit slots
+  kMulFloat,
+  kDivFloat,
+  kAddImm,       // vA = vB + imm
+  kIfEq,         // if (vA == vB) goto target
+  kIfNe,
+  kIfLt,
+  kIfGe,
+  kIfEqz,        // if (vA == 0) goto target
+  kIfNez,
+  kGoto,
+  kInvoke,       // invoke method with args; result to InterpSaveState
+  kMoveException,  // vA = pending exception object
+};
+
+/// One decoded Dalvik-like instruction. Fields are used per-op as commented
+/// above; unused fields stay zero.
+struct DInsn {
+  DOp op = DOp::kNop;
+  u16 a = 0;
+  u16 b = 0;
+  u16 c = 0;
+  i32 imm = 0;
+  i32 target = 0;                // branch target (instruction index)
+  u32 idx = 0;                   // field/static index
+  const Method* method = nullptr;  // kInvoke callee
+  ClassObject* cls = nullptr;      // kNewInstance / kSget / kSput
+  std::string str;                 // kConstString literal
+  std::vector<u16> args;           // kInvoke argument registers
+};
+
+/// Tiny builder so scenario code reads like a dex listing.
+class CodeBuilder {
+ public:
+  CodeBuilder& nop() { return emit({.op = DOp::kNop}); }
+  CodeBuilder& move(u16 a, u16 b) { return emit({.op = DOp::kMove, .a = a, .b = b}); }
+  CodeBuilder& move_result(u16 a) { return emit({.op = DOp::kMoveResult, .a = a}); }
+  CodeBuilder& return_void() { return emit({.op = DOp::kReturnVoid}); }
+  CodeBuilder& return_value(u16 a) { return emit({.op = DOp::kReturn, .a = a}); }
+  CodeBuilder& const_imm(u16 a, i32 imm) {
+    return emit({.op = DOp::kConst, .a = a, .imm = imm});
+  }
+  CodeBuilder& const_string(u16 a, std::string s) {
+    DInsn insn{.op = DOp::kConstString, .a = a};
+    insn.str = std::move(s);
+    return emit(std::move(insn));
+  }
+  CodeBuilder& new_instance(u16 a, ClassObject* cls) {
+    return emit({.op = DOp::kNewInstance, .a = a, .cls = cls});
+  }
+  CodeBuilder& new_array(u16 a, u16 len_reg, u32 elem_size, bool refs) {
+    return emit({.op = DOp::kNewArray, .a = a, .b = len_reg,
+                 .imm = static_cast<i32>(elem_size), .idx = refs ? 1u : 0u});
+  }
+  CodeBuilder& array_length(u16 a, u16 b) {
+    return emit({.op = DOp::kArrayLength, .a = a, .b = b});
+  }
+  CodeBuilder& aget(u16 a, u16 arr, u16 idx) {
+    return emit({.op = DOp::kAget, .a = a, .b = arr, .c = idx});
+  }
+  CodeBuilder& aput(u16 src, u16 arr, u16 idx) {
+    return emit({.op = DOp::kAput, .a = src, .b = arr, .c = idx});
+  }
+  CodeBuilder& iget(u16 a, u16 obj, u32 field_idx) {
+    return emit({.op = DOp::kIget, .a = a, .b = obj, .idx = field_idx});
+  }
+  CodeBuilder& iput(u16 src, u16 obj, u32 field_idx) {
+    return emit({.op = DOp::kIput, .a = src, .b = obj, .idx = field_idx});
+  }
+  CodeBuilder& sget(u16 a, ClassObject* cls, u32 idx) {
+    return emit({.op = DOp::kSget, .a = a, .idx = idx, .cls = cls});
+  }
+  CodeBuilder& sput(u16 src, ClassObject* cls, u32 idx) {
+    return emit({.op = DOp::kSput, .a = src, .idx = idx, .cls = cls});
+  }
+  CodeBuilder& binop(DOp op, u16 a, u16 b, u16 c) {
+    return emit({.op = op, .a = a, .b = b, .c = c});
+  }
+  CodeBuilder& add(u16 a, u16 b, u16 c) { return binop(DOp::kAdd, a, b, c); }
+  CodeBuilder& sub(u16 a, u16 b, u16 c) { return binop(DOp::kSub, a, b, c); }
+  CodeBuilder& mul(u16 a, u16 b, u16 c) { return binop(DOp::kMul, a, b, c); }
+  CodeBuilder& add_imm(u16 a, u16 b, i32 imm) {
+    return emit({.op = DOp::kAddImm, .a = a, .b = b, .imm = imm});
+  }
+  CodeBuilder& if_op(DOp op, u16 a, u16 b, i32 target) {
+    return emit({.op = op, .a = a, .b = b, .target = target});
+  }
+  CodeBuilder& if_eqz(u16 a, i32 target) {
+    return emit({.op = DOp::kIfEqz, .a = a, .target = target});
+  }
+  CodeBuilder& if_nez(u16 a, i32 target) {
+    return emit({.op = DOp::kIfNez, .a = a, .target = target});
+  }
+  CodeBuilder& goto_(i32 target) {
+    return emit({.op = DOp::kGoto, .target = target});
+  }
+  CodeBuilder& invoke(const Method* m, std::vector<u16> args) {
+    DInsn insn{.op = DOp::kInvoke, .method = m};
+    insn.args = std::move(args);
+    return emit(std::move(insn));
+  }
+  CodeBuilder& move_exception(u16 a) {
+    return emit({.op = DOp::kMoveException, .a = a});
+  }
+
+  /// Index the next emitted instruction will get (for branch targets).
+  [[nodiscard]] i32 here() const { return static_cast<i32>(code_.size()); }
+
+  [[nodiscard]] std::vector<DInsn> take() { return std::move(code_); }
+
+ private:
+  CodeBuilder& emit(DInsn insn) {
+    code_.push_back(std::move(insn));
+    return *this;
+  }
+  std::vector<DInsn> code_;
+};
+
+}  // namespace ndroid::dvm

@@ -1,0 +1,94 @@
+#include "dvm/indirect_ref_table.h"
+
+namespace ndroid::dvm {
+
+void IndirectRefTable::push_frame() { frames_.emplace_back(); }
+
+IndirectRef IndirectRefTable::pop_frame(IndirectRef survivor) {
+  if (frames_.empty()) {
+    throw GuestFault("PopLocalFrame without a matching PushLocalFrame");
+  }
+  Object* surviving_obj = nullptr;
+  if (survivor != 0 && is_valid(survivor)) {
+    surviving_obj = entries_[index_of(survivor)].obj;
+  }
+  for (u32 index : frames_.back()) {
+    if (index < entries_.size()) entries_[index].live = false;
+  }
+  frames_.pop_back();
+  if (surviving_obj != nullptr) {
+    return add(surviving_obj, RefKind::kLocal);
+  }
+  return 0;
+}
+
+IndirectRef IndirectRefTable::add(Object* obj, RefKind kind) {
+  // Reuse a dead slot if available, bumping its serial so stale handles to
+  // the old occupant stop validating.
+  u32 index = static_cast<u32>(entries_.size());
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].live) {
+      index = i;
+      break;
+    }
+  }
+  if (index == entries_.size()) entries_.push_back(Entry{});
+  Entry& e = entries_[index];
+  e.obj = obj;
+  e.serial = (e.serial + 1) & 0xFFF;
+  e.live = true;
+  e.kind = kind;
+  if (kind == RefKind::kLocal && !frames_.empty()) {
+    frames_.back().push_back(index);
+  }
+  return 0x80000000u | (e.serial << 18) | (index << 2) |
+         static_cast<u32>(kind);
+}
+
+Object* IndirectRefTable::decode(IndirectRef ref) const {
+  if (!is_valid(ref)) {
+    throw GuestFault("dvmDecodeIndirectRef: stale or bogus reference 0x" +
+                     std::to_string(ref));
+  }
+  return entries_[index_of(ref)].obj;
+}
+
+bool IndirectRefTable::is_valid(IndirectRef ref) const {
+  if ((ref & 0x80000000u) == 0) return false;
+  const u32 index = index_of(ref);
+  if (index >= entries_.size()) return false;
+  const Entry& e = entries_[index];
+  return e.live && e.serial == serial_of(ref);
+}
+
+void IndirectRefTable::remove(IndirectRef ref) {
+  if (!is_valid(ref)) return;
+  entries_[index_of(ref)].live = false;
+}
+
+IndirectRef IndirectRefTable::find(const Object* obj) const {
+  for (u32 i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.live && e.obj == obj) {
+      return 0x80000000u | (e.serial << 18) | (i << 2) |
+             static_cast<u32>(e.kind);
+    }
+  }
+  return 0;
+}
+
+u32 IndirectRefTable::live_count() const {
+  u32 n = 0;
+  for (const Entry& e : entries_) n += e.live;
+  return n;
+}
+
+std::vector<Object*> IndirectRefTable::live_objects() const {
+  std::vector<Object*> out;
+  for (const Entry& e : entries_) {
+    if (e.live) out.push_back(e.obj);
+  }
+  return out;
+}
+
+}  // namespace ndroid::dvm

@@ -1,0 +1,75 @@
+// Indirect reference table (IRT).
+//
+// "Since version 4.0, Android uses indirect references in native code rather
+// than direct pointers to reference objects. By doing so, when the garbage
+// collector moves an object, it updates the indirect reference table with
+// the object's new location" (paper §II-A). NDroid keys its Java-object
+// shadow taints by indirect reference for exactly this reason (§V-B).
+//
+// Encoding follows Dalvik's IndirectRef: low 2 bits are the kind, the rest
+// index+serial — producing opaque-looking handles like the 0xa8900025 /
+// 0x5f80001d values in the paper's logs.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::dvm {
+
+class Object;
+
+using IndirectRef = u32;
+
+enum class RefKind : u32 { kLocal = 1, kGlobal = 2 };
+
+class IndirectRefTable {
+ public:
+  IndirectRef add(Object* obj, RefKind kind = RefKind::kLocal);
+
+  /// Dalvik's dvmDecodeIndirectRef: handle -> direct object pointer.
+  /// Unknown/stale handles throw.
+  [[nodiscard]] Object* decode(IndirectRef ref) const;
+
+  /// True if the handle is live in this table.
+  [[nodiscard]] bool is_valid(IndirectRef ref) const;
+
+  void remove(IndirectRef ref);
+
+  /// Existing live handle for `obj`, or 0.
+  [[nodiscard]] IndirectRef find(const Object* obj) const;
+
+  [[nodiscard]] u32 live_count() const;
+
+  /// All live entries (GC uses this as its root set).
+  [[nodiscard]] std::vector<Object*> live_objects() const;
+
+  // --- Local reference frames (JNI PushLocalFrame/PopLocalFrame) ----------
+  /// Marks a frame boundary: local refs created after this call are
+  /// released when the frame is popped.
+  void push_frame();
+  /// Releases local refs created since the matching push_frame. If
+  /// `survivor` is a live ref created inside the frame, it is re-created in
+  /// the enclosing frame and the new handle returned (0 otherwise).
+  IndirectRef pop_frame(IndirectRef survivor = 0);
+  [[nodiscard]] u32 frame_depth() const {
+    return static_cast<u32>(frames_.size());
+  }
+
+ private:
+  struct Entry {
+    Object* obj = nullptr;
+    u32 serial = 0;
+    bool live = false;
+    RefKind kind = RefKind::kLocal;
+  };
+
+  static u32 index_of(IndirectRef ref) { return (ref >> 2) & 0xFFFF; }
+  static u32 serial_of(IndirectRef ref) { return (ref >> 18) & 0xFFF; }
+
+  std::vector<Entry> entries_;
+  std::vector<std::vector<u32>> frames_;  // indices created per open frame
+  friend class IndirectRefTableTestPeer;
+};
+
+}  // namespace ndroid::dvm

@@ -1,0 +1,251 @@
+// The bytecode interpreter, with TaintDroid's taint propagation.
+//
+// "TaintDroid tracks the taints of primitive type variables and object
+// references according to the logic of each DVM instruction" (paper §II-B).
+// Rules implemented here (TaintDroid's published policy):
+//   move          t(A) = t(B)
+//   const         t(A) = clear
+//   binop         t(A) = t(B) | t(C)
+//   aget          t(A) = t(array object) | t(index)
+//   aput          t(array object) |= t(src)
+//   iget/sget     t(A) = t(field slot) (| t(obj ref) for iget)
+//   iput/sput     t(field slot) = t(src)
+//   invoke        args' taints copied into callee frame / outs area
+//   move-result   t(A) = return-value taint from InterpSaveState
+#include <bit>
+
+#include "dvm/dvm.h"
+
+namespace ndroid::dvm {
+
+namespace {
+float as_float(u32 v) { return std::bit_cast<float>(v); }
+u32 from_float(float f) { return std::bit_cast<u32>(f); }
+}  // namespace
+
+void Dvm::interpret(const Method& method, GuestAddr fp) {
+  const bool taint_on = policy_.propagate_java;
+  auto& mem = cpu_.memory();
+  auto val = [&](u16 r) { return stack_.reg_value(fp, r); };
+  auto tnt = [&](u16 r) {
+    return taint_on ? stack_.reg_taint(fp, r) : kTaintClear;
+  };
+  auto set = [&](u16 r, u32 v, Taint t) {
+    stack_.set_reg(fp, r, v, taint_on ? t : kTaintClear);
+  };
+  auto obj_of = [&](u16 r) -> Object* {
+    const u32 v = val(r);
+    if (v == 0) throw GuestFault("null dereference in " + method.name);
+    Object* o = heap_.object_at(v);
+    if (o == nullptr) {
+      throw GuestFault("dangling object pointer in " + method.name);
+    }
+    return o;
+  };
+
+  u32 pc = 0;
+  const auto& code = method.code;
+  while (pc < code.size()) {
+    const DInsn& insn = code[pc];
+    ++bytecodes_executed_;
+    if (insn_observer_) insn_observer_(method, insn);
+    u32 next = pc + 1;
+
+    switch (insn.op) {
+      case DOp::kNop:
+        break;
+      case DOp::kMove:
+        set(insn.a, val(insn.b), tnt(insn.b));
+        break;
+      case DOp::kMoveResult:
+        set(insn.a, retval_.value, retval_.taint);
+        break;
+      case DOp::kReturnVoid:
+        retval_ = Slot{0, kTaintClear};
+        return;
+      case DOp::kReturn:
+        retval_ = Slot{val(insn.a), tnt(insn.a)};
+        return;
+      case DOp::kConst:
+        set(insn.a, static_cast<u32>(insn.imm), kTaintClear);
+        break;
+      case DOp::kConstString: {
+        Object* s = heap_.new_string(string_class_, insn.str);
+        set(insn.a, s->addr(), kTaintClear);
+        break;
+      }
+      case DOp::kNewInstance: {
+        Object* o = heap_.new_instance(insn.cls);
+        set(insn.a, o->addr(), kTaintClear);
+        break;
+      }
+      case DOp::kNewArray: {
+        Object* o = heap_.new_array(nullptr, val(insn.b),
+                                    static_cast<u32>(insn.imm),
+                                    insn.idx != 0);
+        set(insn.a, o->addr(), kTaintClear);
+        break;
+      }
+      case DOp::kArrayLength: {
+        Object* arr = obj_of(insn.b);
+        set(insn.a, arr->length(), tnt(insn.b));
+        break;
+      }
+      case DOp::kAget: {
+        Object* arr = obj_of(insn.b);
+        const u32 v = heap_.array_get(*arr, val(insn.c));
+        set(insn.a, v, heap_.object_taint(*arr) | tnt(insn.c));
+        break;
+      }
+      case DOp::kAput: {
+        Object* arr = obj_of(insn.b);
+        heap_.array_set(*arr, val(insn.c), val(insn.a));
+        if (taint_on) heap_.add_object_taint(*arr, tnt(insn.a));
+        break;
+      }
+      case DOp::kIget: {
+        Object* obj = obj_of(insn.b);
+        const Slot& f = obj->fields().at(insn.idx);
+        set(insn.a, f.value, f.taint | tnt(insn.b));
+        break;
+      }
+      case DOp::kIput: {
+        Object* obj = obj_of(insn.b);
+        Slot& f = obj->fields().at(insn.idx);
+        f.value = val(insn.a);
+        f.taint = taint_on ? tnt(insn.a) : kTaintClear;
+        heap_.sync_payload(*obj);
+        break;
+      }
+      case DOp::kSget: {
+        const Slot& f = insn.cls->statics().at(insn.idx);
+        set(insn.a, f.value, f.taint);
+        break;
+      }
+      case DOp::kSput: {
+        Slot& f = insn.cls->statics().at(insn.idx);
+        f.value = val(insn.a);
+        f.taint = taint_on ? tnt(insn.a) : kTaintClear;
+        break;
+      }
+      case DOp::kAdd:
+      case DOp::kSub:
+      case DOp::kMul:
+      case DOp::kDiv:
+      case DOp::kRem:
+      case DOp::kAnd:
+      case DOp::kOr:
+      case DOp::kXor:
+      case DOp::kShl:
+      case DOp::kShr: {
+        const i32 b = static_cast<i32>(val(insn.b));
+        const i32 c = static_cast<i32>(val(insn.c));
+        i32 r = 0;
+        switch (insn.op) {
+          case DOp::kAdd: r = b + c; break;
+          case DOp::kSub: r = b - c; break;
+          case DOp::kMul: r = b * c; break;
+          case DOp::kDiv:
+            if (c == 0) throw GuestFault("ArithmeticException: / by zero");
+            r = b / c;
+            break;
+          case DOp::kRem:
+            if (c == 0) throw GuestFault("ArithmeticException: % by zero");
+            r = b % c;
+            break;
+          case DOp::kAnd: r = b & c; break;
+          case DOp::kOr: r = b | c; break;
+          case DOp::kXor: r = b ^ c; break;
+          case DOp::kShl: r = b << (c & 31); break;
+          case DOp::kShr: r = b >> (c & 31); break;
+          default: break;
+        }
+        set(insn.a, static_cast<u32>(r), tnt(insn.b) | tnt(insn.c));
+        break;
+      }
+      case DOp::kAddFloat:
+      case DOp::kMulFloat:
+      case DOp::kDivFloat: {
+        const float b = as_float(val(insn.b));
+        const float c = as_float(val(insn.c));
+        float r = 0;
+        switch (insn.op) {
+          case DOp::kAddFloat: r = b + c; break;
+          case DOp::kMulFloat: r = b * c; break;
+          case DOp::kDivFloat: r = b / c; break;
+          default: break;
+        }
+        set(insn.a, from_float(r), tnt(insn.b) | tnt(insn.c));
+        break;
+      }
+      case DOp::kAddImm:
+        set(insn.a, val(insn.b) + static_cast<u32>(insn.imm), tnt(insn.b));
+        break;
+      case DOp::kIfEq:
+        if (val(insn.a) == val(insn.b)) next = static_cast<u32>(insn.target);
+        break;
+      case DOp::kIfNe:
+        if (val(insn.a) != val(insn.b)) next = static_cast<u32>(insn.target);
+        break;
+      case DOp::kIfLt:
+        if (static_cast<i32>(val(insn.a)) < static_cast<i32>(val(insn.b))) {
+          next = static_cast<u32>(insn.target);
+        }
+        break;
+      case DOp::kIfGe:
+        if (static_cast<i32>(val(insn.a)) >= static_cast<i32>(val(insn.b))) {
+          next = static_cast<u32>(insn.target);
+        }
+        break;
+      case DOp::kIfEqz:
+        if (val(insn.a) == 0) next = static_cast<u32>(insn.target);
+        break;
+      case DOp::kIfNez:
+        if (val(insn.a) != 0) next = static_cast<u32>(insn.target);
+        break;
+      case DOp::kGoto:
+        next = static_cast<u32>(insn.target);
+        break;
+      case DOp::kInvoke: {
+        const Method* callee = insn.method;
+        std::vector<Slot> args(insn.args.size());
+        for (u32 i = 0; i < insn.args.size(); ++i) {
+          args[i] = Slot{val(insn.args[i]), tnt(insn.args[i])};
+        }
+        if (args.size() != callee->arg_count()) {
+          throw GuestFault("arity mismatch invoking " + callee->name);
+        }
+        if (callee->is_builtin()) {
+          Slot ret = callee->builtin(*this, args);
+          if (!taint_on) ret.taint = kTaintClear;
+          retval_ = ret;
+        } else if (callee->is_native()) {
+          retval_ = invoke_native(*callee, args);
+        } else {
+          const GuestAddr callee_fp = stack_.push_frame(*callee);
+          const u16 first_in =
+              callee->registers_size - callee->ins_size;
+          for (u32 i = 0; i < args.size(); ++i) {
+            stack_.set_reg(callee_fp, static_cast<u16>(first_in + i),
+                           args[i].value,
+                           taint_on ? args[i].taint : kTaintClear);
+          }
+          interpret(*callee, callee_fp);
+          stack_.pop_frame();
+        }
+        break;
+      }
+      case DOp::kMoveException: {
+        Object* exc = pending_exception;
+        pending_exception = nullptr;
+        set(insn.a, exc ? exc->addr() : 0, kTaintClear);
+        break;
+      }
+    }
+    pc = next;
+    (void)mem;
+  }
+  retval_ = Slot{0, kTaintClear};
+}
+
+}  // namespace ndroid::dvm

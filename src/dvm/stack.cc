@@ -1,0 +1,44 @@
+#include "dvm/stack.h"
+
+#include "dvm/method.h"
+
+namespace ndroid::dvm {
+
+GuestAddr DvmStack::push_frame(const Method& method) {
+  const u32 regs_bytes = 8u * method.registers_size;
+  const u32 total = regs_bytes + kSaveAreaSize;
+  if (sp_ - total < bottom_) throw GuestFault("DVM stack overflow");
+  const GuestAddr prev_sp = sp_;
+  sp_ -= total;
+  const GuestAddr save_area = sp_;
+  const GuestAddr fp = save_area + kSaveAreaSize;
+  memory_.write32(save_area, fp_);  // prev frame pointer
+  memory_.write32(save_area + 4, method.guest_addr);
+  memory_.write32(save_area + 8, prev_sp);
+  // Clear register slots (fresh frames must not inherit stale taints).
+  for (u32 i = 0; i < method.registers_size; ++i) {
+    memory_.write32(fp + 8 * i, 0);
+    memory_.write32(fp + 8 * i + 4, 0);
+  }
+  fp_ = fp;
+  return fp;
+}
+
+void DvmStack::pop_frame() {
+  if (fp_ == 0) throw GuestFault("DVM stack underflow");
+  const GuestAddr save_area = fp_ - kSaveAreaSize;
+  fp_ = memory_.read32(save_area);
+  sp_ = memory_.read32(save_area + 8);
+}
+
+GuestAddr DvmStack::push_outs(u32 arg_count) {
+  const u32 total = 8u * arg_count + 4;  // + return-taint slot
+  if (sp_ - total < bottom_) throw GuestFault("DVM stack overflow (outs)");
+  sp_ -= total;
+  for (u32 i = 0; i < total; i += 4) memory_.write32(sp_ + i, 0);
+  return sp_;
+}
+
+void DvmStack::pop_outs(u32 arg_count) { sp_ += 8u * arg_count + 4; }
+
+}  // namespace ndroid::dvm

@@ -1,0 +1,107 @@
+// The guest C library ("libc.so" / "libm.so").
+//
+// Two implementation classes, mirroring the paper's architecture:
+//
+//  * String/memory functions (memcpy, strcpy, strlen, ...) are REAL GUEST
+//    ARM CODE assembled into libc.so. When NDroid's System Lib Hook Engine
+//    models them (Table VI) it hooks the entry point and skips no code —
+//    the functions still run — but the instruction tracer does not need to
+//    follow their instructions one by one, which is where the speedup comes
+//    from (§V-D). With models disabled (ablation / DroidScope-mode), the
+//    tracer propagates taint through these loops instruction by instruction
+//    and must reach the same answer.
+//
+//  * Format-string functions (sprintf/fprintf/...), stdio FILE* functions,
+//    malloc/free, and all of libm are helper-backed: the paper models these
+//    as well, and their bodies are irrelevant to the taint flows studied.
+//    libm operates on 32-bit floats (the emulated core has no VFP; the
+//    double-named entry points use single precision — documented
+//    substitution).
+//
+// Syscall wrappers (open/read/write/close/socket/connect/send/sendto/recv)
+// are guest stubs that trap via SVC, so Table VII's kernel-level sinks are
+// observable as guest instructions.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "arm/assembler.h"
+#include "arm/cpu.h"
+#include "os/kernel.h"
+
+namespace ndroid::libc {
+
+class Libc {
+ public:
+  Libc(arm::Cpu& cpu, os::Kernel& kernel, GuestAddr libc_base, u32 libc_size,
+       GuestAddr libm_base, u32 libm_size);
+
+  Libc(const Libc&) = delete;
+  Libc& operator=(const Libc&) = delete;
+
+  /// Address of a libc/libm function by name.
+  [[nodiscard]] GuestAddr fn(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, GuestAddr>& symbols() const {
+    return symbols_;
+  }
+
+  /// Host-side malloc into the guest native heap (used by JNI glue too).
+  GuestAddr malloc_guest(u32 size);
+  void free_guest(GuestAddr addr);
+
+  [[nodiscard]] u64 mallocs_performed() const { return mallocs_; }
+
+  /// Kernel fd behind a FILE* handle, or -1 (used by sink hooks to resolve
+  /// fprintf/fwrite destinations).
+  [[nodiscard]] int fd_of_file(GuestAddr file) const {
+    auto it = files_.find(file);
+    return it == files_.end() ? -1 : it->second;
+  }
+
+  /// Registers a library with the dynamic loader so guest dlopen/dlsym can
+  /// resolve it (Table VII hooks dlopen/dlsym/dlclose; malware uses them to
+  /// hide program logic in late-loaded libraries, paper §I/§III).
+  void register_dl_library(const std::string& name,
+                           std::map<std::string, GuestAddr> dl_symbols);
+
+ private:
+  void build_asm_string_functions(GuestAddr base, GuestAddr end);
+  void build_stdio(GuestAddr base);
+  void build_libm(GuestAddr libm_base, u32 libm_size);
+  void build_syscall_wrappers();
+
+  GuestAddr add_asm(const std::string& name,
+                    const std::function<void(arm::Assembler&)>& body);
+  GuestAddr add_helper(const std::string& name, arm::Helper helper);
+
+  std::string read_format_args(arm::Cpu& c, const std::string& fmt,
+                               u32 first_reg, GuestAddr stack_args);
+
+  arm::Cpu& cpu_;
+  os::Kernel& kernel_;
+  std::map<std::string, GuestAddr> symbols_;
+  GuestAddr code_bump_ = 0;
+  GuestAddr code_end_ = 0;
+
+  // malloc bookkeeping: guest address -> block size; simple size-bucketed
+  // free lists over kernel-mmapped arenas.
+  std::unordered_map<GuestAddr, u32> block_size_;
+  std::unordered_map<u32, std::vector<GuestAddr>> free_lists_;
+  u64 mallocs_ = 0;
+
+  // FILE* handles: guest struct of one word holding fd + host map.
+  std::unordered_map<GuestAddr, int> files_;
+  GuestAddr file_struct_bump_ = 0;
+
+  // Dynamic loader registry: handle (index+1) -> {name, symbols, open}.
+  struct DlLibrary {
+    std::string name;
+    std::map<std::string, GuestAddr> symbols;
+    bool open = false;
+  };
+  std::vector<DlLibrary> dl_libraries_;
+};
+
+}  // namespace ndroid::libc

@@ -1,0 +1,99 @@
+#include "market/analyzer.h"
+
+#include <algorithm>
+
+namespace ndroid::market {
+
+AppType classify(const AppRecord& app) {
+  if (app.pure_native) return AppType::kType3;
+  if (app.calls_load_library) return AppType::kType1;
+  if (app.bundles_native_libs) return AppType::kType2;
+  return AppType::kNone;
+}
+
+double StudyResult::category_share(const std::string& category) const {
+  if (type1 == 0) return 0.0;
+  auto it = type1_categories.find(category);
+  return it == type1_categories.end()
+             ? 0.0
+             : static_cast<double>(it->second) / type1;
+}
+
+std::vector<std::pair<std::string, u32>> StudyResult::top_libraries(
+    u32 n) const {
+  std::vector<std::pair<std::string, u32>> sorted(library_popularity.begin(),
+                                                  library_popularity.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (sorted.size() > n) sorted.resize(n);
+  return sorted;
+}
+
+std::vector<std::pair<std::string, u32>> StudyResult::top_native_decl_classes(
+    u32 n) const {
+  std::vector<std::pair<std::string, u32>> sorted(
+      native_decl_class_popularity.begin(),
+      native_decl_class_popularity.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (sorted.size() > n) sorted.resize(n);
+  return sorted;
+}
+
+double StudyResult::share_with_classes(
+    const std::vector<std::string>& classes) const {
+  if (type1_without_libs == 0 || classes.empty()) return 0.0;
+  // Each AdMob-carrying app holds the full plugin, so the count of apps
+  // holding all of them equals the per-class count minimum.
+  u32 min_count = ~0u;
+  for (const std::string& cls : classes) {
+    auto it = native_decl_class_popularity.find(cls);
+    min_count = std::min(min_count,
+                         it == native_decl_class_popularity.end()
+                             ? 0u
+                             : it->second);
+  }
+  return static_cast<double>(min_count) / type1_without_libs;
+}
+
+StudyResult analyze(std::span<const AppRecord> corpus) {
+  StudyResult out;
+  out.total = static_cast<u32>(corpus.size());
+  for (const AppRecord& app : corpus) {
+    switch (classify(app)) {
+      case AppType::kType1:
+        ++out.type1;
+        ++out.type1_categories[app.category];
+        if (!app.bundles_native_libs) {
+          ++out.type1_without_libs;
+          if (app.admob_native_decls) ++out.type1_without_libs_admob;
+          for (const std::string& cls : app.native_decl_classes) {
+            ++out.native_decl_class_popularity[cls];
+          }
+        }
+        break;
+      case AppType::kType2:
+        ++out.type2;
+        if (app.embeds_dex_loader) ++out.type2_with_dex_loader;
+        break;
+      case AppType::kType3:
+        ++out.type3;
+        if (app.category == "Game") {
+          ++out.type3_games;
+        } else {
+          ++out.type3_entertainment;
+        }
+        break;
+      case AppType::kNone:
+        break;
+    }
+    for (const std::string& lib : app.native_libs) {
+      ++out.library_popularity[lib];
+    }
+  }
+  return out;
+}
+
+}  // namespace ndroid::market

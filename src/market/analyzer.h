@@ -1,0 +1,64 @@
+// The §III market-study analyzer: classifies apps that may use JNI into the
+// paper's three types and derives the reported statistics.
+//
+//   Type I   — invoke System.load()/System.loadLibrary();
+//   Type II  — bundle native libraries without such invocations;
+//   Type III — written in pure native code.
+#pragma once
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "market/corpus.h"
+
+namespace ndroid::market {
+
+enum class AppType : u8 { kNone, kType1, kType2, kType3 };
+
+struct StudyResult {
+  u32 total = 0;
+  u32 type1 = 0;
+  u32 type2 = 0;
+  u32 type3 = 0;
+  u32 type3_games = 0;
+  u32 type3_entertainment = 0;
+
+  /// Category -> count among type I apps (Fig. 2).
+  std::map<std::string, u32> type1_categories;
+
+  u32 type1_without_libs = 0;
+  u32 type1_without_libs_admob = 0;
+
+  u32 type2_with_dex_loader = 0;
+
+  /// Library name -> number of apps bundling it.
+  std::map<std::string, u32> library_popularity;
+
+  /// Native-declaration class -> number of lib-less type I apps containing
+  /// it (the paper's "sorted these Java classes according to the number of
+  /// applications using them").
+  std::map<std::string, u32> native_decl_class_popularity;
+
+  /// The top-N native-declaration classes by app count.
+  [[nodiscard]] std::vector<std::pair<std::string, u32>>
+  top_native_decl_classes(u32 n) const;
+  /// Fraction of lib-less type I apps containing every one of `classes`.
+  [[nodiscard]] double share_with_classes(
+      const std::vector<std::string>& classes) const;
+  u32 apps_with_all_admob_classes = 0;
+
+  [[nodiscard]] double type1_fraction() const {
+    return total == 0 ? 0.0 : static_cast<double>(type1) / total;
+  }
+  [[nodiscard]] double category_share(const std::string& category) const;
+  [[nodiscard]] std::vector<std::pair<std::string, u32>> top_libraries(
+      u32 n) const;
+};
+
+[[nodiscard]] AppType classify(const AppRecord& app);
+
+StudyResult analyze(std::span<const AppRecord> corpus);
+
+}  // namespace ndroid::market

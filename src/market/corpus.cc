@@ -1,0 +1,140 @@
+#include "market/corpus.h"
+
+#include <algorithm>
+#include <random>
+
+namespace ndroid::market {
+
+const std::vector<std::pair<std::string, u32>>& category_shares() {
+  static const std::vector<std::pair<std::string, u32>> shares = {
+      {"Game", 42},          {"Music And Audio", 5}, {"Personalization", 5},
+      {"Communication", 4},  {"Entertainment", 4},   {"Tools", 3},
+      {"Sports", 3},         {"Travel", 3},          {"Casual", 3},
+      {"Productivity", 3},   {"Arcade", 3},          {"Books", 2},
+      {"Lifestyle", 2},      {"Education", 2},       {"Media And Video", 2},
+      {"Puzzle", 2},         {"Other", 12},
+  };
+  return shares;
+}
+
+const std::vector<std::pair<std::string, u32>>& library_popularity_weights() {
+  static const std::vector<std::pair<std::string, u32>> weights = {
+      {"libunity.so", 30},          {"libmono.so", 28},
+      {"libgdx.so", 14},            {"libbox2d.so", 10},
+      {"libcocos2dcpp.so", 9},      {"libopenal.so", 7},
+      {"libstlport_shared.so", 12}, {"libcore.so", 6},
+      {"libstagefright_froyo.so", 5}, {"libffmpeg.so", 8},
+      {"libmp3decoder.so", 4},      {"libcrypto_embedded.so", 3},
+      {"libprotocol_native.so", 3}, {"libadmob_jni.so", 2},
+  };
+  return weights;
+}
+
+const std::vector<std::string>& admob_classes() {
+  static const std::vector<std::string> classes = {
+      "Lcom/admob/android/ads/AdView;",
+      "Lcom/admob/android/ads/AdManager;",
+      "Lcom/admob/android/ads/AdContainer;",
+      "Lcom/admob/android/ads/InterstitialAd;",
+      "Lcom/admob/android/ads/analytics/InstallReceiver;",
+      "Lcom/admob/android/ads/AdWhirlLayout;",
+      "Lcom/admob/android/ads/util/AdUtil;",
+      "Lcom/admob/android/ads/video/AdVideoView;",
+  };
+  return classes;
+}
+
+std::vector<AppRecord> generate_corpus(const CorpusParams& p) {
+  std::mt19937_64 rng(p.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  // Category sampling for type I apps.
+  const auto& shares = category_shares();
+  std::vector<u32> cat_cdf;
+  u32 acc = 0;
+  for (const auto& [name, pct] : shares) {
+    acc += pct;
+    cat_cdf.push_back(acc);
+  }
+  auto sample_category = [&]() -> const std::string& {
+    const u32 roll = static_cast<u32>(rng() % acc);
+    for (u32 i = 0; i < cat_cdf.size(); ++i) {
+      if (roll < cat_cdf[i]) return shares[i].first;
+    }
+    return shares.back().first;
+  };
+
+  const auto& libs = library_popularity_weights();
+  u32 lib_total = 0;
+  for (const auto& [name, w] : libs) lib_total += w;
+  auto sample_lib = [&]() -> const std::string& {
+    u32 roll = static_cast<u32>(rng() % lib_total);
+    for (const auto& [name, w] : libs) {
+      if (roll < w) return name;
+      roll -= w;
+    }
+    return libs.back().first;
+  };
+
+  const u32 type1_count = static_cast<u32>(
+      p.type1_fraction * static_cast<double>(p.total_apps) + 0.5);
+  const u32 type3_count = p.type3_games + p.type3_entertainment;
+
+  std::vector<AppRecord> corpus;
+  corpus.reserve(p.total_apps);
+
+  u32 made_type1 = 0, made_type2 = 0, made_type3 = 0;
+  u32 made_t1_nolib = 0, made_t2_dex = 0;
+  for (u32 i = 0; i < p.total_apps; ++i) {
+    AppRecord app;
+    app.package = "com.app" + std::to_string(i);
+    if (made_type1 < type1_count) {
+      ++made_type1;
+      app.calls_load_library = true;
+      app.category = sample_category();
+      if (made_t1_nolib < p.type1_without_libs) {
+        ++made_t1_nolib;
+        app.bundles_native_libs = false;
+        app.admob_native_decls = unit(rng) < p.admob_fraction;
+        if (app.admob_native_decls) {
+          // Repackaged apps ship the whole plugin: all eight classes.
+          app.native_decl_classes = admob_classes();
+        } else {
+          // Leftover declarations from assorted removed libraries.
+          app.native_decl_classes.push_back(
+              "Lcom/vendor" + std::to_string(rng() % 200) + "/NativeBridge;");
+        }
+      } else {
+        app.bundles_native_libs = true;
+        const u32 nlibs = 1 + static_cast<u32>(rng() % 3);
+        for (u32 k = 0; k < nlibs; ++k) {
+          app.native_libs.push_back(sample_lib());
+        }
+      }
+    } else if (made_type2 < p.type2_count) {
+      ++made_type2;
+      app.bundles_native_libs = true;
+      app.category = sample_category();
+      app.native_libs.push_back(sample_lib());
+      if (made_t2_dex < p.type2_loadable_dex) {
+        ++made_t2_dex;
+        app.embeds_dex_loader = true;
+      }
+    } else if (made_type3 < type3_count) {
+      ++made_type3;
+      app.pure_native = true;
+      app.bundles_native_libs = true;
+      app.category = made_type3 <= p.type3_games ? "Game" : "Entertainment";
+      app.native_libs.push_back("libmain.so");
+    } else {
+      app.category = sample_category();
+    }
+    corpus.push_back(std::move(app));
+  }
+
+  // Deterministic shuffle so types are interleaved like a real crawl.
+  std::shuffle(corpus.begin(), corpus.end(), rng);
+  return corpus;
+}
+
+}  // namespace ndroid::market

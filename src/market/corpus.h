@@ -1,0 +1,64 @@
+// Synthetic app-market corpus (substitute for the paper's 227,911 Google
+// Play APKs, which are proprietary and unobtainable).
+//
+// The generator is seeded and calibrated to the statistics the paper reports
+// in §III, so the *analyzer* (the reproducible artifact — the classification
+// logic) is exercised on realistically distributed data:
+//   * 37,506 type I apps (invoke System.load/loadLibrary), 16.46% of corpus;
+//   * category mix of type I apps per Fig. 2 (Game 42%, ...);
+//   * 4,034 type I apps without bundled libraries, 48.1% of which carry the
+//     AdMob plugin's native-method declarations;
+//   * 1,738 type II apps (bundle libs, never call load), 394 of which embed
+//     a compressed dex that can load native libraries;
+//   * 16 type III apps (pure native: 11 games, 5 entertainment);
+//   * popular libraries from game engines (Unity, libgdx, Box2D, Cocos2D)
+//     and bundled NDK/system libs (libstlport_shared.so, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::market {
+
+struct AppRecord {
+  std::string package;
+  std::string category;
+  bool calls_load_library = false;  // System.load()/System.loadLibrary()
+  bool bundles_native_libs = false;
+  bool pure_native = false;
+  bool embeds_dex_loader = false;   // compressed dex able to load libs
+  bool admob_native_decls = false;  // AdMob plugin native-method classes
+  std::vector<std::string> native_libs;
+  /// Java classes containing native-method declarations (the paper extracts
+  /// and ranks these for type I apps without bundled libraries).
+  std::vector<std::string> native_decl_classes;
+};
+
+/// The eight AdMob plugin classes the paper identifies among lib-less
+/// type I apps ("We identified eight classes, which belong to an AdMob
+/// plugin and are used by 48.1% of such apps").
+const std::vector<std::string>& admob_classes();
+
+struct CorpusParams {
+  u32 total_apps = 227'911;
+  u64 seed = 20140623;  // DSN'14 week, for flavour
+  double type1_fraction = 37'506.0 / 227'911.0;
+  u32 type2_count = 1'738;
+  u32 type2_loadable_dex = 394;
+  u32 type3_games = 11;
+  u32 type3_entertainment = 5;
+  u32 type1_without_libs = 4'034;
+  double admob_fraction = 0.481;
+};
+
+/// Fig. 2 category shares of type I apps, in percent.
+const std::vector<std::pair<std::string, u32>>& category_shares();
+
+/// Popular native libraries with relative weights.
+const std::vector<std::pair<std::string, u32>>& library_popularity_weights();
+
+std::vector<AppRecord> generate_corpus(const CorpusParams& params = {});
+
+}  // namespace ndroid::market

@@ -1,0 +1,150 @@
+#include "mem/address_space.h"
+
+#include <algorithm>
+
+namespace ndroid::mem {
+
+const AddressSpace::Page* AddressSpace::find_page(GuestAddr addr) const {
+  auto it = pages_.find(addr >> kPageShift);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+AddressSpace::Page& AddressSpace::touch_page(GuestAddr addr) {
+  auto& slot = pages_[addr >> kPageShift];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+u8 AddressSpace::read8(GuestAddr addr) const {
+  const Page* p = find_page(addr);
+  return p ? (*p)[addr & kPageMask] : 0;
+}
+
+u16 AddressSpace::read16(GuestAddr addr) const {
+  if ((addr & kPageMask) <= kPageSize - 2) {  // fast path: one page
+    const Page* p = find_page(addr);
+    if (p == nullptr) return 0;
+    u16 v;
+    std::memcpy(&v, p->data() + (addr & kPageMask), 2);
+    return v;
+  }
+  u16 v = 0;
+  u8 buf[2];
+  read_bytes(addr, buf);
+  std::memcpy(&v, buf, 2);
+  return v;
+}
+
+u32 AddressSpace::read32(GuestAddr addr) const {
+  if ((addr & kPageMask) <= kPageSize - 4) {
+    const Page* p = find_page(addr);
+    if (p == nullptr) return 0;
+    u32 v;
+    std::memcpy(&v, p->data() + (addr & kPageMask), 4);
+    return v;
+  }
+  u32 v = 0;
+  u8 buf[4];
+  read_bytes(addr, buf);
+  std::memcpy(&v, buf, 4);
+  return v;
+}
+
+u64 AddressSpace::read64(GuestAddr addr) const {
+  u64 v = 0;
+  u8 buf[8];
+  read_bytes(addr, buf);
+  std::memcpy(&v, buf, 8);
+  return v;
+}
+
+void AddressSpace::write8(GuestAddr addr, u8 value) {
+  touch_page(addr)[addr & kPageMask] = value;
+}
+
+void AddressSpace::write16(GuestAddr addr, u16 value) {
+  if ((addr & kPageMask) <= kPageSize - 2) {
+    std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 2);
+    return;
+  }
+  u8 buf[2];
+  std::memcpy(buf, &value, 2);
+  write_bytes(addr, buf);
+}
+
+void AddressSpace::write32(GuestAddr addr, u32 value) {
+  if ((addr & kPageMask) <= kPageSize - 4) {
+    std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 4);
+    return;
+  }
+  u8 buf[4];
+  std::memcpy(buf, &value, 4);
+  write_bytes(addr, buf);
+}
+
+void AddressSpace::write64(GuestAddr addr, u64 value) {
+  u8 buf[8];
+  std::memcpy(buf, &value, 8);
+  write_bytes(addr, buf);
+}
+
+void AddressSpace::read_bytes(GuestAddr addr, std::span<u8> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const GuestAddr cur = addr + static_cast<u32>(done);
+    const u32 in_page = cur & kPageMask;
+    const u32 chunk = std::min<u32>(kPageSize - in_page,
+                                    static_cast<u32>(out.size() - done));
+    if (const Page* p = find_page(cur)) {
+      std::memcpy(out.data() + done, p->data() + in_page, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void AddressSpace::write_bytes(GuestAddr addr, std::span<const u8> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const GuestAddr cur = addr + static_cast<u32>(done);
+    const u32 in_page = cur & kPageMask;
+    const u32 chunk = std::min<u32>(kPageSize - in_page,
+                                    static_cast<u32>(in.size() - done));
+    std::memcpy(touch_page(cur).data() + in_page, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+std::string AddressSpace::read_cstr(GuestAddr addr, u32 max_len) const {
+  std::string out;
+  for (u32 i = 0; i < max_len; ++i) {
+    const u8 c = read8(addr + i);
+    if (c == 0) return out;
+    out.push_back(static_cast<char>(c));
+  }
+  throw GuestFault("unterminated guest string at 0x" + std::to_string(addr));
+}
+
+void AddressSpace::write_cstr(GuestAddr addr, std::string_view s) {
+  write_bytes(addr, {reinterpret_cast<const u8*>(s.data()), s.size()});
+  write8(addr + static_cast<u32>(s.size()), 0);
+}
+
+void AddressSpace::fill(GuestAddr addr, u8 value, u32 len) {
+  for (u32 i = 0; i < len; ++i) write8(addr + i, value);
+}
+
+void AddressSpace::copy(GuestAddr dst, GuestAddr src, u32 len) {
+  if (len == 0 || dst == src) return;
+  if (dst > src && dst < src + len) {
+    for (u32 i = len; i-- > 0;) write8(dst + i, read8(src + i));
+  } else {
+    for (u32 i = 0; i < len; ++i) write8(dst + i, read8(src + i));
+  }
+}
+
+}  // namespace ndroid::mem

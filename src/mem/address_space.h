@@ -1,0 +1,68 @@
+// Sparse paged guest address space.
+//
+// The emulated machine is a 32-bit ARM system; this class provides its flat
+// physical/virtual memory (we do not model an MMU — Android processes are
+// distinguished by non-overlapping map ranges, which is sufficient for the
+// analyses in the paper). Storage is allocated lazily in 4 KiB pages so a
+// full 4 GiB space costs only what is touched.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ndroid::mem {
+
+class AddressSpace {
+ public:
+  static constexpr u32 kPageShift = 12;
+  static constexpr u32 kPageSize = 1u << kPageShift;
+  static constexpr u32 kPageMask = kPageSize - 1;
+
+  AddressSpace() = default;
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Reads fault-free: untouched memory reads as zero (like zero-fill mmap).
+  [[nodiscard]] u8 read8(GuestAddr addr) const;
+  [[nodiscard]] u16 read16(GuestAddr addr) const;
+  [[nodiscard]] u32 read32(GuestAddr addr) const;
+  [[nodiscard]] u64 read64(GuestAddr addr) const;
+
+  void write8(GuestAddr addr, u8 value);
+  void write16(GuestAddr addr, u16 value);
+  void write32(GuestAddr addr, u32 value);
+  void write64(GuestAddr addr, u64 value);
+
+  void read_bytes(GuestAddr addr, std::span<u8> out) const;
+  void write_bytes(GuestAddr addr, std::span<const u8> in);
+
+  /// Reads a NUL-terminated guest string (bounded to keep a missing
+  /// terminator from scanning the whole space).
+  [[nodiscard]] std::string read_cstr(GuestAddr addr,
+                                      u32 max_len = 1u << 20) const;
+  void write_cstr(GuestAddr addr, std::string_view s);
+
+  void fill(GuestAddr addr, u8 value, u32 len);
+
+  /// Byte-wise copy within guest memory; handles overlap like memmove.
+  void copy(GuestAddr dst, GuestAddr src, u32 len);
+
+  /// Number of pages currently materialised (memory footprint diagnostics).
+  [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+
+  [[nodiscard]] const Page* find_page(GuestAddr addr) const;
+  Page& touch_page(GuestAddr addr);
+
+  std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ndroid::mem

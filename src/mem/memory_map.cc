@@ -1,0 +1,59 @@
+#include "mem/memory_map.h"
+
+#include <algorithm>
+
+namespace ndroid::mem {
+
+const Region& MemoryMap::add(std::string name, GuestAddr start, u32 size,
+                             Perm perms) {
+  if (size == 0) throw GuestFault("empty region: " + name);
+  const GuestAddr end = start + size;
+  if (end < start) throw GuestFault("region wraps address space: " + name);
+  for (const Region& r : regions_) {
+    if (start < r.end && r.start < end) {
+      throw GuestFault("region '" + name + "' overlaps '" + r.name + "'");
+    }
+  }
+  Region region{std::move(name), start, end, perms};
+  auto it = std::lower_bound(
+      regions_.begin(), regions_.end(), region,
+      [](const Region& a, const Region& b) { return a.start < b.start; });
+  return *regions_.insert(it, std::move(region));
+}
+
+void MemoryMap::remove(GuestAddr start) {
+  std::erase_if(regions_, [&](const Region& r) { return r.start == start; });
+}
+
+const Region* MemoryMap::find(GuestAddr addr) const {
+  auto it = std::upper_bound(
+      regions_.begin(), regions_.end(), addr,
+      [](GuestAddr a, const Region& r) { return a < r.start; });
+  if (it == regions_.begin()) return nullptr;
+  --it;
+  return it->contains(addr) ? &*it : nullptr;
+}
+
+const Region* MemoryMap::find_by_name(std::string_view name) const {
+  for (const Region& r : regions_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::string MemoryMap::module_of(GuestAddr addr) const {
+  const Region* r = find(addr);
+  return r ? r->name : "<unmapped>";
+}
+
+GuestAddr MemoryMap::find_free(u32 size, GuestAddr hint) const {
+  GuestAddr candidate = hint;
+  for (const Region& r : regions_) {
+    if (r.end <= candidate) continue;
+    if (r.start >= candidate && r.start - candidate >= size) break;
+    candidate = r.end;
+  }
+  return candidate;
+}
+
+}  // namespace ndroid::mem

@@ -1,0 +1,68 @@
+// Region registry: the guest analogue of /proc/<pid>/maps.
+//
+// NDroid's OS-level view reconstructor and its hook engines resolve guest
+// addresses to named modules ("libdvm.so", "libc.so", the app's own
+// "libfoo.so") through this map (paper §V-F, §V-G).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::mem {
+
+enum class Perm : u8 {
+  kNone = 0,
+  kRead = 1,
+  kWrite = 2,
+  kExec = 4,
+};
+
+constexpr Perm operator|(Perm a, Perm b) {
+  return static_cast<Perm>(static_cast<u8>(a) | static_cast<u8>(b));
+}
+constexpr bool has_perm(Perm set, Perm p) {
+  return (static_cast<u8>(set) & static_cast<u8>(p)) != 0;
+}
+
+inline constexpr Perm kRX = Perm::kRead | Perm::kExec;
+inline constexpr Perm kRW = Perm::kRead | Perm::kWrite;
+inline constexpr Perm kRWX = Perm::kRead | Perm::kWrite | Perm::kExec;
+
+struct Region {
+  std::string name;
+  GuestAddr start = 0;
+  GuestAddr end = 0;  // exclusive
+  Perm perms = Perm::kNone;
+
+  [[nodiscard]] bool contains(GuestAddr addr) const {
+    return addr >= start && addr < end;
+  }
+  [[nodiscard]] u32 size() const { return end - start; }
+};
+
+class MemoryMap {
+ public:
+  /// Registers [start, start+size); overlapping an existing region throws.
+  const Region& add(std::string name, GuestAddr start, u32 size, Perm perms);
+
+  void remove(GuestAddr start);
+
+  [[nodiscard]] const Region* find(GuestAddr addr) const;
+  [[nodiscard]] const Region* find_by_name(std::string_view name) const;
+
+  /// Name of the region containing addr, or "<unmapped>".
+  [[nodiscard]] std::string module_of(GuestAddr addr) const;
+
+  [[nodiscard]] const std::vector<Region>& regions() const { return regions_; }
+
+  /// Lowest address >= hint where a size-byte region fits.
+  [[nodiscard]] GuestAddr find_free(u32 size, GuestAddr hint) const;
+
+ private:
+  std::vector<Region> regions_;  // kept sorted by start
+};
+
+}  // namespace ndroid::mem

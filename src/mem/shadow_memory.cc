@@ -1,0 +1,97 @@
+#include "mem/shadow_memory.h"
+
+#include <algorithm>
+
+namespace ndroid::mem {
+
+const ShadowMemory::Page* ShadowMemory::find_page(GuestAddr addr) const {
+  auto it = pages_.find(addr >> kPageShift);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+ShadowMemory::Page& ShadowMemory::touch_page(GuestAddr addr) {
+  auto& slot = pages_[addr >> kPageShift];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+Taint ShadowMemory::get(GuestAddr addr) const {
+  const Page* p = find_page(addr);
+  return p ? (*p)[addr & kPageMask] : kTaintClear;
+}
+
+Taint ShadowMemory::get_range(GuestAddr addr, u32 len) const {
+  Taint t = kTaintClear;
+  u32 done = 0;
+  while (done < len) {
+    const GuestAddr cur = addr + done;
+    const u32 in_page = cur & kPageMask;
+    const u32 chunk = std::min(kPageSize - in_page, len - done);
+    if (const Page* p = find_page(cur)) {
+      for (u32 i = 0; i < chunk; ++i) t |= (*p)[in_page + i];
+    }
+    done += chunk;
+  }
+  return t;
+}
+
+void ShadowMemory::set(GuestAddr addr, Taint taint) {
+  if (taint == kTaintClear && find_page(addr) == nullptr) return;
+  touch_page(addr)[addr & kPageMask] = taint;
+}
+
+void ShadowMemory::add(GuestAddr addr, Taint taint) {
+  if (taint == kTaintClear) return;
+  touch_page(addr)[addr & kPageMask] |= taint;
+}
+
+void ShadowMemory::set_range(GuestAddr addr, u32 len, Taint taint) {
+  u32 done = 0;
+  while (done < len) {
+    const GuestAddr cur = addr + done;
+    const u32 in_page = cur & kPageMask;
+    const u32 chunk = std::min(kPageSize - in_page, len - done);
+    if (taint == kTaintClear && find_page(cur) == nullptr) {
+      done += chunk;
+      continue;  // clearing untouched memory needs no page
+    }
+    Page& p = touch_page(cur);
+    std::fill_n(p.data() + in_page, chunk, taint);
+    done += chunk;
+  }
+}
+
+void ShadowMemory::add_range(GuestAddr addr, u32 len, Taint taint) {
+  if (taint == kTaintClear) return;
+  u32 done = 0;
+  while (done < len) {
+    const GuestAddr cur = addr + done;
+    const u32 in_page = cur & kPageMask;
+    const u32 chunk = std::min(kPageSize - in_page, len - done);
+    Page& p = touch_page(cur);
+    for (u32 i = 0; i < chunk; ++i) p[in_page + i] |= taint;
+    done += chunk;
+  }
+}
+
+void ShadowMemory::copy_range(GuestAddr dst, GuestAddr src, u32 len) {
+  if (len == 0 || dst == src) return;
+  if (dst > src && dst < src + len) {
+    for (u32 i = len; i-- > 0;) set(dst + i, get(src + i));
+  } else {
+    for (u32 i = 0; i < len; ++i) set(dst + i, get(src + i));
+  }
+}
+
+u64 ShadowMemory::tainted_bytes() const {
+  u64 n = 0;
+  for (const auto& [page_no, page] : pages_) {
+    for (Taint t : *page) n += (t != kTaintClear);
+  }
+  return n;
+}
+
+}  // namespace ndroid::mem

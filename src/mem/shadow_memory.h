@@ -1,0 +1,56 @@
+// Byte-granularity sparse taint map over guest memory.
+//
+// This is the storage half of NDroid's Taint Engine (paper §V-E): "NDroid
+// maintains shadow registers to store the related registers' taints and a
+// taint map to store the memories' taints. The taint granularity of NDroid
+// is byte." Combination is bitwise OR of 32-bit labels.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace ndroid::mem {
+
+class ShadowMemory {
+ public:
+  static constexpr u32 kPageShift = 12;
+  static constexpr u32 kPageSize = 1u << kPageShift;
+  static constexpr u32 kPageMask = kPageSize - 1;
+
+  /// Taint of one guest byte (clear if never set).
+  [[nodiscard]] Taint get(GuestAddr addr) const;
+
+  /// Union of the taints of [addr, addr+len).
+  [[nodiscard]] Taint get_range(GuestAddr addr, u32 len) const;
+
+  /// Overwrites the taint of one byte (clears it when taint == 0).
+  void set(GuestAddr addr, Taint taint);
+
+  /// ORs taint into one byte.
+  void add(GuestAddr addr, Taint taint);
+
+  void set_range(GuestAddr addr, u32 len, Taint taint);
+  void add_range(GuestAddr addr, u32 len, Taint taint);
+  void clear_range(GuestAddr addr, u32 len) { set_range(addr, len, 0); }
+
+  /// Copies taints byte-for-byte, dst[i] = src[i] (memcpy's shadow op).
+  void copy_range(GuestAddr dst, GuestAddr src, u32 len);
+
+  void clear_all() { pages_.clear(); }
+
+  /// Count of bytes with a non-zero label (diagnostics / tests).
+  [[nodiscard]] u64 tainted_bytes() const;
+
+ private:
+  using Page = std::array<Taint, kPageSize>;
+
+  [[nodiscard]] const Page* find_page(GuestAddr addr) const;
+  Page& touch_page(GuestAddr addr);
+
+  std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace ndroid::mem

@@ -1,0 +1,295 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ndroid::os {
+
+namespace {
+// Guest task_struct layout (offsets in bytes). The view reconstructor in
+// view_reconstructor.cc mirrors these constants; they are the "kernel
+// symbols" a VMI tool would derive from the kernel image.
+constexpr u32 kTaskNext = 0x00;
+constexpr u32 kTaskPid = 0x04;
+constexpr u32 kTaskComm = 0x08;  // 16 bytes
+constexpr u32 kTaskMm = 0x18;
+constexpr u32 kTaskSize = 0x1C;
+
+constexpr u32 kVmaStart = 0x00;
+constexpr u32 kVmaEnd = 0x04;
+constexpr u32 kVmaNext = 0x08;
+constexpr u32 kVmaName = 0x0C;
+constexpr u32 kVmaSize = 0x10;
+}  // namespace
+
+Kernel::Kernel(mem::AddressSpace& memory, mem::MemoryMap& memmap)
+    : memory_(memory), memmap_(memmap) {
+  memmap_.add("[kernel]", kKernelBase, kKernelSize, mem::kRW);
+  memmap_.add("[heap]", 0x30000000, 0x4000000, mem::kRW);
+  heap_next_ = 0x30000000;
+  memory_.write32(kTaskRoot, 0);
+  kernel_bump_ = kKernelBase + 16;
+}
+
+void Kernel::attach(arm::Cpu& cpu) {
+  cpu.set_svc_handler(
+      [this](arm::Cpu& c, u32 imm) { handle_svc(c, imm); });
+}
+
+u32 Kernel::create_process(std::string name) {
+  const u32 pid = next_pid_++;
+  processes_.push_back(Process{pid, std::move(name), {}});
+  if (current_pid_ == 0) current_pid_ = pid;
+  sync_guest_structs();
+  return pid;
+}
+
+void Kernel::map_region(u32 pid, const mem::Region& region) {
+  for (Process& p : processes_) {
+    if (p.pid == pid) {
+      p.regions.push_back(region);
+      sync_guest_structs();
+      return;
+    }
+  }
+  throw GuestFault("map_region: no such pid " + std::to_string(pid));
+}
+
+void Kernel::refresh_proc_maps() {
+  // Renders /proc/<pid>/maps for each process (and /proc/self/maps for the
+  // current one) from the per-process region lists — the textual view tools
+  // and emulator-detection code read on real Android.
+  for (const Process& p : processes_) {
+    std::string text;
+    for (const mem::Region& r : p.regions) {
+      char line[128];
+      std::snprintf(line, sizeof line, "%08x-%08x %c%c%cp 00000000 %s\n",
+                    r.start, r.end,
+                    mem::has_perm(r.perms, mem::Perm::kRead) ? 'r' : '-',
+                    mem::has_perm(r.perms, mem::Perm::kWrite) ? 'w' : '-',
+                    mem::has_perm(r.perms, mem::Perm::kExec) ? 'x' : '-',
+                    r.name.c_str());
+      text += line;
+    }
+    const std::vector<u8> bytes(text.begin(), text.end());
+    vfs_.create("/proc/" + std::to_string(p.pid) + "/maps", bytes);
+    if (p.pid == current_pid_) {
+      vfs_.create("/proc/self/maps", bytes);
+    }
+  }
+}
+
+void Kernel::sync_guest_structs() {
+  // Rebuild the whole linked structure with a fresh bump allocation pass;
+  // simple and deterministic, and forces the reconstructor to re-parse.
+  kernel_bump_ = kKernelBase + 16;
+  auto alloc = [&](u32 size) {
+    const GuestAddr addr = kernel_bump_;
+    kernel_bump_ += (size + 3) & ~3u;
+    if (kernel_bump_ > kKernelBase + kKernelSize) {
+      throw GuestFault("kernel struct area exhausted");
+    }
+    return addr;
+  };
+  auto alloc_cstr = [&](const std::string& s) {
+    const GuestAddr addr = alloc(static_cast<u32>(s.size()) + 1);
+    memory_.write_cstr(addr, s);
+    return addr;
+  };
+
+  GuestAddr prev_link = kTaskRoot;
+  for (const Process& p : processes_) {
+    const GuestAddr task = alloc(kTaskSize);
+    memory_.write32(prev_link, task);
+    memory_.write32(task + kTaskNext, 0);
+    memory_.write32(task + kTaskPid, p.pid);
+    std::string comm = p.name.substr(0, 15);
+    for (u32 i = 0; i < 16; ++i) {
+      memory_.write8(task + kTaskComm + i,
+                     i < comm.size() ? static_cast<u8>(comm[i]) : 0);
+    }
+    GuestAddr mm_link = task + kTaskMm;
+    memory_.write32(mm_link, 0);
+    for (const mem::Region& r : p.regions) {
+      const GuestAddr vma = alloc(kVmaSize);
+      memory_.write32(mm_link, vma);
+      memory_.write32(vma + kVmaStart, r.start);
+      memory_.write32(vma + kVmaEnd, r.end);
+      memory_.write32(vma + kVmaNext, 0);
+      memory_.write32(vma + kVmaName, alloc_cstr(r.name));
+      mm_link = vma + kVmaNext;
+    }
+    prev_link = task + kTaskNext;
+  }
+  refresh_proc_maps();
+}
+
+int Kernel::open_file(const std::string& path, u32 flags) {
+  if (flags == kOpenRead && !vfs_.exists(path)) return -1;
+  const int fd = next_fd_++;
+  FdEntry entry;
+  entry.kind = FdEntry::Kind::kFile;
+  entry.path = path;
+  entry.pos = flags == kOpenAppend ? vfs_.size(path) : 0;
+  if (flags == kOpenWrite) vfs_.create(path);
+  fds_[fd] = std::move(entry);
+  return fd;
+}
+
+int Kernel::open_socket() {
+  const int fd = next_fd_++;
+  FdEntry entry;
+  entry.kind = FdEntry::Kind::kSocket;
+  entry.socket_id = network_.create_socket();
+  fds_[fd] = std::move(entry);
+  return fd;
+}
+
+void Kernel::close_fd(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if (it->second.kind == FdEntry::Kind::kSocket) {
+    network_.close(it->second.socket_id);
+  }
+  fds_.erase(it);
+}
+
+u32 Kernel::write_fd(int fd, std::span<const u8> data) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return 0;
+  FdEntry& e = it->second;
+  if (e.kind == FdEntry::Kind::kSocket) {
+    network_.send(e.socket_id, data);
+  } else {
+    vfs_.write_at(e.path, e.pos, data);
+    e.pos += data.size();
+  }
+  return static_cast<u32>(data.size());
+}
+
+u32 Kernel::read_fd(int fd, std::span<u8> out) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return 0;
+  FdEntry& e = it->second;
+  if (e.kind == FdEntry::Kind::kSocket) {
+    return network_.recv(e.socket_id, out);
+  }
+  const u32 n = vfs_.read_at(e.path, e.pos, out);
+  e.pos += n;
+  return n;
+}
+
+const FdEntry* Kernel::fd_entry(int fd) const {
+  auto it = fds_.find(fd);
+  return it == fds_.end() ? nullptr : &it->second;
+}
+
+GuestAddr Kernel::mmap_anonymous(u32 len) {
+  const GuestAddr addr = heap_next_;
+  heap_next_ += (len + 0xFFFu) & ~0xFFFu;
+  if (heap_next_ > 0x34000000) throw GuestFault("guest heap exhausted");
+  return addr;
+}
+
+void Kernel::handle_svc(arm::Cpu& cpu, u32 svc_imm) {
+  auto& regs = cpu.state().regs;
+  const u32 number = svc_imm != 0 ? svc_imm : regs[7];
+  std::array<u32, 6> args{regs[0], regs[1], regs[2],
+                          regs[3], regs[4], regs[5]};
+  const u32 result = do_syscall(cpu, static_cast<Sys>(number), args);
+  regs[0] = result;
+  if (syscall_observer_) {
+    syscall_observer_(SyscallEvent{static_cast<Sys>(number), args, result});
+  }
+}
+
+u32 Kernel::do_syscall(arm::Cpu& cpu, Sys number,
+                       const std::array<u32, 6>& args) {
+  switch (number) {
+    case Sys::kExit:
+      exited_ = true;
+      exit_code_ = args[0];
+      cpu.state().set_pc(arm::kHostReturnAddr);
+      return args[0];
+
+    case Sys::kRead: {
+      std::vector<u8> buf(args[2]);
+      const u32 n = read_fd(static_cast<int>(args[0]), buf);
+      memory_.write_bytes(args[1], std::span<const u8>(buf.data(), n));
+      return n;
+    }
+
+    case Sys::kWrite: {
+      std::vector<u8> buf(args[2]);
+      memory_.read_bytes(args[1], buf);
+      return write_fd(static_cast<int>(args[0]), buf);
+    }
+
+    case Sys::kOpen:
+      return static_cast<u32>(
+          open_file(memory_.read_cstr(args[0]), args[1]));
+
+    case Sys::kClose:
+      close_fd(static_cast<int>(args[0]));
+      return 0;
+
+    case Sys::kUnlink:
+      vfs_.remove(memory_.read_cstr(args[0]));
+      return 0;
+
+    case Sys::kGetpid:
+      return current_pid_;
+
+    case Sys::kMkdir:
+      return 0;  // directories are implicit in the VFS
+
+    case Sys::kMmap:
+      return mmap_anonymous(args[1]);
+
+    case Sys::kMunmap:
+      return 0;
+
+    case Sys::kSocket:
+      return static_cast<u32>(open_socket());
+
+    case Sys::kConnect: {
+      const FdEntry* e = fd_entry(static_cast<int>(args[0]));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -1u;
+      network_.connect(e->socket_id, memory_.read_cstr(args[1]),
+                       static_cast<u16>(args[2]));
+      return 0;
+    }
+
+    case Sys::kSend: {
+      const FdEntry* e = fd_entry(static_cast<int>(args[0]));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -1u;
+      std::vector<u8> buf(args[2]);
+      memory_.read_bytes(args[1], buf);
+      network_.send(e->socket_id, buf);
+      return args[2];
+    }
+
+    case Sys::kSendto: {
+      const FdEntry* e = fd_entry(static_cast<int>(args[0]));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -1u;
+      std::vector<u8> buf(args[2]);
+      memory_.read_bytes(args[1], buf);
+      network_.sendto(e->socket_id, memory_.read_cstr(args[3]),
+                      static_cast<u16>(args[4]), buf);
+      return args[2];
+    }
+
+    case Sys::kRecv: {
+      const FdEntry* e = fd_entry(static_cast<int>(args[0]));
+      if (e == nullptr || e->kind != FdEntry::Kind::kSocket) return -1u;
+      std::vector<u8> buf(args[2]);
+      const u32 n = network_.recv(e->socket_id, buf);
+      memory_.write_bytes(args[1], std::span<const u8>(buf.data(), n));
+      return n;
+    }
+  }
+  throw GuestFault("unimplemented syscall " +
+                   std::to_string(static_cast<u32>(number)));
+}
+
+}  // namespace ndroid::os

@@ -1,0 +1,77 @@
+#include "os/network.h"
+
+#include <algorithm>
+
+namespace ndroid::os {
+
+int Network::create_socket() {
+  const int id = static_cast<int>(sockets_.size());
+  sockets_.push_back(Socket{id, false, {}, 0});
+  return id;
+}
+
+Socket& Network::socket_mut(int socket_id) {
+  if (socket_id < 0 || socket_id >= static_cast<int>(sockets_.size())) {
+    throw GuestFault("bad socket id " + std::to_string(socket_id));
+  }
+  return sockets_[static_cast<std::size_t>(socket_id)];
+}
+
+const Socket& Network::socket(int socket_id) const {
+  return const_cast<Network*>(this)->socket_mut(socket_id);
+}
+
+void Network::connect(int socket_id, std::string host, u16 port) {
+  Socket& s = socket_mut(socket_id);
+  s.connected = true;
+  s.remote_host = std::move(host);
+  s.remote_port = port;
+}
+
+void Network::close(int socket_id) {
+  Socket& s = socket_mut(socket_id);
+  s.connected = false;
+}
+
+void Network::send(int socket_id, std::span<const u8> payload) {
+  const Socket& s = socket_mut(socket_id);
+  if (!s.connected) throw GuestFault("send on unconnected socket");
+  packets_.push_back(Packet{socket_id, s.remote_host, s.remote_port,
+                            {payload.begin(), payload.end()}});
+}
+
+void Network::sendto(int socket_id, std::string host, u16 port,
+                     std::span<const u8> payload) {
+  socket_mut(socket_id);  // validate
+  packets_.push_back(Packet{socket_id, std::move(host), port,
+                            {payload.begin(), payload.end()}});
+}
+
+void Network::queue_recv(int socket_id, std::vector<u8> data) {
+  recv_queue_.emplace_back(socket_id, std::move(data));
+}
+
+u32 Network::recv(int socket_id, std::span<u8> out) {
+  for (auto it = recv_queue_.begin(); it != recv_queue_.end(); ++it) {
+    if (it->first != socket_id) continue;
+    const u32 n = static_cast<u32>(std::min(out.size(), it->second.size()));
+    std::copy_n(it->second.begin(), n, out.begin());
+    if (n == it->second.size()) {
+      recv_queue_.erase(it);
+    } else {
+      it->second.erase(it->second.begin(), it->second.begin() + n);
+    }
+    return n;
+  }
+  return 0;
+}
+
+std::string Network::bytes_sent_to(const std::string& host) const {
+  std::string out;
+  for (const Packet& p : packets_) {
+    if (p.dest_host == host) out += p.payload_str();
+  }
+  return out;
+}
+
+}  // namespace ndroid::os

@@ -1,0 +1,67 @@
+// Simulated network stack: connection tracking plus full packet capture.
+//
+// Outbound traffic is the paper's primary sink (Table VII: send*, sendto*):
+// QQPhoneBook posts login data to sync.3g.qq.com, ePhone SIP-registers
+// contacts to softphone.comwave.net (paper §VI-A/B). Captured packets are
+// the ground-truth leak evidence experiments check against.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::os {
+
+struct Socket {
+  int id = -1;
+  bool connected = false;
+  std::string remote_host;
+  u16 remote_port = 0;
+};
+
+struct Packet {
+  int socket_id = -1;
+  std::string dest_host;
+  u16 dest_port = 0;
+  std::vector<u8> payload;
+
+  [[nodiscard]] std::string payload_str() const {
+    return {reinterpret_cast<const char*>(payload.data()), payload.size()};
+  }
+};
+
+class Network {
+ public:
+  int create_socket();
+  void connect(int socket_id, std::string host, u16 port);
+  void close(int socket_id);
+
+  /// Records an outbound packet on a connected socket.
+  void send(int socket_id, std::span<const u8> payload);
+
+  /// Records an outbound packet with an explicit destination (UDP sendto).
+  void sendto(int socket_id, std::string host, u16 port,
+              std::span<const u8> payload);
+
+  /// Simulated inbound data (tests inject responses here).
+  void queue_recv(int socket_id, std::vector<u8> data);
+  u32 recv(int socket_id, std::span<u8> out);
+
+  [[nodiscard]] const Socket& socket(int socket_id) const;
+  [[nodiscard]] const std::vector<Packet>& packets() const { return packets_; }
+  void clear_packets() { packets_.clear(); }
+
+  /// All bytes ever sent to `host`, concatenated (leak-evidence queries).
+  [[nodiscard]] std::string bytes_sent_to(const std::string& host) const;
+
+ private:
+  Socket& socket_mut(int socket_id);
+
+  std::vector<Socket> sockets_;
+  std::vector<Packet> packets_;
+  std::vector<std::pair<int, std::vector<u8>>> recv_queue_;
+};
+
+}  // namespace ndroid::os

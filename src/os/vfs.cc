@@ -1,0 +1,56 @@
+#include "os/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ndroid::os {
+
+bool Vfs::exists(const std::string& path) const {
+  return files_.contains(path);
+}
+
+void Vfs::create(const std::string& path, std::vector<u8> content) {
+  files_[path] = std::move(content);
+}
+
+void Vfs::remove(const std::string& path) { files_.erase(path); }
+
+void Vfs::write_at(const std::string& path, u64 pos,
+                   std::span<const u8> data) {
+  auto& file = files_[path];
+  if (file.size() < pos + data.size()) file.resize(pos + data.size());
+  std::copy(data.begin(), data.end(), file.begin() + static_cast<i64>(pos));
+}
+
+u32 Vfs::read_at(const std::string& path, u64 pos, std::span<u8> out) const {
+  auto it = files_.find(path);
+  if (it == files_.end() || pos >= it->second.size()) return 0;
+  const u64 n = std::min<u64>(out.size(), it->second.size() - pos);
+  std::memcpy(out.data(), it->second.data() + pos, n);
+  return static_cast<u32>(n);
+}
+
+u64 Vfs::size(const std::string& path) const {
+  auto it = files_.find(path);
+  return it == files_.end() ? 0 : it->second.size();
+}
+
+const std::vector<u8>& Vfs::content(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) throw GuestFault("no such file: " + path);
+  return it->second;
+}
+
+std::string Vfs::content_str(const std::string& path) const {
+  const auto& bytes = content(path);
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::vector<std::string> Vfs::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, content] : files_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ndroid::os

@@ -1,0 +1,42 @@
+// In-memory virtual filesystem (the guest's /sdcard, /data, /proc...).
+//
+// File writes are the paper's non-network sink class (Table VII: fwrite*,
+// fputc*, fputs*, write*): the PoC of case 2 leaks contacts into
+// /sdcard/CONTACTS via fprintf (paper Fig. 8). Every write is retained so
+// experiments can present the leaked bytes as evidence.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::os {
+
+class Vfs {
+ public:
+  [[nodiscard]] bool exists(const std::string& path) const;
+
+  void create(const std::string& path, std::vector<u8> content = {});
+  void remove(const std::string& path);
+
+  /// Appends at `pos`, growing the file as needed. Creates on first write.
+  void write_at(const std::string& path, u64 pos, std::span<const u8> data);
+
+  /// Returns bytes actually read (0 at/after EOF).
+  u32 read_at(const std::string& path, u64 pos, std::span<u8> out) const;
+
+  [[nodiscard]] u64 size(const std::string& path) const;
+  [[nodiscard]] const std::vector<u8>& content(const std::string& path) const;
+  [[nodiscard]] std::string content_str(const std::string& path) const;
+
+  [[nodiscard]] std::vector<std::string> list() const;
+
+ private:
+  std::map<std::string, std::vector<u8>> files_;
+};
+
+}  // namespace ndroid::os

@@ -1,0 +1,51 @@
+// OS-level view reconstructor (paper §V-F).
+//
+// "Motivated by DroidScope, NDroid employs virtual machine introspection to
+// collect the information of processes and memory maps in Android's Linux
+// kernel" — i.e. it rebuilds the OS view purely from guest memory, without
+// asking the (possibly compromised) guest OS. This class walks the guest
+// task list and per-process VMA chains starting from the init_task root
+// pointer; it deliberately has no access to the Kernel object's host state.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mem/address_space.h"
+
+namespace ndroid::os {
+
+struct RegionView {
+  GuestAddr start = 0;
+  GuestAddr end = 0;
+  std::string name;
+};
+
+struct ProcessView {
+  u32 pid = 0;
+  std::string name;
+  std::vector<RegionView> regions;
+
+  [[nodiscard]] const RegionView* find_module(std::string_view module) const;
+  [[nodiscard]] std::string module_of(GuestAddr addr) const;
+};
+
+class ViewReconstructor {
+ public:
+  /// `task_root` is the guest address of the init_task pointer
+  /// (Kernel::kTaskRoot in this reproduction; a kernel symbol in the paper).
+  explicit ViewReconstructor(const mem::AddressSpace& memory,
+                             GuestAddr task_root);
+
+  /// Parses guest memory and returns the current process list.
+  [[nodiscard]] std::vector<ProcessView> reconstruct() const;
+
+  [[nodiscard]] const ProcessView* find_process(
+      const std::vector<ProcessView>& views, std::string_view name) const;
+
+ private:
+  const mem::AddressSpace& memory_;
+  GuestAddr task_root_;
+};
+
+}  // namespace ndroid::os

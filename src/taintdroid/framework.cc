@@ -1,0 +1,174 @@
+#include "taintdroid/framework.h"
+
+namespace ndroid::taintdroid {
+
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Slot;
+
+Framework::Framework(dvm::Dvm& dvm, os::Kernel& kernel,
+                     DeviceIdentity identity)
+    : dvm_(dvm), kernel_(kernel), identity_(std::move(identity)) {
+  define_sources();
+  define_sinks();
+  define_string_ops();
+}
+
+Slot Framework::make_source_string(const std::string& value, Taint taint) {
+  dvm::Object* s = dvm_.new_string(value);
+  dvm_.heap().set_object_taint(*s, taint);
+  return Slot{s->addr(), taint};
+}
+
+Taint Framework::visible_taint(const Slot& slot) {
+  Taint t = slot.taint;
+  if (dvm::Object* obj = dvm_.heap().object_at(slot.value)) {
+    t |= dvm_.heap().object_taint(*obj);
+  }
+  return t;
+}
+
+void Framework::define_sources() {
+  telephony = dvm_.define_class("Landroid/telephony/TelephonyManager;");
+  auto src = [this](dvm::ClassObject* cls, const char* name,
+                    std::string DeviceIdentity::* field, Taint taint) {
+    dvm_.define_builtin(cls, name, "L", kAccPublic | kAccStatic,
+                        [this, field, taint](dvm::Dvm&, std::vector<Slot>&) {
+                          return make_source_string(identity_.*field, taint);
+                        });
+  };
+  src(telephony, "getDeviceId", &DeviceIdentity::imei, kTaintImei);
+  src(telephony, "getSubscriberId", &DeviceIdentity::imsi, kTaintImsi);
+  src(telephony, "getLine1Number", &DeviceIdentity::line1_number,
+      kTaintPhoneNumber);
+  src(telephony, "getNetworkOperator", &DeviceIdentity::network_operator,
+      kTaintImsi);
+  src(telephony, "getSimSerialNumber", &DeviceIdentity::sim_serial,
+      kTaintIccid);
+
+  sms_manager = dvm_.define_class("Landroid/telephony/SmsManager;");
+  src(sms_manager, "getAllMessages", &DeviceIdentity::sms, kTaintSms);
+
+  contacts = dvm_.define_class("Landroid/provider/ContactsContract;");
+  src(contacts, "queryContacts", &DeviceIdentity::contacts, kTaintContacts);
+  // Individual contact columns, as queried by the PoC of case 2 (Fig. 8).
+  auto literal_src = [this](dvm::ClassObject* cls, const char* name,
+                            std::string value, Taint taint) {
+    dvm_.define_builtin(cls, name, "L", kAccPublic | kAccStatic,
+                        [this, value, taint](dvm::Dvm&, std::vector<Slot>&) {
+                          return make_source_string(value, taint);
+                        });
+  };
+  literal_src(contacts, "getContactId", "1", kTaintContacts);
+  literal_src(contacts, "getContactName", "Vincent", kTaintContacts);
+  literal_src(contacts, "getContactEmail", "cx@gg.com", kTaintContacts);
+
+  location = dvm_.define_class("Landroid/location/LocationManager;");
+  src(location, "getLastKnownLocation", &DeviceIdentity::location,
+      kTaintLocation | kTaintLocationGps);
+}
+
+void Framework::define_sinks() {
+  // NetworkOutput.send(host, data): opens a socket, sends `data`, and lets
+  // TaintDroid check the argument taints (its Java-context sink).
+  network = dvm_.define_class("Ljava/net/NetworkOutput;");
+  dvm_.define_builtin(
+      network, "send", "VLL", kAccPublic | kAccStatic,
+      [this](dvm::Dvm& dvm, std::vector<Slot>& args) {
+        dvm::Object* host = dvm.heap().object_at(args[0].value);
+        dvm::Object* data = dvm.heap().object_at(args[1].value);
+        if (host == nullptr || data == nullptr) {
+          throw GuestFault("NetworkOutput.send: null argument");
+        }
+        const std::string host_s = dvm.heap().read_string(*host);
+        const std::string data_s = dvm.heap().read_string(*data);
+        const int fd = kernel_.open_socket();
+        const auto* entry = kernel_.fd_entry(fd);
+        kernel_.network().connect(entry->socket_id, host_s, 80);
+        kernel_.network().send(
+            entry->socket_id,
+            {reinterpret_cast<const u8*>(data_s.data()), data_s.size()});
+        kernel_.close_fd(fd);
+        if (dvm.policy().propagate_java) {
+          const Taint t = visible_taint(args[1]);
+          if (t != kTaintClear) {
+            leaks_.push_back(
+                LeakReport{"OutputStream.write", host_s, t, data_s});
+          }
+        }
+        return Slot{};
+      });
+
+  // FileOutput.write(path, data): file sink.
+  file_output = dvm_.define_class("Ljava/io/FileOutput;");
+  dvm_.define_builtin(
+      file_output, "write", "VLL", kAccPublic | kAccStatic,
+      [this](dvm::Dvm& dvm, std::vector<Slot>& args) {
+        dvm::Object* path = dvm.heap().object_at(args[0].value);
+        dvm::Object* data = dvm.heap().object_at(args[1].value);
+        if (path == nullptr || data == nullptr) {
+          throw GuestFault("FileOutput.write: null argument");
+        }
+        const std::string path_s = dvm.heap().read_string(*path);
+        const std::string data_s = dvm.heap().read_string(*data);
+        kernel_.vfs().write_at(
+            path_s, kernel_.vfs().size(path_s),
+            {reinterpret_cast<const u8*>(data_s.data()), data_s.size()});
+        if (dvm.policy().propagate_java) {
+          const Taint t = visible_taint(args[1]);
+          if (t != kTaintClear) {
+            leaks_.push_back(
+                LeakReport{"FileOutputStream.write", path_s, t, data_s});
+          }
+        }
+        return Slot{};
+      });
+}
+
+void Framework::define_string_ops() {
+  string_ops = dvm_.define_class("Ljava/lang/StringOps;");
+
+  // concat(a, b) -> new String; TaintDroid would propagate through
+  // String.concat's DVM bytecode — modeled here with explicit taint union.
+  dvm_.define_builtin(
+      string_ops, "concat", "LLL", kAccPublic | kAccStatic,
+      [this](dvm::Dvm& dvm, std::vector<Slot>& args) {
+        dvm::Object* a = dvm.heap().object_at(args[0].value);
+        dvm::Object* b = dvm.heap().object_at(args[1].value);
+        if (a == nullptr || b == nullptr) {
+          throw GuestFault("StringOps.concat: null argument");
+        }
+        const Taint t = visible_taint(args[0]) | visible_taint(args[1]);
+        dvm::Object* out = dvm.new_string(dvm.heap().read_string(*a) +
+                                          dvm.heap().read_string(*b));
+        if (dvm.policy().propagate_java) {
+          dvm.heap().set_object_taint(*out, t);
+        }
+        return Slot{out->addr(), dvm.policy().propagate_java ? t
+                                                             : kTaintClear};
+      });
+
+  dvm_.define_builtin(string_ops, "length", "IL", kAccPublic | kAccStatic,
+                      [this](dvm::Dvm& dvm, std::vector<Slot>& args) {
+                        dvm::Object* s = dvm.heap().object_at(args[0].value);
+                        if (s == nullptr) {
+                          throw GuestFault("StringOps.length: null argument");
+                        }
+                        const u32 len = static_cast<u32>(
+                            dvm.heap().read_string(*s).size());
+                        return Slot{len, visible_taint(args[0])};
+                      });
+
+  dvm_.define_builtin(
+      string_ops, "valueOf", "LI", kAccPublic | kAccStatic,
+      [](dvm::Dvm& dvm, std::vector<Slot>& args) {
+        dvm::Object* out = dvm.new_string(
+            std::to_string(static_cast<i32>(args[0].value)));
+        if (dvm.policy().propagate_java) {
+          dvm.heap().set_object_taint(*out, args[0].taint);
+        }
+        return Slot{out->addr(), args[0].taint};
+      });
+}
+
+}  // namespace ndroid::taintdroid

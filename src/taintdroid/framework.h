@@ -1,0 +1,86 @@
+// The Android application framework slice TaintDroid instruments:
+// taint sources (telephony, contacts, SMS, location) and taint sinks
+// (network output, file output) exposed to apps as framework classes with
+// built-in methods.
+//
+// Sources return freshly allocated String objects carrying both an
+// object-level taint label and a reference taint — TaintDroid's behaviour
+// after its framework instrumentation (paper §II-B: "TaintDroid adds taints
+// to the sources of sensitive information (GPS data, SMS messages, IMSI,
+// IMEI, etc.)").
+//
+// Sinks perform the real I/O through the kernel (so packets/files exist as
+// ground truth regardless of tainting) and additionally record a LeakReport
+// when TaintDroid's Java-context taint reaches them — this is TaintDroid's
+// detection verdict, compared against NDroid's in the Table I experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/taint_tags.h"
+#include "dvm/dvm.h"
+#include "os/kernel.h"
+
+namespace ndroid::taintdroid {
+
+struct LeakReport {
+  std::string sink;         // e.g. "OutputStream.write", "send"
+  std::string destination;  // host name or file path
+  Taint taint = kTaintClear;
+  std::string data;
+};
+
+/// Values the simulated device reports from its identity sources (defaults
+/// follow the strings visible in the paper's logs, Figs. 7-9).
+struct DeviceIdentity {
+  std::string imei = "354958031234567";
+  std::string imsi = "310260000000000";
+  std::string line1_number = "15555215554";
+  std::string network_operator = "310260";
+  std::string sim_serial = "89014103211118510720";
+  std::string contacts = "1|Vincent|cx@gg.com";
+  std::string sms = "sms:1:hello from vincent";
+  std::string location = "22.3364,114.2655";
+};
+
+class Framework {
+ public:
+  Framework(dvm::Dvm& dvm, os::Kernel& kernel,
+            DeviceIdentity identity = {});
+
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  [[nodiscard]] const DeviceIdentity& identity() const { return identity_; }
+
+  /// Leaks TaintDroid's Java-context sinks flagged.
+  [[nodiscard]] const std::vector<LeakReport>& leaks() const { return leaks_; }
+  void clear_leaks() { leaks_.clear(); }
+
+  // Framework classes (also discoverable via dvm.find_class).
+  dvm::ClassObject* telephony = nullptr;   // Landroid/telephony/TelephonyManager;
+  dvm::ClassObject* sms_manager = nullptr; // Landroid/telephony/SmsManager;
+  dvm::ClassObject* contacts = nullptr;    // Landroid/provider/ContactsContract;
+  dvm::ClassObject* location = nullptr;    // Landroid/location/LocationManager;
+  dvm::ClassObject* network = nullptr;     // Ljava/net/NetworkOutput;
+  dvm::ClassObject* file_output = nullptr; // Ljava/io/FileOutput;
+  dvm::ClassObject* string_ops = nullptr;  // Ljava/lang/StringOps;
+
+ private:
+  void define_sources();
+  void define_sinks();
+  void define_string_ops();
+
+  dvm::Slot make_source_string(const std::string& value, Taint taint);
+  /// Combined TaintDroid-visible taint of a string argument: reference slot
+  /// taint OR the object-level label.
+  Taint visible_taint(const dvm::Slot& slot);
+
+  dvm::Dvm& dvm_;
+  os::Kernel& kernel_;
+  DeviceIdentity identity_;
+  std::vector<LeakReport> leaks_;
+};
+
+}  // namespace ndroid::taintdroid

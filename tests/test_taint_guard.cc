@@ -1,0 +1,124 @@
+// §VII extension: taint protection against apps that manipulate the taint
+// tags or trusted code from native code.
+#include <gtest/gtest.h>
+
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+using android::Layout;
+
+NDroidConfig guarded() {
+  NDroidConfig cfg;
+  cfg.taint_protection = true;
+  return cfg;
+}
+
+/// Builds a native method that stores `value` to the absolute address
+/// `target` and returns.
+dvm::Method* build_poker(Device& device, GuestAddr target,
+                         const std::string& lib_name) {
+  apps::NativeLibBuilder lib(device, lib_name);
+  auto& a = lib.a();
+  using arm::R;
+  const GuestAddr fn = lib.fn();
+  a.mov_imm32(R(1), target);
+  a.mov_imm(R(0), 0);
+  a.str(R(0), R(1), 0);
+  a.ret();
+  lib.install();
+  dvm::ClassObject* cls = device.dvm.define_class("L" + lib_name + ";");
+  return device.dvm.define_native(cls, "poke", "V",
+                                  dvm::kAccPublic | dvm::kAccStatic, fn);
+}
+
+TEST(TaintGuard, FlagsDvmStackTampering) {
+  Device device;
+  NDroid nd(device, guarded());
+  // An evasive app overwrites a taint tag slot inside the DVM stack.
+  const GuestAddr slot = Layout::kDalvikStack + Layout::kDalvikStackSize - 4;
+  dvm::Method* poke = build_poker(device, slot, "evil_stack");
+  device.dvm.call(*poke, {});
+  ASSERT_NE(nd.guard(), nullptr);
+  ASSERT_EQ(nd.guard()->alerts().size(), 1u);
+  EXPECT_EQ(nd.guard()->alerts()[0].region, "[dalvik-stack]");
+  EXPECT_EQ(nd.guard()->alerts()[0].target, slot);
+  EXPECT_EQ(nd.guard()->alerts()[0].module, "evil_stack");
+}
+
+TEST(TaintGuard, FlagsTrustedFunctionModification) {
+  Device device;
+  NDroid nd(device, guarded());
+  dvm::Method* poke =
+      build_poker(device, device.dvm.sym("dvmCallJNIMethod"), "evil_dvm");
+  device.dvm.call(*poke, {});
+  ASSERT_EQ(nd.guard()->alerts().size(), 1u);
+  EXPECT_EQ(nd.guard()->alerts()[0].region, "libdvm.so");
+}
+
+TEST(TaintGuard, FlagsKernelStructTampering) {
+  Device device;
+  NDroid nd(device, guarded());
+  dvm::Method* poke =
+      build_poker(device, os::Kernel::kTaskRoot, "evil_kernel");
+  device.dvm.call(*poke, {});
+  ASSERT_EQ(nd.guard()->alerts().size(), 1u);
+  EXPECT_EQ(nd.guard()->alerts()[0].region, "[kernel]");
+}
+
+TEST(TaintGuard, BenignStoresNotFlagged) {
+  Device device;
+  NDroid nd(device, guarded());
+  // Stores into the app's own data are fine.
+  const GuestAddr own = device.libc.malloc_guest(16);
+  dvm::Method* poke = build_poker(device, own, "benign");
+  device.dvm.call(*poke, {});
+  EXPECT_TRUE(nd.guard()->alerts().empty());
+}
+
+TEST(TaintGuard, SystemWritesToDvmStackAreLegitimate) {
+  // The interpreter and the JNI bridge write the DVM stack constantly; the
+  // guard must only fire on third-party stores. Running an ordinary Java
+  // method must produce no alerts.
+  Device device;
+  NDroid nd(device, guarded());
+  dvm::ClassObject* cls = device.dvm.define_class("LOk;");
+  dvm::CodeBuilder cb;
+  cb.const_imm(0, 1).add(0, 0, 0).return_value(0);
+  dvm::Method* m = device.dvm.define_method(
+      cls, "f", "I", dvm::kAccPublic | dvm::kAccStatic, 1, cb.take());
+  device.dvm.call(*m, {});
+  EXPECT_TRUE(nd.guard()->alerts().empty());
+}
+
+TEST(TaintGuard, DisabledByDefault) {
+  Device device;
+  NDroid nd(device);
+  EXPECT_EQ(nd.guard(), nullptr);
+}
+
+TEST(TaintGuard, StmTamperingAlsoCaught) {
+  Device device;
+  NDroid nd(device, guarded());
+  apps::NativeLibBuilder lib(device, "evil_stm");
+  auto& a = lib.a();
+  using arm::R;
+  const GuestAddr fn = lib.fn();
+  a.mov_imm32(R(1), Layout::kDalvikStack + 0x100);
+  a.mov_imm(R(2), 0);
+  a.mov_imm(R(3), 0);
+  a.stm_ia(R(1), (1u << 2) | (1u << 3), /*writeback=*/false);
+  a.ret();
+  lib.install();
+  dvm::ClassObject* cls = device.dvm.define_class("Levil_stm;");
+  dvm::Method* m = device.dvm.define_native(
+      cls, "poke", "V", dvm::kAccPublic | dvm::kAccStatic, fn);
+  device.dvm.call(*m, {});
+  EXPECT_EQ(nd.guard()->alerts().size(), 2u);  // one per stored register
+}
+
+}  // namespace
+}  // namespace ndroid::core

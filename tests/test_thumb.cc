@@ -1,0 +1,208 @@
+// Thumb-16 decode + execution, including ARM<->Thumb interworking — the
+// paper's tracer must follow both instruction sets (§V-C).
+#include <gtest/gtest.h>
+
+#include "arm/assembler.h"
+#include "arm/cpu.h"
+#include "arm/thumb_assembler.h"
+
+namespace ndroid::arm {
+namespace {
+
+class ThumbFixture : public ::testing::Test {
+ protected:
+  static constexpr GuestAddr kCode = 0x10000;
+  static constexpr GuestAddr kData = 0x20000;
+
+  ThumbFixture() : cpu_(mem_, map_) {
+    map_.add("code", kCode, 0x4000, mem::kRX);
+    map_.add("data", kData, 0x4000, mem::kRW);
+    map_.add("[stack]", 0x70000, 0x10000, mem::kRW);
+    cpu_.set_initial_sp(0x80000);
+  }
+
+  /// Runs Thumb code as a function (entry address has the Thumb bit set).
+  u32 run(ThumbAssembler& a, const std::vector<u32>& args = {}) {
+    const auto code = a.finish();
+    mem_.write_bytes(kCode, code);
+    return cpu_.call_function(kCode | 1, args);
+  }
+
+  mem::AddressSpace mem_;
+  mem::MemoryMap map_;
+  Cpu cpu_;
+};
+
+TEST(ThumbDecoder, BasicForms) {
+  // movs r1, #42
+  Insn insn = decode_thumb(0x2100 | 42, 0);
+  EXPECT_EQ(insn.op, Op::kMov);
+  EXPECT_TRUE(insn.imm_operand);
+  EXPECT_EQ(insn.rd, 1);
+  EXPECT_EQ(insn.imm, 42u);
+  EXPECT_EQ(insn.length, 2);
+
+  // adds r0, r1, r2
+  insn = decode_thumb(0x1888, 0);
+  EXPECT_EQ(insn.op, Op::kAdd);
+  EXPECT_EQ(insn.rd, 0);
+  EXPECT_EQ(insn.rn, 1);
+  EXPECT_EQ(insn.rm, 2);
+  EXPECT_TRUE(insn.set_flags);
+
+  // bx lr
+  insn = decode_thumb(0x4770, 0);
+  EXPECT_EQ(insn.op, Op::kBx);
+  EXPECT_EQ(insn.rm, 14);
+
+  // push {r4, lr}
+  insn = decode_thumb(0xB510, 0);
+  EXPECT_EQ(insn.op, Op::kStm);
+  EXPECT_EQ(insn.reglist, (1u << 4) | (1u << 14));
+
+  // pop {r4, pc}
+  insn = decode_thumb(0xBD10, 0);
+  EXPECT_EQ(insn.op, Op::kLdm);
+  EXPECT_EQ(insn.reglist, (1u << 4) | (1u << 15));
+}
+
+TEST(ThumbDecoder, BlPairConsumesFourBytes) {
+  // bl with offset 0x100: first = 0xF000, second = 0xF800 | 0x80
+  const Insn insn = decode_thumb(0xF000, 0xF880);
+  EXPECT_EQ(insn.op, Op::kBl);
+  EXPECT_EQ(insn.length, 4);
+  EXPECT_EQ(insn.branch_offset, 0x100);
+}
+
+TEST(ThumbDecoder, NegativeBranchOffset) {
+  // b with offset -4: imm11 = (-4 >> 1) & 0x7FF = 0x7FE
+  const Insn insn = decode_thumb(0xE000 | 0x7FE, 0);
+  EXPECT_EQ(insn.op, Op::kB);
+  EXPECT_EQ(insn.branch_offset, -4);
+}
+
+TEST_F(ThumbFixture, AddFunction) {
+  ThumbAssembler a(kCode);
+  a.adds(R(0), R(0), R(1));
+  a.bx(LR);
+  EXPECT_EQ(run(a, {40, 2}), 42u);
+}
+
+TEST_F(ThumbFixture, LoopSum) {
+  ThumbAssembler a(kCode);
+  a.movs_imm(R(1), 0);
+  ThumbLabel loop, done;
+  a.bind(loop);
+  a.cmp_imm(R(0), 0);
+  a.b(done, Cond::kEQ);
+  a.adds(R(1), R(1), R(0));
+  a.subs_imm8(R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(R(0), R(1));
+  a.bx(LR);
+  EXPECT_EQ(run(a, {10}), 55u);
+}
+
+TEST_F(ThumbFixture, LoadStore) {
+  ThumbAssembler a(kCode);
+  a.load_imm32(R(1), kData);
+  a.str(R(0), R(1), 0);
+  a.ldrb(R(2), R(1), 0);
+  a.ldrh(R(3), R(1), 0);
+  a.adds(R(0), R(2), R(3));
+  a.bx(LR);
+  EXPECT_EQ(run(a, {0x0000F0F1}), 0xF0F1u + 0xF1u);
+}
+
+TEST_F(ThumbFixture, PushPopFrame) {
+  ThumbAssembler a(kCode);
+  a.push({R(4), LR});
+  a.movs_imm(R(4), 9);
+  a.lsls(R(4), R(4), 2);
+  a.mov(R(0), R(4));
+  a.pop({R(4), PC});
+  EXPECT_EQ(run(a), 36u);
+}
+
+TEST_F(ThumbFixture, BlCallsLocalFunction) {
+  ThumbAssembler a(kCode);
+  ThumbLabel helper;
+  a.push({LR});
+  a.bl(helper);
+  a.adds_imm8(R(0), 1);
+  a.pop({PC});
+  a.bind(helper);
+  a.movs_imm(R(0), 41);
+  a.bx(LR);
+  EXPECT_EQ(run(a), 42u);
+}
+
+TEST_F(ThumbFixture, MulAndLogic) {
+  ThumbAssembler a(kCode);
+  a.muls(R(0), R(1));   // r0 *= r1
+  a.movs_imm(R(2), 0x0F);
+  a.ands(R(0), R(2));
+  a.bx(LR);
+  EXPECT_EQ(run(a, {6, 7}), 42u & 0xF);
+}
+
+TEST_F(ThumbFixture, SignExtension) {
+  ThumbAssembler a(kCode);
+  a.sxtb(R(0), R(0));
+  a.bx(LR);
+  EXPECT_EQ(run(a, {0x80}), 0xFFFFFF80u);
+
+  ThumbAssembler b(kCode);
+  b.uxth(R(0), R(0));
+  b.bx(LR);
+  EXPECT_EQ(run(b, {0xABCD1234}), 0x1234u);
+}
+
+TEST_F(ThumbFixture, InterworkingArmCallsThumb) {
+  // ARM function at kCode calls a Thumb function at kCode+0x100 via blx.
+  ThumbAssembler t(kCode + 0x100);
+  t.adds(R(0), R(0), R(0));
+  t.bx(LR);
+  const auto tcode = t.finish();
+  mem_.write_bytes(kCode + 0x100, tcode);
+
+  Assembler a(kCode);
+  a.push({LR});
+  a.call((kCode + 0x100) | 1);  // Thumb entry
+  a.add_imm(R(0), R(0), 2);
+  a.pop({PC});
+  const auto acode = a.finish();
+  mem_.write_bytes(kCode, acode);
+  EXPECT_EQ(cpu_.call_function(kCode, {20}), 42u);
+}
+
+TEST_F(ThumbFixture, InterworkingThumbCallsArm) {
+  Assembler arm_fn(kCode + 0x200);
+  arm_fn.mul(R(0), R(0), R(0));
+  arm_fn.ret();
+  const auto acode = arm_fn.finish();
+  mem_.write_bytes(kCode + 0x200, acode);
+
+  ThumbAssembler t(kCode);
+  t.push({LR});
+  t.call(kCode + 0x200);  // ARM entry (bit 0 clear)
+  t.adds_imm8(R(0), 6);
+  t.pop({PC});
+  EXPECT_EQ(run(t, {6}), 42u);
+}
+
+TEST_F(ThumbFixture, SpRelativeAccess) {
+  ThumbAssembler a(kCode);
+  a.sub_sp(8);
+  a.str_sp(R(0), 0);
+  a.movs_imm(R(0), 0);
+  a.ldr_sp(R(0), 4);  // untouched slot reads back 0
+  a.ldr_sp(R(0), 0);
+  a.add_sp(8);
+  a.bx(LR);
+  EXPECT_EQ(run(a, {77}), 77u);
+}
+
+}  // namespace
+}  // namespace ndroid::arm

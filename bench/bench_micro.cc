@@ -16,16 +16,43 @@ struct Env {
   Env() : device("bench"), bench(device) {}
 };
 
+constexpr u64 kMipsInsnsPerIter = 1000 * 11;  // ~insns per bench.run(w, 1000)
+
+void report_native_mips(benchmark::State& state, const arm::Cpu& cpu) {
+  state.SetItemsProcessed(state.iterations() * kMipsInsnsPerIter);
+  const core::PerfCounters perf = core::collect_perf(cpu);
+  state.counters["tb_hit_rate"] = perf.tb_hit_rate();
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kMipsInsnsPerIter),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+/// Taint-free native loop, translation-block engine (the default).
 void BM_EmulatorNativeMips(benchmark::State& state) {
   Env env;
   const auto* w = env.bench.find("Native MIPS");
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.bench.run(*w, 1000));
   }
-  state.SetItemsProcessed(state.iterations() * 1000 * 11);  // ~insns/iter
+  report_native_mips(state, env.device.cpu);
 }
 BENCHMARK(BM_EmulatorNativeMips);
 
+/// Taint-free native loop on the seed interpretive path (ablation
+/// `use_tb_cache=false`): the pre-PR baseline for the emulator itself.
+void BM_EmulatorNativeMipsInterp(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_use_tb_cache(false);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsInterp);
+
+/// Taint-free native loop with NDroid attached, TB engine: the block gate
+/// sees no live taint and skips all per-instruction work (fast path).
 void BM_EmulatorNativeMipsTraced(benchmark::State& state) {
   Env env;
   core::NDroid nd(env.device);
@@ -33,9 +60,41 @@ void BM_EmulatorNativeMipsTraced(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(env.bench.run(*w, 1000));
   }
-  state.SetItemsProcessed(state.iterations() * 1000 * 11);
+  report_native_mips(state, env.device.cpu);
 }
 BENCHMARK(BM_EmulatorNativeMipsTraced);
+
+/// NDroid attached on the seed interpretive path: every instruction is
+/// hooked and classified — the pre-PR traced baseline. The acceptance
+/// target is BM_EmulatorNativeMipsTraced >= 3x faster than this.
+void BM_EmulatorNativeMipsTracedInterp(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_use_tb_cache(false);
+  core::NDroid nd(env.device);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTracedInterp);
+
+/// NDroid + TB engine with live register taint: the liveness gate cannot
+/// skip any in-scope block, so this measures per-instruction tracing cost
+/// (Table V classification + propagation) on the TB engine.
+void BM_EmulatorNativeMipsTracedTainted(benchmark::State& state) {
+  Env env;
+  core::NDroid nd(env.device);
+  // Taint a callee-saved register the loop never writes: register liveness
+  // stays non-zero forever and every block takes the traced path.
+  nd.taint_engine().set_reg(4, 0x2);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTracedTainted);
 
 void BM_InterpreterJavaMips(benchmark::State& state) {
   Env env;

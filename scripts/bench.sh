@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the performance suite and writes machine-readable results:
+#   BENCH_micro.json   — google-benchmark JSON from bench_micro (ns/insn,
+#                        insns/sec, TB hit rate per benchmark)
+#   BENCH_cfbench.json — Fig. 10 CF-Bench slowdowns + shape checks
+#
+# Usage: scripts/bench.sh [build-dir]   (default: ./build)
+#
+# The acceptance ratio for the PR is BM_EmulatorNativeMips vs
+# BM_EmulatorNativeMipsInterp (taint-free native loop, TB cache on vs the
+# seed interpreter): >= 3x. Compare items_per_second in BENCH_micro.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
+  echo "error: $BUILD_DIR/bench/bench_micro not built" >&2
+  echo "build first: cmake -S . -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# The bundled google-benchmark predates the "0.3s" suffix syntax.
+"$BUILD_DIR/bench/bench_micro" \
+  --benchmark_min_time=0.3 \
+  --benchmark_format=json \
+  --benchmark_out=BENCH_micro.json \
+  --benchmark_out_format=json
+
+# 9 reps: the shape checks compare wall-clock medians, which need headroom
+# against scheduler noise (EXPERIMENTS.md records this 9-rep median).
+"$BUILD_DIR/bench/bench_fig10_cfbench" 9 --json BENCH_cfbench.json
+
+echo
+echo "wrote BENCH_micro.json and BENCH_cfbench.json"

@@ -4,28 +4,95 @@
 
 namespace ndroid::arm {
 
-int Cpu::add_insn_hook(InsnHook hook) {
+namespace {
+
+/// True when `insn` may write the PC (or otherwise leave the straight-line
+/// path): such instructions terminate a translation block. Conservative —
+/// misclassifying towards "ends" only shortens blocks, never breaks them.
+bool ends_block(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlxReg:
+    case Op::kSvc:
+    case Op::kUndefined:
+      return true;
+    case Op::kLdm:
+    case Op::kStm:
+      return ((insn.reglist >> kRegPC) & 1) != 0 ||
+             (insn.writeback && insn.rn == kRegPC);
+    case Op::kStr:
+    case Op::kStrb:
+    case Op::kStrh:
+      return insn.writeback && insn.rn == kRegPC;
+    default:
+      return insn.rd == kRegPC || (insn.writeback && insn.rn == kRegPC);
+  }
+}
+
+}  // namespace
+
+Cpu::Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
+    : memory_(memory), memmap_(memmap) {
+  // Self-modifying-code safety: any write into a page holding cached code
+  // (guest store or host-side image load) kills the blocks it intersects.
+  memory_.set_write_watch(
+      tb_cache_.code_page_bitmap(),
+      [this](GuestAddr addr, u32 len) { tb_cache_.invalidate_range(addr, len); });
+}
+
+Cpu::~Cpu() { memory_.set_write_watch(nullptr, {}); }
+
+int Cpu::add_insn_hook(InsnHook hook, bool gated) {
   const int id = next_hook_id_++;
-  insn_hooks_.emplace_back(id, std::move(hook));
+  insn_hooks_.push_back({id, gated, std::move(hook)});
+  gated_hooks_ += gated;
   return id;
 }
 
 void Cpu::remove_insn_hook(int id) {
-  std::erase_if(insn_hooks_, [&](const auto& p) { return p.first == id; });
+  std::erase_if(insn_hooks_, [&](const HookEntry& h) {
+    if (h.id != id) return false;
+    gated_hooks_ -= h.gated;
+    return true;
+  });
 }
 
-int Cpu::add_branch_hook(BranchHook hook) {
+int Cpu::add_branch_hook(BranchHook hook, bool gated) {
   const int id = next_hook_id_++;
-  branch_hooks_.emplace_back(id, std::move(hook));
+  branch_hooks_.push_back({id, gated, std::move(hook)});
+  gated_branch_hooks_ += gated;
   return id;
 }
 
 void Cpu::remove_branch_hook(int id) {
-  std::erase_if(branch_hooks_, [&](const auto& p) { return p.first == id; });
+  std::erase_if(branch_hooks_, [&](const BranchHookEntry& h) {
+    if (h.id != id) return false;
+    gated_branch_hooks_ -= h.gated;
+    return true;
+  });
+}
+
+void Cpu::set_block_gate(BlockGate gate, const u64* epoch) {
+  block_gate_ = std::move(gate);
+  block_gate_epoch_ = epoch;
+  flush_blocks();
+}
+
+void Cpu::set_branch_gate(BranchGate gate, const u64* epoch) {
+  branch_gate_ = std::move(gate);
+  branch_gate_epoch_ = epoch;
+  flush_blocks();  // void any per-block branch memos from a previous gate
 }
 
 void Cpu::register_helper(GuestAddr addr, Helper helper) {
   helpers_[addr & ~1u] = std::move(helper);
+  // Below the window every run loop skips the helper lookup by default;
+  // arm the check, and kill any cached block covering the shadowed address
+  // (translation also stops in front of low helpers from now on).
+  if ((addr & ~1u) < kHelperWindowBase) has_low_helpers_ = true;
+  tb_cache_.invalidate_range(addr & ~1u, 4);
 }
 
 GuestAddr Cpu::register_helper_auto(Helper helper) {
@@ -35,11 +102,20 @@ GuestAddr Cpu::register_helper_auto(Helper helper) {
   return addr;
 }
 
+void Cpu::set_use_tb_cache(bool on) {
+  if (use_tb_cache_ == on) return;
+  use_tb_cache_ = on;
+  flush_blocks();
+}
+
+void Cpu::flush_blocks() { tb_cache_.flush(); }
+
 void Cpu::fire_branch_hooks(GuestAddr from, GuestAddr to) {
-  for (auto& [id, hook] : branch_hooks_) hook(*this, from, to);
+  for (auto& h : branch_hooks_) h.fn(*this, from, to);
 }
 
 const Insn& Cpu::decode_cached(u64 key, u32 word, u16 hw2) {
+  ++decode_lookups_;
   const u32 index =
       static_cast<u32>((key * 0x9E3779B97F4A7C15ull) >>
                        (64 - kDecodeCacheBits));
@@ -48,43 +124,52 @@ const Insn& Cpu::decode_cached(u64 key, u32 word, u16 hw2) {
     entry.insn = (key >> 62) == 2 ? decode_thumb(static_cast<u16>(word), hw2)
                                   : decode_arm(word);
     entry.key = key;
+  } else {
+    ++decode_hits_;
   }
   return entry.insn;
+}
+
+const Insn& Cpu::fetch_decode(GuestAddr pc, bool thumb) {
+  if (thumb) {
+    const u16 hw = memory_.read16(pc);
+    if (is_thumb32(hw)) {
+      const u16 hw2 = memory_.read16(pc + 2);
+      const u64 key = (static_cast<u64>(hw2) << 16) | hw | (2ull << 62);
+      return decode_cached(key, hw, hw2);
+    }
+    // 16-bit encodings key on their own halfword alone, so the same
+    // instruction hits the cache regardless of what follows it.
+    return decode_cached(static_cast<u64>(hw) | (2ull << 62), hw, 0);
+  }
+  const u32 word = memory_.read32(pc);
+  return decode_cached(static_cast<u64>(word) | (1ull << 62), word, 0);
+}
+
+bool Cpu::run_helper(GuestAddr pc) {
+  auto it = helpers_.find(pc);
+  if (it == helpers_.end()) return false;
+  ++retired_;
+  const GuestAddr ret = state_.lr();
+  it->second(*this);
+  if (state_.pc() == pc) {
+    state_.thumb = (ret & 1) != 0;
+    state_.set_pc(ret & ~1u);
+    fire_branch_hooks(pc, state_.pc());
+  }
+  return true;
 }
 
 void Cpu::step() {
   const GuestAddr pc = state_.pc();
 
-  // Helpers live in the 0xF0000000+ window; skip the hash lookup for
-  // ordinary guest code.
-  if (pc >= 0xF0000000u) {
-    if (auto it = helpers_.find(pc); it != helpers_.end()) {
-      ++retired_;
-      const GuestAddr ret = state_.lr();
-      it->second(*this);
-      if (state_.pc() == pc) {
-        state_.thumb = (ret & 1) != 0;
-        state_.set_pc(ret & ~1u);
-        fire_branch_hooks(pc, state_.pc());
-      }
-      return;
-    }
-  }
-  u64 key;
-  u32 word;
-  u16 hw2 = 0;
-  if (state_.thumb) {
-    const u16 hw = memory_.read16(pc);
-    hw2 = memory_.read16(pc + 2);
-    word = hw;
-    key = (static_cast<u64>(hw2) << 16) | hw | (2ull << 62);
-  } else {
-    word = memory_.read32(pc);
-    key = static_cast<u64>(word) | (1ull << 62);
-  }
-  const Insn& insn = decode_cached(key, word, hw2);
+  // Helpers normally live in the 0xF0000000+ window; skip the hash lookup
+  // for ordinary guest code unless a helper shadows a low address.
+  if ((pc >= kHelperWindowBase || has_low_helpers_) && run_helper(pc)) return;
 
-  for (auto& [id, hook] : insn_hooks_) hook(*this, insn, pc);
+  const Insn& insn = fetch_decode(pc, state_.thumb);
+
+  for (auto& h : insn_hooks_) h.fn(*this, insn, pc);
 
   if (insn.op == Op::kSvc && condition_passed(insn.cond, state_)) {
     if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
@@ -100,12 +185,271 @@ void Cpu::step() {
   if (state_.pc() != pc + insn.length) fire_branch_hooks(pc, state_.pc());
 }
 
-bool Cpu::run(u64 max_steps) {
+std::shared_ptr<TranslationBlock> Cpu::translate(GuestAddr pc, bool thumb) {
+  auto tb = std::make_shared<TranslationBlock>();
+  tb->pc = pc;
+  tb->thumb = thumb;
+  GuestAddr cur = pc;
+  while (tb->insns.size() < TbCache::kMaxBlockInsns) {
+    // Never fall through into the helper window — or onto a helper that
+    // shadows ordinary guest code: the run loop must regain control there
+    // to dispatch helpers.
+    if (cur >= kHelperWindowBase) break;
+    if (has_low_helpers_ && cur != pc && helpers_.count(cur) != 0) break;
+    const Insn& insn = fetch_decode(cur, thumb);
+    if (insn.op == Op::kUndefined) break;  // step() raises the fault
+    TbInsn ti;
+    ti.insn = insn;
+    ti.pc = cur;
+    ti.taint_class = insn.taint_class();
+    ti.fast = select_fast_exec(insn);
+    switch (ti.taint_class) {
+      case TaintClass::kLoad:
+      case TaintClass::kLdm:
+        tb->has_loads = true;
+        break;
+      case TaintClass::kStore:
+      case TaintClass::kStm:
+        tb->has_stores = true;
+        break;
+      default:
+        break;
+    }
+    if (insn.op == Op::kSvc) tb->has_svc = true;
+    tb->insns.push_back(ti);
+    cur += insn.length;
+    tb->byte_length += insn.length;
+    if (ends_block(insn)) break;
+  }
+  if (tb->insns.empty()) return nullptr;
+  return tb;
+}
+
+bool Cpu::is_branch_quiet(TranslationBlock& tb, GuestAddr from, GuestAddr to) {
+  if (branch_hooks_.empty()) return true;
+  if (!branch_gate_ ||
+      gated_branch_hooks_ != static_cast<int>(branch_hooks_.size())) {
+    return false;
+  }
+  // Only a PC-writing instruction can take a branch and every such
+  // instruction terminates its block, so the source of any taken branch
+  // from this block is fixed — (block, to) identifies the edge and the
+  // per-block memo is sound under the client's epoch counter.
+  if (branch_gate_epoch_ != nullptr &&
+      tb.branch_epoch == *branch_gate_epoch_ && tb.branch_to == to) {
+    return tb.branch_quiet;
+  }
+  const bool quiet = !branch_gate_(*this, from, to);
+  if (branch_gate_epoch_ != nullptr) {
+    tb.branch_epoch = *branch_gate_epoch_;
+    tb.branch_to = to;
+    tb.branch_quiet = quiet;
+  }
+  return quiet;
+}
+
+u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
+  // Hooks are resolved once per block: the gate may declare the whole block
+  // hook-free when every registered hook consented to gating.
+  bool fire = !insn_hooks_.empty();
+  bool gate_skip = false;
+  if (fire && block_gate_ &&
+      gated_hooks_ == static_cast<int>(insn_hooks_.size())) {
+    // Per-block memo, valid while the client's epoch counter stands still
+    // (the client bumps it whenever any gate input changes).
+    if (block_gate_epoch_ != nullptr && tb.gate_epoch == *block_gate_epoch_) {
+      fire = tb.gate_fire;
+    } else {
+      fire = block_gate_(*this, tb);
+      if (block_gate_epoch_ != nullptr) {
+        tb.gate_epoch = *block_gate_epoch_;
+        tb.gate_fire = fire;
+      }
+    }
+    gate_skip = !fire;
+  }
+
+  u64 done = 0;
+  const std::size_t n = tb.insns.size();
+
+  if (!fire) {
+    // Hot replay: no instruction hooks fire, so the only per-instruction
+    // obligations are the executor itself. Non-last instructions are
+    // provably sequential (any instruction that may write the PC terminates
+    // its block at translation time), so PC checks happen once per block;
+    // tb.dead can only flip mid-block through this block's own stores.
+    const std::size_t last = n - 1;
+  hot_restart:
+    if (budget - done < n) goto careful;  // budget can't cover the block
+    ++tb.exec_count;
+    if (gate_skip) ++fastpath_blocks_;
+    if (!tb.has_stores) {
+      for (std::size_t i = 0; i < last; ++i) {
+        const TbInsn& ti = tb.insns[i];
+        if (ti.fast != nullptr) {
+          ti.fast(ti.insn, state_);
+        } else {
+          execute(ti.insn, state_, memory_);
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < last; ++i) {
+        const TbInsn& ti = tb.insns[i];
+        if (ti.fast != nullptr) {
+          ti.fast(ti.insn, state_);
+        } else {
+          execute(ti.insn, state_, memory_);
+        }
+        if (tb.dead) {
+          // The block overwrote its own upcoming instructions: stop
+          // replaying stale code and re-translate on re-entry.
+          retired_ += i + 1;
+          done += i + 1;
+          goto out;
+        }
+      }
+    }
+    retired_ += last;
+    done += last;
+    {
+      const TbInsn& ti = tb.insns[last];
+      if (ti.insn.op == Op::kSvc && condition_passed(ti.insn.cond, state_)) {
+        if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+        state_.set_pc(ti.pc + ti.insn.length);
+        ++retired_;
+        ++done;
+        svc_handler_(*this, ti.insn.imm);
+        goto out;
+      }
+      if (ti.fast != nullptr) {
+        ti.fast(ti.insn, state_);
+      } else {
+        execute(ti.insn, state_, memory_);
+      }
+      ++retired_;
+      ++done;
+      if (state_.pc() != ti.pc + ti.insn.length) {
+        const GuestAddr to = state_.pc();
+        if (!is_branch_quiet(tb, ti.pc, to)) {
+          fire_branch_hooks(ti.pc, to);
+          goto out;
+        }
+        // Quiet self-loop chaining: this iteration ran pure guest
+        // computation (no hooks, no SVC), so no analysis state can have
+        // changed and the gate decisions above still hold.
+        // Self-modification is the one escape hatch (the write watch
+        // flips tb.dead synchronously).
+        if (to == tb.pc && state_.thumb == tb.thumb && !tb.dead) {
+          goto hot_restart;
+        }
+      }
+    }
+    goto out;
+  }
+
+careful:
+  // Hooked (or budget-constrained) replay: per-instruction hook dispatch,
+  // budget accounting, and self-modification checks.
+  ++tb.exec_count;
+  if (gate_skip) ++fastpath_blocks_;
+  for (std::size_t i = 0; i < n && done < budget; ++i) {
+    const TbInsn& ti = tb.insns[i];
+    if (fire) {
+      for (auto& h : insn_hooks_) h.fn(*this, ti.insn, ti.pc);
+    }
+    if (ti.insn.op == Op::kSvc && condition_passed(ti.insn.cond, state_)) {
+      if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+      state_.set_pc(ti.pc + ti.insn.length);
+      ++retired_;
+      ++done;
+      svc_handler_(*this, ti.insn.imm);
+      break;  // SVC always terminates a block
+    }
+    if (ti.fast != nullptr) {
+      ti.fast(ti.insn, state_);
+    } else {
+      execute(ti.insn, state_, memory_);
+    }
+    ++retired_;
+    ++done;
+    if (state_.pc() != ti.pc + ti.insn.length) {
+      // Taken branch. When every branch hook is gated and the branch gate
+      // declares the edge uninteresting, firing them would be a no-op.
+      if (!is_branch_quiet(tb, ti.pc, state_.pc())) {
+        fire_branch_hooks(ti.pc, state_.pc());
+      }
+      break;
+    }
+    // The block may have stored over (or a hook rewritten) its own code:
+    // stop replaying stale instructions and re-translate on re-entry.
+    if (tb.dead) break;
+  }
+
+out:
+  if (gate_skip) fastpath_insns_ += done;
+  return done;
+}
+
+bool Cpu::run_interpretive(u64 max_steps) {
   for (u64 i = 0; i < max_steps; ++i) {
     if (state_.pc() == kHostReturnAddr) return true;
     step();
   }
   return state_.pc() == kHostReturnAddr;
+}
+
+bool Cpu::run_tb(u64 max_steps) {
+  u64 done = 0;
+  while (done < max_steps) {
+    const GuestAddr pc = state_.pc();
+    if (pc == kHostReturnAddr) return true;
+    if (pc >= kHelperWindowBase ||
+        (has_low_helpers_ && helpers_.count(pc) != 0)) {
+      step();  // helper dispatch (or plain execution in the window)
+      ++done;
+      continue;
+    }
+    const u64 key = TbCache::key(pc, state_.thumb);
+    TbFrontEntry& fe = tb_front_[static_cast<u32>(
+        (key * 0x9E3779B97F4A7C15ull) >> (64 - kTbFrontBits))];
+    TranslationBlock* tb;
+    if (fe.key == key && fe.version == tb_cache_.version()) {
+      tb_cache_.count_front_hit();
+      tb = fe.tb;
+    } else {
+      std::shared_ptr<TranslationBlock> found =
+          tb_cache_.lookup(pc, state_.thumb);
+      if (found == nullptr) {
+        found = translate(pc, state_.thumb);
+        if (found == nullptr) {
+          step();  // undecodable head instruction: fault via the slow path
+          ++done;
+          continue;
+        }
+        tb_cache_.insert(found);
+      }
+      tb = found.get();  // owned by the cache (or its graveyard) from here
+      fe = {key, tb_cache_.version(), tb};
+    }
+    ++exec_depth_;
+    try {
+      done += exec_block(*tb, max_steps - done);
+    } catch (...) {
+      --exec_depth_;
+      throw;
+    }
+    --exec_depth_;
+    // Between blocks at top level is a safe point for killed-block cleanup.
+    if (exec_depth_ == 0) tb_cache_.drain_graveyard();
+  }
+  return state_.pc() == kHostReturnAddr;
+}
+
+bool Cpu::run(u64 max_steps) {
+  // Safe point: no translation block is mid-execution in any frame, so
+  // blocks killed while executing can finally be destroyed.
+  if (exec_depth_ == 0) tb_cache_.drain_graveyard();
+  return use_tb_cache_ ? run_tb(max_steps) : run_interpretive(max_steps);
 }
 
 u32 Cpu::call_function(GuestAddr addr, const std::vector<u32>& args) {

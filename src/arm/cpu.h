@@ -14,6 +14,16 @@
 //    lands on one, the helper runs and control returns to LR. Guest stubs in
 //    our fake libdvm/libc call them, keeping call chains visible as guest
 //    branches.
+//
+// Execution has two engines:
+//  * the interpretive path (`use_tb_cache=false`): fetch/decode/hook/execute
+//    one instruction at a time — the paper-faithful baseline the ablation
+//    benches measure;
+//  * the translation-block path (default): straight-line instruction runs
+//    are decoded once into a TranslationBlock (see arm/tb_cache.h) and
+//    replayed with hooks resolved once per block. A client-installed block
+//    gate may declare a whole block hook-free (NDroid's taint-liveness fast
+//    path), in which case only the executor runs.
 #pragma once
 
 #include <functional>
@@ -23,6 +33,7 @@
 #include "arm/cpu_state.h"
 #include "arm/decoder.h"
 #include "arm/executor.h"
+#include "arm/tb_cache.h"
 #include "mem/address_space.h"
 #include "mem/memory_map.h"
 
@@ -35,14 +46,29 @@ using BranchHook = std::function<void(Cpu&, GuestAddr from, GuestAddr to)>;
 using Helper = std::function<void(Cpu&)>;
 using SvcHandler = std::function<void(Cpu&, u32 svc_number)>;
 
+/// Consulted once per block execution when every instruction hook is gated:
+/// returning false skips all instruction hooks for that block run (the
+/// taint-liveness fast path). May memoise into `tb.scope_cache`.
+using BlockGate = std::function<bool(Cpu&, TranslationBlock& tb)>;
+
+/// Consulted on taken branches when every branch hook is gated: returning
+/// false promises that every gated branch hook would no-op on this edge, so
+/// the executor may skip firing them (and may chain a quiet self-loop
+/// without leaving the block executor).
+using BranchGate = std::function<bool(Cpu&, GuestAddr from, GuestAddr to)>;
+
 /// Address the run loop treats as "return to host": calling convention glue
 /// sets LR to this before entering guest code.
 inline constexpr GuestAddr kHostReturnAddr = 0xFFFF0000u;
 
+/// Helpers live at and above this address; the run loop checks the window
+/// before block lookup, and translation never crosses into it.
+inline constexpr GuestAddr kHelperWindowBase = 0xF0000000u;
+
 class Cpu {
  public:
-  explicit Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
-      : memory_(memory), memmap_(memmap) {}
+  explicit Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap);
+  ~Cpu();
 
   Cpu(const Cpu&) = delete;
   Cpu& operator=(const Cpu&) = delete;
@@ -54,12 +80,32 @@ class Cpu {
 
   // --- Instrumentation ------------------------------------------------
 
-  /// Returns an id usable with remove_insn_hook.
-  int add_insn_hook(InsnHook hook);
+  /// Returns an id usable with remove_insn_hook. A `gated` hook consents to
+  /// being skipped for whole blocks when the block gate returns false;
+  /// ungated hooks force every block to fire hooks per instruction.
+  int add_insn_hook(InsnHook hook, bool gated = false);
   void remove_insn_hook(int id);
 
-  int add_branch_hook(BranchHook hook);
+  /// A `gated` branch hook consents to being skipped for edges the branch
+  /// gate declares uninteresting; ungated hooks fire on every taken branch.
+  int add_branch_hook(BranchHook hook, bool gated = false);
   void remove_branch_hook(int id);
+
+  /// Installs the block gate (see BlockGate). Flushes cached blocks so
+  /// per-block memos (`scope_cache`, gate memos) cannot leak across clients.
+  /// Pass nullptr to clear.
+  ///
+  /// `epoch` (optional) enables per-block memoisation of the gate's answer:
+  /// the client owns a counter it bumps whenever any gate input changes
+  /// (e.g. taint liveness crossing zero), and the executor re-calls the gate
+  /// for a block only when the counter moved since the block's last answer.
+  void set_block_gate(BlockGate gate, const u64* epoch = nullptr);
+
+  /// Installs the branch gate (see BranchGate), with the same optional
+  /// epoch-counter memoisation (the client bumps its counter whenever branch
+  /// hook interest may have changed). Flushes cached blocks so stale branch
+  /// memos cannot leak across clients.
+  void set_branch_gate(BranchGate gate, const u64* epoch = nullptr);
 
   /// Registers a C++ helper behind guest address `addr`. When the PC lands
   /// there the helper runs with AAPCS argument registers live, then control
@@ -95,35 +141,111 @@ class Cpu {
   /// Step budget used by call_function (guards against runaway guest code).
   void set_step_budget(u64 steps) { step_budget_ = steps; }
 
+  // --- Translation-block cache -----------------------------------------
+
+  /// Selects the execution engine. `false` restores the paper-faithful
+  /// interpretive path (ablation mode); toggling flushes cached blocks.
+  void set_use_tb_cache(bool on);
+  [[nodiscard]] bool use_tb_cache() const { return use_tb_cache_; }
+
+  /// Drops every cached block (explicit invalidation, e.g. after rewriting
+  /// code wholesale). Writes into cached code pages invalidate
+  /// automatically via the address-space write watch.
+  void flush_blocks();
+
+  [[nodiscard]] const TbCache& tb_cache() const { return tb_cache_; }
+
+  /// Blocks executed with instruction hooks skipped by the block gate, and
+  /// the instructions those blocks retired.
+  [[nodiscard]] u64 fastpath_blocks() const { return fastpath_blocks_; }
+  [[nodiscard]] u64 fastpath_insns() const { return fastpath_insns_; }
+
+  /// Decode-cache statistics (shared by both execution engines).
+  [[nodiscard]] u64 decode_lookups() const { return decode_lookups_; }
+  [[nodiscard]] u64 decode_hits() const { return decode_hits_; }
+
  private:
   void fire_branch_hooks(GuestAddr from, GuestAddr to);
+  bool run_interpretive(u64 max_steps);
+  bool run_tb(u64 max_steps);
+  /// Runs a helper if one is registered at `pc`; returns false otherwise.
+  bool run_helper(GuestAddr pc);
+  std::shared_ptr<TranslationBlock> translate(GuestAddr pc, bool thumb);
+  u64 exec_block(TranslationBlock& tb, u64 budget);
+  /// True when firing the branch hooks for this edge would provably no-op
+  /// (all hooks gated, gate says uninteresting); memoises per block.
+  bool is_branch_quiet(TranslationBlock& tb, GuestAddr from, GuestAddr to);
+
+  struct HookEntry {
+    int id;
+    bool gated;
+    InsnHook fn;
+  };
+  struct BranchHookEntry {
+    int id;
+    bool gated;
+    BranchHook fn;
+  };
 
   mem::AddressSpace& memory_;
   mem::MemoryMap& memmap_;
   CPUState state_{};
 
-  /// Decode cache (the analogue of QEMU's translation cache): decoding
-  /// depends only on the instruction word(s) and mode, never the address,
-  /// so a direct-mapped word-keyed cache is safe under self-modifying code.
+  /// Decode cache (keyed by instruction word + mode, never the address:
+  /// decoding is address-independent, so the cache is safe under
+  /// self-modifying code). 16-bit Thumb encodings key on their own halfword
+  /// alone; only 32-bit Thumb-2 encodings include the second halfword.
   struct DecodeEntry {
     u64 key = ~0ull;
     Insn insn;
   };
   static constexpr u32 kDecodeCacheBits = 14;
   const Insn& decode_cached(u64 key, u32 word, u16 hw2);
+  /// Fetches and decodes the instruction at `pc` in the current mode.
+  const Insn& fetch_decode(GuestAddr pc, bool thumb);
 
   std::vector<DecodeEntry> decode_cache_ =
       std::vector<DecodeEntry>(1u << kDecodeCacheBits);
 
-  std::vector<std::pair<int, InsnHook>> insn_hooks_;
-  std::vector<std::pair<int, BranchHook>> branch_hooks_;
+  std::vector<HookEntry> insn_hooks_;
+  int gated_hooks_ = 0;
+  std::vector<BranchHookEntry> branch_hooks_;
+  int gated_branch_hooks_ = 0;
+  BlockGate block_gate_;
+  const u64* block_gate_epoch_ = nullptr;
+  BranchGate branch_gate_;
+  const u64* branch_gate_epoch_ = nullptr;
   std::unordered_map<GuestAddr, Helper> helpers_;
-  GuestAddr next_helper_addr_ = 0xF0000000;
+  /// True once any helper shadows an address below the helper window; until
+  /// then ordinary guest PCs skip the helper hash lookup entirely.
+  bool has_low_helpers_ = false;
+  GuestAddr next_helper_addr_ = kHelperWindowBase;
   SvcHandler svc_handler_;
   int next_hook_id_ = 1;
   u64 retired_ = 0;
   u64 step_budget_ = 1'000'000'000;
   int call_depth_ = 0;
+
+  bool use_tb_cache_ = true;
+  TbCache tb_cache_;
+  /// Direct-mapped raw-pointer front over the TB cache: a hit costs one
+  /// probe and no shared_ptr refcount traffic. Entries are tagged with the
+  /// cache version so every invalidation voids them wholesale; pointers stay
+  /// valid because killed blocks sit in the graveyard until exec_depth_ is
+  /// zero (see run()).
+  struct TbFrontEntry {
+    u64 key = 0;
+    u64 version = ~0ull;  // never a live TbCache version
+    TranslationBlock* tb = nullptr;
+  };
+  static constexpr u32 kTbFrontBits = 10;
+  std::vector<TbFrontEntry> tb_front_ =
+      std::vector<TbFrontEntry>(1u << kTbFrontBits);
+  int exec_depth_ = 0;  // nested exec_block frames (call_function re-entry)
+  u64 fastpath_blocks_ = 0;
+  u64 fastpath_insns_ = 0;
+  u64 decode_lookups_ = 0;
+  u64 decode_hits_ = 0;
 };
 
 }  // namespace ndroid::arm

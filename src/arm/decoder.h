@@ -22,4 +22,10 @@ namespace ndroid::arm {
 /// many bytes were consumed (2 or 4).
 [[nodiscard]] Insn decode_thumb(u16 hw, u16 hw2);
 
+/// True when `hw` is the first halfword of a 32-bit Thumb-2 encoding
+/// (top-five bits 0b11101/0b11110/0b11111). Decode caches must key 16-bit
+/// encodings on `hw` alone — including the following halfword would make
+/// the same instruction at different addresses miss.
+[[nodiscard]] inline bool is_thumb32(u16 hw) { return (hw >> 11) >= 0x1D; }
+
 }  // namespace ndroid::arm

@@ -474,4 +474,209 @@ void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory) {
   }
 }
 
+// --- Fused handlers ---------------------------------------------------------
+//
+// Each handler assumes the shape select_fast_exec() verified: cond == AL, no
+// PC operands, an unshifted register or plain immediate as operand 2. That
+// lets the whole generic scaffolding (condition dispatch, operand2 shifter,
+// 64-bit flag arithmetic, PC special cases) collapse to a few ALU ops.
+
+namespace {
+
+template <Op OP>
+u32 dp_compute(u32 a, u32 b, [[maybe_unused]] const CPUState& s) {
+  if constexpr (OP == Op::kAnd) return a & b;
+  if constexpr (OP == Op::kEor) return a ^ b;
+  if constexpr (OP == Op::kOrr) return a | b;
+  if constexpr (OP == Op::kBic) return a & ~b;
+  if constexpr (OP == Op::kMov) return b;
+  if constexpr (OP == Op::kMvn) return ~b;
+  if constexpr (OP == Op::kSub) return a - b;
+  if constexpr (OP == Op::kRsb) return b - a;
+  if constexpr (OP == Op::kAdd) return a + b;
+  if constexpr (OP == Op::kAdc) return a + b + (s.c ? 1 : 0);
+  if constexpr (OP == Op::kSbc) return a - b - (s.c ? 0 : 1);
+  if constexpr (OP == Op::kRsc) return b - a - (s.c ? 0 : 1);
+  return 0;
+}
+
+/// Data processing, flags untouched, Rd written.
+template <Op OP, bool IMM>
+void fast_dp(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  const u32 b = IMM ? insn.imm : s.regs[insn.rm];
+  s.regs[insn.rd] = dp_compute<OP>(s.regs[insn.rn], b, s);
+}
+
+void set_sub_flags(CPUState& s, u32 a, u32 b) {
+  const u32 r = a - b;
+  s.n = (r >> 31) != 0;
+  s.z = r == 0;
+  s.c = a >= b;  // carry == no borrow
+  s.v = (((a ^ b) & (a ^ r)) >> 31) != 0;
+}
+
+void set_add_flags(CPUState& s, u32 a, u32 b) {
+  const u32 r = a + b;
+  s.n = (r >> 31) != 0;
+  s.z = r == 0;
+  s.c = r < a;  // wrapped iff the 33-bit sum overflowed
+  s.v = (((a ^ r) & (b ^ r)) >> 31) != 0;
+}
+
+template <bool IMM>
+void fast_cmp(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  set_sub_flags(s, s.regs[insn.rn], IMM ? insn.imm : s.regs[insn.rm]);
+}
+
+template <bool IMM>
+void fast_cmn(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  set_add_flags(s, s.regs[insn.rn], IMM ? insn.imm : s.regs[insn.rm]);
+}
+
+template <bool IMM>
+void fast_subs(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  const u32 a = s.regs[insn.rn];
+  const u32 b = IMM ? insn.imm : s.regs[insn.rm];
+  set_sub_flags(s, a, b);
+  s.regs[insn.rd] = a - b;
+}
+
+template <bool IMM>
+void fast_adds(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  const u32 a = s.regs[insn.rn];
+  const u32 b = IMM ? insn.imm : s.regs[insn.rm];
+  set_add_flags(s, a, b);
+  s.regs[insn.rd] = a + b;
+}
+
+void fast_movw(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  s.regs[insn.rd] = insn.imm;
+}
+
+void fast_movt(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  s.regs[insn.rd] = (s.regs[insn.rd] & 0xFFFFu) | (insn.imm << 16);
+}
+
+void fast_mul(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  s.regs[insn.rd] = s.regs[insn.rn] * s.regs[insn.rm];
+}
+
+template <Op OP>
+void fast_ext(const Insn& insn, CPUState& s) {
+  s.regs[kRegPC] += insn.length;
+  const u32 v = s.regs[insn.rm];
+  if constexpr (OP == Op::kSxtb) {
+    s.regs[insn.rd] = static_cast<u32>(static_cast<i32>(static_cast<i8>(v)));
+  }
+  if constexpr (OP == Op::kSxth) {
+    s.regs[insn.rd] = static_cast<u32>(static_cast<i32>(static_cast<i16>(v)));
+  }
+  if constexpr (OP == Op::kUxtb) s.regs[insn.rd] = v & 0xFF;
+  if constexpr (OP == Op::kUxth) s.regs[insn.rd] = v & 0xFFFF;
+}
+
+template <Op OP>
+FastExecFn pick_dp(const Insn& insn) {
+  if (insn.set_flags) {
+    // Only the pure-arithmetic flag shapes are fused; logical flag setters
+    // need the shifter carry-out, which stays on the general path.
+    if constexpr (OP == Op::kCmp) {
+      return insn.imm_operand ? fast_cmp<true> : fast_cmp<false>;
+    }
+    if constexpr (OP == Op::kCmn) {
+      return insn.imm_operand ? fast_cmn<true> : fast_cmn<false>;
+    }
+    if (insn.rd == kRegPC) return nullptr;
+    if constexpr (OP == Op::kSub) {
+      return insn.imm_operand ? fast_subs<true> : fast_subs<false>;
+    }
+    if constexpr (OP == Op::kAdd) {
+      return insn.imm_operand ? fast_adds<true> : fast_adds<false>;
+    }
+    return nullptr;
+  }
+  if constexpr (OP == Op::kCmp || OP == Op::kCmn || OP == Op::kTst ||
+                OP == Op::kTeq) {
+    return nullptr;  // compare ops without flags never occur
+  } else {
+    if (insn.rd == kRegPC) return nullptr;
+    return insn.imm_operand ? fast_dp<OP, true> : fast_dp<OP, false>;
+  }
+}
+
+}  // namespace
+
+FastExecFn select_fast_exec(const Insn& insn) {
+  if (insn.cond != Cond::kAL) return nullptr;
+  switch (insn.op) {
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kCmp:
+    case Op::kCmn:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn: {
+      if (insn.rn == kRegPC) return nullptr;
+      if (!insn.imm_operand &&
+          (insn.rm == kRegPC || insn.shift_by_reg ||
+           insn.shift != ShiftType::kLSL || insn.shift_amount != 0)) {
+        return nullptr;
+      }
+      switch (insn.op) {
+        case Op::kAnd: return pick_dp<Op::kAnd>(insn);
+        case Op::kEor: return pick_dp<Op::kEor>(insn);
+        case Op::kSub: return pick_dp<Op::kSub>(insn);
+        case Op::kRsb: return pick_dp<Op::kRsb>(insn);
+        case Op::kAdd: return pick_dp<Op::kAdd>(insn);
+        case Op::kAdc: return pick_dp<Op::kAdc>(insn);
+        case Op::kSbc: return pick_dp<Op::kSbc>(insn);
+        case Op::kRsc: return pick_dp<Op::kRsc>(insn);
+        case Op::kCmp: return pick_dp<Op::kCmp>(insn);
+        case Op::kCmn: return pick_dp<Op::kCmn>(insn);
+        case Op::kOrr: return pick_dp<Op::kOrr>(insn);
+        case Op::kMov: return pick_dp<Op::kMov>(insn);
+        case Op::kBic: return pick_dp<Op::kBic>(insn);
+        case Op::kMvn: return pick_dp<Op::kMvn>(insn);
+        default: return nullptr;
+      }
+    }
+    case Op::kMovw:
+      return insn.rd == kRegPC ? nullptr : fast_movw;
+    case Op::kMovt:
+      return insn.rd == kRegPC ? nullptr : fast_movt;
+    case Op::kMul:
+      if (insn.set_flags || insn.rd == kRegPC) return nullptr;
+      return fast_mul;
+    case Op::kSxtb:
+      return insn.rd == kRegPC || insn.rm == kRegPC ? nullptr
+                                                    : fast_ext<Op::kSxtb>;
+    case Op::kSxth:
+      return insn.rd == kRegPC || insn.rm == kRegPC ? nullptr
+                                                    : fast_ext<Op::kSxth>;
+    case Op::kUxtb:
+      return insn.rd == kRegPC || insn.rm == kRegPC ? nullptr
+                                                    : fast_ext<Op::kUxtb>;
+    case Op::kUxth:
+      return insn.rd == kRegPC || insn.rm == kRegPC ? nullptr
+                                                    : fast_ext<Op::kUxth>;
+    default:
+      return nullptr;
+  }
+}
+
 }  // namespace ndroid::arm

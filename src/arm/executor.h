@@ -51,4 +51,16 @@ struct BlockTransfer {
 /// Interworking branches (BX/BLX/loads to PC) update `state.thumb`.
 void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory);
 
+/// A fused handler for one common instruction shape: semantically identical
+/// to execute() for that shape, but with condition, operand form, and flag
+/// behaviour resolved at selection time instead of per execution. Fused
+/// handlers never access memory and always advance the PC sequentially.
+using FastExecFn = void (*)(const Insn&, CPUState&);
+
+/// Picks the fused handler for `insn`, or nullptr when the instruction needs
+/// the general execute() path (conditional execution, PC operands, shifted
+/// operands, memory access, flag shapes outside ADD/SUB/CMP/CMN). Called
+/// once per instruction at block translation time.
+[[nodiscard]] FastExecFn select_fast_exec(const Insn& insn);
+
 }  // namespace ndroid::arm

@@ -1,0 +1,160 @@
+// Basic-block translation cache (the analogue of QEMU's TB cache, which the
+// paper's NDroid rides on: "QEMU caches hot instructions and the
+// corresponding handlers", §V-C).
+//
+// On first execution of a PC the Cpu decodes straight-line instructions up
+// to a control-transfer boundary into a TranslationBlock: the decoded Insn,
+// its address, and its pre-classified Table V taint class, plus block-level
+// summary flags (has_loads/has_stores/has_svc) that let an attached analysis
+// decide *once per block* whether per-instruction hooks are needed at all
+// (the taint-liveness fast path).
+//
+// Invalidation rules (self-modifying code, dlopen, register_helper):
+//  * every page covered by a cached block is marked in a code-page bitmap;
+//  * the guest address space consults the bitmap on writes and reports hits
+//    back (see AddressSpace::set_write_watch), which kills every block
+//    intersecting the written range — including a block that rewrites
+//    itself mid-execution (`dead` is checked by the block executor);
+//  * flush() drops everything (used when hook topology changes).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arm/insn.h"
+
+namespace ndroid::arm {
+
+struct CPUState;
+
+/// One decoded instruction inside a block, with its pre-classified taint
+/// shape so per-instruction re-classification never happens on the hot path.
+struct TbInsn {
+  Insn insn;
+  GuestAddr pc = 0;
+  TaintClass taint_class = TaintClass::kNone;
+  /// Fused handler (see executor.h select_fast_exec), nullptr when the
+  /// instruction takes the general execute() path. Selected at translation
+  /// time, so condition/operand/flag dispatch never happens per execution.
+  void (*fast)(const Insn&, CPUState&) = nullptr;
+};
+
+struct TranslationBlock {
+  GuestAddr pc = 0;
+  bool thumb = false;
+  u32 byte_length = 0;
+
+  // Block-level summaries consulted by the block gate (fast-path decision).
+  bool has_loads = false;   // any kLoad / kLdm instruction
+  bool has_stores = false;  // any kStore / kStm instruction
+  bool has_svc = false;     // ends in (or contains) an SVC
+
+  /// Set by invalidation while the block may still be executing; the block
+  /// executor checks it after stores and abandons the remaining instructions.
+  bool dead = false;
+
+  /// Client-managed scope memo (0 = unknown, 1 = in scope, 2 = out of
+  /// scope). Reset whenever the block gate changes (set_block_gate flushes).
+  u8 scope_cache = 0;
+
+  /// Block-gate memo: valid while the client's gate epoch equals gate_epoch
+  /// (the client bumps its epoch whenever gate inputs change — e.g. taint
+  /// liveness crossing zero). ~0 never matches a live epoch.
+  u64 gate_epoch = ~0ull;
+  bool gate_fire = true;
+
+  /// Branch-gate memo for the block's most recent taken-branch target,
+  /// epoch-validated the same way against the client's branch epoch.
+  u64 branch_epoch = ~0ull;
+  GuestAddr branch_to = 0;
+  bool branch_quiet = false;
+
+  u64 exec_count = 0;
+  std::vector<TbInsn> insns;
+};
+
+/// Keyed by (pc, thumb). Blocks are shared_ptr so an executing block
+/// survives its own invalidation until the executor lets go of it: killed
+/// blocks move to a graveyard the Cpu drains only when no block is being
+/// executed, which lets the executor run on raw pointers (no per-block
+/// refcount traffic).
+class TbCache {
+ public:
+  static constexpr u32 kPageShift = 12;
+  static constexpr u32 kMaxBlockInsns = 64;
+
+  static u64 key(GuestAddr pc, bool thumb) {
+    return static_cast<u64>(pc) | (static_cast<u64>(thumb) << 32);
+  }
+
+  TbCache();
+  TbCache(const TbCache&) = delete;
+  TbCache& operator=(const TbCache&) = delete;
+
+  [[nodiscard]] std::shared_ptr<TranslationBlock> lookup(GuestAddr pc,
+                                                         bool thumb);
+
+  /// Registers a freshly translated block and marks its code pages.
+  void insert(std::shared_ptr<TranslationBlock> tb);
+
+  /// Kills every cached block intersecting [addr, addr+len).
+  void invalidate_range(GuestAddr addr, u32 len);
+
+  /// Drops every cached block (helper registration, hook-topology changes,
+  /// explicit ablation resets).
+  void flush();
+
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+
+  /// Bumped on every kill/flush; the Cpu's direct-mapped front cache tags
+  /// entries with it so any invalidation atomically voids all raw pointers.
+  [[nodiscard]] u64 version() const { return version_; }
+
+  /// Destroys blocks killed since the last drain. Only safe to call when no
+  /// translation block is currently being executed.
+  void drain_graveyard() { graveyard_.clear(); }
+
+  /// Statistics entry for a hit served from the Cpu's front cache (keeps
+  /// hit_rate() meaningful without routing the fast path through lookup()).
+  void count_front_hit() {
+    ++lookups_;
+    ++hits_;
+  }
+
+  /// Page-granular bitmap of pages holding cached code; the address space
+  /// checks it on every write (one byte per 4 KiB page over 4 GiB).
+  [[nodiscard]] const u8* code_page_bitmap() const {
+    return code_pages_.data();
+  }
+
+  // --- Statistics ------------------------------------------------------
+  [[nodiscard]] u64 lookups() const { return lookups_; }
+  [[nodiscard]] u64 hits() const { return hits_; }
+  [[nodiscard]] u64 translations() const { return translations_; }
+  [[nodiscard]] u64 invalidated_blocks() const { return invalidated_; }
+  [[nodiscard]] u64 flushes() const { return flushes_; }
+  [[nodiscard]] double hit_rate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+
+ private:
+  void kill_block(TranslationBlock* tb);
+
+  std::unordered_map<u64, std::shared_ptr<TranslationBlock>> blocks_;
+  std::unordered_map<u32, std::vector<TranslationBlock*>> page_blocks_;
+  std::vector<u8> code_pages_;
+  /// Killed blocks parked until the executor is provably outside them.
+  std::vector<std::shared_ptr<TranslationBlock>> graveyard_;
+  u64 version_ = 0;
+
+  u64 lookups_ = 0;
+  u64 hits_ = 0;
+  u64 translations_ = 0;
+  u64 invalidated_ = 0;
+  u64 flushes_ = 0;
+};
+
+}  // namespace ndroid::arm

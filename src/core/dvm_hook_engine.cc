@@ -118,6 +118,18 @@ DvmHookEngine::DvmHookEngine(android::Device& device, TaintEngine& engine,
   simple_hooks_[jni.fn("ThrowNew")] = [this](arm::Cpu& c) {
     hook_throw_new(c);
   };
+
+  // Every static address on_branch can act on feeds the branch prefilter;
+  // dynamic targets (pending exits, active NOFs, the running JNI method's
+  // first instruction) are checked explicitly in wants_branch().
+  static_targets_.add(a_call_jni_);
+  static_targets_.add(a_call_method_v_);
+  static_targets_.add(a_call_method_a_);
+  static_targets_.add(a_interpret_);
+  static_targets_.add(arm::kHostReturnAddr);
+  for (GuestAddr s : call_stubs_) static_targets_.add(s);
+  for (const auto& [addr, info] : nofs_) static_targets_.add(addr);
+  for (const auto& [addr, fn] : simple_hooks_) static_targets_.add(addr);
 }
 
 u32 DvmHookEngine::guest_strlen(arm::Cpu& cpu, GuestAddr s) {

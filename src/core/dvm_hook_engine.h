@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/addr_filter.h"
 #include "android/device.h"
 #include "core/report.h"
 #include "core/source_policy.h"
@@ -43,6 +44,19 @@ class DvmHookEngine {
                 bool multilevel = true);
 
   void on_branch(arm::Cpu& cpu, GuestAddr from, GuestAddr to);
+
+  /// Cheap prefilter: false means on_branch(to) is guaranteed to be a no-op,
+  /// so the caller may skip it. With any correlation state pending (exit
+  /// actions, an active NOF, a live T1..T6 chain) every branch matters; in
+  /// the common steady state — a JNI method just executing native code —
+  /// only its own first-instruction address and the static hook targets do.
+  [[nodiscard]] bool wants_branch(GuestAddr to) const {
+    if (!exits_.empty() || !nof_stack_.empty() || !chain_.empty()) return true;
+    if (!jni_stack_.empty() && to == jni_stack_.back().method_address) {
+      return true;
+    }
+    return static_targets_.maybe(to);
+  }
 
   SourcePolicyMap& policies() { return policies_; }
 
@@ -136,6 +150,10 @@ class DvmHookEngine {
   };
   std::unordered_map<GuestAddr, NofInfo> nofs_;
   std::unordered_map<GuestAddr, std::function<void(arm::Cpu&)>> simple_hooks_;
+  /// Union of every statically known hook target (dvmCall*/dvmInterpret,
+  /// the Call*Method stubs, NOF entries, simple hooks, the host-return
+  /// sentinel). Built once in the constructor; wants_branch() probes it.
+  AddrBloom static_targets_;
 
   static constexpr u32 kStubRange = 0x40;  // stub bodies are < 64 bytes
 };

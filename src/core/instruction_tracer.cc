@@ -56,13 +56,17 @@ void InstructionTracer::on_insn(arm::Cpu& cpu, const Insn& insn,
 
   Handler handler;
   if (use_cache_) {
-    auto it = handler_cache_.find(insn.raw);
-    if (it != handler_cache_.end()) {
-      handler = it->second;
+    // Same golden-ratio hash as the CPU's decode cache; collisions merely
+    // re-classify (the entry is overwritten, never mixed).
+    const u32 index = static_cast<u32>(
+        (insn.raw * 0x9E3779B97F4A7C15ull) >> (64 - kHandlerCacheBits));
+    HandlerEntry& entry = handler_cache_[index];
+    if (entry.key == insn.raw) {
+      handler = entry.handler;
       ++cache_hits_;
     } else {
       handler = classify(insn);
-      handler_cache_.emplace(insn.raw, handler);
+      entry = {insn.raw, handler};
     }
   } else {
     handler = classify(insn);

@@ -17,12 +17,13 @@
 //
 // "To speed up the identification of the instruction type and the search of
 // the handler, NDroid caches hot instructions and the corresponding
-// handlers" — the handler cache is keyed by raw instruction word and can be
-// disabled for the ablation experiment.
+// handlers" — the handler cache is a direct-mapped array keyed by raw
+// instruction word (same golden-ratio hash as the CPU's decode cache) and
+// can be disabled for the ablation experiment.
 #pragma once
 
+#include <array>
 #include <functional>
-#include <unordered_map>
 
 #include "arm/cpu.h"
 #include "core/report.h"
@@ -65,11 +66,21 @@ class InstructionTracer {
   [[nodiscard]] Handler classify(const arm::Insn& insn) const;
   [[nodiscard]] static u32 access_size(const arm::Insn& insn);
 
+  /// Direct-mapped handler cache. The sentinel key never matches a hit with
+  /// a stale handler: 0xFFFFFFFF decodes to an unconditional-NV undefined
+  /// instruction whose handler is nullptr — the same value the slot holds
+  /// when empty.
+  struct HandlerEntry {
+    u32 key = 0xFFFFFFFFu;
+    Handler handler = nullptr;
+  };
+  static constexpr u32 kHandlerCacheBits = 12;
+
   TaintEngine& engine_;
   std::function<bool(GuestAddr)> in_scope_;
   bool use_cache_;
   TraceLog* disasm_log_;  // per-instruction disassembly when non-null
-  std::unordered_map<u32, Handler> handler_cache_;
+  std::array<HandlerEntry, 1u << kHandlerCacheBits> handler_cache_;
   u64 traced_ = 0;
   u64 cache_hits_ = 0;
 };

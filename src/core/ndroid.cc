@@ -20,12 +20,44 @@ std::function<bool(GuestAddr)> NDroid::scope_predicate() const {
   return [](GuestAddr) { return false; };
 }
 
+bool NDroid::block_in_scope(arm::TranslationBlock& tb) {
+  // Memoised per block; blocks are straight-line and short, so testing the
+  // first and last instruction covers a region-boundary crossing. The memo
+  // is safe because set_block_gate flushes cached blocks on attach/detach.
+  if (tb.scope_cache == 0) {
+    const GuestAddr last = tb.insns.back().pc;
+    tb.scope_cache = (scope_(tb.pc) || scope_(last)) ? 1 : 2;
+  }
+  return tb.scope_cache == 1;
+}
+
+bool NDroid::block_gate(arm::TranslationBlock& tb) {
+  // The guard's store checks fire regardless of taint liveness.
+  if (guard_ != nullptr && tb.has_stores) return true;
+  // SVC sink checks read only the memory taint map; with no tainted bytes
+  // the check is a guaranteed no-op.
+  const bool mem_taint = engine_.map().tainted_bytes() != 0;
+  if (config_.sink_checks && tb.has_svc && mem_taint) return true;
+  if (!config_.instruction_tracer) return false;
+  if (!block_in_scope(tb)) return false;  // the tracer no-ops out of scope
+  // Disassembly tracing must observe every in-scope instruction.
+  if (config_.trace_disassembly) return true;
+  const bool reg_taint = engine_.tainted_regs() != 0;
+  // Nothing tainted anywhere: every Table V rule degenerates to writing
+  // clear over clear. Skip the block.
+  if (!reg_taint && !mem_taint) return false;
+  // Clean registers and no memory operations: a pure ALU block can neither
+  // pick up taint from memory nor needs to clear any.
+  if (!reg_taint && !tb.has_loads && !tb.has_stores) return false;
+  return true;
+}
+
 NDroid::NDroid(android::Device& device, NDroidConfig config)
-    : device_(device), config_(config) {
+    : device_(device), config_(config), scope_(scope_predicate()) {
   log_.echo = config_.echo_log;
 
   tracer_ = std::make_unique<InstructionTracer>(
-      engine_, scope_predicate(), config_.handler_cache,
+      engine_, scope_, config_.handler_cache,
       config_.trace_disassembly ? &log_ : nullptr);
   syslib_ = std::make_unique<SysLibHookEngine>(
       device_.libc, device_.kernel, engine_, log_, config_.syslib_models);
@@ -41,24 +73,62 @@ NDroid::NDroid(android::Device& device, NDroidConfig config)
     guard_ = std::make_unique<TaintGuard>(device_, third_party);
   }
 
+  // Each engine's wants_branch() is a guaranteed-no-op prefilter, so hot
+  // loop back-edges (the overwhelming majority of branch events) skip the
+  // dispatch bodies entirely.
   branch_hook_id_ = device_.cpu.add_branch_hook(
       [this](arm::Cpu& cpu, GuestAddr from, GuestAddr to) {
-        if (config_.dvm_hooks) dvm_hooks_->on_branch(cpu, from, to);
-        if (config_.syslib_models || config_.sink_checks) {
+        if (config_.dvm_hooks && dvm_hooks_->wants_branch(to)) {
+          dvm_hooks_->on_branch(cpu, from, to);
+        }
+        if ((config_.syslib_models || config_.sink_checks) &&
+            syslib_->wants_branch(to)) {
           syslib_->on_branch(cpu, from, to);
         }
-      });
+        // Every mutation of wants_branch()-relevant state happens inside the
+        // dispatch above (the engines' static hook tables are fixed at
+        // construction), so bumping here keeps the per-block branch memos
+        // sound: they stay valid exactly while no hook body has run.
+        ++analysis_epoch_;
+      },
+      /*gated=*/true);
+  // The branch gate mirrors the hook's own prefilters exactly: gate false
+  // implies the hook body above is a guaranteed no-op, which also licenses
+  // the executor's quiet self-loop chaining and the per-block edge memo
+  // (validated against analysis_epoch_).
+  device_.cpu.set_branch_gate(
+      [this](arm::Cpu&, GuestAddr /*from*/, GuestAddr to) {
+        return (config_.dvm_hooks && dvm_hooks_->wants_branch(to)) ||
+               ((config_.syslib_models || config_.sink_checks) &&
+                syslib_->wants_branch(to));
+      },
+      &analysis_epoch_);
+  // The hook consents to block-level gating: when the CPU runs translation
+  // blocks, block_gate() may skip it for whole blocks that cannot move
+  // taint (the liveness fast path).
   insn_hook_id_ = device_.cpu.add_insn_hook(
       [this](arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc) {
         if (config_.instruction_tracer) tracer_->on_insn(cpu, insn, pc);
         if (config_.sink_checks) syslib_->on_insn(cpu, insn, pc);
         if (guard_) guard_->on_insn(cpu, insn, pc);
-      });
+      },
+      /*gated=*/true);
+  if (config_.taint_liveness_fastpath) {
+    // The gate's only runtime-variable inputs are the two taint-liveness
+    // booleans, so the engine's liveness epoch (bumped on zero-crossings of
+    // register or memory taint) lets the executor memoise the answer
+    // per block until taint actually appears or vanishes.
+    device_.cpu.set_block_gate(
+        [this](arm::Cpu&, arm::TranslationBlock& tb) { return block_gate(tb); },
+        engine_.liveness_epoch());
+  }
 }
 
 NDroid::~NDroid() {
   device_.cpu.remove_branch_hook(branch_hook_id_);
   device_.cpu.remove_insn_hook(insn_hook_id_);
+  device_.cpu.set_block_gate(nullptr);
+  device_.cpu.set_branch_gate(nullptr);
 }
 
 }  // namespace ndroid::core

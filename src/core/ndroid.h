@@ -49,6 +49,13 @@ struct NDroidConfig {
   /// §VII extension: flag third-party stores into the DVM stack, libdvm, or
   /// kernel structures (taint tampering / trusted-function modification).
   bool taint_protection = false;
+  /// Taint-liveness fast path: when the CPU executes translation blocks,
+  /// NDroid's block gate skips all per-instruction work for blocks that
+  /// provably cannot move taint (nothing tainted anywhere, or clean
+  /// registers and no memory operations in the block). Off = hook every
+  /// instruction regardless (ablation; also forced off by
+  /// trace_disassembly, which must see every in-scope instruction).
+  bool taint_liveness_fastpath = true;
 
   enum class Scope {
     kThirdParty,          // app .so files only (NDroid, §V-C)
@@ -70,6 +77,9 @@ struct NDroidConfig {
     cfg.multilevel_hooking = false;
     cfg.sink_checks = false;
     cfg.scope = Scope::kAll;
+    // DroidScope-style tracing instruments every instruction unconditionally;
+    // it has no taint-liveness gating. Keep the baseline honest.
+    cfg.taint_liveness_fastpath = false;
     return cfg;
   }
 };
@@ -99,17 +109,27 @@ class NDroid {
 
  private:
   [[nodiscard]] std::function<bool(GuestAddr)> scope_predicate() const;
+  /// Decides once per translation block whether per-instruction hooks are
+  /// needed (false = the taint-liveness fast path skips the whole block).
+  bool block_gate(arm::TranslationBlock& tb);
+  [[nodiscard]] bool block_in_scope(arm::TranslationBlock& tb);
 
   android::Device& device_;
   NDroidConfig config_;
   TaintEngine engine_;
   TraceLog log_;
+  std::function<bool(GuestAddr)> scope_;  // tracer scope, used by the gate
   std::unique_ptr<InstructionTracer> tracer_;
   std::unique_ptr<DvmHookEngine> dvm_hooks_;
   std::unique_ptr<SysLibHookEngine> syslib_;
   std::unique_ptr<TaintGuard> guard_;
   int branch_hook_id_ = 0;
   int insn_hook_id_ = 0;
+  /// Branch-gate memo epoch: bumped whenever the hook engines' dynamic
+  /// interest state (pending exits, NOF/JNI stacks, chain) may have
+  /// changed. All such mutations happen inside the branch-hook dispatch,
+  /// which bumps this unconditionally after running the engines.
+  u64 analysis_epoch_ = 0;
 };
 
 }  // namespace ndroid::core

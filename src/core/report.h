@@ -10,9 +10,45 @@
 #include <string>
 #include <vector>
 
+#include "arm/cpu.h"
 #include "common/types.h"
 
 namespace ndroid::core {
+
+/// Substrate performance counters (translation-block cache + fast paths),
+/// collected from a Cpu for benchmarks and tests.
+struct PerfCounters {
+  u64 tb_lookups = 0;
+  u64 tb_hits = 0;
+  u64 tb_translations = 0;
+  u64 tb_invalidated = 0;
+  u64 tb_flushes = 0;
+  u64 fastpath_blocks = 0;  // blocks executed with all insn hooks skipped
+  u64 fastpath_insns = 0;   // instructions those blocks retired
+  u64 decode_lookups = 0;
+  u64 decode_hits = 0;
+
+  [[nodiscard]] double tb_hit_rate() const {
+    return tb_lookups == 0
+               ? 0.0
+               : static_cast<double>(tb_hits) / static_cast<double>(tb_lookups);
+  }
+};
+
+inline PerfCounters collect_perf(const arm::Cpu& cpu) {
+  const arm::TbCache& tb = cpu.tb_cache();
+  PerfCounters c;
+  c.tb_lookups = tb.lookups();
+  c.tb_hits = tb.hits();
+  c.tb_translations = tb.translations();
+  c.tb_invalidated = tb.invalidated_blocks();
+  c.tb_flushes = tb.flushes();
+  c.fastpath_blocks = cpu.fastpath_blocks();
+  c.fastpath_insns = cpu.fastpath_insns();
+  c.decode_lookups = cpu.decode_lookups();
+  c.decode_hits = cpu.decode_hits();
+  return c;
+}
 
 /// A leak NDroid detected at a native-context sink (Table VII's starred
 /// functions: write*, send*, sendto*, fwrite*, fputc*, fputs*, fprintf).

@@ -20,6 +20,10 @@ SysLibHookEngine::SysLibHookEngine(libc::Libc& libc, os::Kernel& kernel,
       models_enabled_(models_enabled) {
   if (models_enabled_) install_models();
   install_sinks();
+  // install_sinks() writes entry_hooks_ directly; (re)derive the branch
+  // prefilter from the final key set so it can never under-approximate.
+  targets_.clear();
+  for (const auto& [addr, hook] : entry_hooks_) targets_.add(addr);
 }
 
 u32 SysLibHookEngine::guest_strlen(arm::Cpu& cpu, GuestAddr s) {
@@ -38,13 +42,17 @@ u32 SysLibHookEngine::guest_strlen(arm::Cpu& cpu, GuestAddr s) {
 
 void SysLibHookEngine::add_model(const std::string& name,
                                  std::function<void(arm::Cpu&)> entry) {
-  entry_hooks_[libc_.fn(name)] = {name, std::move(entry)};
+  const GuestAddr addr = libc_.fn(name);
+  entry_hooks_[addr] = {name, std::move(entry)};
+  targets_.add(addr);
 }
 
 void SysLibHookEngine::add_model_with_exit(
     const std::string& name,
     std::function<std::function<void(arm::Cpu&)>(arm::Cpu&)> entry) {
-  entry_hooks_[libc_.fn(name)] = {
+  const GuestAddr addr = libc_.fn(name);
+  targets_.add(addr);
+  entry_hooks_[addr] = {
       name, [this, entry](arm::Cpu& cpu) {
         auto exit_fn = entry(cpu);
         if (exit_fn) {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <unordered_map>
 
+#include "common/addr_filter.h"
 #include "arm/cpu.h"
 #include "core/report.h"
 #include "core/taint_engine.h"
@@ -33,6 +34,11 @@ class SysLibHookEngine {
 
   /// Branch-event dispatch (modeled-function entry/exit).
   void on_branch(arm::Cpu& cpu, GuestAddr from, GuestAddr to);
+
+  /// Cheap prefilter: false means on_branch(to) is guaranteed to be a no-op.
+  [[nodiscard]] bool wants_branch(GuestAddr to) const {
+    return !exits_.empty() || targets_.maybe(to);
+  }
 
   /// Instruction-event dispatch (SVC sink checks).
   void on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
@@ -78,6 +84,8 @@ class SysLibHookEngine {
   std::unordered_map<GuestAddr, std::pair<std::string,
                                           std::function<void(arm::Cpu&)>>>
       entry_hooks_;
+  /// Prefilter over entry_hooks_ keys, maintained by add_model*().
+  AddrBloom targets_;
   struct PendingExit {
     GuestAddr ret_to;
     std::function<void(arm::Cpu&)> fn;

@@ -21,11 +21,43 @@ namespace ndroid::core {
 
 class TaintEngine {
  public:
+  TaintEngine() { map_.set_liveness_epoch_slot(&liveness_epoch_); }
+  // The shadow map holds a pointer back into this object.
+  TaintEngine(const TaintEngine&) = delete;
+  TaintEngine& operator=(const TaintEngine&) = delete;
+
   // --- Shadow registers ---------------------------------------------------
   [[nodiscard]] Taint reg(u8 index) const { return regs_[index]; }
-  void set_reg(u8 index, Taint t) { regs_[index] = t; }
-  void add_reg(u8 index, Taint t) { regs_[index] |= t; }
-  void clear_regs() { regs_.fill(kTaintClear); }
+  void set_reg(u8 index, Taint t) {
+    const bool was = tainted_regs_ != 0;
+    tainted_regs_ += (t != kTaintClear) - (regs_[index] != kTaintClear);
+    regs_[index] = t;
+    liveness_epoch_ += (tainted_regs_ != 0) != was;
+  }
+  void add_reg(u8 index, Taint t) {
+    if (t == kTaintClear) return;
+    liveness_epoch_ += tainted_regs_ == 0 && regs_[index] == kTaintClear;
+    tainted_regs_ += (regs_[index] == kTaintClear);
+    regs_[index] |= t;
+  }
+  void clear_regs() {
+    liveness_epoch_ += tainted_regs_ != 0;
+    regs_.fill(kTaintClear);
+    tainted_regs_ = 0;
+  }
+
+  // --- Taint liveness (the translation-block fast path reads these once
+  // per block to decide whether the instruction tracer can be skipped) -----
+  [[nodiscard]] u32 tainted_regs() const { return tainted_regs_; }
+  [[nodiscard]] bool has_live_taint() const {
+    return tainted_regs_ != 0 || map_.tainted_bytes() != 0;
+  }
+
+  /// Counter bumped whenever register or memory taint liveness crosses zero
+  /// — every input of NDroid's block gate that can change at runtime.
+  /// Handed to arm::Cpu::set_block_gate so per-block gate answers are
+  /// memoised until liveness actually changes.
+  [[nodiscard]] const u64* liveness_epoch() const { return &liveness_epoch_; }
 
   // --- Taint map (guest memory shadows) ------------------------------------
   mem::ShadowMemory& map() { return map_; }
@@ -52,6 +84,8 @@ class TaintEngine {
 
  private:
   std::array<Taint, 16> regs_{};
+  u32 tainted_regs_ = 0;
+  u64 liveness_epoch_ = 0;
   mem::ShadowMemory map_;
   std::unordered_map<u32, Taint> object_shadow_;
 };

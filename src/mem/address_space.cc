@@ -63,11 +63,13 @@ u64 AddressSpace::read64(GuestAddr addr) const {
 
 void AddressSpace::write8(GuestAddr addr, u8 value) {
   touch_page(addr)[addr & kPageMask] = value;
+  notify_write(addr, 1);
 }
 
 void AddressSpace::write16(GuestAddr addr, u16 value) {
   if ((addr & kPageMask) <= kPageSize - 2) {
     std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 2);
+    notify_write(addr, 2);
     return;
   }
   u8 buf[2];
@@ -78,6 +80,7 @@ void AddressSpace::write16(GuestAddr addr, u16 value) {
 void AddressSpace::write32(GuestAddr addr, u32 value) {
   if ((addr & kPageMask) <= kPageSize - 4) {
     std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 4);
+    notify_write(addr, 4);
     return;
   }
   u8 buf[4];
@@ -117,6 +120,7 @@ void AddressSpace::write_bytes(GuestAddr addr, std::span<const u8> in) {
     std::memcpy(touch_page(cur).data() + in_page, in.data() + done, chunk);
     done += chunk;
   }
+  if (!in.empty()) notify_write(addr, static_cast<u32>(in.size()));
 }
 
 std::string AddressSpace::read_cstr(GuestAddr addr, u32 max_len) const {

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -56,13 +57,39 @@ class AddressSpace {
   /// Number of pages currently materialised (memory footprint diagnostics).
   [[nodiscard]] std::size_t resident_pages() const { return pages_.size(); }
 
+  /// Write watch: `page_bitmap` is a caller-owned byte-per-4KiB-page map of
+  /// interesting pages; `watch` fires after any write touching a marked
+  /// page. The translation-block cache uses this to invalidate cached code
+  /// on self-modification (both guest stores and host-side loads go through
+  /// these write paths). Pass nullptrs to clear.
+  using WriteWatch = std::function<void(GuestAddr addr, u32 len)>;
+  void set_write_watch(const u8* page_bitmap, WriteWatch watch) {
+    watch_pages_ = page_bitmap;
+    watch_ = std::move(watch);
+  }
+
  private:
   using Page = std::array<u8, kPageSize>;
 
   [[nodiscard]] const Page* find_page(GuestAddr addr) const;
   Page& touch_page(GuestAddr addr);
 
+  /// One predictable branch on the hot write path when no watch is set.
+  void notify_write(GuestAddr addr, u32 len) {
+    if (watch_pages_ == nullptr) [[likely]] return;
+    const u32 first = addr >> kPageShift;
+    const u32 last = (addr + len - 1) >> kPageShift;
+    for (u32 page = first; page <= last; ++page) {
+      if (watch_pages_[page]) {
+        watch_(addr, len);
+        return;
+      }
+    }
+  }
+
   std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+  const u8* watch_pages_ = nullptr;
+  WriteWatch watch_;
 };
 
 }  // namespace ndroid::mem

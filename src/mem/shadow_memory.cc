@@ -5,16 +5,25 @@
 namespace ndroid::mem {
 
 const ShadowMemory::Page* ShadowMemory::find_page(GuestAddr addr) const {
-  auto it = pages_.find(addr >> kPageShift);
-  return it == pages_.end() ? nullptr : it->second.get();
+  const u32 page_no = addr >> kPageShift;
+  if (page_no == cursor_page_) return cursor_;
+  auto it = pages_.find(page_no);
+  if (it == pages_.end()) return nullptr;
+  cursor_page_ = page_no;
+  cursor_ = it->second.get();
+  return cursor_;
 }
 
 ShadowMemory::Page& ShadowMemory::touch_page(GuestAddr addr) {
-  auto& slot = pages_[addr >> kPageShift];
+  const u32 page_no = addr >> kPageShift;
+  if (page_no == cursor_page_) return *cursor_;
+  auto& slot = pages_[page_no];
   if (!slot) {
     slot = std::make_unique<Page>();
     slot->fill(0);
   }
+  cursor_page_ = page_no;
+  cursor_ = slot.get();
   return *slot;
 }
 
@@ -24,6 +33,7 @@ Taint ShadowMemory::get(GuestAddr addr) const {
 }
 
 Taint ShadowMemory::get_range(GuestAddr addr, u32 len) const {
+  if (live_bytes_ == 0) return kTaintClear;  // nothing tainted anywhere
   Taint t = kTaintClear;
   u32 done = 0;
   while (done < len) {
@@ -40,15 +50,24 @@ Taint ShadowMemory::get_range(GuestAddr addr, u32 len) const {
 
 void ShadowMemory::set(GuestAddr addr, Taint taint) {
   if (taint == kTaintClear && find_page(addr) == nullptr) return;
-  touch_page(addr)[addr & kPageMask] = taint;
+  const bool was = live_bytes_ != 0;
+  Taint& slot = touch_page(addr)[addr & kPageMask];
+  live_bytes_ += (taint != kTaintClear) - (slot != kTaintClear);
+  slot = taint;
+  note_liveness(was);
 }
 
 void ShadowMemory::add(GuestAddr addr, Taint taint) {
   if (taint == kTaintClear) return;
-  touch_page(addr)[addr & kPageMask] |= taint;
+  const bool was = live_bytes_ != 0;
+  Taint& slot = touch_page(addr)[addr & kPageMask];
+  live_bytes_ += (slot == kTaintClear);
+  slot |= taint;
+  note_liveness(was);
 }
 
 void ShadowMemory::set_range(GuestAddr addr, u32 len, Taint taint) {
+  const bool was = live_bytes_ != 0;
   u32 done = 0;
   while (done < len) {
     const GuestAddr cur = addr + done;
@@ -59,22 +78,32 @@ void ShadowMemory::set_range(GuestAddr addr, u32 len, Taint taint) {
       continue;  // clearing untouched memory needs no page
     }
     Page& p = touch_page(cur);
+    for (u32 i = 0; i < chunk; ++i) {
+      live_bytes_ -= (p[in_page + i] != kTaintClear);
+    }
     std::fill_n(p.data() + in_page, chunk, taint);
+    if (taint != kTaintClear) live_bytes_ += chunk;
     done += chunk;
   }
+  note_liveness(was);
 }
 
 void ShadowMemory::add_range(GuestAddr addr, u32 len, Taint taint) {
   if (taint == kTaintClear) return;
+  const bool was = live_bytes_ != 0;
   u32 done = 0;
   while (done < len) {
     const GuestAddr cur = addr + done;
     const u32 in_page = cur & kPageMask;
     const u32 chunk = std::min(kPageSize - in_page, len - done);
     Page& p = touch_page(cur);
-    for (u32 i = 0; i < chunk; ++i) p[in_page + i] |= taint;
+    for (u32 i = 0; i < chunk; ++i) {
+      live_bytes_ += (p[in_page + i] == kTaintClear);
+      p[in_page + i] |= taint;
+    }
     done += chunk;
   }
+  note_liveness(was);
 }
 
 void ShadowMemory::copy_range(GuestAddr dst, GuestAddr src, u32 len) {
@@ -84,14 +113,6 @@ void ShadowMemory::copy_range(GuestAddr dst, GuestAddr src, u32 len) {
   } else {
     for (u32 i = 0; i < len; ++i) set(dst + i, get(src + i));
   }
-}
-
-u64 ShadowMemory::tainted_bytes() const {
-  u64 n = 0;
-  for (const auto& [page_no, page] : pages_) {
-    for (Taint t : *page) n += (t != kTaintClear);
-  }
-  return n;
 }
 
 }  // namespace ndroid::mem

@@ -4,6 +4,12 @@
 // maintains shadow registers to store the related registers' taints and a
 // taint map to store the memories' taints. The taint granularity of NDroid
 // is byte." Combination is bitwise OR of 32-bit labels.
+//
+// Two hot-path accelerations feed the translation-block fast path:
+//  * a one-entry page cursor so consecutive accesses to the same 4 KiB page
+//    skip the hash lookup entirely;
+//  * an exact live-byte counter (`tainted_bytes()` is O(1)) so the
+//    taint-liveness gate can ask "is anything tainted?" per block.
 #pragma once
 
 #include <array>
@@ -39,18 +45,43 @@ class ShadowMemory {
   /// Copies taints byte-for-byte, dst[i] = src[i] (memcpy's shadow op).
   void copy_range(GuestAddr dst, GuestAddr src, u32 len);
 
-  void clear_all() { pages_.clear(); }
+  void clear_all() {
+    const bool was = live_bytes_ != 0;
+    pages_.clear();
+    live_bytes_ = 0;
+    cursor_page_ = kNoPage;
+    cursor_ = nullptr;
+    note_liveness(was);
+  }
 
-  /// Count of bytes with a non-zero label (diagnostics / tests).
-  [[nodiscard]] u64 tainted_bytes() const;
+  /// Count of bytes with a non-zero label. O(1): maintained incrementally
+  /// by every mutation (the taint-liveness fast path reads it per block).
+  [[nodiscard]] u64 tainted_bytes() const { return live_bytes_; }
+
+  /// Optional counter bumped whenever tainted_bytes() crosses zero in either
+  /// direction — the liveness epoch the block-gate memo is validated against
+  /// (see arm::Cpu::set_block_gate). Wired by TaintEngine.
+  void set_liveness_epoch_slot(u64* slot) { epoch_slot_ = slot; }
 
  private:
   using Page = std::array<Taint, kPageSize>;
+  static constexpr u32 kNoPage = 0xFFFFFFFFu;
 
   [[nodiscard]] const Page* find_page(GuestAddr addr) const;
   Page& touch_page(GuestAddr addr);
+  /// Bumps the liveness epoch if live_bytes_ crossed zero since `was`.
+  void note_liveness(bool was) {
+    if (epoch_slot_ != nullptr && (live_bytes_ != 0) != was) ++*epoch_slot_;
+  }
 
   std::unordered_map<u32, std::unique_ptr<Page>> pages_;
+  u64 live_bytes_ = 0;
+  u64* epoch_slot_ = nullptr;
+
+  // One-entry cursor over the last page touched; Page allocations are
+  // stable across rehashes, and pages are only dropped by clear_all().
+  mutable u32 cursor_page_ = kNoPage;
+  mutable Page* cursor_ = nullptr;
 };
 
 }  // namespace ndroid::mem

@@ -86,7 +86,12 @@ TEST(CfBench, DiskWorkloadsTouchTheVfs) {
 
 TEST(CfBench, NDroidTracesNativeButNotJavaWorkloads) {
   Device device;
-  core::NDroid nd(device);
+  // This test checks the tracer's *scope* (native vs Java), so disable the
+  // taint-liveness fast path: the cfbench workloads carry no taint and would
+  // otherwise be skipped wholesale before scoping is ever consulted.
+  core::NDroidConfig cfg;
+  cfg.taint_liveness_fastpath = false;
+  core::NDroid nd(device, cfg);
   CfBenchApp bench(device);
 
   bench.run(*bench.find("Java MIPS"), 100);

@@ -111,6 +111,27 @@ TEST(GoldenLogs, Fig9PocCase3Sequence) {
                  });
 }
 
+TEST(GoldenLogs, InterpretiveAblationIsBitForBitIdentical) {
+  // `use_tb_cache=false` selects the seed interpretive engine; the full
+  // analysis log of a case study must match the TB-cache engine's log
+  // line for line — not just contain the same milestones.
+  auto run_case = [](bool use_tb) {
+    Device device;
+    device.cpu.set_use_tb_cache(use_tb);
+    NDroid nd(device);
+    const auto app = apps::build_case2(device);
+    device.dvm.call(*app.entry, {});
+    return nd.log().lines();
+  };
+  const std::vector<std::string> tb_log = run_case(true);
+  const std::vector<std::string> interp_log = run_case(false);
+  ASSERT_FALSE(tb_log.empty());
+  ASSERT_EQ(tb_log.size(), interp_log.size());
+  for (std::size_t i = 0; i < tb_log.size(); ++i) {
+    EXPECT_EQ(tb_log[i], interp_log[i]) << "first divergence at line " << i;
+  }
+}
+
 TEST(GoldenLogs, CleanRunProducesNoSourceEvents) {
   Device device;
   NDroid nd(device);

@@ -96,6 +96,44 @@ void BM_EmulatorNativeMipsTracedTainted(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorNativeMipsTracedTainted);
 
+/// NDroid + TB engine with live register taint and NO gating at all
+/// (`taint_liveness_fastpath=false`, `static_summaries=false`): the seed
+/// full-trace configuration on the TB engine. Baseline for the gating trio
+/// recorded by scripts/bench.sh.
+void BM_EmulatorNativeMipsTracedTaintedFull(benchmark::State& state) {
+  Env env;
+  core::NDroidConfig cfg;
+  cfg.taint_liveness_fastpath = false;
+  cfg.static_summaries = false;
+  core::NDroid nd(env.device, cfg);
+  nd.taint_engine().set_reg(4, 0x2);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTracedTaintedFull);
+
+/// Same live taint (r4 — outside nativeMips's Table V footprint r0-r3), but
+/// with the static pre-analysis attached: the liveness gate alone cannot
+/// skip (register taint is live), while the summary gate proves the
+/// intersection empty and skips the whole loop. The speedup of this
+/// benchmark over BM_EmulatorNativeMipsTracedTainted is the PR's
+/// summary-gated acceptance ratio.
+void BM_EmulatorNativeMipsTracedTaintedSummary(benchmark::State& state) {
+  Env env;
+  core::NDroid nd(env.device);
+  nd.attach_static_analysis();
+  nd.taint_engine().set_reg(4, 0x2);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTracedTaintedSummary);
+
 void BM_InterpreterJavaMips(benchmark::State& state) {
   Env env;
   const auto* w = env.bench.find("Java MIPS");

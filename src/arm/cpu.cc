@@ -1,6 +1,7 @@
 #include "arm/cpu.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace ndroid::arm {
 
@@ -171,8 +172,10 @@ void Cpu::step() {
 
   for (auto& h : insn_hooks_) h.fn(*this, insn, pc);
 
-  if (insn.op == Op::kSvc && condition_passed(insn.cond, state_)) {
+  if (insn.op == Op::kSvc &&
+      condition_passed(effective_cond(insn, state_), state_)) {
     if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+    if (state_.thumb && state_.itstate != 0) advance_itstate(state_);
     state_.set_pc(pc + insn.length);
     ++retired_;
     svc_handler_(*this, insn.imm);
@@ -190,6 +193,7 @@ std::shared_ptr<TranslationBlock> Cpu::translate(GuestAddr pc, bool thumb) {
   tb->pc = pc;
   tb->thumb = thumb;
   GuestAddr cur = pc;
+  u32 it_left = 0;  // instructions still covered by a decoded IT
   while (tb->insns.size() < TbCache::kMaxBlockInsns) {
     // Never fall through into the helper window — or onto a helper that
     // shadows ordinary guest code: the run loop must regain control there
@@ -198,11 +202,27 @@ std::shared_ptr<TranslationBlock> Cpu::translate(GuestAddr pc, bool thumb) {
     if (has_low_helpers_ && cur != pc && helpers_.count(cur) != 0) break;
     const Insn& insn = fetch_decode(cur, thumb);
     if (insn.op == Op::kUndefined) break;  // step() raises the fault
+    if (insn.op == Op::kIt) {
+      const u32 len =
+          4 - static_cast<u32>(std::countr_zero(insn.imm & 0xFu));
+      // Never split an IT block across translation blocks: the covered
+      // instructions must live in the same block as the IT so their
+      // conditional (un-fusable) treatment below is always applied.
+      if (tb->insns.size() + 1 + len > TbCache::kMaxBlockInsns) break;
+      it_left = len;
+    }
     TbInsn ti;
     ti.insn = insn;
     ti.pc = cur;
     ti.taint_class = insn.taint_class();
-    ti.fast = select_fast_exec(insn);
+    if (it_left > 0 && insn.op != Op::kIt) {
+      // IT'd instructions execute conditionally and must suppress flag
+      // writes; only the general execute() path understands ITSTATE.
+      ti.fast = nullptr;
+      --it_left;
+    } else {
+      ti.fast = select_fast_exec(insn);
+    }
     switch (ti.taint_class) {
       case TaintClass::kLoad:
       case TaintClass::kLdm:
@@ -313,8 +333,10 @@ u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
     done += last;
     {
       const TbInsn& ti = tb.insns[last];
-      if (ti.insn.op == Op::kSvc && condition_passed(ti.insn.cond, state_)) {
+      if (ti.insn.op == Op::kSvc &&
+          condition_passed(effective_cond(ti.insn, state_), state_)) {
         if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+        if (state_.thumb && state_.itstate != 0) advance_itstate(state_);
         state_.set_pc(ti.pc + ti.insn.length);
         ++retired_;
         ++done;
@@ -357,8 +379,10 @@ careful:
     if (fire) {
       for (auto& h : insn_hooks_) h.fn(*this, ti.insn, ti.pc);
     }
-    if (ti.insn.op == Op::kSvc && condition_passed(ti.insn.cond, state_)) {
+    if (ti.insn.op == Op::kSvc &&
+        condition_passed(effective_cond(ti.insn, state_), state_)) {
       if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+      if (state_.thumb && state_.itstate != 0) advance_itstate(state_);
       state_.set_pc(ti.pc + ti.insn.length);
       ++retired_;
       ++done;
@@ -403,6 +427,15 @@ bool Cpu::run_tb(u64 max_steps) {
   while (done < max_steps) {
     const GuestAddr pc = state_.pc();
     if (pc == kHostReturnAddr) return true;
+    if (state_.itstate != 0) {
+      // Mid-IT continuation (a block ended inside an IT block, or a jump
+      // landed in one): blocks starting here were translated without IT
+      // context, so their fused handlers would ignore the live ITSTATE.
+      // Step interpretively until the IT block drains (at most 4 steps).
+      step();
+      ++done;
+      continue;
+    }
     if (pc >= kHelperWindowBase ||
         (has_low_helpers_ && helpers_.count(pc) != 0)) {
       step();  // helper dispatch (or plain execution in the window)

@@ -27,6 +27,11 @@ struct CPUState {
   // Execution state: true when executing Thumb instructions (CPSR.T).
   bool thumb = false;
 
+  // Thumb ITSTATE byte (CPSR.IT): zero outside an IT block; otherwise the
+  // top four bits hold the condition for the next instruction and the low
+  // bits the remaining-length mask (advanced after each instruction).
+  u8 itstate = 0;
+
   [[nodiscard]] u32 sp() const { return regs[kRegSP]; }
   [[nodiscard]] u32 lr() const { return regs[kRegLR]; }
   [[nodiscard]] u32 pc() const { return regs[kRegPC]; }

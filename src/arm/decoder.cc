@@ -507,8 +507,17 @@ Insn decode_thumb(u16 hw, u16 hw2) {
       if (bit(w, 8)) insn.reglist |= 1u << kRegPC;
       return insn;
     }
-    if (w == 0xBF00) {
-      insn.op = Op::kNop;
+    if (bits(w, 15, 8) == 0xBF) {
+      if (bits(w, 3, 0) != 0) {
+        // IT{x{y{z}}}: stash the whole ITSTATE byte; the executor resolves
+        // the per-instruction condition dynamically (the decode cache keys
+        // on the encoding alone, so IT context can never be baked into the
+        // decoded form of the instructions that follow).
+        insn.op = Op::kIt;
+        insn.imm = bits(w, 7, 0);
+        return insn;
+      }
+      insn.op = Op::kNop;  // NOP and the YIELD/WFE/WFI/SEV hints
       return insn;
     }
     insn.op = Op::kUndefined;

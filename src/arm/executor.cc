@@ -233,15 +233,10 @@ void exec_data_processing(const Insn& insn, CPUState& state, GuestAddr pc) {
   }
 }
 
-}  // namespace
-
-void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory) {
-  const GuestAddr pc = state.pc();
-  const GuestAddr next = pc + insn.length;
-  state.set_pc(next);  // instruction effects below may override
-
-  if (!condition_passed(insn.cond, state)) return;
-
+/// The per-opcode effects, after condition and ITSTATE handling. On entry
+/// `state.pc()` already holds `next`; branch opcodes override it.
+void execute_body(const Insn& insn, CPUState& state, mem::AddressSpace& memory,
+                  GuestAddr pc, GuestAddr next) {
   switch (insn.op) {
     case Op::kUndefined:
       throw GuestFault("undefined instruction at 0x" + std::to_string(pc) +
@@ -467,11 +462,50 @@ void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory) {
       return;
     }
 
+    case Op::kIt:
+      state.itstate = static_cast<u8>(insn.imm);
+      return;
+
     case Op::kSvc:
       // Handled by the CPU run loop (kernel dispatch); executing one here
       // directly is a configuration error.
       throw GuestFault("raw SVC reached executor");
   }
+}
+
+}  // namespace
+
+void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory) {
+  const GuestAddr pc = state.pc();
+  const GuestAddr next = pc + insn.length;
+  state.set_pc(next);  // instruction effects below may override
+
+  if (state.thumb && state.itstate != 0 && insn.op != Op::kIt) [[unlikely]] {
+    const Cond cond = static_cast<Cond>(state.itstate >> 4);
+    advance_itstate(state);
+    if (!condition_passed(cond, state)) return;  // skipped; PC advanced
+    if (insn.set_flags && insn.length == 2 && insn.op != Op::kCmp &&
+        insn.op != Op::kCmn && insn.op != Op::kTst) {
+      // Thumb-16 data processing inside an IT block reuses the
+      // flag-setting encodings but must not set flags; compares do.
+      Insn quiet = insn;
+      quiet.set_flags = false;
+      execute_body(quiet, state, memory, pc, next);
+    } else {
+      execute_body(insn, state, memory, pc, next);
+    }
+    // A taken branch (or an interworking switch out of Thumb) terminates
+    // the IT block — the architecture calls a non-final branch in an IT
+    // block unpredictable; defining it as an ITSTATE flush keeps the
+    // interpretive and translation-block engines in exact agreement.
+    if (state.itstate != 0 && (state.pc() != next || !state.thumb)) {
+      state.itstate = 0;
+    }
+    return;
+  }
+
+  if (!condition_passed(insn.cond, state)) return;
+  execute_body(insn, state, memory, pc, next);
 }
 
 // --- Fused handlers ---------------------------------------------------------

@@ -16,6 +16,28 @@ namespace ndroid::arm {
 
 [[nodiscard]] bool condition_passed(Cond cond, const CPUState& state);
 
+/// Condition `insn` will execute under *right now*: inside a Thumb IT block
+/// the ITSTATE condition overrides the encoded one (Thumb-16 instructions
+/// all encode AL; a branch with the unconditional encoding becomes
+/// conditional when IT'd). Pure peek — does not advance the ITSTATE.
+[[nodiscard]] inline Cond effective_cond(const Insn& insn,
+                                         const CPUState& state) {
+  if (state.thumb && state.itstate != 0 && insn.op != Op::kIt) {
+    return static_cast<Cond>(state.itstate >> 4);
+  }
+  return insn.cond;
+}
+
+/// Steps the ITSTATE past one instruction (architectural advance: shift the
+/// mask left; all-zero low bits end the block). execute() calls this
+/// itself; run loops that bypass execute() (taken SVC) must call it too.
+inline void advance_itstate(CPUState& state) {
+  state.itstate = (state.itstate & 0x07) == 0
+                      ? 0
+                      : static_cast<u8>((state.itstate & 0xE0) |
+                                        ((state.itstate << 1) & 0x1F));
+}
+
 /// Value a register read yields inside an instruction at `pc` (PC reads as
 /// pc+8 in ARM state, pc+4 in Thumb state).
 [[nodiscard]] u32 read_reg(const CPUState& state, u8 reg, GuestAddr pc,

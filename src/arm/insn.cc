@@ -61,6 +61,7 @@ TaintClass Insn::taint_class() const {
     case Op::kBlxReg:
     case Op::kSvc:
     case Op::kNop:
+    case Op::kIt:
     case Op::kUndefined:
       return TaintClass::kNone;
   }
@@ -115,6 +116,7 @@ std::string to_string(Op op) {
     case Op::kBlxReg: return "blx";
     case Op::kSvc: return "svc";
     case Op::kNop: return "nop";
+    case Op::kIt: return "it";
   }
   return "?";
 }

@@ -85,6 +85,9 @@ enum class Op : u8 {
   // System.
   kSvc,
   kNop,
+  /// Thumb IT: `imm` holds the architectural ITSTATE byte
+  /// (firstcond << 4 | mask) the instruction installs.
+  kIt,
 };
 
 /// Instruction "shape" as classified by Table V of the paper.

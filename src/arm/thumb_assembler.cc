@@ -235,6 +235,21 @@ void ThumbAssembler::svc(u8 number) {
 }
 void ThumbAssembler::nop() { emit(0xBF00); }
 
+void ThumbAssembler::it(Cond firstcond, const char* suffixes) {
+  // ITSTATE mask: one bit per extra instruction (firstcond's LSB for T, its
+  // complement for E), then a terminating 1, left-aligned into four bits.
+  const u8 fc = static_cast<u8>(firstcond);
+  u8 mask = 0;
+  int extra = 0;
+  for (const char* s = suffixes; *s != '\0'; ++s, ++extra) {
+    const u8 then_bit = fc & 1u;
+    mask = static_cast<u8>(
+        (mask << 1) | ((*s == 'T' || *s == 't') ? then_bit : then_bit ^ 1u));
+  }
+  mask = static_cast<u8>(((mask << 1) | 1u) << (3 - extra));
+  emit(static_cast<u16>(0xBF00 | (fc << 4) | mask));
+}
+
 void ThumbAssembler::load_imm32(Reg rd, u32 imm) {
   // Build byte by byte: movs rd, #b3; lsls; adds #b2; ... Constant-length
   // sequences keep branch offsets stable.

@@ -96,6 +96,12 @@ class ThumbAssembler {
   void svc(u8 number);
   void nop();
 
+  /// IT{x{y{z}}}: `suffixes` spells the optional then/else pattern for the
+  /// following instructions ("" = IT, "T" = ITT, "TE" = ITTE, ...). The
+  /// covered instructions use their normal (unconditional) encodings; use
+  /// b(label) — not b(label, cond) — for a conditional branch inside.
+  void it(Cond firstcond, const char* suffixes = "");
+
   /// Loads a 32-bit constant via movs/lsls/adds sequence (no literal pool).
   void load_imm32(Reg rd, u32 imm);
 

@@ -354,7 +354,14 @@ void DvmHookEngine::hook_jni_entry(arm::Cpu& cpu) {
   // calls cannot accumulate without bound.
   if (jni_stack_.size() > 64) jni_stack_.clear();
 
-  if (any_taint) {
+  if (any_taint && transparent_methods_.contains(call.method_address)) {
+    // Pre-analysis proved this method taint-transparent: its instructions
+    // touch no memory, make no calls, and its return value is argument
+    // independent. Seeding registers/shadows here could only be read back
+    // by the method itself, so the whole policy is dead weight.
+    log_.line("transparent method, SourcePolicy skipped");
+    ++source_policies_skipped;
+  } else if (any_taint) {
     policy.handler = [this](SourcePolicy& p, arm::CPUState& state) {
       engine_.set_reg(0, p.tR0);
       engine_.set_reg(1, p.tR1);

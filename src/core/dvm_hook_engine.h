@@ -60,8 +60,19 @@ class DvmHookEngine {
 
   SourcePolicyMap& policies() { return policies_; }
 
+  /// Native-method entry points (Thumb bit stripped) whose static taint
+  /// summaries proved them transparent — no memory effects, no calls, no
+  /// SVC, return value independent of the arguments. hook_jni_entry skips
+  /// SourcePolicy creation for these even when arguments carry taint: the
+  /// policy's only effect would be register/shadow writes the method can
+  /// neither propagate nor observe. Set by NDroid::attach_static_analysis.
+  void set_transparent_methods(std::unordered_set<GuestAddr> entries) {
+    transparent_methods_ = std::move(entries);
+  }
+
   // Statistics (tests and the ablation bench read these).
   u64 source_policies_created = 0;
+  u64 source_policies_skipped = 0;  // skipped via a transparent summary
   u64 source_policies_applied = 0;
   u64 jni_exit_restores = 0;
   u64 objects_tainted = 0;
@@ -123,6 +134,7 @@ class DvmHookEngine {
 
   SourcePolicyMap policies_;
   std::vector<JniCall> jni_stack_;
+  std::unordered_set<GuestAddr> transparent_methods_;
 
   // Multilevel chain state: current level per nesting depth.
   std::vector<int> chain_;

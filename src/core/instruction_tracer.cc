@@ -52,7 +52,10 @@ InstructionTracer::Handler InstructionTracer::classify(
 void InstructionTracer::on_insn(arm::Cpu& cpu, const Insn& insn,
                                 GuestAddr pc) {
   if (!in_scope_(pc)) return;
-  if (!arm::condition_passed(insn.cond, cpu.state())) return;
+  if (!arm::condition_passed(arm::effective_cond(insn, cpu.state()),
+                             cpu.state())) {
+    return;
+  }
 
   Handler handler;
   if (use_cache_) {

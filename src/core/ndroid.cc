@@ -1,5 +1,9 @@
 #include "core/ndroid.h"
 
+#include <unordered_set>
+
+#include "static/summary.h"
+
 namespace ndroid::core {
 
 std::function<bool(GuestAddr)> NDroid::scope_predicate() const {
@@ -49,6 +53,55 @@ bool NDroid::block_gate(arm::TranslationBlock& tb) {
   // Clean registers and no memory operations: a pure ALU block can neither
   // pick up taint from memory nor needs to clear any.
   if (!reg_taint && !tb.has_loads && !tb.has_stores) return false;
+  // Summary-gated fast path: taint is live, but the static summary of the
+  // function this block belongs to proves the block cannot touch it. The
+  // block executes a subset of the function's instructions (lookup verifies
+  // pc is an instruction boundary of a same-mode lifted function), so the
+  // function-level facts bound the block's behaviour:
+  //   * no tainted register is in the function's Table V footprint, and
+  //   * its memory accesses cannot reach a tainted byte (no accesses at
+  //     all / constant windows on provably clean pages / stack slots while
+  //     the taint map is empty).
+  // Every Table V rule in the block then writes clear over clear. The memo
+  // epoch is the engine's mutation epoch (tainted-register-mask changes and
+  // shadow-page liveness crossings), which covers every input read here.
+  if (summary_gate_ != nullptr) {
+    const auto* s = summary_gate_->lookup(tb.pc, tb.thumb);
+    if (s != nullptr && !s->opaque() &&
+        (engine_.tainted_reg_mask() & s->touched_regs) == 0) {
+      using static_analysis::MemKind;
+      bool mem_clear = false;
+      switch (s->mem_kind) {
+        case MemKind::kNone:
+          mem_clear = true;
+          break;
+        case MemKind::kStatic:
+          mem_clear = !mem_taint;
+          if (!mem_clear) {
+            mem_clear = true;
+            for (const auto& w : s->windows) {
+              if (engine_.map().any_tainted_in(w.lo, w.hi)) {
+                mem_clear = false;
+                break;
+              }
+            }
+          }
+          break;
+        case MemKind::kStack:
+          // SP-relative windows cannot be checked against the taint map
+          // without the runtime SP, and SP changes do not bump the memo
+          // epoch — only the map-is-empty fact is epoch-stable.
+          mem_clear = !mem_taint;
+          break;
+        case MemKind::kOpaque:
+          break;
+      }
+      if (mem_clear) {
+        ++summary_gate_skips;
+        return false;
+      }
+    }
+  }
   return true;
 }
 
@@ -122,6 +175,62 @@ NDroid::NDroid(android::Device& device, NDroidConfig config)
         [this](arm::Cpu&, arm::TranslationBlock& tb) { return block_gate(tb); },
         engine_.liveness_epoch());
   }
+}
+
+const SummaryGate* NDroid::attach_static_analysis() {
+  if (!config_.static_summaries) return nullptr;
+  using android::Layout;
+  namespace sa = static_analysis;
+
+  // (1) Code regions: the app process's third-party library mappings,
+  // discovered the way the §V-F layer does — by walking the guest kernel's
+  // task list through VMI, not by asking host-side bookkeeping.
+  os::ViewReconstructor vmi(device_.memory, os::Kernel::kTaskRoot);
+  const auto views = vmi.reconstruct();
+  std::vector<sa::CodeRegion> regions;
+  for (const auto& proc : views) {
+    if (proc.pid != device_.app_pid()) continue;
+    for (const auto& r : proc.regions) {
+      if (r.start >= Layout::kAppLibBase && r.start < Layout::kHeapBase) {
+        regions.push_back({r.start, r.end, r.name});
+      }
+    }
+  }
+
+  // (2) Roots: every registered native method living in third-party code —
+  // the JNI entry points the bridge can actually reach.
+  std::vector<sa::FunctionEntry> entries;
+  for (const dvm::Method* m : device_.dvm.native_methods()) {
+    const GuestAddr stripped = m->native_addr & ~1u;
+    if (stripped >= Layout::kAppLibBase && stripped < Layout::kHeapBase) {
+      entries.push_back(
+          {m->native_addr, m->clazz->descriptor() + "." + m->name});
+    }
+  }
+
+  const sa::CfgLifter lifter(device_.memory, std::move(regions));
+  sa::Program program = lifter.lift(entries);
+  sa::SummaryIndex index = sa::summarize(program);
+  summary_gate_ =
+      std::make_unique<SummaryGate>(std::move(program), std::move(index));
+
+  // (3) Feedback into the dynamic layer: transparent JNI methods need no
+  // SourcePolicy at all...
+  std::unordered_set<GuestAddr> transparent;
+  for (GuestAddr e : summary_gate_->transparent_entries()) {
+    transparent.insert(e);
+  }
+  dvm_hooks_->set_transparent_methods(std::move(transparent));
+
+  // ...and the block gate re-arms on the finer taint-mutation epoch so the
+  // summary answers in block_gate stay memo-sound (set_block_gate flushes
+  // every existing per-block memo).
+  if (config_.taint_liveness_fastpath) {
+    device_.cpu.set_block_gate(
+        [this](arm::Cpu&, arm::TranslationBlock& tb) { return block_gate(tb); },
+        engine_.mutation_epoch());
+  }
+  return summary_gate_.get();
 }
 
 NDroid::~NDroid() {

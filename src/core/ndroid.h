@@ -24,6 +24,7 @@
 #include "core/dvm_hook_engine.h"
 #include "core/instruction_tracer.h"
 #include "core/report.h"
+#include "core/summary_gate.h"
 #include "core/syslib_hook_engine.h"
 #include "core/taint_engine.h"
 #include "core/taint_guard.h"
@@ -56,6 +57,12 @@ struct NDroidConfig {
   /// instruction regardless (ablation; also forced off by
   /// trace_disassembly, which must see every in-scope instruction).
   bool taint_liveness_fastpath = true;
+  /// Static pre-analysis feedback (attach_static_analysis): summaries of the
+  /// app's native functions let the block gate skip taint-transparent code
+  /// even while taint is live, and let the DVM Hook Engine pre-place
+  /// SourcePolicies only at taint-relevant JNI methods. Off = the attach
+  /// call becomes a no-op (ablation: liveness-only gating).
+  bool static_summaries = true;
 
   enum class Scope {
     kThirdParty,          // app .so files only (NDroid, §V-C)
@@ -107,6 +114,24 @@ class NDroid {
   [[nodiscard]] TaintGuard* guard() { return guard_.get(); }
   [[nodiscard]] const NDroidConfig& config() const { return config_; }
 
+  /// Runs the static pre-analysis (§ tentpole): discovers the app's code
+  /// regions through the OS view reconstructor, lifts CFGs from every
+  /// registered native method, computes taint summaries, and feeds them
+  /// back into the dynamic layer (summary-aware block gate on the finer
+  /// taint-mutation epoch; transparent-method set for the DVM Hook Engine).
+  /// Call after the app's native libraries are loaded and its methods
+  /// registered. Returns the gate (nullptr when config.static_summaries is
+  /// off). Safe to call again after more libraries load — rebuilds.
+  const SummaryGate* attach_static_analysis();
+  /// Non-null after a successful attach_static_analysis().
+  [[nodiscard]] const SummaryGate* summary_gate() const {
+    return summary_gate_.get();
+  }
+
+  /// Blocks the gate skipped on summary evidence while taint was live (each
+  /// count is a fresh gate evaluation; epoch-memoised re-skips don't count).
+  u64 summary_gate_skips = 0;
+
  private:
   [[nodiscard]] std::function<bool(GuestAddr)> scope_predicate() const;
   /// Decides once per translation block whether per-instruction hooks are
@@ -123,6 +148,7 @@ class NDroid {
   std::unique_ptr<DvmHookEngine> dvm_hooks_;
   std::unique_ptr<SysLibHookEngine> syslib_;
   std::unique_ptr<TaintGuard> guard_;
+  std::unique_ptr<SummaryGate> summary_gate_;
   int branch_hook_id_ = 0;
   int insn_hook_id_ = 0;
   /// Branch-gate memo epoch: bumped whenever the hook engines' dynamic

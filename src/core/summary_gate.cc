@@ -1,0 +1,65 @@
+#include "core/summary_gate.h"
+
+#include <algorithm>
+
+namespace ndroid::core {
+
+using static_analysis::TaintSummary;
+
+SummaryGate::SummaryGate(static_analysis::Program program,
+                         static_analysis::SummaryIndex index)
+    : program_(std::move(program)), index_(std::move(index)) {
+  // Pointers into the maps stay valid: std::map nodes never move.
+  for (const auto& [entry, fn] : program_.functions) {
+    const TaintSummary* s = index_.find(entry);
+    if (s == nullptr) continue;
+    Span span;
+    span.lo = fn.lo;
+    span.hi = fn.hi;
+    span.fn = &fn;
+    span.summary = s;
+    for (const auto& [start, bb] : fn.blocks) {
+      GuestAddr pc = bb.start;
+      for (const auto& insn : bb.insns) {
+        span.boundaries.insert(pc);
+        pc += insn.length;
+      }
+    }
+    spans_.push_back(std::move(span));
+  }
+  std::sort(spans_.begin(), spans_.end(),
+            [](const Span& a, const Span& b) { return a.lo < b.lo; });
+  max_hi_.reserve(spans_.size());
+  GuestAddr running = 0;
+  for (const Span& s : spans_) {
+    running = std::max(running, s.hi);
+    max_hi_.push_back(running);
+  }
+}
+
+const TaintSummary* SummaryGate::lookup(GuestAddr pc, bool thumb) const {
+  // First span with lo > pc; candidates are at indices < i. Function spans
+  // can overlap, so walk back until the prefix max of hi drops below pc.
+  auto it = std::upper_bound(
+      spans_.begin(), spans_.end(), pc,
+      [](GuestAddr v, const Span& s) { return v < s.lo; });
+  for (auto i = static_cast<std::size_t>(it - spans_.begin()); i-- > 0;) {
+    if (max_hi_[i] <= pc) break;
+    const Span& s = spans_[i];
+    if (pc < s.lo || pc >= s.hi) continue;
+    if (s.fn->thumb != thumb) continue;
+    if (!s.boundaries.contains(pc)) continue;
+    return s.summary;
+  }
+  return nullptr;
+}
+
+std::vector<GuestAddr> SummaryGate::transparent_entries() const {
+  std::vector<GuestAddr> out;
+  for (const auto& [entry, s] : index_.summaries) {
+    if (s.transparent) out.push_back(entry);
+  }
+  return out;
+}
+
+}  // namespace ndroid::core

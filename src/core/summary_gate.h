@@ -1,0 +1,69 @@
+// Bridge between the static pre-analysis layer (src/static) and NDroid's
+// dynamic block gate.
+//
+// Holds the lifted Program + SummaryIndex and answers, per translation
+// block, "which function's taint summary covers this block?". The answer is
+// trustworthy only when the block provably executes the same instruction
+// stream the lifter decoded, so lookup() insists that
+//   * the block's pc falls inside a lifted function of the same mode
+//     (ARM vs Thumb), and
+//   * the pc is an instruction boundary of that function (dynamic blocks
+//     legitimately start mid-static-block — e.g. at call fall-throughs,
+//     since BL ends a translation block — but never mid-instruction).
+// A block that passes both checks executes a subset of the function's
+// instructions, so the function-level facts (touched_regs, mem_kind,
+// windows) are supersets of the block's behaviour.
+#pragma once
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "static/cfg.h"
+#include "static/summary.h"
+
+namespace ndroid::core {
+
+class SummaryGate {
+ public:
+  SummaryGate(static_analysis::Program program,
+              static_analysis::SummaryIndex index);
+
+  SummaryGate(const SummaryGate&) = delete;
+  SummaryGate& operator=(const SummaryGate&) = delete;
+
+  /// Summary applicable to a translation block starting at (pc, thumb),
+  /// or nullptr when no lifted function covers it (conservative fallback:
+  /// the caller must treat a miss as "trace fully").
+  [[nodiscard]] const static_analysis::TaintSummary* lookup(GuestAddr pc,
+                                                            bool thumb) const;
+
+  /// Entries (Thumb bit stripped) of functions whose summaries are
+  /// transparent — the DVM hook engine can skip SourcePolicy creation for
+  /// native methods starting there.
+  [[nodiscard]] std::vector<GuestAddr> transparent_entries() const;
+
+  [[nodiscard]] const static_analysis::Program& program() const {
+    return program_;
+  }
+  [[nodiscard]] const static_analysis::SummaryIndex& index() const {
+    return index_;
+  }
+
+ private:
+  struct Span {
+    GuestAddr lo = 0;
+    GuestAddr hi = 0;
+    const static_analysis::FunctionCfg* fn = nullptr;
+    const static_analysis::TaintSummary* summary = nullptr;
+    /// Instruction-start addresses of every lifted block of fn.
+    std::unordered_set<GuestAddr> boundaries;
+  };
+
+  static_analysis::Program program_;
+  static_analysis::SummaryIndex index_;
+  std::vector<Span> spans_;     // sorted by lo (spans may overlap)
+  std::vector<GuestAddr> max_hi_;  // prefix max of hi, for containment scans
+};
+
+}  // namespace ndroid::core

@@ -392,7 +392,10 @@ void SysLibHookEngine::install_sinks() {
 void SysLibHookEngine::on_insn(arm::Cpu& cpu, const arm::Insn& insn,
                                GuestAddr pc) {
   if (insn.op != arm::Op::kSvc) return;
-  if (!arm::condition_passed(insn.cond, cpu.state())) return;
+  if (!arm::condition_passed(arm::effective_cond(insn, cpu.state()),
+                             cpu.state())) {
+    return;
+  }
   const auto& r = cpu.state().regs;
   const u32 number = insn.imm != 0 ? insn.imm : r[7];
   const auto sys = static_cast<os::Sys>(number);

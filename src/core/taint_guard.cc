@@ -30,7 +30,10 @@ void TaintGuard::check(arm::Cpu& cpu, GuestAddr pc, GuestAddr target) {
 
 void TaintGuard::on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc) {
   if (!third_party_(pc)) return;
-  if (!arm::condition_passed(insn.cond, cpu.state())) return;
+  if (!arm::condition_passed(arm::effective_cond(insn, cpu.state()),
+                             cpu.state())) {
+    return;
+  }
   switch (insn.taint_class()) {
     case arm::TaintClass::kStore:
       check(cpu, pc, arm::mem_effective_address(insn, cpu.state(), pc));

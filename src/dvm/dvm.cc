@@ -281,6 +281,14 @@ Method* Dvm::method_at(GuestAddr guest_method) const {
   return it->second;
 }
 
+std::vector<const Method*> Dvm::native_methods() const {
+  std::vector<const Method*> out;
+  for (const auto& [guest, m] : method_by_guest_) {
+    if (m->is_native() && m->native_addr != 0) out.push_back(m);
+  }
+  return out;
+}
+
 GuestAddr Dvm::field_id(ClassObject* cls, std::string_view name,
                         bool is_static) {
   const std::string key =

@@ -91,6 +91,11 @@ class Dvm {
   /// jmethodID (guest Method struct address) -> host Method.
   [[nodiscard]] Method* method_at(GuestAddr guest_method) const;
 
+  /// Every registered native method, in definition order. The static
+  /// pre-analysis layer lifts CFGs from exactly these JNI entry points —
+  /// the same registration source dvmCallJNIMethod dispatches through.
+  [[nodiscard]] std::vector<const Method*> native_methods() const;
+
   /// jfieldID: materialises a guest field-id struct on first use.
   GuestAddr field_id(ClassObject* cls, std::string_view name, bool is_static);
   struct FieldRef {
@@ -184,6 +189,10 @@ class Dvm {
   IndirectRefTable irt_;
   DvmStack stack_;
   TaintPolicy policy_;
+  /// Host recursion depth of interpret(): the guest DvmStack guard alone
+  /// fires too late for small frames, since each nested interpreted invoke
+  /// is also a host stack frame.
+  u32 interp_depth_ = 0;
 
   std::map<std::string, std::unique_ptr<ClassObject>> classes_;
   std::map<GuestAddr, ClassObject*> class_by_mirror_;

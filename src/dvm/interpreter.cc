@@ -13,6 +13,7 @@
 //   invoke        args' taints copied into callee frame / outs area
 //   move-result   t(A) = return-value taint from InterpSaveState
 #include <bit>
+#include <cstdint>
 
 #include "dvm/dvm.h"
 
@@ -24,6 +25,18 @@ u32 from_float(float f) { return std::bit_cast<u32>(f); }
 }  // namespace
 
 void Dvm::interpret(const Method& method, GuestAddr fp) {
+  // Dalvik's "StackOverflowError" analogue: bound host recursion as well as
+  // the guest frame region (tiny frames can exhaust the host stack first).
+  struct DepthGuard {
+    u32& depth;
+    explicit DepthGuard(u32& d) : depth(d) {
+      if (++depth > 256) {
+        --depth;
+        throw GuestFault("DVM stack overflow (interpreter depth)");
+      }
+    }
+    ~DepthGuard() { --depth; }
+  } guard(interp_depth_);
   const bool taint_on = policy_.propagate_java;
   auto& mem = cpu_.memory();
   auto val = [&](u16 r) { return stack_.reg_value(fp, r); };
@@ -138,29 +151,35 @@ void Dvm::interpret(const Method& method, GuestAddr fp) {
       case DOp::kXor:
       case DOp::kShl:
       case DOp::kShr: {
-        const i32 b = static_cast<i32>(val(insn.b));
-        const i32 c = static_cast<i32>(val(insn.c));
-        i32 r = 0;
+        // Java int semantics are two's-complement wraparound: compute in
+        // unsigned and reinterpret, which is well-defined on overflow.
+        const u32 ub = val(insn.b);
+        const u32 uc = val(insn.c);
+        const i32 b = static_cast<i32>(ub);
+        const i32 c = static_cast<i32>(uc);
+        u32 r = 0;
         switch (insn.op) {
-          case DOp::kAdd: r = b + c; break;
-          case DOp::kSub: r = b - c; break;
-          case DOp::kMul: r = b * c; break;
+          case DOp::kAdd: r = ub + uc; break;
+          case DOp::kSub: r = ub - uc; break;
+          case DOp::kMul: r = ub * uc; break;
           case DOp::kDiv:
             if (c == 0) throw GuestFault("ArithmeticException: / by zero");
-            r = b / c;
+            // INT_MIN / -1 also overflows; Java defines it as INT_MIN.
+            r = (b == INT32_MIN && c == -1) ? ub
+                                            : static_cast<u32>(b / c);
             break;
           case DOp::kRem:
             if (c == 0) throw GuestFault("ArithmeticException: % by zero");
-            r = b % c;
+            r = (b == INT32_MIN && c == -1) ? 0u : static_cast<u32>(b % c);
             break;
-          case DOp::kAnd: r = b & c; break;
-          case DOp::kOr: r = b | c; break;
-          case DOp::kXor: r = b ^ c; break;
-          case DOp::kShl: r = b << (c & 31); break;
-          case DOp::kShr: r = b >> (c & 31); break;
+          case DOp::kAnd: r = ub & uc; break;
+          case DOp::kOr: r = ub | uc; break;
+          case DOp::kXor: r = ub ^ uc; break;
+          case DOp::kShl: r = ub << (uc & 31); break;
+          case DOp::kShr: r = static_cast<u32>(b >> (uc & 31)); break;
           default: break;
         }
-        set(insn.a, static_cast<u32>(r), tnt(insn.b) | tnt(insn.c));
+        set(insn.a, r, tnt(insn.b) | tnt(insn.c));
         break;
       }
       case DOp::kAddFloat:

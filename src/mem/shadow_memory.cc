@@ -20,7 +20,7 @@ ShadowMemory::Page& ShadowMemory::touch_page(GuestAddr addr) {
   auto& slot = pages_[page_no];
   if (!slot) {
     slot = std::make_unique<Page>();
-    slot->fill(0);
+    slot->bytes.fill(0);
   }
   cursor_page_ = page_no;
   cursor_ = slot.get();
@@ -29,7 +29,7 @@ ShadowMemory::Page& ShadowMemory::touch_page(GuestAddr addr) {
 
 Taint ShadowMemory::get(GuestAddr addr) const {
   const Page* p = find_page(addr);
-  return p ? (*p)[addr & kPageMask] : kTaintClear;
+  return p ? p->bytes[addr & kPageMask] : kTaintClear;
 }
 
 Taint ShadowMemory::get_range(GuestAddr addr, u32 len) const {
@@ -40,29 +40,52 @@ Taint ShadowMemory::get_range(GuestAddr addr, u32 len) const {
     const GuestAddr cur = addr + done;
     const u32 in_page = cur & kPageMask;
     const u32 chunk = std::min(kPageSize - in_page, len - done);
-    if (const Page* p = find_page(cur)) {
-      for (u32 i = 0; i < chunk; ++i) t |= (*p)[in_page + i];
+    const Page* p = find_page(cur);
+    if (p != nullptr && p->live != 0) {
+      for (u32 i = 0; i < chunk; ++i) t |= p->bytes[in_page + i];
     }
     done += chunk;
   }
   return t;
 }
 
+bool ShadowMemory::any_tainted_in(GuestAddr lo, GuestAddr hi) const {
+  if (live_bytes_ == 0 || lo >= hi) return false;
+  const u32 first = lo >> kPageShift;
+  const u32 last = (hi - 1) >> kPageShift;
+  for (u32 page_no = first;; ++page_no) {
+    auto it = pages_.find(page_no);
+    if (it != pages_.end() && it->second->live != 0) return true;
+    if (page_no == last) break;
+  }
+  return false;
+}
+
 void ShadowMemory::set(GuestAddr addr, Taint taint) {
   if (taint == kTaintClear && find_page(addr) == nullptr) return;
   const bool was = live_bytes_ != 0;
-  Taint& slot = touch_page(addr)[addr & kPageMask];
-  live_bytes_ += (taint != kTaintClear) - (slot != kTaintClear);
+  Page& p = touch_page(addr);
+  Taint& slot = p.bytes[addr & kPageMask];
+  const u32 page_was = p.live;
+  const int delta = (taint != kTaintClear) - (slot != kTaintClear);
+  live_bytes_ += delta;
+  p.live += delta;
   slot = taint;
+  note_page(page_was, p.live);
   note_liveness(was);
 }
 
 void ShadowMemory::add(GuestAddr addr, Taint taint) {
   if (taint == kTaintClear) return;
   const bool was = live_bytes_ != 0;
-  Taint& slot = touch_page(addr)[addr & kPageMask];
-  live_bytes_ += (slot == kTaintClear);
+  Page& p = touch_page(addr);
+  Taint& slot = p.bytes[addr & kPageMask];
+  const u32 page_was = p.live;
+  const u32 delta = (slot == kTaintClear);
+  live_bytes_ += delta;
+  p.live += delta;
   slot |= taint;
+  note_page(page_was, p.live);
   note_liveness(was);
 }
 
@@ -78,11 +101,18 @@ void ShadowMemory::set_range(GuestAddr addr, u32 len, Taint taint) {
       continue;  // clearing untouched memory needs no page
     }
     Page& p = touch_page(cur);
+    const u32 page_was = p.live;
     for (u32 i = 0; i < chunk; ++i) {
-      live_bytes_ -= (p[in_page + i] != kTaintClear);
+      const u32 dead = (p.bytes[in_page + i] != kTaintClear);
+      live_bytes_ -= dead;
+      p.live -= dead;
     }
-    std::fill_n(p.data() + in_page, chunk, taint);
-    if (taint != kTaintClear) live_bytes_ += chunk;
+    std::fill_n(p.bytes.data() + in_page, chunk, taint);
+    if (taint != kTaintClear) {
+      live_bytes_ += chunk;
+      p.live += chunk;
+    }
+    note_page(page_was, p.live);
     done += chunk;
   }
   note_liveness(was);
@@ -97,10 +127,14 @@ void ShadowMemory::add_range(GuestAddr addr, u32 len, Taint taint) {
     const u32 in_page = cur & kPageMask;
     const u32 chunk = std::min(kPageSize - in_page, len - done);
     Page& p = touch_page(cur);
+    const u32 page_was = p.live;
     for (u32 i = 0; i < chunk; ++i) {
-      live_bytes_ += (p[in_page + i] == kTaintClear);
-      p[in_page + i] |= taint;
+      const u32 fresh = (p.bytes[in_page + i] == kTaintClear);
+      live_bytes_ += fresh;
+      p.live += fresh;
+      p.bytes[in_page + i] |= taint;
     }
+    note_page(page_was, p.live);
     done += chunk;
   }
   note_liveness(was);

@@ -47,6 +47,7 @@ class ShadowMemory {
 
   void clear_all() {
     const bool was = live_bytes_ != 0;
+    if (mutation_slot_ != nullptr && live_bytes_ != 0) ++*mutation_slot_;
     pages_.clear();
     live_bytes_ = 0;
     cursor_page_ = kNoPage;
@@ -58,13 +59,28 @@ class ShadowMemory {
   /// by every mutation (the taint-liveness fast path reads it per block).
   [[nodiscard]] u64 tainted_bytes() const { return live_bytes_; }
 
+  /// True when any byte of [lo, hi) *may* be tainted, answered at page
+  /// granularity from the per-page live counters: every page overlapping the
+  /// range must be absent or fully clear for a false answer. Conservative by
+  /// design — the summary gate only ever uses a false answer to skip work.
+  [[nodiscard]] bool any_tainted_in(GuestAddr lo, GuestAddr hi) const;
+
   /// Optional counter bumped whenever tainted_bytes() crosses zero in either
   /// direction — the liveness epoch the block-gate memo is validated against
   /// (see arm::Cpu::set_block_gate). Wired by TaintEngine.
   void set_liveness_epoch_slot(u64* slot) { epoch_slot_ = slot; }
 
+  /// Optional counter bumped whenever any page's live-byte count crosses
+  /// zero — exactly the events that can change an any_tainted_in() answer.
+  /// Strictly more frequent than the liveness epoch; the summary-gated block
+  /// memo is validated against this one. Wired by TaintEngine.
+  void set_mutation_epoch_slot(u64* slot) { mutation_slot_ = slot; }
+
  private:
-  using Page = std::array<Taint, kPageSize>;
+  struct Page {
+    std::array<Taint, kPageSize> bytes;
+    u32 live = 0;  // bytes of this page with a non-zero label
+  };
   static constexpr u32 kNoPage = 0xFFFFFFFFu;
 
   [[nodiscard]] const Page* find_page(GuestAddr addr) const;
@@ -73,10 +89,17 @@ class ShadowMemory {
   void note_liveness(bool was) {
     if (epoch_slot_ != nullptr && (live_bytes_ != 0) != was) ++*epoch_slot_;
   }
+  /// Bumps the mutation epoch if a page's live count crossed zero.
+  void note_page(u32 live_before, u32 live_after) {
+    if (mutation_slot_ != nullptr && (live_before != 0) != (live_after != 0)) {
+      ++*mutation_slot_;
+    }
+  }
 
   std::unordered_map<u32, std::unique_ptr<Page>> pages_;
   u64 live_bytes_ = 0;
   u64* epoch_slot_ = nullptr;
+  u64* mutation_slot_ = nullptr;
 
   // One-entry cursor over the last page touched; Page allocations are
   // stable across rehashes, and pages are only dropped by clear_all().

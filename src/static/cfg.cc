@@ -1,0 +1,556 @@
+#include "static/cfg.h"
+
+#include <algorithm>
+#include <bit>
+#include <optional>
+
+#include "arm/decoder.h"
+
+namespace ndroid::static_analysis {
+
+using arm::Cond;
+using arm::Insn;
+using arm::Op;
+using arm::ShiftType;
+
+namespace {
+
+constexpr u8 kRegSP = 13;
+constexpr u8 kRegLR = 14;
+constexpr u8 kRegPC = 15;
+
+/// ITSTATE advance, mirroring arm::advance_itstate (kept local so this
+/// library depends only on the decoder half of src/arm).
+u8 advance_it(u8 it) {
+  return (it & 0x07) == 0 ? u8{0}
+                          : static_cast<u8>((it & 0xE0) | ((it << 1) & 0x1F));
+}
+
+/// True for data-processing ops that write Rd (compares only set flags).
+bool dp_writes_rd(Op op) {
+  switch (op) {
+    case Op::kTst:
+    case Op::kTeq:
+    case Op::kCmp:
+    case Op::kCmn:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_dp(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kTst:
+    case Op::kTeq:
+    case Op::kCmp:
+    case Op::kCmn:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+u32 access_bytes(Op op) {
+  switch (op) {
+    case Op::kLdrb:
+    case Op::kLdrsb:
+    case Op::kStrb:
+      return 1;
+    case Op::kLdrh:
+    case Op::kLdrsh:
+    case Op::kStrh:
+      return 2;
+    default:
+      return 4;
+  }
+}
+
+/// Branch target of B/BL at `pc` (executor semantics: base is PC+4 in Thumb,
+/// PC+8 in ARM).
+GuestAddr branch_target(const Insn& insn, GuestAddr pc, bool thumb) {
+  return pc + (thumb ? 4u : 8u) + static_cast<u32>(insn.branch_offset);
+}
+
+/// Block-local constant-propagation state. SP is deliberately never "known":
+/// stack addresses are classified by base register, not value.
+struct ConstState {
+  std::array<u32, 16> val{};
+  u16 known = 0;
+
+  [[nodiscard]] bool is_known(u8 r) const { return (known & (1u << r)) != 0; }
+  [[nodiscard]] u32 get(u8 r) const { return val[r]; }
+  void set(u8 r, u32 v) {
+    if (r >= kRegSP) return;  // SP/LR/PC stay symbolic
+    val[r] = v;
+    known |= (1u << r);
+  }
+  void kill(u8 r) { known &= static_cast<u16>(~(1u << r)); }
+  void kill_caller_saved() {
+    kill(0);
+    kill(1);
+    kill(2);
+    kill(3);
+    kill(12);
+    kill(kRegLR);
+  }
+};
+
+std::optional<u32> shifted_operand(const ConstState& st, const Insn& insn) {
+  if (insn.imm_operand) return insn.imm;  // ARM immediates arrive pre-rotated
+  if (insn.shift_by_reg || !st.is_known(insn.rm)) return std::nullopt;
+  const u32 v = st.get(insn.rm);
+  const u32 n = insn.shift_amount;
+  switch (insn.shift) {
+    case ShiftType::kLSL: return n >= 32 ? 0 : v << n;
+    case ShiftType::kLSR: return n >= 32 ? 0 : v >> n;
+    case ShiftType::kASR:
+      return static_cast<u32>(static_cast<i32>(v) >> std::min<u32>(n, 31));
+    default: return std::nullopt;  // ROR/RRX: not needed for lifting
+  }
+}
+
+std::optional<u32> eval_dp(const ConstState& st, const Insn& insn) {
+  const std::optional<u32> op2 = shifted_operand(st, insn);
+  if (!op2.has_value()) return std::nullopt;
+  switch (insn.op) {
+    case Op::kMov: return *op2;
+    case Op::kMvn: return ~*op2;
+    default: break;
+  }
+  if (!st.is_known(insn.rn)) return std::nullopt;
+  const u32 rn = st.get(insn.rn);
+  switch (insn.op) {
+    case Op::kAnd: return rn & *op2;
+    case Op::kEor: return rn ^ *op2;
+    case Op::kSub: return rn - *op2;
+    case Op::kRsb: return *op2 - rn;
+    case Op::kAdd: return rn + *op2;
+    case Op::kOrr: return rn | *op2;
+    case Op::kBic: return rn & ~*op2;
+    default: return std::nullopt;  // carry-dependent forms
+  }
+}
+
+}  // namespace
+
+const BasicBlock* FunctionCfg::block_at(GuestAddr pc) const {
+  auto it = blocks.upper_bound(pc);
+  if (it == blocks.begin()) return nullptr;
+  --it;
+  return pc < it->second.end ? &it->second : nullptr;
+}
+
+const FunctionCfg* Program::function(GuestAddr entry) const {
+  auto it = functions.find(entry & ~1u);
+  return it == functions.end() ? nullptr : &it->second;
+}
+
+const FunctionCfg* Program::function_containing(GuestAddr pc) const {
+  for (const auto& [entry, fn] : functions) {
+    if (fn.contains(pc)) return &fn;
+  }
+  return nullptr;
+}
+
+CfgLifter::CfgLifter(const mem::AddressSpace& memory,
+                     std::vector<CodeRegion> regions)
+    : memory_(memory), regions_(std::move(regions)) {}
+
+bool CfgLifter::in_code(GuestAddr addr) const {
+  return std::any_of(regions_.begin(), regions_.end(),
+                     [addr](const CodeRegion& r) {
+                       return addr >= r.start && addr < r.end;
+                     });
+}
+
+Program CfgLifter::lift(const std::vector<FunctionEntry>& entries) const {
+  Program program;
+  std::vector<FunctionEntry> work = entries;
+  while (!work.empty()) {
+    const FunctionEntry e = work.back();
+    work.pop_back();
+    const GuestAddr entry = e.addr & ~1u;
+    if (!in_code(entry) || program.functions.count(entry) != 0) continue;
+    FunctionCfg fn = lift_function(
+        e.addr, e.name.empty() ? "sub_" + std::to_string(entry) : e.name);
+    // Resolved call edges become new roots (the transitive call-graph
+    // closure the summary fixed point runs over).
+    for (GuestAddr callee : fn.callees) {
+      // A callee already lifted (or out of region) is filtered above.
+      work.push_back({callee, ""});
+    }
+    program.functions.emplace(entry, std::move(fn));
+  }
+  return program;
+}
+
+FunctionCfg CfgLifter::lift_function(GuestAddr entry, std::string name) const {
+  FunctionCfg fn;
+  fn.entry = entry & ~1u;
+  fn.thumb = (entry & 1u) != 0;
+  fn.name = std::move(name);
+
+  auto fetch = [&](GuestAddr pc) {
+    if (fn.thumb) {
+      return arm::decode_thumb(memory_.read16(pc), memory_.read16(pc + 2));
+    }
+    return arm::decode_arm(memory_.read32(pc));
+  };
+
+  // Splits the block containing `at` on an instruction boundary. Returns
+  // false when `at` is inside no block (caller decodes a fresh one).
+  auto split_at = [&](GuestAddr at) -> bool {
+    auto it = fn.blocks.upper_bound(at);
+    if (it == fn.blocks.begin()) return false;
+    --it;
+    BasicBlock& b = it->second;
+    if (at <= b.start || at >= b.end) return false;
+    GuestAddr pc = b.start;
+    std::size_t i = 0;
+    while (i < b.insns.size() && pc < at) pc += b.insns[i++].length;
+    if (pc != at) return true;  // misaligned target: swallow, stay sound
+    BasicBlock nb;
+    nb.start = at;
+    nb.end = b.end;
+    nb.insns.assign(b.insns.begin() + static_cast<std::ptrdiff_t>(i),
+                    b.insns.end());
+    nb.succs = std::move(b.succs);
+    nb.is_return = b.is_return;
+    nb.has_indirect_jump = b.has_indirect_jump;
+    b.insns.resize(i);
+    b.end = at;
+    b.succs = {at};
+    b.is_return = false;
+    b.has_indirect_jump = false;
+    fn.blocks.emplace(at, std::move(nb));
+    return true;
+  };
+
+  std::vector<GuestAddr> work{fn.entry};
+  while (!work.empty()) {
+    const GuestAddr start = work.back();
+    work.pop_back();
+    if (!in_code(start)) continue;
+    if (fn.blocks.count(start) != 0) continue;
+    if (split_at(start)) continue;
+
+    BasicBlock bb;
+    bb.start = start;
+    GuestAddr cur = start;
+    u8 itstate = 0;
+    while (true) {
+      if (!in_code(cur) || fn.insn_count >= kMaxFunctionInsns) {
+        fn.truncated = fn.truncated || fn.insn_count >= kMaxFunctionInsns;
+        break;
+      }
+      if (cur != start && fn.blocks.count(cur) != 0) {
+        bb.succs.push_back(cur);
+        break;
+      }
+      const Insn insn = fetch(cur);
+      if (insn.op == Op::kUndefined) break;
+      const GuestAddr next = cur + insn.length;
+      const bool under_it = itstate != 0 && insn.op != Op::kIt;
+      const Cond cond =
+          under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
+      const bool conditional = cond != Cond::kAL;
+      if (insn.op == Op::kIt) {
+        itstate = static_cast<u8>(insn.imm);
+      } else if (under_it) {
+        itstate = advance_it(itstate);
+      }
+      bb.insns.push_back(insn);
+      ++fn.insn_count;
+
+      bool terminate = false;
+      switch (insn.op) {
+        case Op::kSvc:
+          fn.has_svc = true;
+          break;
+        case Op::kB: {
+          const GuestAddr target = branch_target(insn, cur, fn.thumb);
+          if (in_code(target)) {
+            bb.succs.push_back(target);
+            work.push_back(target);
+          } else {
+            bb.has_indirect_jump = true;  // branch out of the known image
+          }
+          if (conditional) {
+            bb.succs.push_back(next);
+            work.push_back(next);
+          }
+          terminate = true;
+          break;
+        }
+        case Op::kBl:
+          // Call: fall through continues the block; the edge itself is
+          // recorded by analyze_blocks (with BLX-register resolution).
+          break;
+        case Op::kBx:
+          bb.is_return = insn.rm == kRegLR;
+          bb.has_indirect_jump = insn.rm != kRegLR;
+          if (conditional) {
+            bb.succs.push_back(next);
+            work.push_back(next);
+          }
+          terminate = true;
+          break;
+        case Op::kBlxReg:
+          break;  // call through register; analyze_blocks classifies it
+        case Op::kLdm:
+          if ((insn.reglist & (1u << kRegPC)) != 0) {
+            bb.is_return = true;  // POP {.., pc}
+            if (conditional) {
+              bb.succs.push_back(next);
+              work.push_back(next);
+            }
+            terminate = true;
+          }
+          break;
+        case Op::kLdr:
+          if (insn.rd == kRegPC) {
+            bb.has_indirect_jump = true;
+            terminate = true;
+          }
+          break;
+        default:
+          if (is_dp(insn.op) && dp_writes_rd(insn.op) && insn.rd == kRegPC) {
+            // MOV pc, lr is the classic non-interworking return.
+            bb.is_return = insn.op == Op::kMov && !insn.imm_operand &&
+                           insn.rm == kRegLR;
+            bb.has_indirect_jump = !bb.is_return;
+            if (conditional) {
+              bb.succs.push_back(next);
+              work.push_back(next);
+            }
+            terminate = true;
+          }
+          break;
+      }
+      cur = next;
+      if (terminate) break;
+    }
+    bb.end = cur;
+    if (!bb.insns.empty()) fn.blocks.emplace(start, std::move(bb));
+  }
+
+  if (!fn.blocks.empty()) {
+    fn.lo = fn.blocks.begin()->first;
+    fn.hi = 0;
+    for (const auto& [_, b] : fn.blocks) fn.hi = std::max(fn.hi, b.end);
+  } else {
+    fn.lo = fn.hi = fn.entry;
+  }
+  analyze_blocks(fn);
+  return fn;
+}
+
+void CfgLifter::analyze_blocks(FunctionCfg& fn) const {
+  for (auto& [start, bb] : fn.blocks) {
+    ConstState st;
+    u8 itstate = 0;
+    GuestAddr pc = bb.start;
+    for (const Insn& insn : bb.insns) {
+      const GuestAddr next = pc + insn.length;
+      const bool under_it = itstate != 0 && insn.op != Op::kIt;
+      const Cond cond =
+          under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
+      // A conditionally executed definition may not happen; its target is
+      // unknown afterwards, never constant.
+      const bool conditional = cond != Cond::kAL;
+      if (insn.op == Op::kIt) {
+        itstate = static_cast<u8>(insn.imm);
+      } else if (under_it) {
+        itstate = advance_it(itstate);
+      }
+
+      auto define = [&](u8 r, std::optional<u32> v) {
+        if (conditional || !v.has_value()) {
+          st.kill(r);
+        } else {
+          st.set(r, *v);
+        }
+      };
+
+      auto record_access = [&](bool is_store, u32 size,
+                               std::optional<GuestAddr> abs) {
+        MemAccess a;
+        a.pc = pc;
+        a.size = size;
+        a.is_store = is_store;
+        if (abs.has_value()) {
+          a.kind = MemAccess::Kind::kConstAddr;
+          a.addr = *abs;
+        } else if (insn.rn == kRegSP) {
+          a.kind = MemAccess::Kind::kSpRelative;
+        } else {
+          a.kind = MemAccess::Kind::kUnknown;
+        }
+        fn.mem_accesses.push_back(a);
+      };
+
+      switch (insn.op) {
+        case Op::kMovw:
+          define(insn.rd, insn.imm);
+          break;
+        case Op::kMovt:
+          define(insn.rd, st.is_known(insn.rd)
+                              ? std::optional<u32>((st.get(insn.rd) & 0xFFFFu) |
+                                                   (insn.imm << 16))
+                              : std::nullopt);
+          break;
+        case Op::kMul:
+        case Op::kMla:
+        case Op::kSdiv:
+        case Op::kUdiv:
+        case Op::kClz:
+        case Op::kSxtb:
+        case Op::kSxth:
+        case Op::kUxtb:
+        case Op::kUxth:
+          st.kill(insn.rd);
+          break;
+        case Op::kUmull:
+        case Op::kSmull:
+          st.kill(insn.rd);
+          st.kill(insn.rn);  // RdHi
+          break;
+        case Op::kLdr:
+        case Op::kLdrb:
+        case Op::kLdrh:
+        case Op::kLdrsb:
+        case Op::kLdrsh:
+        case Op::kStr:
+        case Op::kStrb:
+        case Op::kStrh: {
+          const bool is_store = insn.op == Op::kStr ||
+                                insn.op == Op::kStrb || insn.op == Op::kStrh;
+          std::optional<u32> base;
+          if (insn.rn == kRegPC) {
+            // Literal addressing: base is the aligned PC.
+            base = (pc + (fn.thumb ? 4u : 8u)) & ~3u;
+          } else if (st.is_known(insn.rn)) {
+            base = st.get(insn.rn);
+          }
+          std::optional<u32> offset;
+          if (!insn.reg_offset) {
+            offset = insn.imm;
+          } else if (!insn.shift_by_reg && st.is_known(insn.rm)) {
+            offset = shifted_operand(st, insn);
+          }
+          std::optional<GuestAddr> addr;
+          if (base.has_value() && (!insn.pre_index || offset.has_value())) {
+            addr = insn.pre_index
+                       ? (insn.add_offset ? *base + *offset : *base - *offset)
+                       : *base;
+          }
+          record_access(is_store, access_bytes(insn.op), addr);
+          if (!is_store) {
+            // A PC-literal word load from inside the code image is a true
+            // constant (literal pools are read-only at lift time).
+            if (insn.op == Op::kLdr && addr.has_value() && in_code(*addr) &&
+                insn.rn == kRegPC) {
+              define(insn.rd, memory_.read32(*addr));
+            } else {
+              st.kill(insn.rd);
+            }
+          }
+          if (!insn.pre_index || insn.writeback) {
+            define(insn.rn, base.has_value() && offset.has_value()
+                                ? std::optional<u32>(insn.add_offset
+                                                         ? *base + *offset
+                                                         : *base - *offset)
+                                : std::nullopt);
+          }
+          break;
+        }
+        case Op::kLdm:
+        case Op::kStm: {
+          const u32 count = static_cast<u32>(std::popcount(insn.reglist)) * 4;
+          std::optional<GuestAddr> addr;
+          if (insn.rn != kRegSP && st.is_known(insn.rn) && count != 0) {
+            // Window covering both ascending and descending variants.
+            addr = st.get(insn.rn) - count;
+          }
+          MemAccess a;
+          a.pc = pc;
+          a.size = 2 * count;
+          a.is_store = insn.op == Op::kStm;
+          if (addr.has_value()) {
+            a.kind = MemAccess::Kind::kConstAddr;
+            a.addr = *addr;
+          } else if (insn.rn == kRegSP) {
+            a.kind = MemAccess::Kind::kSpRelative;
+          } else {
+            a.kind = MemAccess::Kind::kUnknown;
+          }
+          if (count != 0) fn.mem_accesses.push_back(a);
+          if (insn.op == Op::kLdm) {
+            for (u8 r = 0; r < 16; ++r) {
+              if ((insn.reglist & (1u << r)) != 0) st.kill(r);
+            }
+          }
+          if (insn.writeback) st.kill(insn.rn);
+          break;
+        }
+        case Op::kBl: {
+          const GuestAddr target = branch_target(insn, pc, fn.thumb);
+          const GuestAddr mode_target = target | (fn.thumb ? 1u : 0u);
+          bb.call_targets.push_back(mode_target);
+          if (in_code(target)) fn.callees.push_back(mode_target);
+          st.kill_caller_saved();
+          break;
+        }
+        case Op::kBlxReg:
+          if (st.is_known(insn.rm)) {
+            const GuestAddr target = st.get(insn.rm);
+            bb.call_targets.push_back(target);
+            if (in_code(target & ~1u)) fn.callees.push_back(target);
+          } else {
+            bb.call_targets.push_back(0);  // keep call sites positional
+            bb.has_indirect_call = true;
+            fn.has_indirect_calls = true;
+          }
+          st.kill_caller_saved();
+          break;
+        case Op::kSvc:
+          st.kill(0);  // kernel return value
+          break;
+        case Op::kB:
+        case Op::kBx:
+        case Op::kIt:
+        case Op::kNop:
+        case Op::kUndefined:
+          break;
+        default:
+          if (is_dp(insn.op)) {
+            if (dp_writes_rd(insn.op)) define(insn.rd, eval_dp(st, insn));
+          } else {
+            st.kill(insn.rd);  // unmodelled: drop whatever it may write
+          }
+          break;
+      }
+      pc = next;
+    }
+    fn.has_indirect_jumps = fn.has_indirect_jumps || bb.has_indirect_jump;
+  }
+
+  std::sort(fn.callees.begin(), fn.callees.end());
+  fn.callees.erase(std::unique(fn.callees.begin(), fn.callees.end()),
+                   fn.callees.end());
+}
+
+}  // namespace ndroid::static_analysis

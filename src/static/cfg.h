@@ -1,0 +1,134 @@
+// Static CFG lifter over guest native code (pre-analysis layer).
+//
+// The dynamic tracer (paper §V-C) pays a per-instruction cost inside every
+// third-party native function while taint is live. This layer recovers, once
+// and ahead of time, the control-flow structure of the native code the JNI
+// bridge can reach: per-function basic blocks for ARM and Thumb (reusing the
+// src/arm decoder), call-graph edges through BL and constant-resolvable BLX,
+// and per-access memory classification via block-local constant propagation
+// (MOVW/MOVT pairs, rotated MOV immediates, PC-literal loads, post-index
+// writeback). Code pages come from the OS view reconstructor's memory maps
+// (§V-F) and JNI entry points from the registered native methods — the same
+// two sources the dynamic engines trust.
+//
+// Everything here is conservative: an unresolved target, an address outside
+// the known code regions, or an undecodable instruction simply degrades the
+// result (indirect flags set, kUnknown accesses), never invents facts. The
+// taint summaries in summary.h only ever *weaken* toward "trace it".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arm/insn.h"
+#include "mem/address_space.h"
+
+namespace ndroid::static_analysis {
+
+/// An executable guest region the lifter may decode from (typically one app
+/// .so image discovered through os::ViewReconstructor).
+struct CodeRegion {
+  GuestAddr start = 0;
+  GuestAddr end = 0;  // exclusive
+  std::string name;
+};
+
+/// A function root: bit 0 of `addr` selects Thumb (the convention native
+/// method registration already uses for Method::native_addr).
+struct FunctionEntry {
+  GuestAddr addr = 0;
+  std::string name;
+};
+
+/// One static load/store site, classified by how much of its address the
+/// block-local constant propagation could pin down.
+struct MemAccess {
+  enum class Kind : u8 {
+    kConstAddr,    // absolute address known at lift time
+    kSpRelative,   // base is SP (current stack frame)
+    kUnknown,      // anything else (pointer argument, computed address)
+  };
+  GuestAddr pc = 0;
+  Kind kind = Kind::kUnknown;
+  GuestAddr addr = 0;  // absolute address window start (kConstAddr only)
+  u32 size = 0;        // bytes covered (LDM/STM: whole transfer window)
+  bool is_store = false;
+};
+
+struct BasicBlock {
+  GuestAddr start = 0;
+  GuestAddr end = 0;  // exclusive (address after the last instruction)
+  std::vector<arm::Insn> insns;
+  /// Successor block starts within the same function. A conditional branch
+  /// (explicit condition or an IT-covered encoding) contributes both the
+  /// target and the fall-through; calls contribute their fall-through.
+  std::vector<GuestAddr> succs;
+  /// BL/BLX call targets (bit 0 = Thumb), one entry per call site in block
+  /// order; 0 marks a BLX through an unresolved register.
+  std::vector<GuestAddr> call_targets;
+  bool has_indirect_call = false;  // BLX through an unresolved register
+  bool is_return = false;          // BX LR / POP{PC} / LDM with PC
+  bool has_indirect_jump = false;  // PC written from an unresolved value
+};
+
+struct FunctionCfg {
+  GuestAddr entry = 0;  // Thumb bit stripped
+  bool thumb = false;
+  std::string name;
+  GuestAddr lo = 0;  // address span covered by the lifted blocks
+  GuestAddr hi = 0;  // exclusive
+  std::map<GuestAddr, BasicBlock> blocks;
+  /// Call-graph edges: resolved callee entries inside the code regions
+  /// (bit 0 = callee mode, as in FunctionEntry::addr).
+  std::vector<GuestAddr> callees;
+  /// Every load/store site, in discovery order.
+  std::vector<MemAccess> mem_accesses;
+  bool has_svc = false;
+  bool has_indirect_calls = false;
+  bool has_indirect_jumps = false;
+  bool truncated = false;  // hit the per-function instruction budget
+  u32 insn_count = 0;
+
+  /// Block containing `pc` (Thumb bit stripped), or nullptr.
+  [[nodiscard]] const BasicBlock* block_at(GuestAddr pc) const;
+  [[nodiscard]] bool contains(GuestAddr pc) const {
+    return pc >= lo && pc < hi;
+  }
+};
+
+struct Program {
+  /// Keyed by entry address (Thumb bit stripped).
+  std::map<GuestAddr, FunctionCfg> functions;
+
+  [[nodiscard]] const FunctionCfg* function(GuestAddr entry) const;
+  /// Linear scan over [lo, hi) spans — fine for reports and tests; the
+  /// dynamic gate builds its own sorted interval table from this map.
+  [[nodiscard]] const FunctionCfg* function_containing(GuestAddr pc) const;
+};
+
+class CfgLifter {
+ public:
+  /// Per-function instruction budget; functions that blow it are flagged
+  /// `truncated` and summarised as opaque.
+  static constexpr u32 kMaxFunctionInsns = 16384;
+
+  CfgLifter(const mem::AddressSpace& memory, std::vector<CodeRegion> regions);
+
+  /// Lifts every entry, then follows resolved call edges transitively
+  /// (callees inside the code regions become functions named sub_<addr>).
+  [[nodiscard]] Program lift(const std::vector<FunctionEntry>& entries) const;
+
+  [[nodiscard]] bool in_code(GuestAddr addr) const;
+
+ private:
+  FunctionCfg lift_function(GuestAddr entry, std::string name) const;
+  /// Second pass over final blocks: constant propagation, memory-access
+  /// classification, BLX-register resolution. Fills mem_accesses/callees.
+  void analyze_blocks(FunctionCfg& fn) const;
+
+  const mem::AddressSpace& memory_;
+  std::vector<CodeRegion> regions_;
+};
+
+}  // namespace ndroid::static_analysis

@@ -1,0 +1,119 @@
+#include "static/scan_report.h"
+
+#include <cstdio>
+
+namespace ndroid::static_analysis {
+
+namespace {
+
+void hex(std::string& out, GuestAddr addr) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "\"0x%x\"", addr);
+  out += buf;
+}
+
+void escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += '"';
+}
+
+template <typename T, typename Fn>
+void array(std::string& out, const T& items, Fn emit) {
+  out += '[';
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += ',';
+    first = false;
+    emit(item);
+  }
+  out += ']';
+}
+
+void emit_block(std::string& out, const BasicBlock& bb) {
+  out += "{\"start\":";
+  hex(out, bb.start);
+  out += ",\"end\":";
+  hex(out, bb.end);
+  out += ",\"insns\":" + std::to_string(bb.insns.size());
+  out += ",\"succs\":";
+  array(out, bb.succs, [&out](GuestAddr a) { hex(out, a); });
+  out += ",\"calls\":";
+  array(out, bb.call_targets, [&out](GuestAddr a) { hex(out, a); });
+  if (bb.is_return) out += ",\"return\":true";
+  if (bb.has_indirect_call) out += ",\"indirect_call\":true";
+  if (bb.has_indirect_jump) out += ",\"indirect_jump\":true";
+  out += '}';
+}
+
+u8 arg_bits(u8 mask) { return static_cast<u8>(mask & 0x0F); }
+
+void emit_summary(std::string& out, const TaintSummary& s) {
+  out += "{\"touched_regs\":" + std::to_string(s.touched_regs);
+  out += ",\"mem_kind\":\"";
+  out += to_string(s.mem_kind);
+  out += '"';
+  out += ",\"windows\":";
+  array(out, s.windows, [&out](const Window& w) {
+    out += "{\"lo\":";
+    hex(out, w.lo);
+    out += ",\"hi\":";
+    hex(out, w.hi);
+    out += '}';
+  });
+  out += ",\"args_to_ret\":" + std::to_string(arg_bits(s.args_to_ret));
+  out += ",\"args_to_mem\":" + std::to_string(arg_bits(s.args_to_mem));
+  out += ",\"args_to_call\":" + std::to_string(arg_bits(s.args_to_call));
+  if (s.ret_depends_on_mem) out += ",\"ret_depends_on_mem\":true";
+  if (s.has_svc) out += ",\"has_svc\":true";
+  if (s.truncated) out += ",\"truncated\":true";
+  if (s.unresolved_calls) out += ",\"unresolved_calls\":true";
+  if (s.transparent) out += ",\"transparent\":true";
+  out += '}';
+}
+
+}  // namespace
+
+const char* to_string(MemKind kind) {
+  switch (kind) {
+    case MemKind::kNone: return "none";
+    case MemKind::kStatic: return "static";
+    case MemKind::kStack: return "stack";
+    case MemKind::kOpaque: return "opaque";
+  }
+  return "opaque";
+}
+
+std::string to_json(const Program& program, const SummaryIndex& index) {
+  std::string out = "{\"functions\":[";
+  bool first = true;
+  for (const auto& [entry, fn] : program.functions) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"entry\":";
+    hex(out, entry);
+    out += ",\"name\":";
+    escaped(out, fn.name);
+    out += ",\"thumb\":";
+    out += fn.thumb ? "true" : "false";
+    out += ",\"insns\":" + std::to_string(fn.insn_count);
+    out += ",\"blocks\":";
+    array(out, fn.blocks,
+          [&out](const auto& kv) { emit_block(out, kv.second); });
+    out += ",\"callees\":";
+    array(out, fn.callees, [&out](GuestAddr a) { hex(out, a); });
+    const TaintSummary* s = index.find(entry);
+    if (s != nullptr) {
+      out += ",\"summary\":";
+      emit_summary(out, *s);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ndroid::static_analysis

@@ -1,0 +1,17 @@
+// JSON serialisation of the static pre-analysis results (consumed by the
+// ndroid-scan CLI and the experiment scripts).
+#pragma once
+
+#include <string>
+
+#include "static/cfg.h"
+#include "static/summary.h"
+
+namespace ndroid::static_analysis {
+
+[[nodiscard]] std::string to_json(const Program& program,
+                                  const SummaryIndex& index);
+
+[[nodiscard]] const char* to_string(MemKind kind);
+
+}  // namespace ndroid::static_analysis

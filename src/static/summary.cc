@@ -1,0 +1,363 @@
+#include "static/summary.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ndroid::static_analysis {
+
+using arm::Cond;
+using arm::Insn;
+using arm::Op;
+using arm::TaintClass;
+
+namespace {
+
+constexpr u8 kArgMask = 0x0F;  // dependency bits for r0-r3
+constexpr u8 kMemDep = 0x10;   // depends on some memory content
+constexpr u8 kOtherDep = 0x20; // depends on non-argument initial state
+
+/// Registers whose shadow state the tracer's rule for `insn` reads or
+/// writes (Table V). Branches, compares and hints have no taint effect.
+u16 touched_by(const Insn& insn) {
+  u16 m = 0;
+  auto add = [&m](u8 r) { m |= static_cast<u16>(1u << r); };
+  switch (insn.taint_class()) {
+    case TaintClass::kBinaryOp3:
+      add(insn.rd);
+      add(insn.rn);
+      if (!insn.imm_operand) add(insn.rm);
+      if (insn.op == Op::kMla || insn.op == Op::kUmull ||
+          insn.op == Op::kSmull || insn.shift_by_reg) {
+        add(insn.rs);
+      }
+      break;
+    case TaintClass::kBinaryOp2:
+      add(insn.rd);
+      if (!insn.imm_operand) add(insn.rm);
+      break;
+    case TaintClass::kUnary:
+    case TaintClass::kMovReg:
+      add(insn.rd);
+      add(insn.rm);
+      break;
+    case TaintClass::kMovImm:
+      add(insn.rd);
+      break;
+    case TaintClass::kLoad:
+    case TaintClass::kStore:
+      add(insn.rd);
+      add(insn.rn);  // address-taint rule: t(Rd) also gets t(Rn)
+      if (insn.reg_offset) add(insn.rm);
+      break;
+    case TaintClass::kLdm:
+    case TaintClass::kStm:
+      m |= insn.reglist;
+      add(insn.rn);
+      break;
+    case TaintClass::kNone:
+      break;
+  }
+  return m;
+}
+
+MemKind classify_mem(const FunctionCfg& fn) {
+  MemKind kind = MemKind::kNone;
+  for (const MemAccess& a : fn.mem_accesses) {
+    switch (a.kind) {
+      case MemAccess::Kind::kConstAddr:
+        kind = std::max(kind, MemKind::kStatic);
+        break;
+      case MemAccess::Kind::kSpRelative:
+        kind = std::max(kind, MemKind::kStack);
+        break;
+      case MemAccess::Kind::kUnknown:
+        return MemKind::kOpaque;
+    }
+  }
+  return kind;
+}
+
+std::vector<Window> merge_windows(const FunctionCfg& fn) {
+  std::vector<Window> ws;
+  for (const MemAccess& a : fn.mem_accesses) {
+    if (a.kind == MemAccess::Kind::kConstAddr && a.size != 0) {
+      ws.push_back({a.addr, a.addr + a.size});
+    }
+  }
+  std::sort(ws.begin(), ws.end(),
+            [](const Window& x, const Window& y) { return x.lo < y.lo; });
+  std::vector<Window> merged;
+  for (const Window& w : ws) {
+    if (!merged.empty() && w.lo <= merged.back().hi) {
+      merged.back().hi = std::max(merged.back().hi, w.hi);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  return merged;
+}
+
+/// ITSTATE advance (see arm::advance_itstate); duplicated from cfg.cc so
+/// the pass can tell IT-covered Thumb instructions from unconditional ones.
+u8 advance_it(u8 it) {
+  return (it & 0x07) == 0 ? u8{0}
+                          : static_cast<u8>((it & 0xE0) | ((it << 1) & 0x1F));
+}
+
+/// Per-program-point dataflow state: dep[r] is the set of things the value
+/// in r may derive from (argument bits / memory / non-argument state).
+struct DepState {
+  std::array<u8, 16> dep{};
+
+  bool join_from(const DepState& other) {
+    bool changed = false;
+    for (std::size_t r = 0; r < dep.size(); ++r) {
+      const u8 next = static_cast<u8>(dep[r] | other.dep[r]);
+      changed = changed || next != dep[r];
+      dep[r] = next;
+    }
+    return changed;
+  }
+};
+
+/// Monotone accumulators shared by every transfer execution: memory stores,
+/// outgoing call arguments and return-point r0 deps only ever grow, so the
+/// union across worklist iterations equals the union over the final states.
+struct FlowFacts {
+  u8 mem_deps = 0;
+  u8 call_args = 0;
+  u8 ret_deps = 0;
+  bool unresolved = false;
+};
+
+/// Transfer function for one block: `st` is the state at block entry and is
+/// advanced in place to the block-exit state. Definite writes (condition AL
+/// and not IT-covered) replace the destination's deps; conditional writes
+/// join, since the old value may survive.
+void transfer_block(const BasicBlock& bb, const SummaryIndex& index,
+                    DepState& st, FlowFacts& facts) {
+  auto& dep = st.dep;
+  u8 it = 0;
+  std::size_t call_idx = 0;
+
+  for (const Insn& insn : bb.insns) {
+    bool definite = insn.cond == Cond::kAL;
+    if (insn.op == Op::kIt) {
+      it = static_cast<u8>(insn.imm);
+      continue;
+    }
+    if (it != 0) {
+      definite = false;  // IT-covered: the write may be skipped
+      it = advance_it(it);
+    }
+    auto def = [&dep, definite](u8 r, u8 bits) {
+      dep[r] = definite ? bits : static_cast<u8>(dep[r] | bits);
+    };
+    switch (insn.taint_class()) {
+      case TaintClass::kBinaryOp3: {
+        u8 bits = dep[insn.rn];
+        if (!insn.imm_operand) bits |= dep[insn.rm];
+        if (insn.op == Op::kMla || insn.op == Op::kUmull ||
+            insn.op == Op::kSmull) {
+          bits |= dep[insn.rs];
+        }
+        def(insn.rd, bits);
+        if (insn.op == Op::kUmull || insn.op == Op::kSmull) {
+          def(insn.rn, bits);  // RdHi
+        }
+        break;
+      }
+      case TaintClass::kBinaryOp2:
+      case TaintClass::kUnary:
+      case TaintClass::kMovReg:
+        def(insn.rd, dep[insn.rm]);
+        break;
+      case TaintClass::kMovImm:
+        def(insn.rd, 0);  // constant: kills the old dependency set
+        break;
+      case TaintClass::kLoad: {
+        u8 bits = static_cast<u8>(dep[insn.rn] | kMemDep);
+        if (insn.reg_offset) bits |= dep[insn.rm];
+        def(insn.rd, bits);
+        break;
+      }
+      case TaintClass::kStore:
+        facts.mem_deps |= dep[insn.rd];
+        break;
+      case TaintClass::kLdm: {
+        const u8 bits = static_cast<u8>(dep[insn.rn] | kMemDep);
+        for (u8 r = 0; r < 16; ++r) {
+          if ((insn.reglist & (1u << r)) != 0) def(r, bits);
+        }
+        break;
+      }
+      case TaintClass::kStm:
+        for (u8 r = 0; r < 16; ++r) {
+          if ((insn.reglist & (1u << r)) != 0) facts.mem_deps |= dep[r];
+        }
+        break;
+      case TaintClass::kNone:
+        break;
+    }
+    if (insn.op == Op::kSvc) {
+      // The kernel may fold any argument register into memory (write) and
+      // hand back derived data in r0 (read). r0 joins rather than replaces:
+      // which syscalls preserve it is not modelled here.
+      facts.mem_deps |= static_cast<u8>(dep[0] | dep[1] | dep[2] | dep[3] |
+                                        dep[4] | dep[5] | dep[6]);
+      dep[0] |= static_cast<u8>(kMemDep | kOtherDep);
+    }
+    if (insn.op == Op::kBl || insn.op == Op::kBlxReg) {
+      const GuestAddr target =
+          call_idx < bb.call_targets.size() ? bb.call_targets[call_idx] : 0;
+      ++call_idx;
+      const u8 passed =
+          static_cast<u8>(dep[0] | dep[1] | dep[2] | dep[3]);
+      facts.call_args |= passed;
+      // Anything the callee computes derives from the caller's full
+      // register state at the call plus memory: the clobber bound for the
+      // caller-saved registers it may leave behind.
+      u8 state_bits = static_cast<u8>(kMemDep | kOtherDep);
+      for (u8 r = 0; r < 15; ++r) state_bits |= dep[r];
+      const TaintSummary* callee = target != 0 ? index.find(target) : nullptr;
+      u8 ret_bits;
+      if (callee != nullptr) {
+        ret_bits = callee->ret_depends_on_mem ? kMemDep : u8{0};
+        u8 store_bits = 0;
+        for (u8 i = 0; i < 4; ++i) {
+          if ((callee->args_to_ret & (1u << i)) != 0) ret_bits |= dep[i];
+          if ((callee->args_to_mem & (1u << i)) != 0) store_bits |= dep[i];
+        }
+        if (callee->unresolved_calls) {
+          ret_bits |= state_bits;
+          store_bits |= passed;
+        }
+        facts.mem_deps |= store_bits;
+        facts.unresolved = facts.unresolved || callee->unresolved_calls;
+      } else {
+        // Out-of-graph target (library stub, helper, unresolved BLX):
+        // assume the worst for both the return value and memory.
+        ret_bits = state_bits;
+        facts.mem_deps |= passed;
+        facts.unresolved = true;
+      }
+      def(0, ret_bits);
+      for (const u8 r : {u8{1}, u8{2}, u8{3}, u8{12}, u8{14}}) {
+        def(r, state_bits);
+      }
+    }
+  }
+  if (bb.is_return) facts.ret_deps |= dep[0];
+}
+
+/// One pass of the arg-flow analysis for `fn`: a forward dataflow over the
+/// block graph (join at block entries, kills on definite writes), reading
+/// callee facts from `index` (results of the previous call-graph pass).
+/// Returns true when any fact changed.
+bool argflow_pass(const FunctionCfg& fn, const SummaryIndex& index,
+                  TaintSummary& s) {
+  FlowFacts facts;
+  facts.unresolved = fn.has_indirect_calls || fn.truncated;
+
+  DepState init;
+  for (u8 i = 0; i < 4; ++i) init.dep[i] = static_cast<u8>(1u << i);
+
+  std::map<GuestAddr, DepState> in;
+  std::vector<GuestAddr> worklist;
+  if (fn.blocks.contains(fn.entry)) {
+    in.emplace(fn.entry, init);
+    worklist.push_back(fn.entry);
+  }
+  // Monotone joins over a finite lattice: terminates without a bound. The
+  // accumulators in `facts` only grow, so re-running a block is harmless.
+  while (!worklist.empty()) {
+    const GuestAddr start = worklist.back();
+    worklist.pop_back();
+    DepState st = in.at(start);
+    const BasicBlock& bb = fn.blocks.at(start);
+    transfer_block(bb, index, st, facts);
+    for (const GuestAddr succ : bb.succs) {
+      if (!fn.blocks.contains(succ)) continue;
+      auto [it, inserted] = in.emplace(succ, st);
+      if (inserted || it->second.join_from(st)) worklist.push_back(succ);
+    }
+  }
+  // Blocks the dataflow never reached (possible only through control flow
+  // the lifter could not resolve): transfer once with a worst-case entry
+  // state so their stores/calls still land in the accumulators.
+  for (const auto& [start, bb] : fn.blocks) {
+    if (in.contains(start)) continue;
+    DepState worst;
+    worst.dep.fill(static_cast<u8>(kArgMask | kMemDep | kOtherDep));
+    transfer_block(bb, index, worst, facts);
+  }
+  // Control flow the lifter could not follow voids the flow-sensitive
+  // reasoning above; fall back to "every argument may reach everything".
+  if (fn.has_indirect_jumps || fn.truncated) {
+    facts.ret_deps = kArgMask | kMemDep;
+    facts.mem_deps |= kArgMask;
+    facts.call_args |= kArgMask;
+    facts.unresolved = true;
+  }
+
+  const u8 new_ret = static_cast<u8>(facts.ret_deps & kArgMask);
+  const bool new_ret_mem = (facts.ret_deps & kMemDep) != 0;
+  const u8 new_mem = static_cast<u8>(facts.mem_deps & kArgMask);
+  const u8 call_args = facts.call_args;
+  const bool unresolved = facts.unresolved;
+  const bool moved = new_ret != s.args_to_ret ||
+                     new_ret_mem != s.ret_depends_on_mem ||
+                     new_mem != s.args_to_mem || call_args != s.args_to_call ||
+                     unresolved != s.unresolved_calls;
+  s.args_to_ret = new_ret;
+  s.ret_depends_on_mem = new_ret_mem;
+  s.args_to_mem = new_mem;
+  s.args_to_call = call_args;
+  s.unresolved_calls = unresolved;
+  return moved;
+}
+
+}  // namespace
+
+SummaryIndex summarize(const Program& program) {
+  SummaryIndex index;
+
+  // Structural facts first (call-graph independent).
+  for (const auto& [entry, fn] : program.functions) {
+    TaintSummary s;
+    s.entry = entry;
+    s.name = fn.name;
+    s.has_svc = fn.has_svc;
+    s.truncated = fn.truncated;
+    s.mem_kind = classify_mem(fn);
+    s.windows = merge_windows(fn);
+    for (const auto& [start, bb] : fn.blocks) {
+      for (const Insn& insn : bb.insns) s.touched_regs |= touched_by(insn);
+    }
+    index.summaries.emplace(entry, std::move(s));
+  }
+
+  // Bounded fixed point of the arg-flow facts over the call graph.
+  for (int pass = 0; pass < kCallGraphPasses; ++pass) {
+    bool changed = false;
+    for (const auto& [entry, fn] : program.functions) {
+      changed = argflow_pass(fn, index, index.summaries.at(entry)) || changed;
+    }
+    if (!changed) break;
+  }
+
+  // Transparency verdicts (hook pre-placement).
+  for (const auto& [entry, fn] : program.functions) {
+    TaintSummary& s = index.summaries.at(entry);
+    bool has_calls = fn.has_indirect_calls;
+    for (const auto& [start, bb] : fn.blocks) {
+      has_calls = has_calls || !bb.call_targets.empty();
+    }
+    s.transparent = s.mem_kind == MemKind::kNone && !s.has_svc &&
+                    !has_calls && !s.truncated && !fn.has_indirect_jumps &&
+                    s.args_to_ret == 0 && !s.ret_depends_on_mem;
+  }
+  return index;
+}
+
+}  // namespace ndroid::static_analysis

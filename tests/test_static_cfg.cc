@@ -1,0 +1,354 @@
+// Static CFG lifter and taint summaries: unit tests over hand-assembled
+// functions (block structure, call-graph closure, IT'd conditional-branch
+// successors, memory-access classification, arg-flow facts) plus the
+// soundness property the dynamic layer relies on: every branch event the
+// executor produces inside lifted code is covered by the static CFG's
+// successors / call edges / return & indirect flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "apps/cfbench.h"
+#include "apps/leak_cases.h"
+#include "arm/assembler.h"
+#include "arm/cpu.h"
+#include "arm/thumb_assembler.h"
+#include "os/view_reconstructor.h"
+#include "static/cfg.h"
+#include "static/summary.h"
+
+namespace ndroid {
+namespace {
+
+namespace sa = static_analysis;
+using arm::Assembler;
+using arm::Cond;
+using arm::Label;
+using arm::LR;
+using arm::R;
+using arm::SP;
+using arm::ThumbAssembler;
+using arm::ThumbLabel;
+
+// ---------------------------------------------------------------------------
+// Unit tests over raw memory
+// ---------------------------------------------------------------------------
+
+class LifterFixture : public ::testing::Test {
+ protected:
+  static constexpr GuestAddr kCode = 0x10000;
+  static constexpr u32 kCodeSize = 0x4000;
+
+  LifterFixture() : cpu_(mem_, map_) {
+    map_.add("code", kCode, kCodeSize, mem::kRX);
+    map_.add("[stack]", 0x70000, 0x10000, mem::kRW);
+    cpu_.set_initial_sp(0x80000);
+  }
+
+  sa::Program lift(const std::vector<u8>& image,
+                   std::vector<sa::FunctionEntry> entries) {
+    mem_.write_bytes(kCode, image);
+    const sa::CfgLifter lifter(mem_,
+                               {{kCode, kCode + kCodeSize, "code"}});
+    return lifter.lift(entries);
+  }
+
+  mem::AddressSpace mem_;
+  mem::MemoryMap map_;
+  arm::Cpu cpu_;
+};
+
+TEST_F(LifterFixture, ArmLoopBlocksAndCallGraphClosure) {
+  Assembler a(kCode);
+  // helper: r0 = r0 + 7
+  const GuestAddr helper = a.here();
+  a.add_imm(R(0), R(0), 7);
+  a.ret();
+  // entry(n): loop summing, then bl helper.
+  const GuestAddr entry = a.here();
+  Label loop, done;
+  a.push({R(4), LR});
+  a.mov_imm(R(1), 0);
+  a.bind(loop);
+  a.cmp_imm(R(0), 0);
+  a.b(done, Cond::kEQ);
+  a.add(R(1), R(1), R(0));
+  a.sub_imm(R(0), R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(R(0), R(1));
+  a.bl_abs(helper);
+  a.pop({R(4), arm::PC});
+  const sa::Program prog = lift(a.finish(), {{entry, "entry"}});
+
+  const sa::FunctionCfg* fn = prog.function(entry);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_FALSE(fn->truncated);
+  // The conditional loop exit has both the target and the fall-through.
+  const sa::BasicBlock* cond = fn->block_at(entry + 8);  // cmp;beq block
+  ASSERT_NE(cond, nullptr);
+  EXPECT_EQ(cond->succs.size(), 2u);
+  // The call edge was recorded and transitively lifted as sub_<hex>.
+  ASSERT_EQ(fn->callees.size(), 1u);
+  EXPECT_EQ(fn->callees[0] & ~1u, helper);
+  const sa::FunctionCfg* callee = prog.function(helper);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_EQ(callee->name.rfind("sub_", 0), 0u);
+  bool callee_returns = false;
+  for (const auto& [start, bb] : callee->blocks) {
+    callee_returns = callee_returns || bb.is_return;
+  }
+  EXPECT_TRUE(callee_returns);
+}
+
+TEST_F(LifterFixture, ItConditionalBranchSuccessorsMatchExecutor) {
+  // The satellite-3 agreement check: the same IT'd unconditional-encoding
+  // branch that test_it_blocks runs dynamically must lift as a *conditional*
+  // edge — both the target and the fall-through are successors.
+  ThumbAssembler a(kCode);
+  ThumbLabel nonzero;
+  a.cmp_imm(R(0), 0);
+  a.it(Cond::kNE);
+  a.b(nonzero);          // conditional via ITSTATE, not via encoding
+  a.movs_imm(R(0), 42);  // fall-through (r0 == 0)
+  a.bx(LR);
+  a.bind(nonzero);
+  a.movs_imm(R(0), 77);
+  a.bx(LR);
+  const auto image = a.finish();
+  const sa::Program prog = lift(image, {{kCode | 1u, "it_branch"}});
+
+  const sa::FunctionCfg* fn = prog.function(kCode);
+  ASSERT_NE(fn, nullptr);
+  EXPECT_TRUE(fn->thumb);
+  // Block layout: [cmp, it, b] then [movs, bx] and [movs, bx]. The IT'd
+  // branch must contribute both the target and the fall-through.
+  const sa::BasicBlock* head = fn->block_at(kCode);
+  ASSERT_NE(head, nullptr);
+  ASSERT_EQ(head->succs.size(), 2u) << "IT'd branch must be two-way";
+  EXPECT_NE(head->succs[0], head->succs[1]);
+  EXPECT_TRUE(head->succs[0] == head->end || head->succs[1] == head->end)
+      << "fall-through successor missing";
+
+  // Dynamic agreement: run both paths, every taken-branch edge out of the
+  // head block must be one of the static successors (or a return).
+  std::vector<std::pair<GuestAddr, GuestAddr>> edges;
+  const int id = cpu_.add_branch_hook(
+      [&edges](arm::Cpu&, GuestAddr from, GuestAddr to) {
+        edges.emplace_back(from, to);
+      });
+  EXPECT_EQ(cpu_.call_function(kCode | 1, {0}), 42u);
+  EXPECT_EQ(cpu_.call_function(kCode | 1, {5}), 77u);
+  cpu_.remove_branch_hook(id);
+  bool saw_it_branch = false;
+  for (const auto& [from, to] : edges) {
+    const sa::BasicBlock* bb = fn->block_at(from);
+    if (bb == nullptr) continue;
+    if (bb == head) {
+      saw_it_branch = true;
+      EXPECT_TRUE(std::find(bb->succs.begin(), bb->succs.end(), to & ~1u) !=
+                  bb->succs.end())
+          << "dynamic edge 0x" << std::hex << from << " -> 0x" << to
+          << " missing from static successors";
+    } else {
+      EXPECT_TRUE(bb->is_return);
+    }
+  }
+  EXPECT_TRUE(saw_it_branch);
+}
+
+TEST_F(LifterFixture, MemAccessClassification) {
+  const GuestAddr data = kCode + 0x3000;
+  Assembler a(kCode);
+  const GuestAddr entry = a.here();
+  a.mov_imm32(R(3), data);
+  a.str(R(0), R(3), 0);       // constant address
+  a.str(R(1), SP, -8);        // stack slot
+  a.ldr(R(2), R(1), 0);       // pointer argument: unknown
+  a.ret();
+  const sa::Program prog = lift(a.finish(), {{entry, "mixed"}});
+  const sa::FunctionCfg* fn = prog.function(entry);
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->mem_accesses.size(), 3u);
+  bool saw_const = false, saw_sp = false, saw_unknown = false;
+  for (const sa::MemAccess& m : fn->mem_accesses) {
+    switch (m.kind) {
+      case sa::MemAccess::Kind::kConstAddr:
+        saw_const = true;
+        EXPECT_EQ(m.addr, data);
+        EXPECT_EQ(m.size, 4u);
+        EXPECT_TRUE(m.is_store);
+        break;
+      case sa::MemAccess::Kind::kSpRelative:
+        saw_sp = true;
+        break;
+      case sa::MemAccess::Kind::kUnknown:
+        saw_unknown = true;
+        EXPECT_FALSE(m.is_store);
+        break;
+    }
+  }
+  EXPECT_TRUE(saw_const && saw_sp && saw_unknown);
+
+  // One unknown access makes the whole summary opaque — never skippable.
+  const sa::SummaryIndex index = sa::summarize(prog);
+  const sa::TaintSummary* s = index.find(entry);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->mem_kind, sa::MemKind::kOpaque);
+  EXPECT_TRUE(s->opaque());
+}
+
+TEST_F(LifterFixture, SummaryArgFlowAndTransparency) {
+  Assembler a(kCode);
+  // transparent: int f(...) { return 42; }
+  const GuestAddr f_const = a.here();
+  a.mov_imm(R(0), 42);
+  a.ret();
+  // flows: stores arg1 to a constant window, returns arg2.
+  const GuestAddr data = kCode + 0x3000;
+  const GuestAddr f_flow = a.here();
+  a.mov_imm32(R(3), data);
+  a.str(R(1), R(3), 0);
+  a.mov(R(0), R(2));
+  a.ret();
+  const sa::Program prog =
+      lift(a.finish(), {{f_const, "f_const"}, {f_flow, "f_flow"}});
+  const sa::SummaryIndex index = sa::summarize(prog);
+
+  const sa::TaintSummary* c = index.find(f_const);
+  ASSERT_NE(c, nullptr);
+  EXPECT_TRUE(c->transparent);
+  EXPECT_EQ(c->mem_kind, sa::MemKind::kNone);
+  EXPECT_EQ(c->args_to_ret, 0u);
+  EXPECT_EQ(c->touched_regs, 1u);  // only r0
+
+  const sa::TaintSummary* f = index.find(f_flow);
+  ASSERT_NE(f, nullptr);
+  EXPECT_FALSE(f->transparent);
+  EXPECT_EQ(f->mem_kind, sa::MemKind::kStatic);
+  EXPECT_EQ(f->args_to_ret, 1u << 2);  // r2 -> return
+  EXPECT_EQ(f->args_to_mem, 1u << 1);  // r1 -> memory
+  ASSERT_EQ(f->windows.size(), 1u);
+  EXPECT_EQ(f->windows[0].lo, data);
+  EXPECT_EQ(f->windows[0].hi, data + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Property: dynamic branch events ⊆ static CFG edges (src/apps programs)
+// ---------------------------------------------------------------------------
+
+/// Mirrors NDroid::attach_static_analysis's discovery on a Device.
+sa::Program scan(android::Device& device) {
+  using android::Layout;
+  os::ViewReconstructor vmi(device.memory, os::Kernel::kTaskRoot);
+  const auto views = vmi.reconstruct();
+  std::vector<sa::CodeRegion> regions;
+  for (const auto& proc : views) {
+    if (proc.pid != device.app_pid()) continue;
+    for (const auto& r : proc.regions) {
+      if (r.start >= Layout::kAppLibBase && r.start < Layout::kHeapBase) {
+        regions.push_back({r.start, r.end, r.name});
+      }
+    }
+  }
+  std::vector<sa::FunctionEntry> entries;
+  for (const dvm::Method* m : device.dvm.native_methods()) {
+    const GuestAddr stripped = m->native_addr & ~1u;
+    if (stripped >= Layout::kAppLibBase && stripped < Layout::kHeapBase) {
+      entries.push_back({m->native_addr, m->name});
+    }
+  }
+  const sa::CfgLifter lifter(device.memory, std::move(regions));
+  return lifter.lift(entries);
+}
+
+struct EdgeChecker {
+  const sa::Program& prog;
+  u64 verified = 0;
+  std::vector<std::string> violations;
+
+  static bool explains(const sa::BasicBlock& bb, GuestAddr to) {
+    if (bb.is_return || bb.has_indirect_jump || bb.has_indirect_call) {
+      return true;
+    }
+    const GuestAddr t = to & ~1u;
+    for (const GuestAddr s : bb.succs) {
+      if (s == t) return true;
+    }
+    for (const GuestAddr c : bb.call_targets) {
+      if ((c & ~1u) == t) return true;
+    }
+    return false;
+  }
+
+  void check(GuestAddr from, GuestAddr to) {
+    bool contained = false;
+    for (const auto& [entry, fn] : prog.functions) {
+      if (!fn.contains(from)) continue;
+      const sa::BasicBlock* bb = fn.block_at(from);
+      if (bb == nullptr) continue;
+      contained = true;
+      if (explains(*bb, to)) {
+        ++verified;
+        return;
+      }
+    }
+    if (contained) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf,
+                    "edge 0x%x -> 0x%x not covered by static CFG", from, to);
+      violations.emplace_back(buf);
+    }
+  }
+};
+
+TEST(StaticCfgProperty, CfbenchDynamicEdgesCovered) {
+  android::Device device;
+  apps::CfBenchApp app(device);
+  const sa::Program prog = scan(device);
+  EXPECT_GE(prog.functions.size(), 8u);
+
+  EdgeChecker checker{prog};
+  const int id = device.cpu.add_branch_hook(
+      [&checker](arm::Cpu&, GuestAddr from, GuestAddr to) {
+        checker.check(from, to);
+      });
+  for (const auto& w : app.workloads()) {
+    if (!w.java) app.run(w, 40);
+  }
+  device.cpu.remove_branch_hook(id);
+
+  EXPECT_GT(checker.verified, 0u);
+  EXPECT_TRUE(checker.violations.empty())
+      << checker.violations.size() << " violations, first: "
+      << checker.violations.front();
+}
+
+TEST(StaticCfgProperty, LeakCaseDynamicEdgesCovered) {
+  for (const auto& [name, builder] : apps::all_cases()) {
+    android::Device device;
+    const auto scenario = builder(device);
+    const sa::Program prog = scan(device);
+    EXPECT_GE(prog.functions.size(), 1u) << name;
+
+    EdgeChecker checker{prog};
+    const int id = device.cpu.add_branch_hook(
+        [&checker](arm::Cpu&, GuestAddr from, GuestAddr to) {
+          checker.check(from, to);
+        });
+    device.dvm.call(*scenario.entry, {});
+    device.cpu.remove_branch_hook(id);
+
+    EXPECT_GT(checker.verified, 0u) << name;
+    EXPECT_TRUE(checker.violations.empty())
+        << name << ": " << checker.violations.size()
+        << " violations, first: " << checker.violations.front();
+  }
+}
+
+}  // namespace
+}  // namespace ndroid

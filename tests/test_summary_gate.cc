@@ -1,0 +1,196 @@
+// Summary-gated dynamic instrumentation (the static-layer feedback path):
+//
+//  * soundness: every Table I leak case detects exactly the same leaks
+//    under summary-gated instrumentation as under seed full tracing;
+//  * effectiveness: the gate skips taint-irrelevant functions in situations
+//    the liveness-only fast path must trace (taint live in a register the
+//    function never touches / in memory its windows cannot reach);
+//  * hook pre-placement: a transparent native method gets no SourcePolicy
+//    even when its arguments carry taint.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/cfbench.h"
+#include "apps/leak_cases.h"
+#include "apps/native_lib_builder.h"
+#include "core/ndroid.h"
+
+namespace ndroid {
+namespace {
+
+using dvm::kAccPublic;
+using dvm::kAccStatic;
+
+struct CaseResult {
+  bool detected = false;
+  std::size_t native_leaks = 0;
+  std::size_t framework_leaks = 0;
+};
+
+CaseResult run_case(apps::LeakScenario (*builder)(android::Device&),
+                    bool summary_gated) {
+  android::Device device;
+  core::NDroidConfig cfg;
+  if (!summary_gated) {
+    // Seed full-trace configuration: no block gating at all.
+    cfg.taint_liveness_fastpath = false;
+    cfg.static_summaries = false;
+  }
+  core::NDroid nd(device, cfg);
+  const auto scenario = builder(device);
+  if (summary_gated) {
+    EXPECT_NE(nd.attach_static_analysis(), nullptr) << "attach failed";
+  }
+  device.dvm.call(*scenario.entry, {});
+  CaseResult r;
+  r.native_leaks = nd.leaks().size();
+  r.framework_leaks = device.framework.leaks().size();
+  r.detected = r.native_leaks != 0 || r.framework_leaks != 0;
+  return r;
+}
+
+TEST(SummaryGate, LeakParityOnAllTable1Cases) {
+  for (const auto& [name, builder] : apps::all_cases()) {
+    const CaseResult full = run_case(builder, /*summary_gated=*/false);
+    const CaseResult gated = run_case(builder, /*summary_gated=*/true);
+    EXPECT_EQ(full.detected, gated.detected) << name;
+    EXPECT_EQ(full.native_leaks, gated.native_leaks) << name;
+    EXPECT_EQ(full.framework_leaks, gated.framework_leaks) << name;
+    EXPECT_TRUE(gated.detected) << name << ": NDroid must detect every case";
+  }
+}
+
+TEST(SummaryGate, SkipsRegTaintOutsideFunctionFootprint) {
+  // Taint r8 — no cfbench workload's Table V footprint includes it, but the
+  // liveness gate sees live register taint and must trace every in-scope
+  // block. The summary gate proves the intersection empty and skips.
+  u64 baseline_propagations = 0;
+  {
+    android::Device device;
+    core::NDroid nd(device);
+    apps::CfBenchApp app(device);
+    nd.taint_engine().set_reg(8, 0x40);
+    app.run(*app.find("Native MIPS"), 200);
+    baseline_propagations = nd.taint_engine().propagations;
+    EXPECT_EQ(nd.summary_gate_skips, 0u);  // not attached
+  }
+  {
+    android::Device device;
+    core::NDroid nd(device);
+    apps::CfBenchApp app(device);
+    ASSERT_NE(nd.attach_static_analysis(), nullptr);
+    nd.taint_engine().set_reg(8, 0x40);
+    app.run(*app.find("Native MIPS"), 200);
+    EXPECT_GT(nd.summary_gate_skips, 0u);
+    EXPECT_EQ(nd.taint_engine().propagations, 0u)
+        << "summary-gated run must not trace taint-irrelevant blocks";
+    EXPECT_EQ(nd.taint_engine().reg(8), 0x40u) << "taint must survive intact";
+  }
+  EXPECT_GT(baseline_propagations, 0u)
+      << "liveness-only gating must have traced these blocks";
+}
+
+TEST(SummaryGate, SkipsMemTaintOutsideStaticWindows) {
+  // Taint one native-heap byte far from nativeMemRead's constant windows
+  // (which live inside the .so image). Liveness gating must trace every
+  // block containing loads; the summary gate checks the windows against the
+  // shadow pages and skips.
+  android::Device device;
+  core::NDroid nd(device);
+  apps::CfBenchApp app(device);
+  ASSERT_NE(nd.attach_static_analysis(), nullptr);
+  nd.taint_engine().map().add(android::Layout::kHeapBase + 0x100, 0x80);
+  app.run(*app.find("Native Memory Read"), 50);
+  EXPECT_GT(nd.summary_gate_skips, 0u);
+  EXPECT_EQ(nd.taint_engine().propagations, 0u);
+}
+
+TEST(SummaryGate, ConservativeWhenTaintIntersectsFootprint) {
+  // Control: taint r0 — inside every workload's footprint — and the summary
+  // gate must NOT license a skip; the tracer runs as before.
+  android::Device device;
+  core::NDroid nd(device);
+  apps::CfBenchApp app(device);
+  ASSERT_NE(nd.attach_static_analysis(), nullptr);
+  // nativeMips touches only r0-r3; r0 guarantees intersection.
+  nd.taint_engine().set_reg(0, 0x40);
+  app.run(*app.find("Native MIPS"), 50);
+  EXPECT_GT(nd.taint_engine().propagations, 0u)
+      << "intersecting taint must keep the tracer running";
+}
+
+TEST(SummaryGate, TransparentMethodSkipsSourcePolicy) {
+  android::Device device;
+  core::NDroid nd(device);
+
+  // int constant(jstring): returns 42, never reads its argument.
+  apps::NativeLibBuilder lib(device, "libtrans.so");
+  auto& a = lib.a();
+  const GuestAddr fn_const = lib.fn();
+  a.mov_imm(arm::R(0), 42);
+  a.ret();
+  lib.install();
+
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Ltrans/App;");
+  dvm::Method* constant = dvm.define_native(
+      app, "constant", "IL", kAccPublic | kAccStatic, fn_const);
+  dvm::Method* source = device.framework.telephony->find_method("getDeviceId");
+  ASSERT_NE(source, nullptr);
+  dvm::CodeBuilder cb;
+  cb.invoke(source, {})
+      .move_result(0)
+      .invoke(constant, {0})
+      .move_result(1)
+      .return_void();
+  dvm::Method* entry =
+      dvm.define_method(app, "main", "V", kAccPublic | kAccStatic, 3, cb.take());
+
+  const auto* gate = nd.attach_static_analysis();
+  ASSERT_NE(gate, nullptr);
+  const auto* summary = gate->index().find(fn_const);
+  ASSERT_NE(summary, nullptr);
+  EXPECT_TRUE(summary->transparent);
+
+  device.dvm.call(*entry, {});
+  EXPECT_EQ(nd.dvm_hooks().source_policies_skipped, 1u);
+  EXPECT_EQ(nd.dvm_hooks().source_policies_created, 0u);
+}
+
+TEST(SummaryGate, NonTransparentMethodStillGetsSourcePolicy) {
+  // Same app shape, but the method returns its argument: args_to_ret != 0,
+  // so the summary is not transparent and the policy must be built.
+  android::Device device;
+  core::NDroid nd(device);
+
+  apps::NativeLibBuilder lib(device, "libid.so");
+  auto& a = lib.a();
+  const GuestAddr fn_id = lib.fn();
+  a.mov(arm::R(0), arm::R(2));  // return the jstring argument
+  a.ret();
+  lib.install();
+
+  auto& dvm = device.dvm;
+  dvm::ClassObject* app = dvm.define_class("Lid/App;");
+  dvm::Method* ident =
+      dvm.define_native(app, "ident", "LL", kAccPublic | kAccStatic, fn_id);
+  dvm::Method* source = device.framework.telephony->find_method("getDeviceId");
+  ASSERT_NE(source, nullptr);
+  dvm::CodeBuilder cb;
+  cb.invoke(source, {})
+      .move_result(0)
+      .invoke(ident, {0})
+      .move_result(1)
+      .return_void();
+  dvm::Method* entry =
+      dvm.define_method(app, "main", "V", kAccPublic | kAccStatic, 3, cb.take());
+
+  ASSERT_NE(nd.attach_static_analysis(), nullptr);
+  device.dvm.call(*entry, {});
+  EXPECT_EQ(nd.dvm_hooks().source_policies_skipped, 0u);
+  EXPECT_EQ(nd.dvm_hooks().source_policies_created, 1u);
+}
+
+}  // namespace
+}  // namespace ndroid

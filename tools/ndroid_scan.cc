@@ -1,0 +1,124 @@
+// ndroid-scan: standalone static pre-analysis over the synthetic apps.
+//
+// Builds a Device, installs the requested app's native libraries and JNI
+// registrations, then runs the static layer exactly the way
+// NDroid::attach_static_analysis does — code regions from the OS view
+// reconstructor, roots from the registered native methods, CFG lift, taint
+// summaries — and prints the JSON report. No dynamic execution happens:
+// this is the "scan the APK's .so before running it" half of the paper's
+// pipeline, usable on its own.
+//
+//   ndroid-scan [app...]        app in: cfbench case1 case1p case2 case3
+//                               case4 (default: all)
+//   ndroid-scan --list          list known apps
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "apps/cfbench.h"
+#include "apps/leak_cases.h"
+#include "os/view_reconstructor.h"
+#include "static/cfg.h"
+#include "static/scan_report.h"
+#include "static/summary.h"
+
+namespace {
+
+using namespace ndroid;
+namespace sa = ndroid::static_analysis;
+
+/// Mirrors NDroid::attach_static_analysis's discovery: third-party code
+/// regions via VMI, roots from the registered native methods.
+std::string scan_device(android::Device& device) {
+  using android::Layout;
+  os::ViewReconstructor vmi(device.memory, os::Kernel::kTaskRoot);
+  const auto views = vmi.reconstruct();
+  std::vector<sa::CodeRegion> regions;
+  for (const auto& proc : views) {
+    if (proc.pid != device.app_pid()) continue;
+    for (const auto& r : proc.regions) {
+      if (r.start >= Layout::kAppLibBase && r.start < Layout::kHeapBase) {
+        regions.push_back({r.start, r.end, r.name});
+      }
+    }
+  }
+  std::vector<sa::FunctionEntry> entries;
+  for (const dvm::Method* m : device.dvm.native_methods()) {
+    const GuestAddr stripped = m->native_addr & ~1u;
+    if (stripped >= Layout::kAppLibBase && stripped < Layout::kHeapBase) {
+      entries.push_back(
+          {m->native_addr, m->clazz->descriptor() + "." + m->name});
+    }
+  }
+  const sa::CfgLifter lifter(device.memory, std::move(regions));
+  const sa::Program program = lifter.lift(entries);
+  const sa::SummaryIndex index = sa::summarize(program);
+  return sa::to_json(program, index);
+}
+
+struct App {
+  const char* name;
+  std::string (*scan)();
+};
+
+template <apps::LeakScenario (*Build)(android::Device&)>
+std::string scan_leak_case() {
+  android::Device device;
+  (void)Build(device);
+  return scan_device(device);
+}
+
+std::string scan_cfbench() {
+  android::Device device;
+  apps::CfBenchApp app(device);
+  return scan_device(device);
+}
+
+constexpr App kApps[] = {
+    {"cfbench", scan_cfbench},
+    {"case1", scan_leak_case<apps::build_case1>},
+    {"case1p", scan_leak_case<apps::build_case1_prime>},
+    {"case2", scan_leak_case<apps::build_case2>},
+    {"case3", scan_leak_case<apps::build_case3>},
+    {"case4", scan_leak_case<apps::build_case4>},
+};
+
+const App* find_app(const std::string& name) {
+  for (const App& app : kApps) {
+    if (name == app.name) return &app;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<const App*> selected;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const App& app : kApps) std::printf("%s\n", app.name);
+      return 0;
+    }
+    const App* app = find_app(arg);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown app '%s' (try --list)\n", arg.c_str());
+      return 1;
+    }
+    selected.push_back(app);
+  }
+  if (selected.empty()) {
+    for (const App& app : kApps) selected.push_back(&app);
+  }
+
+  std::printf("{");
+  bool first = true;
+  for (const App* app : selected) {
+    std::printf("%s\"%s\":%s", first ? "" : ",", app->name,
+                app->scan().c_str());
+    first = false;
+  }
+  std::printf("}\n");
+  return 0;
+}

@@ -3,8 +3,18 @@
 #   BENCH_micro.json   — google-benchmark JSON from bench_micro (ns/insn,
 #                        insns/sec, TB hit rate per benchmark)
 #   BENCH_cfbench.json — Fig. 10 CF-Bench slowdowns + shape checks
+#   BENCH_farm.json    — farm throughput at 1/2/4/8 workers + summary-cache
+#                        hit rates (see bench_farm.cc for the shape checks)
 #
-# Usage: scripts/bench.sh [build-dir]   (default: ./build)
+# Usage: scripts/bench.sh [build-dir]   (default: ./build-bench)
+#
+# The build directory is configured and built here with
+# CMAKE_BUILD_TYPE=Release — perf numbers from unoptimised binaries are not
+# comparable, so this script refuses to inherit whatever build type a
+# pre-existing directory happens to carry. (The "library_build_type" field
+# google-benchmark emits describes the *system benchmark library*, which may
+# itself be a debug build; the "repo_build_type" stamped below is ours.)
+# Every JSON gets the producing git SHA stamped into its context.
 #
 # BENCH_micro.json records two acceptance ratios (compare items_per_second):
 #   * TB cache:     BM_EmulatorNativeMips vs BM_EmulatorNativeMipsInterp
@@ -20,13 +30,13 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build}"
+BUILD_DIR="${1:-build-bench}"
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export GIT_SHA
 
-if [[ ! -x "$BUILD_DIR/bench/bench_micro" ]]; then
-  echo "error: $BUILD_DIR/bench/bench_micro not built" >&2
-  echo "build first: cmake -S . -B $BUILD_DIR -DCMAKE_BUILD_TYPE=Release && cmake --build $BUILD_DIR -j" >&2
-  exit 1
-fi
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
+  bench_micro bench_fig10_cfbench bench_farm
 
 # The bundled google-benchmark predates the "0.3s" suffix syntax.
 "$BUILD_DIR/bench/bench_micro" \
@@ -39,5 +49,25 @@ fi
 # against scheduler noise (EXPERIMENTS.md records this 9-rep median).
 "$BUILD_DIR/bench/bench_fig10_cfbench" 9 --json BENCH_cfbench.json
 
+# 12 reps: enough corpus repetition that the summary cache's hit rate must
+# exceed 90% (~15 distinct libraries across ~430 acquires).
+"$BUILD_DIR/bench/bench_farm" 12 --json BENCH_farm.json
+
+# Stamp provenance into the artifacts bench_farm doesn't already stamp:
+# the producing git SHA and the build type of this repo's code.
+python3 - "$GIT_SHA" BENCH_micro.json BENCH_cfbench.json <<'EOF'
+import json, sys
+sha = sys.argv[1]
+for path in sys.argv[2:]:
+    with open(path) as f:
+        doc = json.load(f)
+    doc.setdefault("context", {})
+    doc["context"]["git_sha"] = sha
+    doc["context"]["repo_build_type"] = "release"
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+EOF
+
 echo
-echo "wrote BENCH_micro.json and BENCH_cfbench.json"
+echo "wrote BENCH_micro.json, BENCH_cfbench.json and BENCH_farm.json ($GIT_SHA)"

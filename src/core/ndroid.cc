@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "static/summary.h"
+#include "static/summary_cache.h"
 
 namespace ndroid::core {
 
@@ -198,7 +199,8 @@ const SummaryGate* NDroid::attach_static_analysis() {
   }
 
   // (2) Roots: every registered native method living in third-party code —
-  // the JNI entry points the bridge can actually reach.
+  // the JNI entry points the bridge can actually reach, grouped under the
+  // library that contains them.
   std::vector<sa::FunctionEntry> entries;
   for (const dvm::Method* m : device_.dvm.native_methods()) {
     const GuestAddr stripped = m->native_addr & ~1u;
@@ -208,11 +210,35 @@ const SummaryGate* NDroid::attach_static_analysis() {
     }
   }
 
-  const sa::CfgLifter lifter(device_.memory, std::move(regions));
-  sa::Program program = lifter.lift(entries);
-  sa::SummaryIndex index = sa::summarize(program);
-  summary_gate_ =
-      std::make_unique<SummaryGate>(std::move(program), std::move(index));
+  // (3) One immutable artifact per library: lifted through the shared
+  // process-wide cache when one is configured (first meeting of a content
+  // hash lifts, everyone else reuses), privately otherwise. Either way the
+  // artifact is bound to this process's load base — a zero-copy share when
+  // the bases coincide, a conservative relocation when they don't.
+  std::vector<std::shared_ptr<const sa::LibrarySummary>> libs;
+  for (const auto& region : regions) {
+    std::vector<sa::FunctionEntry> lib_entries;
+    for (const auto& e : entries) {
+      const GuestAddr stripped = e.addr & ~1u;
+      if (stripped >= region.start && stripped < region.end) {
+        lib_entries.push_back(e);
+      }
+    }
+    auto lift = [this, &region, &lib_entries] {
+      return sa::analyze_library(device_.memory, region, lib_entries);
+    };
+    if (config_.summary_cache != nullptr) {
+      std::vector<u8> image(region.end - region.start);
+      device_.memory.read_bytes(region.start, image);
+      const u64 key = sa::library_key(image, lib_entries, region.start);
+      libs.push_back(
+          config_.summary_cache->acquire(key, region.start, lift));
+    } else {
+      libs.push_back(sa::bind_library(
+          std::make_shared<const sa::LibrarySummary>(lift()), region.start));
+    }
+  }
+  summary_gate_ = std::make_unique<SummaryGate>(std::move(libs));
 
   // (3) Feedback into the dynamic layer: transparent JNI methods need no
   // SourcePolicy at all...

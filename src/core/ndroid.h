@@ -29,6 +29,10 @@
 #include "core/taint_engine.h"
 #include "core/taint_guard.h"
 
+namespace ndroid::static_analysis {
+class SummaryCache;
+}
+
 namespace ndroid::core {
 
 struct NDroidConfig {
@@ -63,6 +67,14 @@ struct NDroidConfig {
   /// SourcePolicies only at taint-relevant JNI methods. Off = the attach
   /// call becomes a no-op (ablation: liveness-only gating).
   bool static_summaries = true;
+  /// Optional shared cache of per-library static artifacts (the farm's
+  /// cross-app amortisation, src/farm). When set, attach_static_analysis
+  /// lifts each native library at most once per distinct content hash
+  /// process-wide and shares the immutable snapshot; when null, every
+  /// attach computes its own summaries (the pre-farm behaviour). The cache
+  /// must outlive this NDroid. Thread-safe: many NDroid instances on
+  /// different threads may point at the same cache.
+  static_analysis::SummaryCache* summary_cache = nullptr;
 
   enum class Scope {
     kThirdParty,          // app .so files only (NDroid, §V-C)

@@ -4,28 +4,36 @@
 
 namespace ndroid::core {
 
+using static_analysis::LibrarySummary;
 using static_analysis::TaintSummary;
 
-SummaryGate::SummaryGate(static_analysis::Program program,
-                         static_analysis::SummaryIndex index)
-    : program_(std::move(program)), index_(std::move(index)) {
-  // Pointers into the maps stay valid: std::map nodes never move.
-  for (const auto& [entry, fn] : program_.functions) {
-    const TaintSummary* s = index_.find(entry);
-    if (s == nullptr) continue;
-    Span span;
-    span.lo = fn.lo;
-    span.hi = fn.hi;
-    span.fn = &fn;
-    span.summary = s;
-    for (const auto& [start, bb] : fn.blocks) {
-      GuestAddr pc = bb.start;
-      for (const auto& insn : bb.insns) {
-        span.boundaries.insert(pc);
-        pc += insn.length;
-      }
+SummaryGate::SummaryGate(
+    std::vector<std::shared_ptr<const LibrarySummary>> libraries)
+    : libraries_(std::move(libraries)) {
+  // Merge the per-library indices first: the merged map's nodes never move,
+  // so spans can point at its summaries while the shared snapshots provide
+  // the (equally stable) function CFGs.
+  for (const auto& lib : libraries_) {
+    if (lib == nullptr) continue;
+    for (const auto& [entry, s] : lib->index.summaries) {
+      merged_index_.summaries.emplace(entry, s);
     }
-    spans_.push_back(std::move(span));
+  }
+  for (const auto& lib : libraries_) {
+    if (lib == nullptr) continue;
+    for (const auto& [entry, fn] : lib->program.functions) {
+      const TaintSummary* s = merged_index_.find(entry);
+      if (s == nullptr) continue;
+      auto bounds = lib->boundaries.find(entry);
+      if (bounds == lib->boundaries.end()) continue;
+      Span span;
+      span.lo = fn.lo;
+      span.hi = fn.hi;
+      span.fn = &fn;
+      span.summary = s;
+      span.boundaries = &bounds->second;
+      spans_.push_back(std::move(span));
+    }
   }
   std::sort(spans_.begin(), spans_.end(),
             [](const Span& a, const Span& b) { return a.lo < b.lo; });
@@ -48,7 +56,7 @@ const TaintSummary* SummaryGate::lookup(GuestAddr pc, bool thumb) const {
     const Span& s = spans_[i];
     if (pc < s.lo || pc >= s.hi) continue;
     if (s.fn->thumb != thumb) continue;
-    if (!s.boundaries.contains(pc)) continue;
+    if (!s.boundaries->contains(pc)) continue;
     return s.summary;
   }
   return nullptr;
@@ -56,7 +64,7 @@ const TaintSummary* SummaryGate::lookup(GuestAddr pc, bool thumb) const {
 
 std::vector<GuestAddr> SummaryGate::transparent_entries() const {
   std::vector<GuestAddr> out;
-  for (const auto& [entry, s] : index_.summaries) {
+  for (const auto& [entry, s] : merged_index_.summaries) {
     if (s.transparent) out.push_back(entry);
   }
   return out;

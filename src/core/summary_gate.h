@@ -1,10 +1,13 @@
 // Bridge between the static pre-analysis layer (src/static) and NDroid's
 // dynamic block gate.
 //
-// Holds the lifted Program + SummaryIndex and answers, per translation
-// block, "which function's taint summary covers this block?". The answer is
-// trustworthy only when the block provably executes the same instruction
-// stream the lifter decoded, so lookup() insists that
+// Holds one immutable snapshot per native library (shared across every
+// NDroid instance in the process via static_analysis::SummaryCache — the
+// gate keeps the shared_ptrs alive but never mutates the snapshots) and
+// answers, per translation block, "which function's taint summary covers
+// this block?". The answer is trustworthy only when the block provably
+// executes the same instruction stream the lifter decoded, so lookup()
+// insists that
 //   * the block's pc falls inside a lifted function of the same mode
 //     (ARM vs Thumb), and
 //   * the pc is an instruction boundary of that function (dynamic blocks
@@ -20,14 +23,19 @@
 #include <vector>
 
 #include "static/cfg.h"
+#include "static/library_summary.h"
 #include "static/summary.h"
 
 namespace ndroid::core {
 
 class SummaryGate {
  public:
-  SummaryGate(static_analysis::Program program,
-              static_analysis::SummaryIndex index);
+  /// Builds the gate over one snapshot per native library, each already
+  /// bound to this process's load bases (see bind_library). The snapshots
+  /// are shared, immutable, and kept alive for the gate's lifetime.
+  explicit SummaryGate(
+      std::vector<std::shared_ptr<const static_analysis::LibrarySummary>>
+          libraries);
 
   SummaryGate(const SummaryGate&) = delete;
   SummaryGate& operator=(const SummaryGate&) = delete;
@@ -43,11 +51,14 @@ class SummaryGate {
   /// native methods starting there.
   [[nodiscard]] std::vector<GuestAddr> transparent_entries() const;
 
-  [[nodiscard]] const static_analysis::Program& program() const {
-    return program_;
-  }
+  /// Merged per-function summaries across every library (bound addresses).
   [[nodiscard]] const static_analysis::SummaryIndex& index() const {
-    return index_;
+    return merged_index_;
+  }
+  [[nodiscard]] const std::vector<
+      std::shared_ptr<const static_analysis::LibrarySummary>>&
+  libraries() const {
+    return libraries_;
   }
 
  private:
@@ -56,13 +67,15 @@ class SummaryGate {
     GuestAddr hi = 0;
     const static_analysis::FunctionCfg* fn = nullptr;
     const static_analysis::TaintSummary* summary = nullptr;
-    /// Instruction-start addresses of every lifted block of fn.
-    std::unordered_set<GuestAddr> boundaries;
+    /// Instruction-start addresses of every lifted block of fn; points into
+    /// the shared snapshot's precomputed sets (LibrarySummary::boundaries).
+    const std::unordered_set<GuestAddr>* boundaries = nullptr;
   };
 
-  static_analysis::Program program_;
-  static_analysis::SummaryIndex index_;
-  std::vector<Span> spans_;     // sorted by lo (spans may overlap)
+  std::vector<std::shared_ptr<const static_analysis::LibrarySummary>>
+      libraries_;
+  static_analysis::SummaryIndex merged_index_;
+  std::vector<Span> spans_;        // sorted by lo (spans may overlap)
   std::vector<GuestAddr> max_hi_;  // prefix max of hi, for containment scans
 };
 

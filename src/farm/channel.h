@@ -1,0 +1,67 @@
+// Bounded multi-producer/multi-consumer channel.
+//
+// Workers push JobResults; the caller thread drains them as a streaming
+// aggregator. The bound applies backpressure: a fast worker blocks in
+// push() rather than queueing unbounded result memory when the aggregator
+// falls behind.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ndroid::farm {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while the channel is full. Returns false if the channel was
+  /// closed (the value is dropped — only happens on abnormal shutdown).
+  bool push(T value) {
+    std::unique_lock lock(m_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a value arrives or the channel is closed and drained;
+  /// nullopt means closed-and-empty.
+  std::optional<T> pop() {
+    std::unique_lock lock(m_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(m_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const std::size_t capacity_;
+  std::mutex m_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> q_;
+  bool closed_ = false;
+};
+
+}  // namespace ndroid::farm

@@ -1,0 +1,227 @@
+#include "farm/farm.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "farm/channel.h"
+
+namespace ndroid::farm {
+
+const char* to_string(JobKind kind) {
+  switch (kind) {
+    case JobKind::kLeakCase: return "leak_case";
+    case JobKind::kCfBench: return "cfbench";
+    case JobKind::kMarketApp: return "market_app";
+    case JobKind::kRealApp: return "real_app";
+  }
+  return "?";
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker's job deque. The owner pops from the front; thieves pop from
+/// the back, so an owner burns through its own cache-warm neighbourhood
+/// while steals take the work it would reach last.
+struct WorkerQueue {
+  std::mutex m;
+  std::deque<JobSpec> q;
+
+  bool pop_front(JobSpec& out) {
+    std::lock_guard lock(m);
+    if (q.empty()) return false;
+    out = std::move(q.front());
+    q.pop_front();
+    return true;
+  }
+
+  bool steal_back(JobSpec& out) {
+    std::lock_guard lock(m);
+    if (q.empty()) return false;
+    out = std::move(q.back());
+    q.pop_back();
+    return true;
+  }
+};
+
+void worker_loop(u32 me, std::vector<WorkerQueue>& queues,
+                 Channel<JobResult>& results,
+                 static_analysis::SummaryCache* cache,
+                 const FarmOptions& options) {
+  const u32 n = static_cast<u32>(queues.size());
+  for (;;) {
+    JobSpec spec;
+    bool have = queues[me].pop_front(spec);
+    for (u32 k = 1; !have && k < n; ++k) {
+      have = queues[(me + k) % n].steal_back(spec);
+    }
+    if (!have) break;  // every queue empty: queues only shrink, so done
+    JobResult r = run_job(spec, cache, options);
+    r.worker = me;
+    if (!results.push(std::move(r))) break;
+  }
+}
+
+void aggregate(FarmReport& report, JobResult r) {
+  ++report.jobs;
+  if (!r.ok) ++report.failures;
+  report.native_leaks += static_cast<u32>(r.native_leaks.size());
+  report.framework_leaks += static_cast<u32>(r.framework_leaks.size());
+  report.tamper_alerts += r.tamper_alerts;
+  report.summary_gate_skips += r.summary_gate_skips;
+  report.results.push_back(std::move(r));
+}
+
+void append_leak(std::ostringstream& out, const std::string& sink,
+                 const std::string& destination, Taint taint,
+                 const std::string& data) {
+  out << sink << '|' << destination << '|' << taint << '|' << data << ';';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FarmReport::leak_digest() const {
+  std::ostringstream out;
+  for (const JobResult& r : results) {
+    out << '#' << r.spec.id << ' ' << to_string(r.spec.kind) << ' '
+        << r.spec.name << " rep" << r.spec.rep << ':';
+    out << (r.ok ? "ok" : ("err=" + r.error)) << ':';
+    for (const auto& leak : r.framework_leaks) {
+      out << 'F';
+      append_leak(out, leak.sink, leak.destination, leak.taint, leak.data);
+    }
+    for (const auto& leak : r.native_leaks) {
+      out << 'N';
+      append_leak(out, leak.sink, leak.destination, leak.taint, leak.data);
+    }
+    out << "alerts=" << r.tamper_alerts << ";csum=" << r.checksum;
+    if (!r.market_type.empty()) out << ";market=" << r.market_type;
+    if (!r.first_leaking_method.empty()) {
+      out << ";first_leak=" << r.first_leaking_method;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+std::string FarmReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"workers\": " << workers << ",\n";
+  out << "  \"jobs\": " << jobs << ",\n";
+  out << "  \"failures\": " << failures << ",\n";
+  out << "  \"native_leaks\": " << native_leaks << ",\n";
+  out << "  \"framework_leaks\": " << framework_leaks << ",\n";
+  out << "  \"tamper_alerts\": " << tamper_alerts << ",\n";
+  out << "  \"summary_gate_skips\": " << summary_gate_skips << ",\n";
+  out << "  \"wall_ms\": " << wall_ms << ",\n";
+  out << "  \"apps_per_sec\": " << apps_per_sec << ",\n";
+  out << "  \"cache\": {\"hits\": " << cache.hits
+      << ", \"misses\": " << cache.misses << ", \"rebinds\": " << cache.rebinds
+      << ", \"hit_rate\": " << cache.hit_rate() << "},\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    out << "    {\"id\": " << r.spec.id << ", \"kind\": \""
+        << to_string(r.spec.kind) << "\", \"name\": \""
+        << json_escape(r.spec.name) << "\", \"rep\": " << r.spec.rep
+        << ", \"worker\": " << r.worker << ", \"ok\": "
+        << (r.ok ? "true" : "false") << ", \"native_leaks\": "
+        << r.native_leaks.size() << ", \"framework_leaks\": "
+        << r.framework_leaks.size() << ", \"tamper_alerts\": "
+        << r.tamper_alerts << ", \"gate_skips\": " << r.summary_gate_skips
+        << ", \"setup_ms\": " << r.timing.setup_ms << ", \"static_ms\": "
+        << r.timing.static_ms << ", \"run_ms\": " << r.timing.run_ms << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+FarmReport run_farm(const std::vector<JobSpec>& jobs,
+                    const FarmOptions& options) {
+  FarmReport report;
+  report.workers = options.workers;
+
+  // Batch-local cache unless the caller shares one across batches.
+  static_analysis::SummaryCache local_cache;
+  static_analysis::SummaryCache* cache = nullptr;
+  if (options.share_summaries) {
+    cache = options.cache != nullptr ? options.cache : &local_cache;
+  }
+  const auto stats_before =
+      cache != nullptr ? cache->stats() : static_analysis::SummaryCache::Stats{};
+
+  const auto t0 = Clock::now();
+  if (options.workers == 0) {
+    // Serial reference path: no threads, no channel.
+    for (const JobSpec& spec : jobs) {
+      aggregate(report, run_job(spec, cache, options));
+    }
+  } else {
+    std::vector<WorkerQueue> queues(options.workers);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      queues[i % options.workers].q.push_back(jobs[i]);
+    }
+    Channel<JobResult> results(options.channel_capacity);
+    std::vector<std::thread> threads;
+    threads.reserve(options.workers);
+    for (u32 w = 0; w < options.workers; ++w) {
+      threads.emplace_back(worker_loop, w, std::ref(queues), std::ref(results),
+                           cache, std::cref(options));
+    }
+    // Streaming aggregation on the calling thread.
+    for (std::size_t received = 0; received < jobs.size(); ++received) {
+      std::optional<JobResult> r = results.pop();
+      if (!r.has_value()) break;  // cannot happen before close(); safety
+      aggregate(report, std::move(*r));
+    }
+    for (std::thread& t : threads) t.join();
+    results.close();
+  }
+  report.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  report.apps_per_sec =
+      report.wall_ms > 0 ? 1000.0 * report.jobs / report.wall_ms : 0.0;
+
+  if (cache != nullptr) {
+    const auto after = cache->stats();
+    report.cache.hits = after.hits - stats_before.hits;
+    report.cache.misses = after.misses - stats_before.misses;
+    report.cache.rebinds = after.rebinds - stats_before.rebinds;
+  }
+
+  std::sort(report.results.begin(), report.results.end(),
+            [](const JobResult& a, const JobResult& b) {
+              return a.spec.id < b.spec.id;
+            });
+  return report;
+}
+
+}  // namespace ndroid::farm

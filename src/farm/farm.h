@@ -1,0 +1,95 @@
+// Parallel app-analysis farm (the batch engine over src/core).
+//
+// run_farm() drains a queue of JobSpecs across N worker threads. Each worker
+// owns a fully isolated analysis stack per job — a fresh android::Device and
+// core::NDroid — so jobs never share mutable state; the only cross-worker
+// structure is the static-summary cache (static_analysis::SummaryCache),
+// which is immutable-after-publish and concurrency-safe. Scheduling is
+// work-stealing: jobs are dealt round-robin into per-worker deques, owners
+// pop from the front, idle workers steal from the back of the longest
+// victim. Results stream through a bounded channel to the calling thread,
+// which aggregates incrementally (no per-worker result buffers), then sorts
+// by job id — so a FarmReport is identical for any worker count, including
+// the inline serial path (workers == 0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/report.h"
+#include "farm/job.h"
+#include "static/summary_cache.h"
+#include "taintdroid/framework.h"
+
+namespace ndroid::farm {
+
+struct FarmOptions {
+  /// Worker threads. 0 = run every job inline on the calling thread (the
+  /// serial reference the determinism tests compare against).
+  u32 workers = 0;
+  /// Share static summaries through a SummaryCache. Off = every job lifts
+  /// its own libraries (the pre-farm per-attach behaviour; ablation).
+  bool share_summaries = true;
+  /// Externally owned cache to share across batches (e.g. --repeat runs).
+  /// Null + share_summaries: the farm creates a batch-local cache.
+  static_analysis::SummaryCache* cache = nullptr;
+  /// Enable the §VII TaintGuard in every job's NDroid.
+  bool taint_protection = true;
+  /// Result-channel bound (backpressure on the aggregator).
+  std::size_t channel_capacity = 64;
+};
+
+struct JobTiming {
+  double setup_ms = 0;   // Device construction + app build
+  double static_ms = 0;  // attach_static_analysis (cache acquire or lift)
+  double run_ms = 0;     // driving the app
+};
+
+struct JobResult {
+  JobSpec spec;
+  u32 worker = 0;  // informational only; excluded from leak_digest()
+  bool ok = false;
+  std::string error;
+
+  std::vector<core::NativeLeak> native_leaks;
+  std::vector<taintdroid::LeakReport> framework_leaks;
+  u32 tamper_alerts = 0;
+  u64 summary_gate_skips = 0;
+  u32 checksum = 0;                  // kCfBench / kMarketApp result value
+  std::string market_type;           // kMarketApp: §III classification
+  std::string first_leaking_method;  // kRealApp: monkey finding
+  JobTiming timing;
+};
+
+struct FarmReport {
+  std::vector<JobResult> results;  // sorted by spec.id
+
+  u32 workers = 0;
+  u32 jobs = 0;
+  u32 failures = 0;
+  u32 native_leaks = 0;
+  u32 framework_leaks = 0;
+  u32 tamper_alerts = 0;
+  u64 summary_gate_skips = 0;
+  double wall_ms = 0;
+  double apps_per_sec = 0;
+  /// Cache activity attributable to this batch (delta over the run when an
+  /// external cache is shared).
+  static_analysis::SummaryCache::Stats cache;
+
+  /// Canonical byte-comparable encoding of every analysis outcome, sorted
+  /// by job id and independent of worker assignment and timing. Two runs of
+  /// the same batch must produce equal digests at any worker count.
+  [[nodiscard]] std::string leak_digest() const;
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Runs one job hermetically (fresh Device + NDroid); never throws — build
+/// or drive failures are captured in JobResult::error.
+JobResult run_job(const JobSpec& spec, static_analysis::SummaryCache* cache,
+                  const FarmOptions& options);
+
+FarmReport run_farm(const std::vector<JobSpec>& jobs,
+                    const FarmOptions& options = {});
+
+}  // namespace ndroid::farm

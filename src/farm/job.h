@@ -1,0 +1,44 @@
+// Analysis-job descriptions for the batch farm.
+//
+// A job is everything needed to reproduce one app analysis hermetically:
+// which app to build (by kind + name), how hard to drive it (iterations /
+// monkey events), and the explicit RNG seed for input generation. Workers
+// construct a fresh Device + NDroid per job, so two runs of the same spec —
+// on any worker, at any concurrency — produce identical results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::farm {
+
+enum class JobKind : u8 {
+  kLeakCase,   // Table I / Fig. 3 scenarios ("case1" .. "case4")
+  kCfBench,    // one CF-Bench workload (paper §VI-E)
+  kMarketApp,  // synthetic market-corpus app bundling popular libraries
+  kRealApp,    // §VI real apps (QQPhoneBook, ePhone), monkey-driven
+};
+
+[[nodiscard]] const char* to_string(JobKind kind);
+
+struct JobSpec {
+  u32 id = 0;          // unique within a batch; results sort by it
+  JobKind kind = JobKind::kLeakCase;
+  std::string name;    // case name / workload name / package / app name
+  u32 rep = 0;         // repetition index for --repeat batches
+
+  u32 iterations = 0;      // kCfBench: workload iteration count
+  u32 monkey_events = 0;   // kRealApp: random invocations to fire
+  u64 monkey_seed = 0;     // kRealApp: explicit driver seed (reproducible
+                           // concurrent monkey runs; varied per rep)
+
+  /// kMarketApp: native libraries the app bundles. Library images are
+  /// generated deterministically from the library *name*, so two apps
+  /// bundling "libunity.so" carry byte-identical images and share one
+  /// static-summary cache entry.
+  std::vector<std::string> native_libs;
+};
+
+}  // namespace ndroid::farm

@@ -1,0 +1,121 @@
+#include "farm/market_app.h"
+
+#include <cctype>
+
+#include "apps/native_lib_builder.h"
+#include "static/library_summary.h"
+
+namespace ndroid::farm {
+
+using arm::Assembler;
+using arm::Cond;
+using arm::Label;
+using arm::LR;
+using arm::R;
+
+namespace {
+
+/// xorshift64 — deterministic code-shape choices from the library-name hash.
+struct Rng {
+  u64 s;
+  u32 next(u32 bound) {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return static_cast<u32>(s % bound);
+  }
+};
+
+/// One random register-to-register ALU op over {r0, r1, r3} (never r2 — the
+/// loop counter — nor SP/LR/PC; no memory, no constants — keeps the code
+/// position-independent, the loops bounded, and the summaries
+/// pure-register).
+void emit_alu(Assembler& a, Rng& rng) {
+  static constexpr u8 kPool[] = {0, 1, 3};
+  const arm::Reg rd = R(kPool[rng.next(3)]);
+  const arm::Reg rn = R(kPool[rng.next(3)]);
+  const arm::Reg rm = R(kPool[rng.next(3)]);
+  switch (rng.next(5)) {
+    case 0: a.add(rd, rn, rm); break;
+    case 1: a.eor(rd, rn, rm); break;
+    case 2: a.orr(rd, rn, rm); break;
+    case 3: a.and_(rd, rn, rm); break;
+    default: a.sub(rd, rn, rm); break;
+  }
+}
+
+}  // namespace
+
+std::vector<GuestAddr> emit_pic_library(arm::Assembler& a, u64 seed) {
+  Rng rng{seed | 1};
+  std::vector<GuestAddr> entries;
+
+  // A shared leaf helper: call-free, pure-register, bounded loop. Its
+  // summary carries no absolute addresses and relocates losslessly (see
+  // bind_library).
+  a.align(4);
+  Label helper;
+  a.bind(helper);
+  const GuestAddr helper_entry = a.here();
+  a.mov_imm(R(2), 4 + rng.next(8));
+  Label loop;
+  a.bind(loop);
+  emit_alu(a, rng);
+  a.add(R(0), R(0), R(1));
+  a.sub_imm(R(2), R(2), 1, /*s=*/true);
+  a.b(loop, Cond::kNE);
+  a.ret();
+  (void)helper_entry;
+
+  // Exported functions: sp-relative prologue/epilogue, a few ALU ops, one
+  // PC-relative internal call into the helper.
+  const u32 exported = 2 + rng.next(3);
+  for (u32 f = 0; f < exported; ++f) {
+    a.align(4);
+    entries.push_back(a.here());
+    a.push({R(4), LR});
+    const u32 ops = 2 + rng.next(6);
+    for (u32 i = 0; i < ops; ++i) emit_alu(a, rng);
+    a.bl(helper);
+    emit_alu(a, rng);
+    a.pop({R(4), LR});
+    a.ret();
+  }
+  return entries;
+}
+
+MarketApp build_market_app(android::Device& device, const JobSpec& spec) {
+  MarketApp app;
+  std::string descriptor = "L";
+  for (const char c : spec.name) descriptor += (c == '.') ? '/' : c;
+  descriptor += "/App;";
+  app.cls = device.dvm.define_class(descriptor);
+
+  for (const std::string& lib_name : spec.native_libs) {
+    apps::NativeLibBuilder lib(device, lib_name);
+    const u64 seed = static_analysis::fnv1a(
+        {reinterpret_cast<const u8*>(lib_name.data()), lib_name.size()});
+    const GuestAddr image_base = lib.a().here();
+    const std::vector<GuestAddr> fns = emit_pic_library(lib.a(), seed);
+    const GuestAddr load_base = lib.install();
+
+    // Method names derive from the library name (not its position in this
+    // app's lib list), so the labels baked into a shared snapshot read the
+    // same no matter which app lifted it first.
+    std::string stem;
+    for (const char c : lib_name) {
+      if (std::isalnum(static_cast<unsigned char>(c))) stem += c;
+    }
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      // Entry offsets are image-relative; rebase in case install() placed
+      // the image elsewhere than the assembler's base.
+      const GuestAddr entry = load_base + (fns[i] - image_base);
+      app.natives.push_back(device.dvm.define_native(
+          app.cls, stem + "_f" + std::to_string(i), "II",
+          dvm::kAccPublic | dvm::kAccStatic, entry));
+    }
+  }
+  return app;
+}
+
+}  // namespace ndroid::farm

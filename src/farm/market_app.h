@@ -1,0 +1,44 @@
+// Synthetic market-corpus apps for the farm (the §III corpus made runnable).
+//
+// The market study's AppRecords name which popular libraries each app
+// bundles (libunity.so, libgdx.so, ...). This module turns those names into
+// loadable, analyzable library images: each library's code is generated
+// deterministically from a hash of its *name*, so every app bundling
+// "libunity.so" ships byte-identical bytes — exactly the property the
+// farm's static-summary cache amortises (one lift per distinct library,
+// shared across every app and worker).
+//
+// The generated code is strictly position-independent: ALU register ops,
+// sp-relative push/pop, and label-based (PC-relative) branches and calls
+// only — no MOVW/MOVT constants, no literal pools, no absolute addresses.
+// An image therefore hashes to the same key at any load base, and when two
+// apps map it at different bases the cache's relocation path (bind_library)
+// is exercised instead of a redundant lift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "android/device.h"
+#include "arm/assembler.h"
+#include "farm/job.h"
+
+namespace ndroid::farm {
+
+/// Emits one deterministic position-independent library body into `a`
+/// (seeded by `seed`); returns the entry addresses of its exported
+/// functions, each an `int f(int)` with AAPCS arguments. Every function
+/// terminates (bounded loops only).
+std::vector<GuestAddr> emit_pic_library(arm::Assembler& a, u64 seed);
+
+struct MarketApp {
+  dvm::ClassObject* cls = nullptr;
+  std::vector<dvm::Method*> natives;  // shorty "II", definition order
+};
+
+/// Builds the app described by a kMarketApp JobSpec into `device`: loads one
+/// generated image per spec.native_libs entry and registers its functions
+/// as native methods of L<package>/App;.
+MarketApp build_market_app(android::Device& device, const JobSpec& spec);
+
+}  // namespace ndroid::farm

@@ -1,0 +1,135 @@
+#include "farm/providers.h"
+
+#include <algorithm>
+
+#include "apps/cfbench.h"
+#include "apps/leak_cases.h"
+#include "market/corpus.h"
+
+namespace ndroid::farm {
+
+u64 derive_seed(u64 seed, u32 id, u32 rep) {
+  u64 z = seed + 0x9E3779B97F4A7C15ull * (1ull + id) +
+          0xBF58476D1CE4E5B9ull * (1ull + rep);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::vector<JobSpec> table1_jobs() {
+  std::vector<JobSpec> jobs;
+  for (const auto& [name, builder] : apps::all_cases()) {
+    (void)builder;
+    JobSpec j;
+    j.kind = JobKind::kLeakCase;
+    j.name = name;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> cfbench_jobs(u32 iterations) {
+  // Workload names mirror apps::CfBenchApp; listed here so providers don't
+  // need a Device to enumerate them. run_job resolves them via find().
+  static const char* kWorkloads[] = {
+      "Native MIPS",       "Java MIPS",         "Native MSFLOPS",
+      "Java MSFLOPS",      "Native MDFLOPS",    "Java MDFLOPS",
+      "Native MALLOCS",    "Native Memory Read", "Native Memory Write",
+      "Java Memory Read",  "Java Memory Write",  "Native Disk Read",
+      "Native Disk Write",
+  };
+  std::vector<JobSpec> jobs;
+  for (const char* name : kWorkloads) {
+    JobSpec j;
+    j.kind = JobKind::kCfBench;
+    j.name = name;
+    j.iterations = iterations;
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> market_jobs(u32 count, u64 seed) {
+  const auto& weights = market::library_popularity_weights();
+  u32 total_weight = 0;
+  for (const auto& [name, w] : weights) total_weight += w;
+
+  std::vector<JobSpec> jobs;
+  for (u32 i = 0; i < count; ++i) {
+    JobSpec j;
+    j.kind = JobKind::kMarketApp;
+    j.name = "com.market.app" + std::to_string(i);
+    // 1–3 libraries per app, weighted by §III popularity. Deterministic in
+    // (seed, i): the same corpus regenerates identically on every run.
+    const u32 libs = 1 + static_cast<u32>(derive_seed(seed, i, 0) % 3);
+    for (u32 k = 0; k < libs; ++k) {
+      u64 pick = derive_seed(seed, i, k + 1) % total_weight;
+      for (const auto& [name, w] : weights) {
+        if (pick < w) {
+          if (std::find(j.native_libs.begin(), j.native_libs.end(), name) ==
+              j.native_libs.end()) {
+            j.native_libs.push_back(name);
+          }
+          break;
+        }
+        pick -= w;
+      }
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> real_app_jobs(u32 monkey_events, u64 seed) {
+  std::vector<JobSpec> jobs;
+  for (const char* name : {"qqphonebook", "ephone"}) {
+    JobSpec j;
+    j.kind = JobKind::kRealApp;
+    j.name = name;
+    j.monkey_events = monkey_events;
+    j.monkey_seed = seed;  // re-derived per (id, rep) by repeat_jobs
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> default_mix(u32 cfbench_iterations, u32 market_apps,
+                                 u32 monkey_events, u64 seed) {
+  std::vector<JobSpec> jobs = table1_jobs();
+  for (JobSpec& j : cfbench_jobs(cfbench_iterations)) {
+    jobs.push_back(std::move(j));
+  }
+  for (JobSpec& j : market_jobs(market_apps, seed)) {
+    jobs.push_back(std::move(j));
+  }
+  for (JobSpec& j : real_app_jobs(monkey_events, seed)) {
+    jobs.push_back(std::move(j));
+  }
+  for (u32 i = 0; i < static_cast<u32>(jobs.size()); ++i) {
+    jobs[i].id = i;
+    if (jobs[i].kind == JobKind::kRealApp) {
+      jobs[i].monkey_seed = derive_seed(seed, i, 0);
+    }
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> repeat_jobs(const std::vector<JobSpec>& base, u32 reps) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(base.size()) * reps);
+  u32 id = 0;
+  for (u32 rep = 0; rep < reps; ++rep) {
+    for (const JobSpec& b : base) {
+      JobSpec j = b;
+      j.id = id++;
+      j.rep = rep;
+      if (j.kind == JobKind::kRealApp) {
+        j.monkey_seed = derive_seed(b.monkey_seed, b.id, rep);
+      }
+      jobs.push_back(std::move(j));
+    }
+  }
+  return jobs;
+}
+
+}  // namespace ndroid::farm

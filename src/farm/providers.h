@@ -1,0 +1,35 @@
+// Job providers: turn the repo's app sources into farm job queues.
+//
+//   table1_jobs    — the five Table I / Fig. 3 leak scenarios;
+//   cfbench_jobs   — one job per CF-Bench workload (§VI-E);
+//   market_jobs    — synthetic market apps bundling popular libraries drawn
+//                    from the §III popularity weights (deterministic);
+//   real_app_jobs  — QQPhoneBook + ePhone (§VI), monkey-driven with
+//                    explicit per-job seeds;
+//   default_mix    — the standard corpus the CLI and benches run;
+//   repeat_jobs    — K repetitions of a base batch, re-numbered, with
+//                    per-repetition monkey seeds derived deterministically
+//                    (rep k of a job is reproducible in isolation).
+#pragma once
+
+#include <vector>
+
+#include "farm/job.h"
+
+namespace ndroid::farm {
+
+std::vector<JobSpec> table1_jobs();
+std::vector<JobSpec> cfbench_jobs(u32 iterations);
+std::vector<JobSpec> market_jobs(u32 count, u64 seed);
+std::vector<JobSpec> real_app_jobs(u32 monkey_events, u64 seed);
+
+std::vector<JobSpec> default_mix(u32 cfbench_iterations, u32 market_apps,
+                                 u32 monkey_events, u64 seed);
+
+std::vector<JobSpec> repeat_jobs(const std::vector<JobSpec>& base, u32 reps);
+
+/// Deterministic per-(seed, id, rep) monkey seed (splitmix-style mix), so a
+/// repeated batch drives each app with fresh but reproducible inputs.
+[[nodiscard]] u64 derive_seed(u64 seed, u32 id, u32 rep);
+
+}  // namespace ndroid::farm

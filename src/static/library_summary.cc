@@ -1,0 +1,225 @@
+#include "static/library_summary.h"
+
+#include <algorithm>
+
+namespace ndroid::static_analysis {
+
+u64 fnv1a(std::span<const u8> bytes, u64 seed) {
+  u64 h = seed;
+  for (const u8 b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+u64 fnv1a_u32(u32 v, u64 h) {
+  for (int i = 0; i < 4; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+u64 library_key(std::span<const u8> image,
+                const std::vector<FunctionEntry>& entries, GuestAddr base) {
+  u64 h = fnv1a(image);
+  // Entry *offsets* only — not names and not order. Names carry app-side
+  // identity (the registering class's descriptor), and two apps registering
+  // the same .so must share one artifact; what the analysis depends on is
+  // where lifting starts, which the offsets capture completely. The labels
+  // baked into a shared snapshot are therefore the first lifter's.
+  std::vector<u32> offs;
+  offs.reserve(entries.size());
+  for (const FunctionEntry& e : entries) {
+    offs.push_back(static_cast<u32>(e.addr - base));
+  }
+  std::sort(offs.begin(), offs.end());
+  offs.erase(std::unique(offs.begin(), offs.end()), offs.end());
+  for (const u32 off : offs) h = fnv1a_u32(off, h);
+  return h;
+}
+
+LibrarySummary analyze_library(const mem::AddressSpace& memory,
+                               const CodeRegion& region,
+                               const std::vector<FunctionEntry>& entries) {
+  LibrarySummary lib;
+  lib.name = region.name;
+  lib.lifted_base = region.start;
+  lib.image_size = static_cast<u32>(region.end - region.start);
+
+  std::vector<u8> image(lib.image_size);
+  memory.read_bytes(region.start, image);
+  lib.key = library_key(image, entries, region.start);
+
+  const CfgLifter lifter(memory, {region});
+  lib.program = lifter.lift(entries);
+  lib.index = summarize(lib.program);
+  for (const auto& [entry, fn] : lib.program.functions) {
+    std::unordered_set<GuestAddr>& bounds = lib.boundaries[entry];
+    for (const auto& [start, bb] : fn.blocks) {
+      GuestAddr pc = bb.start;
+      for (const arm::Insn& insn : bb.insns) {
+        bounds.insert(pc);
+        pc += insn.length;
+      }
+    }
+  }
+  return lib;
+}
+
+namespace {
+
+/// Relocates one function's CFG by `delta`. PC-relative structure (block
+/// addresses, successors, BL targets) shifts exactly; BLX-through-constant
+/// targets keep pointing at the old absolute addresses, so they become
+/// unresolved indirect calls.
+FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta) {
+  FunctionCfg out;
+  out.entry = fn.entry + delta;
+  out.thumb = fn.thumb;
+  out.name = fn.name;
+  out.lo = fn.lo + delta;
+  out.hi = fn.hi + delta;
+  out.has_svc = fn.has_svc;
+  out.has_indirect_jumps = fn.has_indirect_jumps;
+  out.truncated = fn.truncated;
+  out.insn_count = fn.insn_count;
+  out.has_indirect_calls = fn.has_indirect_calls;
+
+  for (const auto& [start, bb] : fn.blocks) {
+    BasicBlock nb;
+    nb.start = bb.start + delta;
+    nb.end = bb.end + delta;
+    nb.insns = bb.insns;
+    nb.is_return = bb.is_return;
+    nb.has_indirect_jump = bb.has_indirect_jump;
+    nb.has_indirect_call = bb.has_indirect_call;
+    for (const GuestAddr s : bb.succs) nb.succs.push_back(s + delta);
+    // Call sites in block order: kBl targets are PC-relative and move with
+    // the code; kBlxReg targets were materialised constants and do not.
+    std::size_t call_idx = 0;
+    for (const arm::Insn& insn : bb.insns) {
+      if (insn.op != arm::Op::kBl && insn.op != arm::Op::kBlxReg) continue;
+      if (call_idx >= bb.call_targets.size()) break;
+      GuestAddr target = bb.call_targets[call_idx];
+      if (insn.op == arm::Op::kBl) {
+        nb.call_targets.push_back(target == 0 ? 0 : target + delta);
+      } else {
+        nb.call_targets.push_back(0);  // constant target: stale, unresolved
+        nb.has_indirect_call = true;
+        out.has_indirect_calls = true;
+      }
+      ++call_idx;
+    }
+    out.blocks.emplace(nb.start, std::move(nb));
+  }
+
+  // Callees: rebuilt from the relocated call sites (BL edges only — the
+  // stale BLX constants were dropped above).
+  for (const auto& [start, bb] : out.blocks) {
+    for (const GuestAddr t : bb.call_targets) {
+      if (t != 0 && (t & ~1u) >= out.lo && (t & ~1u) < out.hi) {
+        out.callees.push_back(t);
+      }
+    }
+  }
+  std::sort(out.callees.begin(), out.callees.end());
+  out.callees.erase(std::unique(out.callees.begin(), out.callees.end()),
+                    out.callees.end());
+
+  // Access sites shift with their instructions; constant addresses computed
+  // by the (unmoved) MOVW/MOVT and literal values no longer describe the
+  // code's windows, so they degrade to unknown.
+  for (const MemAccess& a : fn.mem_accesses) {
+    MemAccess na = a;
+    na.pc = a.pc + delta;
+    if (na.kind == MemAccess::Kind::kConstAddr) {
+      na.kind = MemAccess::Kind::kUnknown;
+      na.addr = 0;
+    }
+    out.mem_accesses.push_back(na);
+  }
+  return out;
+}
+
+/// Relocates one summary. Structural register facts survive; everything
+/// that can encode an absolute address degrades conservatively.
+TaintSummary relocate_summary(const TaintSummary& s, const FunctionCfg& fn,
+                              GuestAddr delta) {
+  TaintSummary out;
+  out.entry = s.entry + delta;
+  out.name = s.name;
+  out.touched_regs = s.touched_regs;
+  out.has_svc = s.has_svc;
+  out.truncated = s.truncated;
+
+  // Constant windows reference pre-relocation absolute addresses.
+  const bool had_const_windows =
+      s.mem_kind == MemKind::kStatic || !s.windows.empty();
+  if (had_const_windows) {
+    out.mem_kind = MemKind::kOpaque;
+  } else {
+    out.mem_kind = s.mem_kind;  // kNone / pure kStack / already kOpaque
+  }
+
+  bool has_calls = fn.has_indirect_calls;
+  for (const auto& [start, bb] : fn.blocks) {
+    has_calls = has_calls || !bb.call_targets.empty();
+  }
+  if (has_calls) {
+    // Callee facts may have flowed through BLX-constant edges that are now
+    // stale; take the worst-case bounds the dataflow uses for unresolved
+    // targets.
+    out.args_to_ret = 0x0F;
+    out.args_to_mem = 0x0F;
+    out.args_to_call = 0x0F;
+    out.ret_depends_on_mem = true;
+    out.unresolved_calls = true;
+    out.transparent = false;
+  } else {
+    out.args_to_ret = s.args_to_ret;
+    out.args_to_mem = s.args_to_mem;
+    out.args_to_call = s.args_to_call;
+    out.ret_depends_on_mem = s.ret_depends_on_mem;
+    out.unresolved_calls = s.unresolved_calls;
+    // Transparency required kNone memory and no calls, both of which
+    // relocate losslessly for call-free functions.
+    out.transparent = s.transparent && out.mem_kind == MemKind::kNone;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::shared_ptr<const LibrarySummary> bind_library(
+    std::shared_ptr<const LibrarySummary> lib, GuestAddr base) {
+  if (lib == nullptr || base == lib->lifted_base) return lib;
+
+  const GuestAddr delta = base - lib->lifted_base;
+  auto bound = std::make_shared<LibrarySummary>();
+  bound->key = lib->key;
+  bound->name = lib->name;
+  bound->lifted_base = base;
+  bound->image_size = lib->image_size;
+  for (const auto& [entry, fn] : lib->program.functions) {
+    bound->program.functions.emplace(entry + delta, relocate_cfg(fn, delta));
+  }
+  for (const auto& [entry, s] : lib->index.summaries) {
+    const FunctionCfg& fn = lib->program.functions.at(entry);
+    bound->index.summaries.emplace(entry + delta,
+                                   relocate_summary(s, fn, delta));
+  }
+  for (const auto& [entry, bounds] : lib->boundaries) {
+    std::unordered_set<GuestAddr>& shifted = bound->boundaries[entry + delta];
+    shifted.reserve(bounds.size());
+    for (const GuestAddr pc : bounds) shifted.insert(pc + delta);
+  }
+  return bound;
+}
+
+}  // namespace ndroid::static_analysis

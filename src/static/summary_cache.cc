@@ -1,0 +1,86 @@
+#include "static/summary_cache.h"
+
+namespace ndroid::static_analysis {
+
+std::shared_ptr<const LibrarySummary> SummaryCache::acquire(
+    u64 key, GuestAddr base, const std::function<LibrarySummary()>& lift) {
+  std::shared_ptr<Slot> slot;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      slot = std::make_shared<Slot>();
+      slots_.emplace(key, slot);
+      owner = true;
+      ++stats_.misses;
+    } else {
+      slot = it->second;
+      ++stats_.hits;
+    }
+  }
+
+  if (owner) {
+    try {
+      auto lib = std::make_shared<const LibrarySummary>(lift());
+      {
+        std::lock_guard<std::mutex> lock(slot->m);
+        slot->lib = std::move(lib);
+        slot->ready = true;
+      }
+      slot->cv.notify_all();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(slot->m);
+        slot->failed = true;
+        slot->ready = true;
+      }
+      slot->cv.notify_all();
+      // Abandon the slot so a later acquire retries the lift.
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = slots_.find(key);
+      if (it != slots_.end() && it->second == slot) slots_.erase(it);
+      throw;
+    }
+  }
+
+  std::shared_ptr<const LibrarySummary> lib;
+  {
+    std::unique_lock<std::mutex> lock(slot->m);
+    slot->cv.wait(lock, [&] { return slot->ready; });
+    if (slot->failed) {
+      // The owner's lift failed after we were counted as a hit; fall back
+      // to lifting privately so this caller still makes progress.
+      lock.unlock();
+      return std::make_shared<const LibrarySummary>(lift());
+    }
+    lib = slot->lib;
+  }
+
+  if (base != lib->lifted_base) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.rebinds;
+    }
+    return bind_library(std::move(lib), base);
+  }
+  return lib;
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void SummaryCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace ndroid::static_analysis

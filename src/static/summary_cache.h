@@ -1,0 +1,73 @@
+// Process-wide, concurrency-safe cache of per-library static analysis
+// artifacts (the center of the analysis farm, src/farm).
+//
+// Keyed by library content hash (library_key): the first caller to meet a
+// distinct library lifts it and publishes an immutable shared_ptr snapshot;
+// every concurrent and later caller for the same key blocks until the
+// snapshot is ready and then shares it. Exactly one lift happens per key no
+// matter how many workers race on first access — the lift runs outside the
+// cache-wide lock, so concurrent lifts of *different* libraries proceed in
+// parallel.
+//
+// acquire() also performs the per-process binding step: a snapshot lifted at
+// the requesting process's load base is returned as-is (zero-copy); a
+// mismatched base triggers a relocation copy (counted in Stats::rebinds and
+// never published back, so the canonical snapshot stays pristine).
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "static/library_summary.h"
+
+namespace ndroid::static_analysis {
+
+class SummaryCache {
+ public:
+  struct Stats {
+    u64 hits = 0;     // acquire() served from a published snapshot
+    u64 misses = 0;   // acquire() had to lift (== number of lifts started)
+    u64 rebinds = 0;  // snapshot relocated to a different load base
+
+    [[nodiscard]] double hit_rate() const {
+      const u64 total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / static_cast<double>(total);
+    }
+  };
+
+  SummaryCache() = default;
+  SummaryCache(const SummaryCache&) = delete;
+  SummaryCache& operator=(const SummaryCache&) = delete;
+
+  /// Returns the library's artifact bound to `base`, lifting it via `lift`
+  /// if this is the first acquire for `key`. Thread-safe; `lift` is invoked
+  /// at most once per key across all threads (on the first caller's thread,
+  /// with no cache lock held). If `lift` throws, the in-flight slot is
+  /// abandoned so a later acquire can retry, and the exception propagates.
+  std::shared_ptr<const LibrarySummary> acquire(
+      u64 key, GuestAddr base, const std::function<LibrarySummary()>& lift);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  /// Drops every snapshot and zeroes the counters (benchmark cold starts).
+  void clear();
+
+ private:
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool ready = false;
+    bool failed = false;
+    std::shared_ptr<const LibrarySummary> lib;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<u64, std::shared_ptr<Slot>> slots_;
+  Stats stats_;
+};
+
+}  // namespace ndroid::static_analysis

@@ -1,0 +1,179 @@
+// The parallel analysis farm (src/farm): result determinism across worker
+// counts, exactly-one-lift cache semantics under concurrency, reproducible
+// seeded monkey runs, and cross-app summary sharing on the market corpus.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "arm/assembler.h"
+#include "farm/farm.h"
+#include "farm/market_app.h"
+#include "farm/providers.h"
+#include "static/summary_cache.h"
+
+namespace ndroid {
+namespace {
+
+namespace sa = static_analysis;
+
+std::vector<farm::JobSpec> small_mix() {
+  // Table I corpus + a native CF-Bench workload + market apps + the two
+  // monkey-driven real apps: every job kind, still fast enough to run at
+  // four worker counts.
+  std::vector<farm::JobSpec> jobs = farm::table1_jobs();
+  {
+    farm::JobSpec j;
+    j.kind = farm::JobKind::kCfBench;
+    j.name = "Native MIPS";
+    j.iterations = 5;
+    jobs.push_back(std::move(j));
+  }
+  for (farm::JobSpec& j : farm::market_jobs(4, /*seed=*/7)) {
+    jobs.push_back(std::move(j));
+  }
+  for (farm::JobSpec& j : farm::real_app_jobs(/*monkey_events=*/8,
+                                              /*seed=*/7)) {
+    jobs.push_back(std::move(j));
+  }
+  for (u32 i = 0; i < static_cast<u32>(jobs.size()); ++i) {
+    jobs[i].id = i;
+    if (jobs[i].kind == farm::JobKind::kRealApp) {
+      jobs[i].monkey_seed = farm::derive_seed(7, i, 0);
+    }
+  }
+  return jobs;
+}
+
+TEST(Farm, LeakReportsIdenticalAtAnyWorkerCount) {
+  const std::vector<farm::JobSpec> jobs = small_mix();
+
+  farm::FarmOptions serial;
+  serial.workers = 0;
+  const std::string reference = farm::run_farm(jobs, serial).leak_digest();
+  ASSERT_FALSE(reference.empty());
+  ASSERT_NE(reference.find("case 1"), std::string::npos);
+
+  for (const u32 workers : {1u, 2u, 8u}) {
+    farm::FarmOptions options;
+    options.workers = workers;
+    const farm::FarmReport report = farm::run_farm(jobs, options);
+    EXPECT_EQ(report.failures, 0u) << "workers=" << workers;
+    EXPECT_EQ(report.leak_digest(), reference) << "workers=" << workers;
+  }
+}
+
+TEST(Farm, SharedCacheDoesNotChangeResults) {
+  const std::vector<farm::JobSpec> jobs = small_mix();
+
+  farm::FarmOptions no_cache;
+  no_cache.workers = 0;
+  no_cache.share_summaries = false;
+  farm::FarmOptions cached;
+  cached.workers = 2;
+  cached.share_summaries = true;
+
+  EXPECT_EQ(farm::run_farm(jobs, no_cache).leak_digest(),
+            farm::run_farm(jobs, cached).leak_digest());
+}
+
+TEST(Farm, ExactlyOneLiftPerKeyUnderConcurrentFirstAccess) {
+  // Eight threads race acquire() on one key; the lift sleeps long enough
+  // that every waiter piles up behind the owner.
+  sa::SummaryCache cache;
+  std::atomic<int> lifts{0};
+  const auto lift = [&] {
+    ++lifts;
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    sa::LibrarySummary lib;
+    lib.key = 99;
+    lib.lifted_base = 0x10000;
+    lib.image_size = 64;
+    return lib;
+  };
+
+  std::vector<std::shared_ptr<const sa::LibrarySummary>> got(8);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back(
+        [&, t] { got[t] = cache.acquire(99, 0x10000, lift); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(lifts.load(), 1);
+  for (const auto& lib : got) {
+    ASSERT_NE(lib, nullptr);
+    EXPECT_EQ(lib.get(), got[0].get());
+  }
+  const sa::SummaryCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+TEST(Farm, MonkeySeedReproducibleAndSeedSensitive) {
+  farm::JobSpec spec;
+  spec.kind = farm::JobKind::kRealApp;
+  spec.name = "qqphonebook";
+  spec.monkey_events = 10;
+  spec.monkey_seed = 42;
+
+  farm::FarmOptions options;
+  const farm::JobResult a = farm::run_job(spec, nullptr, options);
+  const farm::JobResult b = farm::run_job(spec, nullptr, options);
+  ASSERT_TRUE(a.ok) << a.error;
+  EXPECT_EQ(a.framework_leaks.size(), b.framework_leaks.size());
+  EXPECT_EQ(a.first_leaking_method, b.first_leaking_method);
+
+  // Per-(id, rep) derivation actually varies the seed.
+  EXPECT_NE(farm::derive_seed(42, 1, 0), farm::derive_seed(42, 1, 1));
+  EXPECT_NE(farm::derive_seed(42, 1, 0), farm::derive_seed(42, 2, 0));
+}
+
+TEST(Farm, MarketCorpusSharesSummariesAcrossApps) {
+  // Repeating the market corpus: each distinct library lifts once (first
+  // batch), then every later encounter hits the shared snapshot.
+  const std::vector<farm::JobSpec> jobs =
+      farm::repeat_jobs(farm::market_jobs(6, /*seed=*/11), /*reps=*/4);
+
+  sa::SummaryCache cache;
+  farm::FarmOptions options;
+  options.workers = 2;
+  options.cache = &cache;
+  const farm::FarmReport report = farm::run_farm(jobs, options);
+
+  EXPECT_EQ(report.failures, 0u);
+  EXPECT_GT(report.cache.hits, 0u);
+  // Lifts == distinct library names in the corpus, not libraries-met.
+  std::vector<std::string> distinct;
+  for (const farm::JobSpec& j : jobs) {
+    for (const std::string& lib : j.native_libs) {
+      if (std::find(distinct.begin(), distinct.end(), lib) == distinct.end()) {
+        distinct.push_back(lib);
+      }
+    }
+  }
+  EXPECT_EQ(report.cache.misses, distinct.size());
+  EXPECT_GT(report.cache.hit_rate(), 0.5);
+}
+
+TEST(Farm, GeneratedMarketLibrariesArePositionIndependent) {
+  // The same library name must produce byte-identical images at different
+  // assembly bases — the property that makes cross-app cache keys collide
+  // (and exercises bind_library's relocation instead of a re-lift).
+  const u64 seed = 0xDEADBEEFu;
+  arm::Assembler at_low(0x10000);
+  arm::Assembler at_high(0x24000);
+  const auto fns_low = farm::emit_pic_library(at_low, seed);
+  const auto fns_high = farm::emit_pic_library(at_high, seed);
+
+  EXPECT_EQ(at_low.finish(), at_high.finish());
+  ASSERT_EQ(fns_low.size(), fns_high.size());
+  for (std::size_t i = 0; i < fns_low.size(); ++i) {
+    EXPECT_EQ(fns_low[i] - 0x10000, fns_high[i] - 0x24000);
+  }
+}
+
+}  // namespace
+}  // namespace ndroid

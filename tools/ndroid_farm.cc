@@ -1,0 +1,129 @@
+// ndroid-farm: batch analysis of an app corpus across worker threads.
+//
+// Drains the default job mix (Table I leak cases, CF-Bench workloads,
+// synthetic market apps, monkey-driven real apps) through src/farm's
+// work-stealing engine, sharing static summaries through the process-wide
+// SummaryCache. Prints a summary table and optionally the full JSON report.
+//
+//   ndroid-farm [--jobs N] [--repeat K] [--json out.json]
+//               [--market N] [--monkey-events N] [--seed S]
+//               [--no-share] [--digest]
+//
+//   --jobs N       worker threads (default 2; 0 = serial inline)
+//   --repeat K     run the mix K times (exercises cross-batch cache hits)
+//   --json FILE    write the FarmReport JSON to FILE ("-" = stdout)
+//   --market N     synthetic market apps in the mix (default 6)
+//   --monkey-events N   random invocations per real app (default 12)
+//   --seed S       corpus/monkey seed (default 20140623)
+//   --no-share     disable the summary cache (per-job lifting; ablation)
+//   --digest       print the canonical leak digest (determinism debugging)
+//
+// Exits non-zero if any job fails.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "farm/farm.h"
+#include "farm/providers.h"
+
+using namespace ndroid;
+
+namespace {
+
+u64 parse_u64(const char* s) { return std::strtoull(s, nullptr, 10); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  u32 workers = 2;
+  u32 repeat = 1;
+  u32 market_apps = 6;
+  u32 monkey_events = 12;
+  u64 seed = 20140623;
+  bool share = true;
+  bool digest = false;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--jobs") == 0) {
+      workers = static_cast<u32>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--repeat") == 0) {
+      repeat = static_cast<u32>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--market") == 0) {
+      market_apps = static_cast<u32>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--monkey-events") == 0) {
+      monkey_events = static_cast<u32>(parse_u64(value()));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      seed = parse_u64(value());
+    } else if (std::strcmp(arg, "--json") == 0) {
+      json_path = value();
+    } else if (std::strcmp(arg, "--no-share") == 0) {
+      share = false;
+    } else if (std::strcmp(arg, "--digest") == 0) {
+      digest = true;
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", arg);
+      return 2;
+    }
+  }
+
+  const std::vector<farm::JobSpec> mix =
+      farm::default_mix(/*cfbench_iterations=*/20, market_apps, monkey_events,
+                        seed);
+  const std::vector<farm::JobSpec> jobs = farm::repeat_jobs(mix, repeat);
+
+  farm::FarmOptions options;
+  options.workers = workers;
+  options.share_summaries = share;
+  const farm::FarmReport report = farm::run_farm(jobs, options);
+
+  std::printf(
+      "ndroid-farm: %u jobs on %u workers (%s summaries)\n"
+      "  wall            %.1f ms  (%.1f apps/sec)\n"
+      "  leaks           %u native, %u framework\n"
+      "  tamper alerts   %u\n"
+      "  gate skips      %llu\n"
+      "  summary cache   %llu hits / %llu misses / %llu rebinds "
+      "(hit rate %.1f%%)\n"
+      "  failures        %u\n",
+      report.jobs, report.workers, share ? "shared" : "per-job",
+      report.wall_ms, report.apps_per_sec, report.native_leaks,
+      report.framework_leaks, report.tamper_alerts,
+      static_cast<unsigned long long>(report.summary_gate_skips),
+      static_cast<unsigned long long>(report.cache.hits),
+      static_cast<unsigned long long>(report.cache.misses),
+      static_cast<unsigned long long>(report.cache.rebinds),
+      100.0 * report.cache.hit_rate(), report.failures);
+
+  for (const farm::JobResult& r : report.results) {
+    if (!r.ok) {
+      std::printf("  FAILED #%u %s %s: %s\n", r.spec.id,
+                  farm::to_string(r.spec.kind), r.spec.name.c_str(),
+                  r.error.c_str());
+    }
+  }
+
+  if (digest) std::fputs(report.leak_digest().c_str(), stdout);
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      std::fputs(report.to_json().c_str(), stdout);
+    } else {
+      std::ofstream out(json_path);
+      out << report.to_json();
+      std::printf("  wrote %s\n", json_path.c_str());
+    }
+  }
+
+  return report.failures == 0 ? 0 : 1;
+}

@@ -1,9 +1,17 @@
 // Microbenchmarks (google-benchmark) of the substrate hot paths that
 // determine the Fig. 10 numbers: raw emulation speed, instruction-tracer
 // cost, shadow-memory operations, and interpreter throughput.
+//
+// The BM_Mem* group covers the memory data plane (software TLB, page
+// directory, word-granular shadow range ops); `--smoke` runs just that
+// group with a short min-time so CI can catch crashes/asserts in benchmark
+// code without perf gating.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "apps/cfbench.h"
+#include "arm/assembler.h"
 #include "core/ndroid.h"
 
 using namespace ndroid;
@@ -179,6 +187,113 @@ void BM_GuestMemcpyModeled(benchmark::State& state) {
 }
 BENCHMARK(BM_GuestMemcpyModeled);
 
+// --- Memory data plane (BM_Mem*) -------------------------------------------
+//
+// These isolate the guest-memory/shadow-memory layer the ISSUE 5 overhaul
+// targets. Acceptance ratios (vs the pre-overhaul main, see EXPERIMENTS.md):
+// >= 2x on BM_MemLoadStoreKernel, >= 4x on BM_MemTaintedMemcpy.
+
+/// Word-copy guest kernel: 1024 iterations of LDR/STR post-index over a
+/// 4 KiB buffer, TB engine, no analysis attached — pure executor + guest
+/// memory load/store cost (the softmmu fast path).
+void BM_MemLoadStoreKernel(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem::MemoryMap map;
+  arm::Cpu cpu(mem, map);
+  map.add("code", 0x10000, 0x1000, mem::kRX);
+  map.add("data", 0x20000, 0x4000, mem::kRW);
+  map.add("[stack]", 0x70000, 0x10000, mem::kRW);
+  cpu.set_initial_sp(0x80000);
+  arm::Assembler a(0x10000);
+  arm::Label loop, done;
+  // r0 = words, r1 = src, r2 = dst
+  a.bind(loop);
+  a.cmp_imm(arm::R(0), 0);
+  a.b(done, arm::Cond::kEQ);
+  a.ldr_post(arm::R(3), arm::R(1), 4);
+  a.str_post(arm::R(3), arm::R(2), 4);
+  a.sub_imm(arm::R(0), arm::R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.ret();
+  mem.write_bytes(0x10000, a.finish());
+  mem.fill(0x20000, 0x5A, 0x1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cpu.call_function(0x10000, {1024, 0x20000, 0x21000}));
+  }
+  // 6 insns per copied word + call glue.
+  state.SetItemsProcessed(state.iterations() * 1024 * 6);
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1024 * 6),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_MemLoadStoreKernel);
+
+/// The data-plane cost of one tainted 4 KiB memcpy: what the Table VI
+/// memcpy/memmove models and the guest copy itself ask of the shadow map and
+/// the address space per call (shadow copy_range + guest byte copy).
+void BM_MemTaintedMemcpy(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem::ShadowMemory shadow;
+  const GuestAddr src = 0x100000, dst = 0x200000;
+  mem.fill(src, 0xAB, 4096);
+  shadow.set_range(src, 4096, 0x2);
+  for (auto _ : state) {
+    shadow.copy_range(dst, src, 4096);
+    mem.copy(dst, src, 4096);
+    benchmark::DoNotOptimize(shadow.get(dst + 4095));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MemTaintedMemcpy);
+
+/// Union over a sparse 64 KiB window (one tainted page in the middle):
+/// get_range must skip clear/absent pages and word-reduce the live one.
+void BM_MemShadowGetRange64K(benchmark::State& state) {
+  mem::ShadowMemory shadow;
+  shadow.set_range(0x108000, 4096, 0x4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.get_range(0x100000, 64 * 1024));
+  }
+  state.SetBytesProcessed(state.iterations() * 64 * 1024);
+}
+BENCHMARK(BM_MemShadowGetRange64K);
+
+/// Summary-gate query over a multi-GiB window with sparse resident taint:
+/// must walk resident directory leaves, not per-page-number probes.
+void BM_MemAnyTaintedWide(benchmark::State& state) {
+  mem::ShadowMemory shadow;
+  shadow.set(0xF0000000, 0x2);  // one live byte far above the window
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.any_tainted_in(0x10000000, 0xE0000000));
+  }
+}
+BENCHMARK(BM_MemAnyTaintedWide);
+
+/// 16 KiB NUL-terminated guest string: page-chunked memchr vs per-byte scan.
+void BM_MemReadCstr(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem.fill(0x100000, 'x', 16 * 1024);
+  mem.write8(0x100000 + 16 * 1024, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem.read_cstr(0x100000));
+  }
+  state.SetBytesProcessed(state.iterations() * 16 * 1024);
+}
+BENCHMARK(BM_MemReadCstr);
+
+/// memset-shaped fill of 4 KiB guest memory (chunked vs per-byte write8).
+void BM_MemFill4K(benchmark::State& state) {
+  mem::AddressSpace mem;
+  for (auto _ : state) {
+    mem.fill(0x100000, 0xCD, 4096);
+    benchmark::DoNotOptimize(mem.read8(0x100FFF));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_MemFill4K);
+
 void BM_DalvikAllocation(benchmark::State& state) {
   auto device = std::make_unique<android::Device>("bench");
   for (auto _ : state) {
@@ -196,4 +311,22 @@ BENCHMARK(BM_DalvikAllocation);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// `--smoke` (CI): run only the data-plane benchmarks, briefly, to fail on
+// crash/assert without gating on performance.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  static char filter[] =
+      "--benchmark_filter=BM_Mem|BM_Shadow|BM_GuestMemcpy";
+  static char min_time[] = "--benchmark_min_time=0.05";
+  for (auto& arg : args) {
+    if (std::strcmp(arg, "--smoke") == 0) {
+      arg = filter;
+      args.push_back(min_time);
+    }
+  }
+  int argc2 = static_cast<int>(args.size());
+  benchmark::Initialize(&argc2, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

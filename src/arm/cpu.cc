@@ -41,6 +41,11 @@ Cpu::Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
   memory_.set_write_watch(
       tb_cache_.code_page_bitmap(),
       [this](GuestAddr addr, u32 len) { tb_cache_.invalidate_range(addr, len); });
+  // And the TLB half of that contract: when cached code first lands on a
+  // page, any write-TLB entry cached while the page was unwatched must go,
+  // or stores through it would bypass the watch (see address_space.h).
+  tb_cache_.set_watch_armed_notifier(
+      [this](u32 page) { memory_.tlb_invalidate_write_page(page); });
 }
 
 Cpu::~Cpu() { memory_.set_write_watch(nullptr, {}); }
@@ -222,6 +227,7 @@ std::shared_ptr<TranslationBlock> Cpu::translate(GuestAddr pc, bool thumb) {
       --it_left;
     } else {
       ti.fast = select_fast_exec(insn);
+      if (ti.fast == nullptr) ti.fast = select_fast_mem(insn);
     }
     switch (ti.taint_class) {
       case TaintClass::kLoad:
@@ -242,6 +248,17 @@ std::shared_ptr<TranslationBlock> Cpu::translate(GuestAddr pc, bool thumb) {
     if (ends_block(insn)) break;
   }
   if (tb->insns.empty()) return nullptr;
+  if (tb->insns.size() >= 2) {
+    // Peephole: a block ending in an ALU + direct branch pair (`cmp …;
+    // b<cond>`, `subs …; bne`, `add …; b` — the loop idioms) replays the
+    // pair through one fused handler. Requiring both individual fast
+    // handlers keeps IT'd and odd-shaped pairs on per-insn dispatch.
+    const TbInsn& a = tb->insns[tb->insns.size() - 2];
+    const TbInsn& b = tb->insns.back();
+    if (a.fast != nullptr && b.fast != nullptr) {
+      tb->tail = select_fused_pair(a.insn, b.insn);
+    }
+  }
   return tb;
 }
 
@@ -268,7 +285,14 @@ bool Cpu::is_branch_quiet(TranslationBlock& tb, GuestAddr from, GuestAddr to) {
   return quiet;
 }
 
-u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
+u64 Cpu::exec_block(TranslationBlock& tb_entry, u64 budget) {
+  TranslationBlock* cur = &tb_entry;
+  u64 done = 0;
+chain:
+  TranslationBlock& tb = *cur;
+  // Instructions retired before this block started, for per-block fast-path
+  // accounting (gate decisions differ between chained blocks).
+  const u64 block_base = done;
   // Hooks are resolved once per block: the gate may declare the whole block
   // hook-free when every registered hook consented to gating.
   bool fire = !insn_hooks_.empty();
@@ -289,7 +313,6 @@ u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
     gate_skip = !fire;
   }
 
-  u64 done = 0;
   const std::size_t n = tb.insns.size();
 
   if (!fire) {
@@ -299,24 +322,27 @@ u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
     // its block at translation time), so PC checks happen once per block;
     // tb.dead can only flip mid-block through this block's own stores.
     const std::size_t last = n - 1;
+    // With a fused compare-and-branch tail the final two instructions run
+    // as one dispatch after the loop; otherwise only the final one does.
+    const std::size_t body = tb.tail != nullptr ? last - 1 : last;
   hot_restart:
     if (budget - done < n) goto careful;  // budget can't cover the block
     ++tb.exec_count;
     if (gate_skip) ++fastpath_blocks_;
     if (!tb.has_stores) {
-      for (std::size_t i = 0; i < last; ++i) {
+      for (std::size_t i = 0; i < body; ++i) {
         const TbInsn& ti = tb.insns[i];
         if (ti.fast != nullptr) {
-          ti.fast(ti.insn, state_);
+          ti.fast(ti.insn, state_, memory_);
         } else {
           execute(ti.insn, state_, memory_);
         }
       }
     } else {
-      for (std::size_t i = 0; i < last; ++i) {
+      for (std::size_t i = 0; i < body; ++i) {
         const TbInsn& ti = tb.insns[i];
         if (ti.fast != nullptr) {
-          ti.fast(ti.insn, state_);
+          ti.fast(ti.insn, state_, memory_);
         } else {
           execute(ti.insn, state_, memory_);
         }
@@ -329,27 +355,34 @@ u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
         }
       }
     }
-    retired_ += last;
-    done += last;
+    retired_ += body;
+    done += body;
     {
       const TbInsn& ti = tb.insns[last];
-      if (ti.insn.op == Op::kSvc &&
-          condition_passed(effective_cond(ti.insn, state_), state_)) {
-        if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
-        if (state_.thumb && state_.itstate != 0) advance_itstate(state_);
-        state_.set_pc(ti.pc + ti.insn.length);
+      if (tb.tail != nullptr) {
+        // CMP + B<cond> pair (never an SVC, never a store) in one call.
+        tb.tail(tb.insns[last - 1].insn, ti.insn, state_);
+        retired_ += 2;
+        done += 2;
+      } else {
+        if (ti.insn.op == Op::kSvc &&
+            condition_passed(effective_cond(ti.insn, state_), state_)) {
+          if (!svc_handler_) throw GuestFault("SVC with no kernel attached");
+          if (state_.thumb && state_.itstate != 0) advance_itstate(state_);
+          state_.set_pc(ti.pc + ti.insn.length);
+          ++retired_;
+          ++done;
+          svc_handler_(*this, ti.insn.imm);
+          goto out;
+        }
+        if (ti.fast != nullptr) {
+          ti.fast(ti.insn, state_, memory_);
+        } else {
+          execute(ti.insn, state_, memory_);
+        }
         ++retired_;
         ++done;
-        svc_handler_(*this, ti.insn.imm);
-        goto out;
       }
-      if (ti.fast != nullptr) {
-        ti.fast(ti.insn, state_);
-      } else {
-        execute(ti.insn, state_, memory_);
-      }
-      ++retired_;
-      ++done;
       if (state_.pc() != ti.pc + ti.insn.length) {
         const GuestAddr to = state_.pc();
         if (!is_branch_quiet(tb, ti.pc, to)) {
@@ -363,6 +396,27 @@ u64 Cpu::exec_block(TranslationBlock& tb, u64 budget) {
         // flips tb.dead synchronously).
         if (to == tb.pc && state_.thumb == tb.thumb && !tb.dead) {
           goto hot_restart;
+        }
+        // Cross-block chaining: the branch was quiet, so the only work
+        // run_tb would do is re-dispatch — and when the target is an
+        // already-translated block (front-cache hit under the current
+        // cache version, outside the helper window, no live ITSTATE),
+        // that dispatch can happen right here without paying the
+        // call/return, exception frame, and graveyard checks per
+        // transition. Anything else (miss, helper, host return, mid-IT
+        // landing) surfaces to run_tb as before. The helper-window check
+        // also covers kHostReturnAddr, which lives above the window base.
+        if (state_.itstate == 0 && to < kHelperWindowBase &&
+            (!has_low_helpers_ || helpers_.count(to) == 0)) {
+          const u64 key = TbCache::key(to, state_.thumb);
+          TbFrontEntry& fe = tb_front_[static_cast<u32>(
+              (key * 0x9E3779B97F4A7C15ull) >> (64 - kTbFrontBits))];
+          if (fe.key == key && fe.version == tb_cache_.version()) {
+            tb_cache_.count_front_hit();
+            if (gate_skip) fastpath_insns_ += done - block_base;
+            cur = fe.tb;
+            goto chain;
+          }
         }
       }
     }
@@ -390,7 +444,7 @@ careful:
       break;  // SVC always terminates a block
     }
     if (ti.fast != nullptr) {
-      ti.fast(ti.insn, state_);
+      ti.fast(ti.insn, state_, memory_);
     } else {
       execute(ti.insn, state_, memory_);
     }
@@ -410,7 +464,7 @@ careful:
   }
 
 out:
-  if (gate_skip) fastpath_insns_ += done;
+  if (gate_skip) fastpath_insns_ += done - block_base;
   return done;
 }
 

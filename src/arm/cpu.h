@@ -171,6 +171,9 @@ class Cpu {
   /// Runs a helper if one is registered at `pc`; returns false otherwise.
   bool run_helper(GuestAddr pc);
   std::shared_ptr<TranslationBlock> translate(GuestAddr pc, bool thumb);
+  /// Replays `tb` (and, after quiet taken branches, chains straight into
+  /// cached successor blocks) until the budget runs out or control leaves
+  /// the chainable fast path. Returns instructions retired.
   u64 exec_block(TranslationBlock& tb, u64 budget);
   /// True when firing the branch hooks for this edge would provably no-op
   /// (all hooks gated, gate says uninteresting); memoises per block.

@@ -22,7 +22,12 @@ void TbCache::insert(std::shared_ptr<TranslationBlock> tb) {
       kPageShift;
   for (u32 page = first_page; page <= last_page; ++page) {
     page_blocks_[page].push_back(tb.get());
-    code_pages_[page] = 1;
+    if (code_pages_[page] == 0) {
+      code_pages_[page] = 1;
+      // The page just became write-watched; any write-TLB entry cached for
+      // it while unwatched must be dropped (see set_watch_armed_notifier).
+      if (watch_armed_) watch_armed_(page);
+    }
   }
   blocks_[key(tb->pc, tb->thumb)] = std::move(tb);
 }

@@ -18,11 +18,16 @@
 //  * flush() drops everything (used when hook topology changes).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "arm/insn.h"
+
+namespace ndroid::mem {
+class AddressSpace;
+}  // namespace ndroid::mem
 
 namespace ndroid::arm {
 
@@ -34,10 +39,13 @@ struct TbInsn {
   Insn insn;
   GuestAddr pc = 0;
   TaintClass taint_class = TaintClass::kNone;
-  /// Fused handler (see executor.h select_fast_exec), nullptr when the
-  /// instruction takes the general execute() path. Selected at translation
-  /// time, so condition/operand/flag dispatch never happens per execution.
-  void (*fast)(const Insn&, CPUState&) = nullptr;
+  /// Fused handler (see executor.h select_fast_exec / select_fast_mem),
+  /// nullptr when the instruction takes the general execute() path.
+  /// Selected at translation time, so condition/operand/flag/addressing
+  /// dispatch never happens per execution; loads and stores route through
+  /// the address space's inline software-TLB probe. One slot for every
+  /// fused shape keeps replay at a single dispatch branch.
+  void (*fast)(const Insn&, CPUState&, mem::AddressSpace&) = nullptr;
 };
 
 struct TranslationBlock {
@@ -53,6 +61,13 @@ struct TranslationBlock {
   /// Set by invalidation while the block may still be executing; the block
   /// executor checks it after stores and abandons the remaining instructions.
   bool dead = false;
+
+  /// Fused compare-and-branch tail (executor.h select_fused_cmp_branch):
+  /// when set, hot replay runs the final CMP + B<cond> pair through this
+  /// single handler instead of two dispatches. The hooked/budgeted careful
+  /// path ignores it and keeps per-instruction dispatch (both instructions
+  /// retain their individual `fast` handlers).
+  void (*tail)(const Insn& cmp, const Insn& br, CPUState&) = nullptr;
 
   /// Client-managed scope memo (0 = unknown, 1 = in scope, 2 = out of
   /// scope). Reset whenever the block gate changes (set_block_gate flushes).
@@ -128,6 +143,17 @@ class TbCache {
     return code_pages_.data();
   }
 
+  /// Called with the page number whenever a code-page bit arms (0 -> 1) —
+  /// i.e. the first time cached code lands on a page. The Cpu routes this
+  /// to AddressSpace::tlb_invalidate_write_page: a store entry cached while
+  /// the page was unwatched must not keep bypassing the write watch, or
+  /// self-modifying-code invalidation would silently stop firing for that
+  /// page. Clearing a bit needs no notification (the slow path just
+  /// re-checks the bitmap; a stale "uncached" entry only costs a refill).
+  void set_watch_armed_notifier(std::function<void(u32 page)> notifier) {
+    watch_armed_ = std::move(notifier);
+  }
+
   // --- Statistics ------------------------------------------------------
   [[nodiscard]] u64 lookups() const { return lookups_; }
   [[nodiscard]] u64 hits() const { return hits_; }
@@ -149,6 +175,7 @@ class TbCache {
   /// Killed blocks parked until the executor is provably outside them.
   std::vector<std::shared_ptr<TranslationBlock>> graveyard_;
   u64 version_ = 0;
+  std::function<void(u32 page)> watch_armed_;
 
   u64 lookups_ = 0;
   u64 hits_ = 0;

@@ -3,10 +3,11 @@
 namespace ndroid::core {
 
 namespace {
-/// Listing 3: per-byte OR-copy of taints from src to dst.
+/// Listing 3: OR-copy of taints from src to dst (page-chunked; falls back
+/// to the per-byte cascade only when the ranges overlap).
 void memcpy_taint(mem::ShadowMemory& map, GuestAddr dst, GuestAddr src,
                   u32 n) {
-  for (u32 i = 0; i < n; ++i) map.add(dst + i, map.get(src + i));
+  map.or_copy_range(dst, src, n);
 }
 }  // namespace
 

@@ -1,97 +1,93 @@
 #include "mem/address_space.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace ndroid::mem {
 
-const AddressSpace::Page* AddressSpace::find_page(GuestAddr addr) const {
-  auto it = pages_.find(addr >> kPageShift);
-  return it == pages_.end() ? nullptr : it->second.get();
-}
-
 AddressSpace::Page& AddressSpace::touch_page(GuestAddr addr) {
-  auto& slot = pages_[addr >> kPageShift];
-  if (!slot) {
-    slot = std::make_unique<Page>();
-    slot->fill(0);
+  const u32 page_no = addr >> kPageShift;
+  std::unique_ptr<Leaf>& leaf = root_[page_no >> kLeafBits];
+  if (leaf == nullptr) leaf = std::make_unique<Leaf>();
+  std::unique_ptr<Page>& page = leaf->pages[page_no & (kLeafSlots - 1)];
+  if (page == nullptr) {
+    page = std::make_unique<Page>();
+    page->fill(0);
+    ++resident_;
   }
-  return *slot;
+  return *page;
 }
 
-u8 AddressSpace::read8(GuestAddr addr) const {
-  const Page* p = find_page(addr);
-  return p ? (*p)[addr & kPageMask] : 0;
+u8 AddressSpace::read8_slow(GuestAddr addr) const {
+  Page* p = find_page(addr);
+  if (p == nullptr) return 0;
+  fill_read_tlb(addr >> kPageShift, *p);
+  return (*p)[addr & kPageMask];
 }
 
-u16 AddressSpace::read16(GuestAddr addr) const {
-  if ((addr & kPageMask) <= kPageSize - 2) {  // fast path: one page
-    const Page* p = find_page(addr);
-    if (p == nullptr) return 0;
-    u16 v;
-    std::memcpy(&v, p->data() + (addr & kPageMask), 2);
-    return v;
-  }
-  u16 v = 0;
-  u8 buf[2];
-  read_bytes(addr, buf);
-  std::memcpy(&v, buf, 2);
+u16 AddressSpace::read16_slow(GuestAddr addr) const {
+  if ((addr & kPageMask) > kPageSize - 2)  // straddles a page boundary
+    return static_cast<u16>(read8(addr)) |
+           (static_cast<u16>(read8(addr + 1)) << 8);
+  Page* p = find_page(addr);
+  if (p == nullptr) return 0;
+  fill_read_tlb(addr >> kPageShift, *p);
+  u16 v;
+  std::memcpy(&v, p->data() + (addr & kPageMask), 2);
   return v;
 }
 
-u32 AddressSpace::read32(GuestAddr addr) const {
-  if ((addr & kPageMask) <= kPageSize - 4) {
-    const Page* p = find_page(addr);
-    if (p == nullptr) return 0;
-    u32 v;
-    std::memcpy(&v, p->data() + (addr & kPageMask), 4);
-    return v;
-  }
-  u32 v = 0;
-  u8 buf[4];
-  read_bytes(addr, buf);
-  std::memcpy(&v, buf, 4);
+u32 AddressSpace::read32_slow(GuestAddr addr) const {
+  if ((addr & kPageMask) > kPageSize - 4)
+    return static_cast<u32>(read16(addr)) |
+           (static_cast<u32>(read16(addr + 2)) << 16);
+  Page* p = find_page(addr);
+  if (p == nullptr) return 0;
+  fill_read_tlb(addr >> kPageShift, *p);
+  u32 v;
+  std::memcpy(&v, p->data() + (addr & kPageMask), 4);
   return v;
 }
 
 u64 AddressSpace::read64(GuestAddr addr) const {
-  u64 v = 0;
-  u8 buf[8];
-  read_bytes(addr, buf);
-  std::memcpy(&v, buf, 8);
-  return v;
+  return static_cast<u64>(read32(addr)) |
+         (static_cast<u64>(read32(addr + 4)) << 32);
 }
 
-void AddressSpace::write8(GuestAddr addr, u8 value) {
-  touch_page(addr)[addr & kPageMask] = value;
+void AddressSpace::write8_slow(GuestAddr addr, u8 value) {
+  Page& p = touch_page(addr);
+  p[addr & kPageMask] = value;
   notify_write(addr, 1);
+  fill_write_tlb(addr >> kPageShift, p);
 }
 
-void AddressSpace::write16(GuestAddr addr, u16 value) {
-  if ((addr & kPageMask) <= kPageSize - 2) {
-    std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 2);
-    notify_write(addr, 2);
+void AddressSpace::write16_slow(GuestAddr addr, u16 value) {
+  if ((addr & kPageMask) > kPageSize - 2) {
+    write8(addr, static_cast<u8>(value));
+    write8(addr + 1, static_cast<u8>(value >> 8));
     return;
   }
-  u8 buf[2];
-  std::memcpy(buf, &value, 2);
-  write_bytes(addr, buf);
+  Page& p = touch_page(addr);
+  std::memcpy(p.data() + (addr & kPageMask), &value, 2);
+  notify_write(addr, 2);
+  fill_write_tlb(addr >> kPageShift, p);
 }
 
-void AddressSpace::write32(GuestAddr addr, u32 value) {
-  if ((addr & kPageMask) <= kPageSize - 4) {
-    std::memcpy(touch_page(addr).data() + (addr & kPageMask), &value, 4);
-    notify_write(addr, 4);
+void AddressSpace::write32_slow(GuestAddr addr, u32 value) {
+  if ((addr & kPageMask) > kPageSize - 4) {
+    write16(addr, static_cast<u16>(value));
+    write16(addr + 2, static_cast<u16>(value >> 16));
     return;
   }
-  u8 buf[4];
-  std::memcpy(buf, &value, 4);
-  write_bytes(addr, buf);
+  Page& p = touch_page(addr);
+  std::memcpy(p.data() + (addr & kPageMask), &value, 4);
+  notify_write(addr, 4);
+  fill_write_tlb(addr >> kPageShift, p);
 }
 
 void AddressSpace::write64(GuestAddr addr, u64 value) {
-  u8 buf[8];
-  std::memcpy(buf, &value, 8);
-  write_bytes(addr, buf);
+  write32(addr, static_cast<u32>(value));
+  write32(addr + 4, static_cast<u32>(value >> 32));
 }
 
 void AddressSpace::read_bytes(GuestAddr addr, std::span<u8> out) const {
@@ -125,10 +121,21 @@ void AddressSpace::write_bytes(GuestAddr addr, std::span<const u8> in) {
 
 std::string AddressSpace::read_cstr(GuestAddr addr, u32 max_len) const {
   std::string out;
-  for (u32 i = 0; i < max_len; ++i) {
-    const u8 c = read8(addr + i);
-    if (c == 0) return out;
-    out.push_back(static_cast<char>(c));
+  u32 scanned = 0;
+  while (scanned < max_len) {
+    const GuestAddr cur = addr + scanned;
+    const u32 chunk =
+        std::min(kPageSize - (cur & kPageMask), max_len - scanned);
+    const Page* p = find_page(cur);
+    if (p == nullptr) return out;  // absent page reads as zero: terminator
+    const u8* base = p->data() + (cur & kPageMask);
+    if (const void* nul = std::memchr(base, 0, chunk)) {
+      out.append(reinterpret_cast<const char*>(base),
+                 static_cast<std::size_t>(static_cast<const u8*>(nul) - base));
+      return out;
+    }
+    out.append(reinterpret_cast<const char*>(base), chunk);
+    scanned += chunk;
   }
   throw GuestFault("unterminated guest string at 0x" + std::to_string(addr));
 }
@@ -139,16 +146,57 @@ void AddressSpace::write_cstr(GuestAddr addr, std::string_view s) {
 }
 
 void AddressSpace::fill(GuestAddr addr, u8 value, u32 len) {
-  for (u32 i = 0; i < len; ++i) write8(addr + i, value);
+  if (len == 0) return;
+  u32 done = 0;
+  while (done < len) {
+    const GuestAddr cur = addr + done;
+    const u32 chunk = std::min(kPageSize - (cur & kPageMask), len - done);
+    if (value == 0 && find_page(cur) == nullptr) {
+      done += chunk;  // untouched memory already reads as zero
+      continue;
+    }
+    Page& p = touch_page(cur);
+    std::memset(p.data() + (cur & kPageMask), value, chunk);
+    done += chunk;
+  }
+  notify_write(addr, len);
 }
 
 void AddressSpace::copy(GuestAddr dst, GuestAddr src, u32 len) {
   if (len == 0 || dst == src) return;
-  if (dst > src && dst < src + len) {
-    for (u32 i = len; i-- > 0;) write8(dst + i, read8(src + i));
-  } else {
-    for (u32 i = 0; i < len; ++i) write8(dst + i, read8(src + i));
+  // Chunks are bounded by both the source and destination page boundaries,
+  // so each is a single memmove (or memset for an untouched source page)
+  // between host pages. Chunks run in ascending address order when dst is
+  // below src and descending when the ranges overlap with dst above src;
+  // with the per-chunk memmove that reproduces full memmove semantics.
+  const bool backward = dst > src && dst < src + len;
+  u32 done = backward ? len : 0;
+  for (u32 remaining = len; remaining > 0;) {
+    u32 pos;
+    u32 chunk;
+    if (backward) {
+      const u32 src_room = ((src + done - 1) & kPageMask) + 1;
+      const u32 dst_room = ((dst + done - 1) & kPageMask) + 1;
+      chunk = std::min({src_room, dst_room, remaining});
+      pos = done - chunk;
+      done = pos;
+    } else {
+      const u32 src_room = kPageSize - ((src + done) & kPageMask);
+      const u32 dst_room = kPageSize - ((dst + done) & kPageMask);
+      chunk = std::min({src_room, dst_room, remaining});
+      pos = done;
+      done += chunk;
+    }
+    const Page* sp = find_page(src + pos);
+    u8* d = touch_page(dst + pos).data() + ((dst + pos) & kPageMask);
+    if (sp != nullptr) {
+      std::memmove(d, sp->data() + ((src + pos) & kPageMask), chunk);
+    } else {
+      std::memset(d, 0, chunk);
+    }
+    remaining -= chunk;
   }
+  notify_write(dst, len);
 }
 
 }  // namespace ndroid::mem

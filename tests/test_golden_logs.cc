@@ -112,23 +112,29 @@ TEST(GoldenLogs, Fig9PocCase3Sequence) {
 }
 
 TEST(GoldenLogs, InterpretiveAblationIsBitForBitIdentical) {
-  // `use_tb_cache=false` selects the seed interpretive engine; the full
-  // analysis log of a case study must match the TB-cache engine's log
-  // line for line — not just contain the same milestones.
-  auto run_case = [](bool use_tb) {
+  // Three engine configurations must produce the same full analysis log of
+  // a case study line for line — not just the same milestones:
+  //   * the seed interpretive engine (`use_tb_cache=false`, TLB off),
+  //   * the TB-cache engine with the software TLB disabled,
+  //   * the TB-cache engine with the software TLB enabled (production).
+  auto run_case = [](bool use_tb, bool use_tlb) {
     Device device;
     device.cpu.set_use_tb_cache(use_tb);
+    device.memory.set_tlb_enabled(use_tlb);
     NDroid nd(device);
     const auto app = apps::build_case2(device);
     device.dvm.call(*app.entry, {});
     return nd.log().lines();
   };
-  const std::vector<std::string> tb_log = run_case(true);
-  const std::vector<std::string> interp_log = run_case(false);
-  ASSERT_FALSE(tb_log.empty());
-  ASSERT_EQ(tb_log.size(), interp_log.size());
-  for (std::size_t i = 0; i < tb_log.size(); ++i) {
-    EXPECT_EQ(tb_log[i], interp_log[i]) << "first divergence at line " << i;
+  const std::vector<std::string> interp_log = run_case(false, false);
+  ASSERT_FALSE(interp_log.empty());
+  for (const bool use_tlb : {false, true}) {
+    const std::vector<std::string> tb_log = run_case(true, use_tlb);
+    ASSERT_EQ(tb_log.size(), interp_log.size()) << "tlb=" << use_tlb;
+    for (std::size_t i = 0; i < tb_log.size(); ++i) {
+      EXPECT_EQ(tb_log[i], interp_log[i])
+          << "tlb=" << use_tlb << ", first divergence at line " << i;
+    }
   }
 }
 

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "mem/address_space.h"
 #include "mem/memory_map.h"
 #include "mem/shadow_memory.h"
@@ -61,6 +64,133 @@ TEST(AddressSpace, CopyOverlappingForward) {
   mem.read_bytes(0x100, buf);
   EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 8),
             std::string("ababcdef"));
+}
+
+TEST(AddressSpace, CopyOverlappingBackward) {
+  AddressSpace mem;
+  mem.write_cstr(0x102, "abcdef");
+  mem.copy(0x100, 0x102, 6);  // dst below src: forward chunk order
+  u8 buf[8];
+  mem.read_bytes(0x100, buf);
+  // memmove semantics: the copied window shifts down, the source tail stays.
+  EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), 8),
+            std::string("abcdefef"));
+}
+
+TEST(AddressSpace, CopySelfIsNoop) {
+  AddressSpace mem;
+  mem.write_cstr(0x100, "abc");
+  mem.copy(0x100, 0x100, 3);
+  EXPECT_EQ(mem.read_cstr(0x100), "abc");
+}
+
+TEST(AddressSpace, CopyOverlappingAcrossPagesMisaligned) {
+  // Forward-overlapping copy crossing a page boundary where src and dst sit
+  // at different page offsets, so chunks are bounded by both boundaries.
+  AddressSpace mem;
+  const GuestAddr src = AddressSpace::kPageSize - 100;
+  std::vector<u8> data(300);
+  for (u32 i = 0; i < 300; ++i) data[i] = static_cast<u8>(i * 7 + 1);
+  mem.write_bytes(src, data);
+  mem.copy(src + 37, src, 300);
+  std::vector<u8> out(300);
+  mem.read_bytes(src + 37, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST(AddressSpace, CopyFromAbsentReadsZero) {
+  AddressSpace mem;
+  mem.fill(0x100, 0xEE, 16);
+  mem.copy(0x100, 0x800000, 16);  // source never touched
+  for (u32 i = 0; i < 16; ++i) EXPECT_EQ(mem.read8(0x100 + i), 0u);
+}
+
+TEST(AddressSpace, CStringAcrossPages) {
+  AddressSpace mem;
+  const GuestAddr addr = AddressSpace::kPageSize - 3;
+  mem.write_cstr(addr, "spans a page");
+  EXPECT_EQ(mem.read_cstr(addr), "spans a page");
+}
+
+TEST(AddressSpace, CStringStopsAtAbsentPage) {
+  AddressSpace mem;
+  // Fill the tail of one page with non-NUL bytes; the next page is absent
+  // and reads as zero, which terminates the string.
+  const GuestAddr addr = AddressSpace::kPageSize - 8;
+  mem.fill(addr, 'y', 8);
+  EXPECT_EQ(mem.read_cstr(addr), "yyyyyyyy");
+}
+
+TEST(AddressSpace, CStringLongUsesChunks) {
+  AddressSpace mem;
+  mem.fill(0x100000, 'z', 3 * AddressSpace::kPageSize);
+  mem.write8(0x100000 + 3 * AddressSpace::kPageSize, 0);
+  EXPECT_EQ(mem.read_cstr(0x100000).size(), 3u * AddressSpace::kPageSize);
+}
+
+TEST(AddressSpace, WatchedPageStoresAlwaysFire) {
+  // The write-TLB contract: a store entry for a watched page is never
+  // cached, so *every* store to it reaches the watch — not just the first.
+  AddressSpace mem;
+  std::vector<u8> bitmap(1u << 20, 0);
+  bitmap[0x5000u >> AddressSpace::kPageShift] = 1;
+  int fires = 0;
+  mem.set_write_watch(bitmap.data(), [&](GuestAddr, u32) { ++fires; });
+  mem.write8(0x5000, 1);
+  mem.write8(0x5001, 2);
+  mem.write32(0x5004, 3);
+  EXPECT_EQ(fires, 3);
+  // Stores to an unwatched page never fire, cached or not.
+  mem.write8(0x9000, 1);
+  mem.write8(0x9001, 2);
+  EXPECT_EQ(fires, 3);
+  mem.set_write_watch(nullptr, {});
+}
+
+TEST(AddressSpace, InstallingWatchDropsCachedWriteEntries) {
+  AddressSpace mem;
+  mem.write8(0x5000, 1);  // caches a write-TLB entry for the page
+  std::vector<u8> bitmap(1u << 20, 0);
+  bitmap[0x5000u >> AddressSpace::kPageShift] = 1;
+  int fires = 0;
+  mem.set_write_watch(bitmap.data(), [&](GuestAddr, u32) { ++fires; });
+  mem.write8(0x5002, 2);  // must take the slow path and fire
+  EXPECT_EQ(fires, 1);
+  mem.set_write_watch(nullptr, {});
+}
+
+TEST(AddressSpace, LateArmedWatchBitNeedsInvalidate) {
+  // A watch bit arming after a write entry was cached (the TB cache inserts
+  // a block into an already-written page) requires the owner to drop the
+  // entry via tlb_invalidate_write_page — which must make the watch fire.
+  AddressSpace mem;
+  std::vector<u8> bitmap(1u << 20, 0);
+  int fires = 0;
+  mem.set_write_watch(bitmap.data(), [&](GuestAddr, u32) { ++fires; });
+  mem.write8(0x5000, 1);  // unwatched: cached, no fire
+  EXPECT_EQ(fires, 0);
+  bitmap[0x5000u >> AddressSpace::kPageShift] = 1;  // bit arms late
+  mem.tlb_invalidate_write_page(0x5000u >> AddressSpace::kPageShift);
+  mem.write8(0x5001, 2);
+  EXPECT_EQ(fires, 1);
+  mem.write8(0x5002, 3);  // and it keeps firing (never re-cached)
+  EXPECT_EQ(fires, 2);
+  mem.set_write_watch(nullptr, {});
+}
+
+TEST(AddressSpace, TlbDisabledMatchesEnabled) {
+  AddressSpace on;
+  AddressSpace off;
+  off.set_tlb_enabled(false);
+  for (u32 i = 0; i < 64; ++i) {
+    const GuestAddr a = 0x1000 + i * 257;
+    on.write32(a, i * 0x01010101u);
+    off.write32(a, i * 0x01010101u);
+  }
+  for (u32 i = 0; i < 64; ++i) {
+    const GuestAddr a = 0x1000 + i * 257;
+    EXPECT_EQ(on.read32(a), off.read32(a));
+  }
 }
 
 TEST(MemoryMap, FindByAddressAndName) {
@@ -158,6 +288,135 @@ TEST(ShadowMemory, CrossPageRange) {
   shadow.set_range(addr, 4, 0x10);
   EXPECT_EQ(shadow.get(addr + 3), 0x10u);
   EXPECT_EQ(shadow.get_range(addr, 4), 0x10u);
+}
+
+TEST(ShadowMemory, CopyRangeSelfIsNoop) {
+  ShadowMemory shadow;
+  u64 liveness = 0;
+  u64 mutation = 0;
+  shadow.set_liveness_epoch_slot(&liveness);
+  shadow.set_mutation_epoch_slot(&mutation);
+  shadow.set_range(0x100, 8, 0x3);
+  const u64 live0 = liveness;
+  const u64 mut0 = mutation;
+  shadow.copy_range(0x100, 0x100, 8);
+  EXPECT_EQ(shadow.get_range(0x100, 8), 0x3u);
+  EXPECT_EQ(shadow.tainted_bytes(), 8u);
+  EXPECT_EQ(liveness, live0);
+  EXPECT_EQ(mutation, mut0);
+}
+
+TEST(ShadowMemory, CopyRangeBackwardOverlap) {
+  // dst above src and overlapping: chunks must run in descending order.
+  ShadowMemory shadow;
+  for (u32 i = 0; i < 6; ++i) shadow.set(0x100 + i, 0x10 + i);
+  shadow.copy_range(0x103, 0x100, 6);
+  for (u32 i = 0; i < 6; ++i) EXPECT_EQ(shadow.get(0x103 + i), 0x10u + i);
+  EXPECT_EQ(shadow.get(0x100), 0x10u);  // below dst: untouched
+  EXPECT_EQ(shadow.tainted_bytes(), 9u);
+}
+
+TEST(ShadowMemory, CopyRangeOverlapAcrossPagesMisaligned) {
+  // Overlapping copy whose chunks are split by *both* the source and the
+  // destination page boundaries (different page offsets).
+  ShadowMemory shadow;
+  const GuestAddr src = ShadowMemory::kPageSize - 100;
+  for (u32 i = 0; i < 300; ++i) shadow.set(src + i, (i % 7) + 1);
+  shadow.copy_range(src + 37, src, 300);  // backward-ordered chunks
+  for (u32 i = 0; i < 300; ++i) {
+    EXPECT_EQ(shadow.get(src + 37 + i), (i % 7) + 1) << i;
+  }
+  EXPECT_EQ(shadow.tainted_bytes(), 337u);
+}
+
+TEST(ShadowMemory, CopyRangeFromClearClearsDestination) {
+  ShadowMemory shadow;
+  u64 mutation = 0;
+  shadow.set_mutation_epoch_slot(&mutation);
+  shadow.set_range(0x100, 16, 0x2);
+  const u64 mut0 = mutation;
+  shadow.copy_range(0x100, 0x900000, 16);  // source never tainted
+  EXPECT_EQ(shadow.get_range(0x100, 16), kTaintClear);
+  EXPECT_EQ(shadow.tainted_bytes(), 0u);
+  EXPECT_EQ(mutation, mut0 + 1);  // the dst page crossed live -> dead
+}
+
+TEST(ShadowMemory, OrCopyRangeIsUnion) {
+  ShadowMemory shadow;
+  shadow.set(0x100, 0x1);
+  shadow.set(0x102, 0x4);
+  shadow.set(0x201, 0x8);  // pre-existing dst taint must survive
+  shadow.or_copy_range(0x200, 0x100, 4);
+  EXPECT_EQ(shadow.get(0x200), 0x1u);
+  EXPECT_EQ(shadow.get(0x201), 0x8u);
+  EXPECT_EQ(shadow.get(0x202), 0x4u);
+  // Live bytes: src 0x100/0x102, dst 0x200/0x201/0x202.
+  EXPECT_EQ(shadow.tainted_bytes(), 5u);
+}
+
+TEST(ShadowMemory, OrCopyRangeOverlapCascades) {
+  // Historical semantics of the per-byte syslib model: with dst one past
+  // src, each ORed byte is re-read as the next source byte, so one tainted
+  // byte cascades through the whole destination range.
+  ShadowMemory shadow;
+  shadow.set(0x100, 0x2);
+  shadow.or_copy_range(0x101, 0x100, 3);
+  EXPECT_EQ(shadow.get(0x101), 0x2u);
+  EXPECT_EQ(shadow.get(0x102), 0x2u);
+  EXPECT_EQ(shadow.get(0x103), 0x2u);
+}
+
+TEST(ShadowMemory, AnyTaintedInWideWindow) {
+  // Regression: a multi-GiB window must walk resident directory leaves, not
+  // probe every 4 KiB page number in the window. With the old per-page
+  // probing, this loop was ~2^18 hash lookups per query and the test took
+  // minutes; now each miss is a handful of null root-slot checks.
+  ShadowMemory shadow;
+  shadow.set(0xF0000000, 0x2);
+  EXPECT_TRUE(shadow.any_tainted_in(0x10000000, 0xF0000001));
+  EXPECT_TRUE(shadow.any_tainted_in(0xF0000000, 0xFFFFFFFF));
+  for (u32 i = 0; i < 4096; ++i) {
+    EXPECT_FALSE(shadow.any_tainted_in(0x10000000 + i, 0xE0000000));
+  }
+  shadow.set(0xF0000000, 0);
+  EXPECT_FALSE(shadow.any_tainted_in(0x10000000, 0xF0000001));
+}
+
+TEST(ShadowMemory, ResidentPagesTracksDirectory) {
+  ShadowMemory shadow;
+  EXPECT_EQ(shadow.resident_pages(), 0u);
+  shadow.set(0x100, 0x1);
+  shadow.set(0x40000000, 0x1);
+  EXPECT_EQ(shadow.resident_pages(), 2u);
+  shadow.set(0x101, 0x1);  // same page
+  EXPECT_EQ(shadow.resident_pages(), 2u);
+  shadow.clear_all();
+  EXPECT_EQ(shadow.resident_pages(), 0u);
+  EXPECT_EQ(shadow.tainted_bytes(), 0u);
+}
+
+TEST(ShadowMemory, EpochSlotsTrackCrossings) {
+  ShadowMemory shadow;
+  u64 liveness = 0;
+  u64 mutation = 0;
+  shadow.set_liveness_epoch_slot(&liveness);
+  shadow.set_mutation_epoch_slot(&mutation);
+
+  shadow.set(0x100, 0x1);  // dead -> live (both epochs)
+  EXPECT_EQ(liveness, 1u);
+  EXPECT_EQ(mutation, 1u);
+  shadow.set(0x101, 0x1);  // same page stays live: no crossings
+  EXPECT_EQ(liveness, 1u);
+  EXPECT_EQ(mutation, 1u);
+  shadow.set(0x40000000, 0x1);  // new page crosses, total stays live
+  EXPECT_EQ(liveness, 1u);
+  EXPECT_EQ(mutation, 2u);
+  shadow.set_range(0x100, 2, 0);  // first page dies, total stays live
+  EXPECT_EQ(liveness, 1u);
+  EXPECT_EQ(mutation, 3u);
+  shadow.clear_all();  // last page dies, total dies
+  EXPECT_EQ(liveness, 2u);
+  EXPECT_EQ(mutation, 4u);
 }
 
 }  // namespace

@@ -1,0 +1,213 @@
+// Randomized cross-check of ShadowMemory against a naive reference model.
+//
+// ~100k mixed set/add/set_range/add_range/copy_range/clear_all operations
+// are applied to both the real ShadowMemory (directory + shadow TLB +
+// word-granular range ops) and a std::map<GuestAddr, Taint> reference that
+// implements the byte-at-a-time semantics directly. After every operation
+// the live-byte counter and both epoch counters must match exactly; taint
+// values are compared at the touched range after each op and over the whole
+// arena periodically and at the end.
+//
+// Epoch reference semantics (what the real implementation guarantees):
+//  * liveness epoch: +1 whenever tainted_bytes() crosses zero in either
+//    direction, at most once per operation;
+//  * mutation epoch: +1 per (operation, page) whose live-byte count crosses
+//    zero — the net transition of that page over the whole operation (plus
+//    one bump for a clear_all that drops any live taint).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+#include <vector>
+
+#include "mem/shadow_memory.h"
+
+namespace ndroid::mem {
+namespace {
+
+class RefModel {
+ public:
+  [[nodiscard]] Taint get(GuestAddr a) const {
+    auto it = bytes_.find(a);
+    return it == bytes_.end() ? kTaintClear : it->second;
+  }
+  [[nodiscard]] u64 tainted_bytes() const { return bytes_.size(); }
+  [[nodiscard]] u64 liveness_epoch() const { return liveness_; }
+  [[nodiscard]] u64 mutation_epoch() const { return mutation_; }
+
+  void set(GuestAddr a, Taint t) {
+    if (t == kTaintClear && get(a) == kTaintClear) return;  // pure no-op
+    apply(a, 1, [&](GuestAddr, Taint) { return t; });
+  }
+  void add(GuestAddr a, Taint t) {
+    if (t == kTaintClear) return;
+    apply(a, 1, [&](GuestAddr, Taint old) { return old | t; });
+  }
+  void set_range(GuestAddr a, u32 len, Taint t) {
+    apply(a, len, [&](GuestAddr, Taint) { return t; });
+  }
+  void add_range(GuestAddr a, u32 len, Taint t) {
+    if (t == kTaintClear) return;
+    apply(a, len, [&](GuestAddr, Taint old) { return old | t; });
+  }
+  void copy_range(GuestAddr dst, GuestAddr src, u32 len) {
+    if (len == 0 || dst == src) return;
+    std::vector<Taint> snap(len);
+    for (u32 i = 0; i < len; ++i) snap[i] = get(src + i);
+    apply(dst, len, [&](GuestAddr a, Taint) { return snap[a - dst]; });
+  }
+  void clear_all() {
+    const bool was = !bytes_.empty();
+    if (was) ++mutation_;
+    bytes_.clear();
+    if (was) ++liveness_;
+  }
+
+ private:
+  [[nodiscard]] u32 page_live(u32 page) const {
+    const GuestAddr lo = page << 12;
+    u32 n = 0;
+    for (auto it = bytes_.lower_bound(lo);
+         it != bytes_.end() && it->first < lo + 4096; ++it) {
+      ++n;
+    }
+    return n;
+  }
+
+  template <typename Fn>
+  void apply(GuestAddr a, u32 len, Fn new_value) {
+    if (len == 0) return;
+    const bool was_live = !bytes_.empty();
+    const u32 first_page = a >> 12;
+    const u32 last_page = (a + len - 1) >> 12;
+    std::vector<u32> before;
+    for (u32 p = first_page; p <= last_page; ++p) before.push_back(page_live(p));
+    for (u32 i = 0; i < len; ++i) {
+      const Taint v = new_value(a + i, get(a + i));
+      if (v == kTaintClear) {
+        bytes_.erase(a + i);
+      } else {
+        bytes_[a + i] = v;
+      }
+    }
+    for (u32 p = first_page; p <= last_page; ++p) {
+      const u32 b = before[p - first_page];
+      const u32 now = page_live(p);
+      if ((b != 0) != (now != 0)) ++mutation_;
+    }
+    if (was_live != !bytes_.empty()) ++liveness_;
+  }
+
+  std::map<GuestAddr, Taint> bytes_;
+  u64 liveness_ = 0;
+  u64 mutation_ = 0;
+};
+
+TEST(ShadowMemoryProperty, MatchesNaiveReferenceModel) {
+  ShadowMemory real;
+  u64 real_liveness = 0;
+  u64 real_mutation = 0;
+  real.set_liveness_epoch_slot(&real_liveness);
+  real.set_mutation_epoch_slot(&real_mutation);
+  RefModel ref;
+
+  // A small arena straddling a page boundary keeps the maps dense enough
+  // that ranges overlap, alias, and cross pages constantly; a far page
+  // exercises the directory and the wide-window query.
+  const GuestAddr arena = 0x10000 - 0x800;
+  const u32 arena_size = 0x3000;
+  const GuestAddr far_page = 0x40000000;
+  std::mt19937 rng(0xAD501Du);
+  const auto rnd = [&](u32 bound) -> u32 {
+    return static_cast<u32>(rng() % bound);
+  };
+  const auto rnd_addr = [&] {
+    return rnd(16) == 0 ? far_page + rnd(64) : arena + rnd(arena_size);
+  };
+  const auto rnd_len = [&] {
+    const u32 r = rnd(100);
+    if (r < 60) return rnd(32);            // small, often intra-page
+    if (r < 95) return rnd(1200);          // page-crossing
+    return 4096 + rnd(8192);               // multi-page
+  };
+  const auto rnd_taint = [&]() -> Taint {
+    static const Taint kLabels[] = {0, 0x1, 0x2, 0x80, 0x40000000};
+    return kLabels[rnd(5)];
+  };
+
+  const auto check_range = [&](GuestAddr a, u32 len) {
+    for (u32 i = 0; i < len; ++i) {
+      ASSERT_EQ(real.get(a + i), ref.get(a + i)) << "addr 0x" << std::hex
+                                                 << a + i;
+    }
+    ASSERT_EQ(real.get_range(a, len), [&] {
+      Taint t = kTaintClear;
+      for (u32 i = 0; i < len; ++i) t |= ref.get(a + i);
+      return t;
+    }());
+  };
+
+  constexpr int kOps = 100000;
+  for (int op = 0; op < kOps; ++op) {
+    switch (rnd(100)) {
+      case 0: {  // rare full reset
+        if (rnd(5) == 0) {
+          real.clear_all();
+          ref.clear_all();
+        }
+        break;
+      }
+      default: {
+        const u32 kind = rnd(6);
+        if (kind == 0) {
+          const GuestAddr a = rnd_addr();
+          const Taint t = rnd_taint();
+          real.set(a, t);
+          ref.set(a, t);
+        } else if (kind == 1) {
+          const GuestAddr a = rnd_addr();
+          const Taint t = rnd_taint();
+          real.add(a, t);
+          ref.add(a, t);
+        } else if (kind == 2) {
+          const GuestAddr a = rnd_addr();
+          const u32 len = rnd_len();
+          const Taint t = rnd_taint();
+          real.set_range(a, len, t);
+          ref.set_range(a, len, t);
+          if (op % 97 == 0) check_range(a, std::min(len, 256u));
+        } else if (kind == 3) {
+          const GuestAddr a = rnd_addr();
+          const u32 len = rnd_len();
+          const Taint t = rnd_taint();
+          real.add_range(a, len, t);
+          ref.add_range(a, len, t);
+        } else {
+          // Two copy flavours; src/dst frequently overlap inside the arena.
+          const GuestAddr dst = arena + rnd(arena_size);
+          const GuestAddr src =
+              rnd(4) == 0 ? dst + rnd(64) - 32 : arena + rnd(arena_size);
+          const u32 len = std::min(rnd_len(), arena_size);
+          real.copy_range(dst, src, len);
+          ref.copy_range(dst, src, len);
+          if (op % 89 == 0) check_range(dst, std::min(len, 256u));
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(real.tainted_bytes(), ref.tainted_bytes()) << "op " << op;
+    ASSERT_EQ(real_liveness, ref.liveness_epoch()) << "op " << op;
+    ASSERT_EQ(real_mutation, ref.mutation_epoch()) << "op " << op;
+    if (op % 5000 == 0) {
+      check_range(arena, arena_size);
+      check_range(far_page, 64);
+    }
+  }
+  check_range(arena, arena_size);
+  check_range(far_page, 64);
+  ASSERT_EQ(real.get_range(arena, arena_size) != kTaintClear,
+            real.any_tainted_in(arena, arena + arena_size));
+}
+
+}  // namespace
+}  // namespace ndroid::mem

@@ -125,6 +125,48 @@ TEST_F(TbCacheFixture, BlockRewritingItselfStopsReplayingStaleCode) {
   EXPECT_GT(core::collect_perf(cpu_).tb_invalidated, 0u);
 }
 
+TEST_F(TbCacheFixture, WriteTlbPrimedBeforeCodeInsertStillTrapsSmc) {
+  // A guest store primes the write TLB for a page *before* any code is
+  // cached there. When a block from that page is later inserted, the watch
+  // bit arms late — the TB cache's watch-armed notifier must drop the
+  // primed entry, or the rewriting store below would bypass the write
+  // watch and the stale block would keep executing.
+  const GuestAddr fn = kCode + 0x1000;
+
+  Assembler prime(kCode);
+  prime.mov_imm32(R(3), fn + 0x800);  // same page as fn, plain data slot
+  prime.mov_imm(R(2), 0x55);
+  prime.str(R(2), R(3), 0);  // fused store: fills the write TLB for fn's page
+  prime.mov(R(0), R(2));
+  prime.ret();
+  EXPECT_EQ(run(prime, {}), 0x55u);
+
+  Assembler f(fn);
+  f.mov_imm(R(0), 1);
+  f.ret();
+  mem_.write_bytes(fn, f.finish());
+  EXPECT_EQ(cpu_.call_function(fn), 1u);  // caches the block, arms the page
+
+  Assembler probe(fn);
+  probe.mov_imm(R(0), 2);
+  const std::vector<u8> patch = probe.finish();
+  const u32 patch_word = static_cast<u32>(patch[0]) |
+                         (static_cast<u32>(patch[1]) << 8) |
+                         (static_cast<u32>(patch[2]) << 16) |
+                         (static_cast<u32>(patch[3]) << 24);
+
+  Assembler rewrite(kCode + 0x100);
+  rewrite.mov_imm32(R(2), patch_word);
+  rewrite.mov_imm32(R(3), fn);
+  rewrite.str(R(2), R(3), 0);  // must slow-path: fn's page is watched now
+  rewrite.ret();
+  mem_.write_bytes(kCode + 0x100, rewrite.finish());
+  cpu_.call_function(kCode + 0x100);
+
+  EXPECT_EQ(cpu_.call_function(fn), 2u);  // stale block was invalidated
+  EXPECT_GT(core::collect_perf(cpu_).tb_invalidated, 0u);
+}
+
 TEST_F(TbCacheFixture, RegisterHelperInvalidatesCoveredBlock) {
   Assembler a(kCode);
   a.mov_imm(R(0), 3);

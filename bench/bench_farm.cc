@@ -17,7 +17,7 @@
 // CPUs: thread scaling cannot show wall-clock gains on fewer cores (this
 // repo's reference box has 1), and honest numbers beat fabricated ones.
 //
-//   bench_farm [reps] [--json out.json]
+//   bench_farm [reps] [--json out.json] [--engine interp|tb|tb+tlb|threaded]
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,11 +40,14 @@ struct RowResult {
   double setup_ms = 0, static_ms = 0, run_ms = 0;
 };
 
+farm::EngineTier g_engine = farm::EngineTier::kThreaded;
+
 RowResult run_row(const std::string& label, u32 workers, bool shared,
                   const std::vector<farm::JobSpec>& jobs) {
   farm::FarmOptions options;
   options.workers = workers;
   options.share_summaries = shared;
+  options.engine = g_engine;
   RowResult row;
   row.label = label;
   row.workers = workers;
@@ -74,6 +77,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      g_engine = farm::parse_engine(argv[++i]);
     } else {
       reps = static_cast<u32>(std::strtoul(argv[i], nullptr, 10));
     }
@@ -85,8 +90,9 @@ int main(int argc, char** argv) {
                         /*monkey_events=*/8, /*seed=*/20140623),
       reps);
 
-  std::printf("bench_farm: %zu jobs (%u reps), host_cpus=%u, %s build\n\n",
-              jobs.size(), reps, host_cpus, build_type());
+  std::printf(
+      "bench_farm: %zu jobs (%u reps), host_cpus=%u, %s build, %s engine\n\n",
+      jobs.size(), reps, host_cpus, build_type(), farm::to_string(g_engine));
   std::printf("%-18s %10s %10s %9s %9s %10s\n", "config", "wall_ms",
               "apps/sec", "hits", "misses", "hit_rate");
 
@@ -169,6 +175,7 @@ int main(int argc, char** argv) {
       << "    \"host_cpus\": " << host_cpus << ",\n"
       << "    \"library_build_type\": \"" << build_type() << "\",\n"
       << "    \"git_sha\": \"" << (sha != nullptr ? sha : "") << "\",\n"
+      << "    \"engine\": \"" << farm::to_string(g_engine) << "\",\n"
       << "    \"reps\": " << reps << ",\n"
       << "    \"jobs\": " << jobs.size() << "\n  },\n";
   out << "  \"rows\": [\n";

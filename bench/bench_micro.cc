@@ -3,9 +3,10 @@
 // cost, shadow-memory operations, and interpreter throughput.
 //
 // The BM_Mem* group covers the memory data plane (software TLB, page
-// directory, word-granular shadow range ops); `--smoke` runs just that
-// group with a short min-time so CI can catch crashes/asserts in benchmark
-// code without perf gating.
+// directory, word-granular shadow range ops); the BM_Threaded* pair covers
+// the threaded micro-op dispatch loop. `--smoke` runs both groups with a
+// short min-time so CI can catch crashes/asserts in benchmark code without
+// perf gating.
 #include <benchmark/benchmark.h>
 
 #include <cstring>
@@ -45,6 +46,20 @@ void BM_EmulatorNativeMips(benchmark::State& state) {
   report_native_mips(state, env.device.cpu);
 }
 BENCHMARK(BM_EmulatorNativeMips);
+
+/// Taint-free native loop on the PR-5 per-instruction TB+TLB engine
+/// (ablation `set_threaded_enabled(false)`): the baseline the threaded
+/// micro-op tier's >= 2x acceptance ratio is measured against.
+void BM_EmulatorNativeMipsTbTlb(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_threaded_enabled(false);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTbTlb);
 
 /// Taint-free native loop on the seed interpretive path (ablation
 /// `use_tb_cache=false`): the pre-PR baseline for the emulator itself.
@@ -141,6 +156,90 @@ void BM_EmulatorNativeMipsTracedTaintedSummary(benchmark::State& state) {
   report_native_mips(state, env.device.cpu);
 }
 BENCHMARK(BM_EmulatorNativeMipsTracedTaintedSummary);
+
+/// Live register taint on the PR-5 per-instruction engine: together with
+/// BM_EmulatorNativeMipsTracedTainted (threaded default) this isolates what
+/// fusing the Table V thunks into the micro-op stream buys on taint-live
+/// blocks.
+void BM_EmulatorNativeMipsTracedTaintedTbTlb(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_threaded_enabled(false);
+  core::NDroid nd(env.device);
+  nd.taint_engine().set_reg(4, 0x2);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_EmulatorNativeMipsTracedTaintedTbTlb);
+
+/// Pure threaded-dispatch kernel: a register-only counted loop on a bare
+/// CPU — after the first iteration every block transition follows a patched
+/// direct link, so this measures uop dispatch plus link-follow overhead
+/// with no memory traffic and no analysis attached.
+constexpr GuestAddr kDispatchCode = 0x10000;
+constexpr u32 kDispatchIters = 4096;
+constexpr u64 kDispatchInsns = kDispatchIters * 6;  // loop-body length
+
+void setup_dispatch_kernel(mem::AddressSpace& mem, mem::MemoryMap& map,
+                           arm::Cpu& cpu) {
+  map.add("code", kDispatchCode, 0x1000, mem::kRX);
+  map.add("[stack]", 0x70000, 0x10000, mem::kRW);
+  cpu.set_initial_sp(0x80000);
+  arm::Assembler a(kDispatchCode);
+  arm::Label loop, done;
+  a.mov_imm(arm::R(1), 0);
+  a.bind(loop);
+  a.cmp_imm(arm::R(0), 0);
+  a.b(done, arm::Cond::kEQ);
+  a.add_imm(arm::R(1), arm::R(1), 3);
+  a.eor(arm::R(1), arm::R(1), arm::R(0));
+  a.sub_imm(arm::R(0), arm::R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(arm::R(0), arm::R(1));
+  a.ret();
+  mem.write_bytes(kDispatchCode, a.finish());
+}
+
+void report_dispatch(benchmark::State& state, const arm::Cpu& cpu) {
+  state.SetItemsProcessed(state.iterations() * kDispatchInsns);
+  state.counters["ns_per_insn"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * kDispatchInsns),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  const core::PerfCounters perf = core::collect_perf(cpu);
+  state.counters["threaded_links"] = static_cast<double>(perf.threaded_links);
+}
+
+void BM_ThreadedDispatch(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem::MemoryMap map;
+  arm::Cpu cpu(mem, map);
+  setup_dispatch_kernel(mem, map, cpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.call_function(kDispatchCode,
+                                               {kDispatchIters}));
+  }
+  report_dispatch(state, cpu);
+}
+BENCHMARK(BM_ThreadedDispatch);
+
+/// The same kernel on the PR-5 per-instruction engine: the pair's ratio is
+/// the dispatch-loop speedup in isolation.
+void BM_ThreadedDispatchTbTlb(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem::MemoryMap map;
+  arm::Cpu cpu(mem, map);
+  cpu.set_threaded_enabled(false);
+  setup_dispatch_kernel(mem, map, cpu);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.call_function(kDispatchCode,
+                                               {kDispatchIters}));
+  }
+  report_dispatch(state, cpu);
+}
+BENCHMARK(BM_ThreadedDispatchTbTlb);
 
 void BM_InterpreterJavaMips(benchmark::State& state) {
   Env env;
@@ -316,7 +415,7 @@ BENCHMARK(BM_DalvikAllocation);
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   static char filter[] =
-      "--benchmark_filter=BM_Mem|BM_Shadow|BM_GuestMemcpy";
+      "--benchmark_filter=BM_Mem|BM_Shadow|BM_GuestMemcpy|BM_Threaded";
   static char min_time[] = "--benchmark_min_time=0.05";
   for (auto& arg : args) {
     if (std::strcmp(arg, "--smoke") == 0) {

@@ -6,7 +6,11 @@
 #   BENCH_farm.json    — farm throughput at 1/2/4/8 workers + summary-cache
 #                        hit rates (see bench_farm.cc for the shape checks)
 #
-# Usage: scripts/bench.sh [build-dir]   (default: ./build-bench)
+# Usage: scripts/bench.sh [build-dir] [--engine TIER]
+#   build-dir        defaults to ./build-bench
+#   --engine TIER    CPU execution tier for the farm rows and the engine
+#                    stamp in every JSON: interp | tb | tb+tlb | threaded
+#                    (default threaded, the production tier)
 #
 # The build directory is configured and built here with
 # CMAKE_BUILD_TYPE=Release — perf numbers from unoptimised binaries are not
@@ -27,10 +31,36 @@
 #                   Taint is live in r4, so liveness-only cannot skip and
 #                   lands within noise of full trace; summary-gated must
 #                   clearly beat both (~3-4x in EXPERIMENTS.md).
+#   * Threaded:     BM_EmulatorNativeMips (threaded default) vs
+#                   BM_EmulatorNativeMipsTbTlb (PR-5 per-instruction tier),
+#                   target >= 2x — and BM_EmulatorNativeMipsTraced must land
+#                   within noise of BM_EmulatorNativeMips (clean blocks pay
+#                   no taint cost). BM_ThreadedDispatch isolates the
+#                   dispatch loop itself against BM_ThreadedDispatchTbTlb.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${1:-build-bench}"
+BUILD_DIR="build-bench"
+ENGINE="threaded"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --engine)
+      ENGINE="$2"
+      shift 2
+      ;;
+    *)
+      BUILD_DIR="$1"
+      shift
+      ;;
+  esac
+done
+case "$ENGINE" in
+  interp|tb|tb+tlb|threaded) ;;
+  *)
+    echo "unknown engine tier: $ENGINE (expected interp|tb|tb+tlb|threaded)" >&2
+    exit 2
+    ;;
+esac
 GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export GIT_SHA
 
@@ -51,23 +81,24 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
 
 # 12 reps: enough corpus repetition that the summary cache's hit rate must
 # exceed 90% (~15 distinct libraries across ~430 acquires).
-"$BUILD_DIR/bench/bench_farm" 12 --json BENCH_farm.json
+"$BUILD_DIR/bench/bench_farm" 12 --json BENCH_farm.json --engine "$ENGINE"
 
 # Stamp provenance into the artifacts bench_farm doesn't already stamp:
 # the producing git SHA and the build type of this repo's code.
-python3 - "$GIT_SHA" BENCH_micro.json BENCH_cfbench.json <<'EOF'
+python3 - "$GIT_SHA" "$ENGINE" BENCH_micro.json BENCH_cfbench.json <<'EOF'
 import json, sys
-sha = sys.argv[1]
-for path in sys.argv[2:]:
+sha, engine = sys.argv[1], sys.argv[2]
+for path in sys.argv[3:]:
     with open(path) as f:
         doc = json.load(f)
     doc.setdefault("context", {})
     doc["context"]["git_sha"] = sha
     doc["context"]["repo_build_type"] = "release"
+    doc["context"]["engine"] = engine
     with open(path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")
 EOF
 
 echo
-echo "wrote BENCH_micro.json, BENCH_cfbench.json and BENCH_farm.json ($GIT_SHA)"
+echo "wrote BENCH_micro.json, BENCH_cfbench.json and BENCH_farm.json ($GIT_SHA, $ENGINE engine)"

@@ -5,35 +5,6 @@
 
 namespace ndroid::arm {
 
-namespace {
-
-/// True when `insn` may write the PC (or otherwise leave the straight-line
-/// path): such instructions terminate a translation block. Conservative —
-/// misclassifying towards "ends" only shortens blocks, never breaks them.
-bool ends_block(const Insn& insn) {
-  switch (insn.op) {
-    case Op::kB:
-    case Op::kBl:
-    case Op::kBx:
-    case Op::kBlxReg:
-    case Op::kSvc:
-    case Op::kUndefined:
-      return true;
-    case Op::kLdm:
-    case Op::kStm:
-      return ((insn.reglist >> kRegPC) & 1) != 0 ||
-             (insn.writeback && insn.rn == kRegPC);
-    case Op::kStr:
-    case Op::kStrb:
-    case Op::kStrh:
-      return insn.writeback && insn.rn == kRegPC;
-    default:
-      return insn.rd == kRegPC || (insn.writeback && insn.rn == kRegPC);
-  }
-}
-
-}  // namespace
-
 Cpu::Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
     : memory_(memory), memmap_(memmap) {
   // Self-modifying-code safety: any write into a page holding cached code
@@ -54,6 +25,10 @@ int Cpu::add_insn_hook(InsnHook hook, bool gated) {
   const int id = next_hook_id_++;
   insn_hooks_.push_back({id, gated, std::move(hook)});
   gated_hooks_ += gated;
+  // Fused trace streams bake in the hook topology at build time (they are
+  // only used while exactly one hook is registered); a topology change
+  // while an emitter is installed voids every built stream.
+  if (trace_emitter_) flush_blocks();
   return id;
 }
 
@@ -63,6 +38,7 @@ void Cpu::remove_insn_hook(int id) {
     gated_hooks_ -= h.gated;
     return true;
   });
+  if (trace_emitter_) flush_blocks();
 }
 
 int Cpu::add_branch_hook(BranchHook hook, bool gated) {
@@ -111,6 +87,17 @@ GuestAddr Cpu::register_helper_auto(Helper helper) {
 void Cpu::set_use_tb_cache(bool on) {
   if (use_tb_cache_ == on) return;
   use_tb_cache_ = on;
+  flush_blocks();
+}
+
+void Cpu::set_threaded_enabled(bool on) {
+  if (threaded_enabled_ == on) return;
+  threaded_enabled_ = on;
+  flush_blocks();
+}
+
+void Cpu::set_trace_emitter(TraceEmitter emitter) {
+  trace_emitter_ = std::move(emitter);
   flush_blocks();
 }
 
@@ -532,11 +519,83 @@ bool Cpu::run_tb(u64 max_steps) {
   return state_.pc() == kHostReturnAddr;
 }
 
+bool Cpu::run_threaded(u64 max_steps) {
+  // run_tb's twin for the threaded tier: identical dispatch (host return,
+  // mid-IT stepping, helper window, front cache, translate-on-miss), but
+  // blocks execute as micro-op streams and quiet control transfers chain
+  // through direct links without re-entering this loop.
+  u64 done = 0;
+  while (done < max_steps) {
+    const GuestAddr pc = state_.pc();
+    if (pc == kHostReturnAddr) return true;
+    if (state_.itstate != 0) {
+      step();  // mid-IT continuation (see run_tb)
+      ++done;
+      continue;
+    }
+    if (pc >= kHelperWindowBase ||
+        (has_low_helpers_ && helpers_.count(pc) != 0)) {
+      step();  // helper dispatch (or plain execution in the window)
+      ++done;
+      continue;
+    }
+    const u64 key = TbCache::key(pc, state_.thumb);
+    TbFrontEntry& fe = tb_front_[static_cast<u32>(
+        (key * 0x9E3779B97F4A7C15ull) >> (64 - kTbFrontBits))];
+    TranslationBlock* tb;
+    if (fe.key == key && fe.version == tb_cache_.version()) {
+      tb_cache_.count_front_hit();
+      tb = fe.tb;
+    } else {
+      std::shared_ptr<TranslationBlock> found =
+          tb_cache_.lookup(pc, state_.thumb);
+      if (found == nullptr) {
+        found = translate(pc, state_.thumb);
+        if (found == nullptr) {
+          step();  // undecodable head instruction: fault via the slow path
+          ++done;
+          continue;
+        }
+        tb_cache_.insert(found);
+      }
+      tb = found.get();  // owned by the cache (or its graveyard) from here
+      fe = {key, tb_cache_.version(), tb};
+    }
+    if (tb->threaded == nullptr) ThreadedRun::emit(*this, *tb);
+    ++exec_depth_;
+    u64 block_done = 0;
+    try {
+      block_done = ThreadedRun::exec(*this, *tb->threaded, max_steps - done);
+    } catch (...) {
+      --exec_depth_;
+      throw;
+    }
+    --exec_depth_;
+    done += block_done;
+    if (block_done == 0) {
+      // The remaining budget can't cover even this block's entry: partial
+      // replay through the careful per-instruction path.
+      ++exec_depth_;
+      try {
+        done += exec_block(*tb, max_steps - done);
+      } catch (...) {
+        --exec_depth_;
+        throw;
+      }
+      --exec_depth_;
+    }
+    // Between blocks at top level is a safe point for killed-block cleanup.
+    if (exec_depth_ == 0) tb_cache_.drain_graveyard();
+  }
+  return state_.pc() == kHostReturnAddr;
+}
+
 bool Cpu::run(u64 max_steps) {
   // Safe point: no translation block is mid-execution in any frame, so
   // blocks killed while executing can finally be destroyed.
   if (exec_depth_ == 0) tb_cache_.drain_graveyard();
-  return use_tb_cache_ ? run_tb(max_steps) : run_interpretive(max_steps);
+  if (!use_tb_cache_) return run_interpretive(max_steps);
+  return threaded_enabled_ ? run_threaded(max_steps) : run_tb(max_steps);
 }
 
 u32 Cpu::call_function(GuestAddr addr, const std::vector<u32>& args) {

@@ -34,6 +34,7 @@
 #include "arm/decoder.h"
 #include "arm/executor.h"
 #include "arm/tb_cache.h"
+#include "arm/threaded.h"
 #include "mem/address_space.h"
 #include "mem/memory_map.h"
 
@@ -155,6 +156,26 @@ class Cpu {
 
   [[nodiscard]] const TbCache& tb_cache() const { return tb_cache_; }
 
+  // --- Threaded-code tier ----------------------------------------------
+
+  /// Selects between the threaded micro-op tier (default) and the PR-5
+  /// fused-handler block replay (`false`, the TB+TLB ablation point).
+  /// Only meaningful while the TB cache is enabled; toggling flushes
+  /// cached blocks so stale streams and links cannot leak across modes.
+  void set_threaded_enabled(bool on);
+  [[nodiscard]] bool threaded_enabled() const { return threaded_enabled_; }
+
+  /// Installs the per-instruction trace emitter the threaded tier uses to
+  /// build fused analysis streams (see TraceEmitter in threaded.h). Pass
+  /// nullptr to clear. Flushes cached blocks: existing streams may embed
+  /// thunks from a previous emitter.
+  void set_trace_emitter(TraceEmitter emitter);
+
+  /// Direct block-link statistics: links = transitions that stayed inside
+  /// the threaded inner loop, patches = exit slots (re)patched.
+  [[nodiscard]] u64 threaded_links() const { return threaded_links_; }
+  [[nodiscard]] u64 threaded_patches() const { return threaded_patches_; }
+
   /// Blocks executed with instruction hooks skipped by the block gate, and
   /// the instructions those blocks retired.
   [[nodiscard]] u64 fastpath_blocks() const { return fastpath_blocks_; }
@@ -165,9 +186,17 @@ class Cpu {
   [[nodiscard]] u64 decode_hits() const { return decode_hits_; }
 
  private:
+  /// The threaded inner loop lives outside the class (arm/threaded.cc) but
+  /// is part of the execution engine: it shares the hook/gate/front-cache
+  /// state and the fast-path counters.
+  friend struct ThreadedRun;
+
   void fire_branch_hooks(GuestAddr from, GuestAddr to);
   bool run_interpretive(u64 max_steps);
   bool run_tb(u64 max_steps);
+  /// run_tb's twin for the threaded tier: dispatches into micro-op streams
+  /// (emitting them on first execution) instead of exec_block.
+  bool run_threaded(u64 max_steps);
   /// Runs a helper if one is registered at `pc`; returns false otherwise.
   bool run_helper(GuestAddr pc);
   std::shared_ptr<TranslationBlock> translate(GuestAddr pc, bool thumb);
@@ -230,6 +259,10 @@ class Cpu {
   int call_depth_ = 0;
 
   bool use_tb_cache_ = true;
+  bool threaded_enabled_ = true;
+  TraceEmitter trace_emitter_;
+  u64 threaded_links_ = 0;
+  u64 threaded_patches_ = 0;
   TbCache tb_cache_;
   /// Direct-mapped raw-pointer front over the TB cache: a hit costs one
   /// probe and no shared_ptr refcount traffic. Entries are tagged with the

@@ -515,24 +515,29 @@ void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory) {
 // lets the whole generic scaffolding (condition dispatch, operand2 shifter,
 // 64-bit flag arithmetic, PC special cases) collapse to a few ALU ops.
 
-namespace {
-
-template <Op OP>
-u32 dp_compute(u32 a, u32 b, [[maybe_unused]] const CPUState& s) {
-  if constexpr (OP == Op::kAnd) return a & b;
-  if constexpr (OP == Op::kEor) return a ^ b;
-  if constexpr (OP == Op::kOrr) return a | b;
-  if constexpr (OP == Op::kBic) return a & ~b;
-  if constexpr (OP == Op::kMov) return b;
-  if constexpr (OP == Op::kMvn) return ~b;
-  if constexpr (OP == Op::kSub) return a - b;
-  if constexpr (OP == Op::kRsb) return b - a;
-  if constexpr (OP == Op::kAdd) return a + b;
-  if constexpr (OP == Op::kAdc) return a + b + (s.c ? 1 : 0);
-  if constexpr (OP == Op::kSbc) return a - b - (s.c ? 0 : 1);
-  if constexpr (OP == Op::kRsc) return b - a - (s.c ? 0 : 1);
-  return 0;
+bool ends_block(const Insn& insn) {
+  switch (insn.op) {
+    case Op::kB:
+    case Op::kBl:
+    case Op::kBx:
+    case Op::kBlxReg:
+    case Op::kSvc:
+    case Op::kUndefined:
+      return true;
+    case Op::kLdm:
+    case Op::kStm:
+      return ((insn.reglist >> kRegPC) & 1) != 0 ||
+             (insn.writeback && insn.rn == kRegPC);
+    case Op::kStr:
+    case Op::kStrb:
+    case Op::kStrh:
+      return insn.writeback && insn.rn == kRegPC;
+    default:
+      return insn.rd == kRegPC || (insn.writeback && insn.rn == kRegPC);
+  }
 }
+
+namespace {
 
 /// Data processing, flags untouched, Rd written.
 template <Op OP, bool IMM>
@@ -540,22 +545,6 @@ void fast_dp(const Insn& insn, CPUState& s, mem::AddressSpace&) {
   s.regs[kRegPC] += insn.length;
   const u32 b = IMM ? insn.imm : s.regs[insn.rm];
   s.regs[insn.rd] = dp_compute<OP>(s.regs[insn.rn], b, s);
-}
-
-void set_sub_flags(CPUState& s, u32 a, u32 b) {
-  const u32 r = a - b;
-  s.n = (r >> 31) != 0;
-  s.z = r == 0;
-  s.c = a >= b;  // carry == no borrow
-  s.v = (((a ^ b) & (a ^ r)) >> 31) != 0;
-}
-
-void set_add_flags(CPUState& s, u32 a, u32 b) {
-  const u32 r = a + b;
-  s.n = (r >> 31) != 0;
-  s.z = r == 0;
-  s.c = r < a;  // wrapped iff the 33-bit sum overflowed
-  s.v = (((a ^ r) & (b ^ r)) >> 31) != 0;
 }
 
 template <bool IMM>

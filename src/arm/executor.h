@@ -73,6 +73,54 @@ struct BlockTransfer {
 /// Interworking branches (BX/BLX/loads to PC) update `state.thumb`.
 void execute(const Insn& insn, CPUState& state, mem::AddressSpace& memory);
 
+/// True when `insn` may write the PC (or otherwise leave the straight-line
+/// path): such instructions terminate a translation block. Conservative —
+/// misclassifying towards "ends" only shortens blocks, never breaks them.
+/// Shared by block translation (cpu.cc) and threaded-code emission
+/// (threaded.cc), which must agree on where a block's terminal lives.
+[[nodiscard]] bool ends_block(const Insn& insn);
+
+// --- Shared flag/ALU kernels ------------------------------------------------
+//
+// The exact NZCV formulas the fused handlers use, exposed so the threaded
+// micro-op bodies compute bit-identical flags without a second copy of the
+// arithmetic (a divergence here would split the golden-log quadruple).
+
+inline void set_sub_flags(CPUState& s, u32 a, u32 b) {
+  const u32 r = a - b;
+  s.n = (r >> 31) != 0;
+  s.z = r == 0;
+  s.c = a >= b;  // carry == no borrow
+  s.v = (((a ^ b) & (a ^ r)) >> 31) != 0;
+}
+
+inline void set_add_flags(CPUState& s, u32 a, u32 b) {
+  const u32 r = a + b;
+  s.n = (r >> 31) != 0;
+  s.z = r == 0;
+  s.c = r < a;  // wrapped iff the 33-bit sum overflowed
+  s.v = (((a ^ r) & (b ^ r)) >> 31) != 0;
+}
+
+/// Flagless data-processing result for the fused/threaded fast shapes
+/// (operand 2 already resolved to a plain value by the caller).
+template <Op OP>
+inline u32 dp_compute(u32 a, u32 b, [[maybe_unused]] const CPUState& s) {
+  if constexpr (OP == Op::kAnd) return a & b;
+  if constexpr (OP == Op::kEor) return a ^ b;
+  if constexpr (OP == Op::kOrr) return a | b;
+  if constexpr (OP == Op::kBic) return a & ~b;
+  if constexpr (OP == Op::kMov) return b;
+  if constexpr (OP == Op::kMvn) return ~b;
+  if constexpr (OP == Op::kSub) return a - b;
+  if constexpr (OP == Op::kRsb) return b - a;
+  if constexpr (OP == Op::kAdd) return a + b;
+  if constexpr (OP == Op::kAdc) return a + b + (s.c ? 1 : 0);
+  if constexpr (OP == Op::kSbc) return a - b - (s.c ? 0 : 1);
+  if constexpr (OP == Op::kRsc) return b - a - (s.c ? 0 : 1);
+  return 0;
+}
+
 /// A fused handler for one common instruction shape: semantically identical
 /// to execute() for that shape, but with condition, operand form, flag
 /// behaviour, and (for loads/stores) addressing mode resolved at selection

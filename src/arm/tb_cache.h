@@ -32,6 +32,7 @@ class AddressSpace;
 namespace ndroid::arm {
 
 struct CPUState;
+struct ThreadedBlock;  // arm/threaded.h
 
 /// One decoded instruction inside a block, with its pre-classified taint
 /// shape so per-instruction re-classification never happens on the hot path.
@@ -87,6 +88,15 @@ struct TranslationBlock {
 
   u64 exec_count = 0;
   std::vector<TbInsn> insns;
+
+  /// Threaded-code lowering of this block (arm/threaded.h), built lazily by
+  /// the threaded execution tier. Owned here so the stream dies with the
+  /// block — but never reset by kill_block: the threaded inner loop runs on
+  /// raw pointers into it, and a block can kill *itself* through a store, so
+  /// the stream must stay alive until the graveyard drains. Stale direct
+  /// links into it are fenced by cache-version tags, exactly like the Cpu's
+  /// front cache.
+  std::shared_ptr<ThreadedBlock> threaded;
 };
 
 /// Keyed by (pc, thumb). Blocks are shared_ptr so an executing block

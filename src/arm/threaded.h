@@ -1,0 +1,152 @@
+// Threaded-code execution tier: per-block micro-op streams with direct
+// block linking (the QEMU-TCG analogue one tier above tb_cache's
+// fused-handler replay).
+//
+// At emission time (ThreadedRun::emit) each TranslationBlock is lowered into
+// a flat array of Uop records. Every record carries a computed-goto label
+// plus fully pre-resolved operands — register indices, folded immediates,
+// pre-decoded condition — so the inner loop (ThreadedRun::exec) is
+// load-label / jump / tiny body with no per-instruction decode, no operand
+// re-resolution, and no function-call dispatch. Load/store micro-ops probe
+// the address space's software TLB inline (AddressSpace::tlb_probe_*); a
+// write-TLB hit provably cannot touch cached code (watched pages are never
+// cached there), so hit stores also skip the self-modification dead check.
+//
+// Taint fusion: the stream above is the *clean* lowering — it contains no
+// analysis callouts at all, so a block the gate declares taint-free pays
+// zero taint cost. When the block gate fires, execution switches to a
+// parallel pre-resolved trace stream (TraceStep per instruction) built from
+// the client's TraceEmitter: each step is either a fused thunk (the
+// combined effect of every registered instruction hook, with scope and
+// handler classification resolved once) or a generic hook dispatch.
+// Selection happens per execution at block entry via the epoch-memoised
+// gate, so taint liveness flipping never forces re-emission.
+//
+// Direct block linking: each block carries two monomorphic exit slots
+// (taken / fall-through). When a terminal micro-op resolves its successor it
+// patches the slot with a raw pointer to the successor's stream and later
+// executions jump straight there without leaving the inner loop. Slots are
+// tagged with the TbCache version; kill_block/flush bump the version, so
+// every patched edge across the whole cache is void the instant any block
+// dies — the same fencing protocol as the Cpu's front cache, with no edge
+// bookkeeping on invalidation. The loop exits to the run_tb-style trampoline
+// only on a link miss, a budget boundary, live ITSTATE, the helper window,
+// a self-modification dead mark, or an analysis event.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arm/tb_cache.h"
+
+namespace ndroid::arm {
+
+class Cpu;
+
+/// A pre-resolved analysis thunk for one instruction: `fn(ctx, ...)` must
+/// reproduce the combined effect of every registered instruction hook on
+/// that instruction. `fn == nullptr` means the hooks provably no-op there.
+/// `keepalive` owns whatever `ctx` points into.
+struct TraceOp {
+  using Fn = void (*)(void* ctx, Cpu& cpu, const Insn& insn, GuestAddr pc);
+  Fn fn = nullptr;
+  void* ctx = nullptr;
+  std::shared_ptr<void> keepalive;
+};
+
+/// Per-instruction emission oracle installed by the analysis client
+/// (Cpu::set_trace_emitter). Returns:
+///  * std::nullopt          — no fused form; dispatch the generic hooks;
+///  * TraceOp{fn=nullptr}   — the hooks provably no-op on this instruction;
+///  * TraceOp{fn!=nullptr}  — fused thunk covering all hook effects.
+/// Fused thunks are only ever used while exactly one instruction hook is
+/// registered; any topology change flushes cached blocks (and with them
+/// every built trace stream).
+using TraceEmitter =
+    std::function<std::optional<TraceOp>(const TranslationBlock& tb,
+                                         const TbInsn& ti)>;
+
+/// One micro-op record (32 bytes). Field meaning depends on the label:
+/// for ALU ops a/b/c are destination/first/second register indices and
+/// `imm` the folded immediate; for memory ops a=rd, b=rn, imm=signed offset
+/// (already negated for subtracting forms) and x=the PC after the
+/// instruction (partial-exit resume point for slow-path stores); for
+/// branches imm/x are the taken/fall-through PCs and a holds the
+/// pre-decoded condition; `p` points at the TbInsn (generic/terminal ops)
+/// or at the owning ThreadedBlock (the entry op).
+struct Uop {
+  void* label = nullptr;
+  u8 a = 0;
+  u8 b = 0;
+  u8 c = 0;
+  u8 d = 0;
+  u32 imm = 0;
+  u32 x = 0;
+  const void* p = nullptr;
+};
+
+/// A direct-link exit slot, version-tagged against the TbCache exactly like
+/// Cpu::TbFrontEntry: any kill/flush bumps the cache version and thereby
+/// unlinks every patched edge at once. `succ` stays dereference-safe even
+/// when stale because killed blocks (and their streams) sit in the
+/// graveyard until no executor frame is live.
+struct ExitSlot {
+  u64 version = ~0ull;  // never a live TbCache version
+  u64 key = 0;
+  ThreadedBlock* succ = nullptr;
+};
+
+/// One entry of the fused trace stream (parallel to tb.insns). `generic`
+/// routes through the Cpu's registered hook list; otherwise `op` is the
+/// fused thunk (op.fn == nullptr ⇒ provable no-op).
+struct TraceStep {
+  TraceOp op;
+  bool generic = true;
+};
+
+struct ThreadedBlock {
+  TranslationBlock* tb = nullptr;
+  /// tb->insns.size(), cached flat so the entry op's budget check does not
+  /// chase through the TranslationBlock.
+  u32 n_insns = 0;
+  /// [0] = entry op (gate + budget check), then one op per instruction
+  /// (the final compare + conditional branch may fuse into one), then a
+  /// terminal (or an explicit fall-through continuation).
+  std::vector<Uop> ops;
+  /// exits[0] = taken edge, exits[1] = fall-through edge.
+  ExitSlot exits[2];
+  /// Fused trace stream, built lazily on the first gated execution.
+  bool traced_ready = false;
+  std::vector<TraceStep> traced;
+};
+
+/// Static entry points of the threaded tier (friend of Cpu).
+struct ThreadedRun {
+  /// Lowers `tb` into a micro-op stream and attaches it as tb.threaded.
+  static void emit(Cpu& cpu, TranslationBlock& tb);
+
+  /// Runs the threaded inner loop starting at `entry`, following direct
+  /// links across blocks, for at most `budget` instructions. On return the
+  /// PC is architecturally correct. Returns instructions retired; 0 means
+  /// the budget could not cover even the entry block (caller falls back to
+  /// the careful per-instruction path).
+  static u64 exec(Cpu& cpu, ThreadedBlock& entry, u64 budget);
+
+  /// Runs one block with per-instruction trace dispatch (gate fired):
+  /// the fused-or-generic TraceStep stream followed by the instruction,
+  /// mirroring Cpu::exec_block's careful path bit for bit.
+  static u64 exec_traced(Cpu& cpu, ThreadedBlock& blk, u64 budget);
+
+ private:
+  // Implementation details (threaded.cc); members so Cpu's friendship on
+  // ThreadedRun covers the inner loop's access to the engine state.
+  static u64 exec_impl(Cpu* cpu, ThreadedBlock* entry, u64 budget,
+                       void* const** table_out);
+  static u64 exec_traced_impl(Cpu& cpu, ThreadedBlock& blk, u64 budget);
+  static void build_traced(Cpu& cpu, ThreadedBlock& blk);
+  static void* const* label_table();
+};
+
+}  // namespace ndroid::arm

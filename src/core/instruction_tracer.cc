@@ -85,6 +85,40 @@ void InstructionTracer::on_insn(arm::Cpu& cpu, const Insn& insn,
   (this->*handler)(cpu, insn, pc);
 }
 
+arm::TraceOp InstructionTracer::prepare(const arm::TbInsn& ti) {
+  arm::TraceOp op;
+  if (!in_scope_(ti.pc)) return op;
+  const Handler handler = classify(ti.insn);
+  if (handler == nullptr) return op;
+  auto ctx = std::make_shared<Prepared>(Prepared{this, handler});
+  op.fn = &InstructionTracer::run_prepared;
+  op.ctx = ctx.get();
+  op.keepalive = std::move(ctx);
+  return op;
+}
+
+void InstructionTracer::run_prepared(void* ctx, arm::Cpu& cpu,
+                                     const Insn& insn, GuestAddr pc) {
+  auto* p = static_cast<Prepared*>(ctx);
+  InstructionTracer* self = p->self;
+  if (!arm::condition_passed(arm::effective_cond(insn, cpu.state()),
+                             cpu.state())) {
+    return;
+  }
+  // The emission-time classification plays the handler cache's role here;
+  // count it as a hit so the cache-effectiveness counters stay comparable
+  // across execution tiers.
+  if (self->use_cache_) ++self->cache_hits_;
+  ++self->traced_;
+  ++self->engine_.propagations;
+  if (self->disasm_log_ != nullptr) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x  ", pc);
+    self->disasm_log_->line(buf + arm::disassemble(insn, pc));
+  }
+  (self->*(p->handler))(cpu, insn, pc);
+}
+
 void InstructionTracer::handle_binary3(arm::Cpu&, const Insn& insn,
                                        GuestAddr) {
   // binary-op Rd, Rn, Rm -> t(Rd) = t(Rn) | t(Rm);

@@ -45,6 +45,14 @@ class InstructionTracer {
   /// pre-state in `cpu`). No-op when the address is out of scope.
   void on_insn(arm::Cpu& cpu, const arm::Insn& insn, GuestAddr pc);
 
+  /// Threaded-tier emission hook: resolves the scope check and the Table V
+  /// handler classification for `ti` once, returning a fused thunk that
+  /// performs only the residual per-execution work (condition check +
+  /// handler body). An empty op (fn == nullptr) means the tracer provably
+  /// no-ops on this instruction forever — scope is a static property of
+  /// the address and classification of the encoding.
+  [[nodiscard]] arm::TraceOp prepare(const arm::TbInsn& ti);
+
   [[nodiscard]] u64 instructions_traced() const { return traced_; }
   [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
 
@@ -65,6 +73,15 @@ class InstructionTracer {
 
   [[nodiscard]] Handler classify(const arm::Insn& insn) const;
   [[nodiscard]] static u32 access_size(const arm::Insn& insn);
+
+  /// Pre-resolved context a prepare()d thunk runs with (kept alive by the
+  /// TraceOp's keepalive).
+  struct Prepared {
+    InstructionTracer* self;
+    Handler handler;
+  };
+  static void run_prepared(void* ctx, arm::Cpu& cpu, const arm::Insn& insn,
+                           GuestAddr pc);
 
   /// Direct-mapped handler cache. The sentinel key never matches a hit with
   /// a stale handler: 0xFFFFFFFF decodes to an unconditional-NV undefined

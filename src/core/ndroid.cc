@@ -176,6 +176,26 @@ NDroid::NDroid(android::Device& device, NDroidConfig config)
         [this](arm::Cpu&, arm::TranslationBlock& tb) { return block_gate(tb); },
         engine_.liveness_epoch());
   }
+  // Trace emitter for the threaded tier: pre-resolves the insn hook body
+  // above into per-instruction fused thunks. The fallbacks mirror that body
+  // exactly — any instruction a non-tracer engine could act on (syslib's
+  // SVC sinks, the guard's store checks) keeps generic hook dispatch; for
+  // the rest, the hook reduces to the tracer alone, which prepare()
+  // resolves to a thunk or a provable no-op.
+  device_.cpu.set_trace_emitter(
+      [this](const arm::TranslationBlock&,
+             const arm::TbInsn& ti) -> std::optional<arm::TraceOp> {
+        if (config_.sink_checks && ti.insn.op == arm::Op::kSvc) {
+          return std::nullopt;
+        }
+        if (guard_ != nullptr &&
+            (ti.taint_class == arm::TaintClass::kStore ||
+             ti.taint_class == arm::TaintClass::kStm)) {
+          return std::nullopt;
+        }
+        if (!config_.instruction_tracer) return arm::TraceOp{};
+        return tracer_->prepare(ti);
+      });
 }
 
 const SummaryGate* NDroid::attach_static_analysis() {
@@ -260,6 +280,7 @@ const SummaryGate* NDroid::attach_static_analysis() {
 }
 
 NDroid::~NDroid() {
+  device_.cpu.set_trace_emitter(nullptr);
   device_.cpu.remove_branch_hook(branch_hook_id_);
   device_.cpu.remove_insn_hook(insn_hook_id_);
   device_.cpu.set_block_gate(nullptr);

@@ -27,6 +27,8 @@ struct PerfCounters {
   u64 fastpath_insns = 0;   // instructions those blocks retired
   u64 decode_lookups = 0;
   u64 decode_hits = 0;
+  u64 threaded_links = 0;    // block transitions that stayed in-loop
+  u64 threaded_patches = 0;  // direct-link exit slots (re)patched
 
   [[nodiscard]] double tb_hit_rate() const {
     return tb_lookups == 0
@@ -47,6 +49,8 @@ inline PerfCounters collect_perf(const arm::Cpu& cpu) {
   c.fastpath_insns = cpu.fastpath_insns();
   c.decode_lookups = cpu.decode_lookups();
   c.decode_hits = cpu.decode_hits();
+  c.threaded_links = cpu.threaded_links();
+  c.threaded_patches = cpu.threaded_patches();
   return c;
 }
 

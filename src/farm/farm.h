@@ -21,7 +21,25 @@
 #include "static/summary_cache.h"
 #include "taintdroid/framework.h"
 
+namespace ndroid::android {
+class Device;
+}
+
 namespace ndroid::farm {
+
+/// CPU execution tier every job's Device runs on. The tiers stack (each is
+/// the previous plus one mechanism), so sweeping them isolates the
+/// contribution of the TB cache, the software TLB, and the threaded
+/// micro-op tier. `kThreaded` is the production default.
+enum class EngineTier { kInterp, kTb, kTbTlb, kThreaded };
+
+/// Parses "interp" | "tb" | "tb+tlb" | "threaded"; throws
+/// std::invalid_argument on anything else.
+EngineTier parse_engine(const std::string& name);
+const char* to_string(EngineTier tier);
+
+/// Applies the tier's CPU/memory toggles to a freshly built Device.
+void apply_engine(ndroid::android::Device& device, EngineTier tier);
 
 struct FarmOptions {
   /// Worker threads. 0 = run every job inline on the calling thread (the
@@ -37,6 +55,8 @@ struct FarmOptions {
   bool taint_protection = true;
   /// Result-channel bound (backpressure on the aggregator).
   std::size_t channel_capacity = 64;
+  /// Execution tier for every job's CPU (--engine; ablation sweeps).
+  EngineTier engine = EngineTier::kThreaded;
 };
 
 struct JobTiming {

@@ -13,6 +13,32 @@
 
 namespace ndroid::farm {
 
+EngineTier parse_engine(const std::string& name) {
+  if (name == "interp") return EngineTier::kInterp;
+  if (name == "tb") return EngineTier::kTb;
+  if (name == "tb+tlb") return EngineTier::kTbTlb;
+  if (name == "threaded") return EngineTier::kThreaded;
+  throw std::invalid_argument("unknown engine tier: " + name +
+                              " (expected interp|tb|tb+tlb|threaded)");
+}
+
+const char* to_string(EngineTier tier) {
+  switch (tier) {
+    case EngineTier::kInterp: return "interp";
+    case EngineTier::kTb: return "tb";
+    case EngineTier::kTbTlb: return "tb+tlb";
+    case EngineTier::kThreaded: return "threaded";
+  }
+  return "?";
+}
+
+void apply_engine(android::Device& device, EngineTier tier) {
+  device.cpu.set_use_tb_cache(tier != EngineTier::kInterp);
+  device.cpu.set_threaded_enabled(tier == EngineTier::kThreaded);
+  device.memory.set_tlb_enabled(tier == EngineTier::kTbTlb ||
+                                tier == EngineTier::kThreaded);
+}
+
 namespace {
 
 using Clock = std::chrono::steady_clock;
@@ -30,7 +56,8 @@ void collect(JobResult& r, android::Device& device, core::NDroid& nd) {
   }
 }
 
-void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
+void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
+                   EngineTier engine) {
   apps::LeakScenario (*builder)(android::Device&) = nullptr;
   for (const auto& [name, b] : apps::all_cases()) {
     if (name == spec.name) builder = b;
@@ -39,6 +66,7 @@ void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
 
   const auto t0 = Clock::now();
   android::Device device;
+  apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   const apps::LeakScenario scenario = builder(device);
   r.timing.setup_ms = ms_since(t0);
@@ -53,9 +81,11 @@ void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
   collect(r, device, nd);
 }
 
-void run_cfbench(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
+void run_cfbench(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
+                 EngineTier engine) {
   const auto t0 = Clock::now();
   android::Device device;
+  apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   apps::CfBenchApp app(device);
   const apps::CfWorkload* workload = app.find(spec.name);
@@ -74,10 +104,11 @@ void run_cfbench(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
   collect(r, device, nd);
 }
 
-void run_market_app(JobResult& r, const JobSpec& spec,
-                    core::NDroidConfig cfg) {
+void run_market_app(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
+                    EngineTier engine) {
   const auto t0 = Clock::now();
   android::Device device(spec.name);
+  apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   const MarketApp app = build_market_app(device, spec);
   r.timing.setup_ms = ms_since(t0);
@@ -111,7 +142,8 @@ void run_market_app(JobResult& r, const JobSpec& spec,
   collect(r, device, nd);
 }
 
-void run_real_app(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
+void run_real_app(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
+                  EngineTier engine) {
   const auto t0 = Clock::now();
   apps::LeakScenario (*builder)(android::Device&) = nullptr;
   const char* target_class = nullptr;
@@ -126,6 +158,7 @@ void run_real_app(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg) {
   }
 
   android::Device device("com." + spec.name);
+  apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   builder(device);
   r.timing.setup_ms = ms_since(t0);
@@ -159,10 +192,10 @@ JobResult run_job(const JobSpec& spec, static_analysis::SummaryCache* cache,
 
   try {
     switch (spec.kind) {
-      case JobKind::kLeakCase: run_leak_case(r, spec, cfg); break;
-      case JobKind::kCfBench: run_cfbench(r, spec, cfg); break;
-      case JobKind::kMarketApp: run_market_app(r, spec, cfg); break;
-      case JobKind::kRealApp: run_real_app(r, spec, cfg); break;
+      case JobKind::kLeakCase: run_leak_case(r, spec, cfg, options.engine); break;
+      case JobKind::kCfBench: run_cfbench(r, spec, cfg, options.engine); break;
+      case JobKind::kMarketApp: run_market_app(r, spec, cfg, options.engine); break;
+      case JobKind::kRealApp: run_real_app(r, spec, cfg, options.engine); break;
     }
     r.ok = true;
   } catch (const std::exception& e) {

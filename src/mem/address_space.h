@@ -165,6 +165,29 @@ class AddressSpace {
     write_tlb_[page_no & (kTlbSlots - 1)] = TlbEntry{};
   }
 
+  /// Raw TLB probes for callers that inline memory accesses themselves (the
+  /// threaded-code micro-ops): a hit returns the host pointer for `len`
+  /// bytes wholly inside one page, a miss returns nullptr and the caller
+  /// falls back to read*/write* (which refills the TLB). The write probe
+  /// inherits the watch coherence rule for free — watched pages are never in
+  /// the write TLB, so a hit store provably cannot touch cached code.
+  [[nodiscard]] const u8* tlb_probe_read(GuestAddr addr, u32 len) const {
+    if ((addr & kPageMask) <= kPageSize - len) [[likely]] {
+      const u32 page = addr >> kPageShift;
+      const TlbEntry& e = read_tlb_[page & (kTlbSlots - 1)];
+      if (e.page == page) [[likely]] return e.host + (addr & kPageMask);
+    }
+    return nullptr;
+  }
+  [[nodiscard]] u8* tlb_probe_write(GuestAddr addr, u32 len) {
+    if ((addr & kPageMask) <= kPageSize - len) [[likely]] {
+      const u32 page = addr >> kPageShift;
+      const TlbEntry& e = write_tlb_[page & (kTlbSlots - 1)];
+      if (e.page == page) [[likely]] return e.host + (addr & kPageMask);
+    }
+    return nullptr;
+  }
+
   void tlb_flush_write() {
     write_tlb_.fill(TlbEntry{});
   }

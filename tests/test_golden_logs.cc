@@ -112,28 +112,38 @@ TEST(GoldenLogs, Fig9PocCase3Sequence) {
 }
 
 TEST(GoldenLogs, InterpretiveAblationIsBitForBitIdentical) {
-  // Three engine configurations must produce the same full analysis log of
+  // Four engine configurations must produce the same full analysis log of
   // a case study line for line — not just the same milestones:
   //   * the seed interpretive engine (`use_tb_cache=false`, TLB off),
   //   * the TB-cache engine with the software TLB disabled,
-  //   * the TB-cache engine with the software TLB enabled (production).
-  auto run_case = [](bool use_tb, bool use_tlb) {
+  //   * the TB-cache engine with the software TLB enabled,
+  //   * the threaded micro-op tier on top of both (production default).
+  auto run_case = [](bool use_tb, bool use_tlb, bool use_threaded) {
     Device device;
     device.cpu.set_use_tb_cache(use_tb);
+    device.cpu.set_threaded_enabled(use_threaded);
     device.memory.set_tlb_enabled(use_tlb);
     NDroid nd(device);
     const auto app = apps::build_case2(device);
     device.dvm.call(*app.entry, {});
     return nd.log().lines();
   };
-  const std::vector<std::string> interp_log = run_case(false, false);
+  const std::vector<std::string> interp_log = run_case(false, false, false);
   ASSERT_FALSE(interp_log.empty());
-  for (const bool use_tlb : {false, true}) {
-    const std::vector<std::string> tb_log = run_case(true, use_tlb);
-    ASSERT_EQ(tb_log.size(), interp_log.size()) << "tlb=" << use_tlb;
+  struct Tier {
+    bool use_tlb;
+    bool use_threaded;
+  };
+  for (const Tier tier : {Tier{false, false}, Tier{true, false},
+                          Tier{true, true}}) {
+    const std::vector<std::string> tb_log =
+        run_case(true, tier.use_tlb, tier.use_threaded);
+    ASSERT_EQ(tb_log.size(), interp_log.size())
+        << "tlb=" << tier.use_tlb << " threaded=" << tier.use_threaded;
     for (std::size_t i = 0; i < tb_log.size(); ++i) {
       EXPECT_EQ(tb_log[i], interp_log[i])
-          << "tlb=" << use_tlb << ", first divergence at line " << i;
+          << "tlb=" << tier.use_tlb << " threaded=" << tier.use_threaded
+          << ", first divergence at line " << i;
     }
   }
 }

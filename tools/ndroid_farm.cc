@@ -7,7 +7,7 @@
 //
 //   ndroid-farm [--jobs N] [--repeat K] [--json out.json]
 //               [--market N] [--monkey-events N] [--seed S]
-//               [--no-share] [--digest]
+//               [--engine TIER] [--no-share] [--digest]
 //
 //   --jobs N       worker threads (default 2; 0 = serial inline)
 //   --repeat K     run the mix K times (exercises cross-batch cache hits)
@@ -15,6 +15,8 @@
 //   --market N     synthetic market apps in the mix (default 6)
 //   --monkey-events N   random invocations per real app (default 12)
 //   --seed S       corpus/monkey seed (default 20140623)
+//   --engine TIER  CPU execution tier: interp | tb | tb+tlb | threaded
+//                  (default threaded; the lower tiers are ablations)
 //   --no-share     disable the summary cache (per-job lifting; ablation)
 //   --digest       print the canonical leak digest (determinism debugging)
 //
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   bool share = true;
   bool digest = false;
   std::string json_path;
+  farm::EngineTier engine = farm::EngineTier::kThreaded;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -67,6 +70,13 @@ int main(int argc, char** argv) {
       seed = parse_u64(value());
     } else if (std::strcmp(arg, "--json") == 0) {
       json_path = value();
+    } else if (std::strcmp(arg, "--engine") == 0) {
+      try {
+        engine = farm::parse_engine(value());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (std::strcmp(arg, "--no-share") == 0) {
       share = false;
     } else if (std::strcmp(arg, "--digest") == 0) {
@@ -85,10 +95,11 @@ int main(int argc, char** argv) {
   farm::FarmOptions options;
   options.workers = workers;
   options.share_summaries = share;
+  options.engine = engine;
   const farm::FarmReport report = farm::run_farm(jobs, options);
 
   std::printf(
-      "ndroid-farm: %u jobs on %u workers (%s summaries)\n"
+      "ndroid-farm: %u jobs on %u workers (%s summaries, %s engine)\n"
       "  wall            %.1f ms  (%.1f apps/sec)\n"
       "  leaks           %u native, %u framework\n"
       "  tamper alerts   %u\n"
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
       "(hit rate %.1f%%)\n"
       "  failures        %u\n",
       report.jobs, report.workers, share ? "shared" : "per-job",
+      farm::to_string(engine),
       report.wall_ms, report.apps_per_sec, report.native_leaks,
       report.framework_leaks, report.tamper_alerts,
       static_cast<unsigned long long>(report.summary_gate_skips),

@@ -1,0 +1,123 @@
+// Little-endian byte serialization shared by the persistent summary store
+// (src/static/summary_store) and the farm's cross-process result protocol
+// (src/farm/process_pool).
+//
+// The encoding is deliberately dumb: fixed-width fields written lowest byte
+// first, length-prefixed strings and sequences, doubles as IEEE-754 bit
+// patterns. No padding bytes ever reach the output, so the same value
+// always encodes to the same bytes — the property the store's
+// content-hash verification and the bench's cross-run comparisons rely on.
+//
+// Reader is strict: every primitive checks bounds and every sequence count
+// is validated against the bytes actually remaining (with a caller-supplied
+// minimum element size), so a bit-flipped length field raises DecodeError
+// instead of a multi-gigabyte allocation. Callers treat DecodeError as
+// "corrupt input" and fall back (the store re-lifts; the supervisor marks
+// the worker dead).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ndroid::serde {
+
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void put_u8(u8 v) { buf_.push_back(v); }
+  void put_u16(u16 v) { put_le(v, 2); }
+  void put_u32(u32 v) { put_le(v, 4); }
+  void put_u64(u64 v) { put_le(v, 8); }
+  void put_i32(i32 v) { put_le(static_cast<u32>(v), 4); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_f64(double v) {
+    u64 bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    put_u64(bits);
+  }
+  void put_str(const std::string& s) {
+    put_u32(static_cast<u32>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void put_bytes(std::span<const u8> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  [[nodiscard]] const std::vector<u8>& bytes() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+
+ private:
+  void put_le(u64 v, int n) {
+    for (int i = 0; i < n; ++i) buf_.push_back(static_cast<u8>(v >> (8 * i)));
+  }
+  std::vector<u8> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> bytes) : bytes_(bytes) {}
+
+  u8 get_u8() { return static_cast<u8>(get_le(1)); }
+  u16 get_u16() { return static_cast<u16>(get_le(2)); }
+  u32 get_u32() { return static_cast<u32>(get_le(4)); }
+  u64 get_u64() { return get_le(8); }
+  i32 get_i32() { return static_cast<i32>(get_u32()); }
+  bool get_bool() {
+    const u8 v = get_u8();
+    if (v > 1) throw DecodeError("bad bool");
+    return v != 0;
+  }
+  double get_f64() {
+    const u64 bits = get_u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string get_str() {
+    const u32 n = get_count(1);
+    std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Sequence length whose elements each occupy at least `min_elem_bytes`;
+  /// rejects counts the remaining input can't possibly hold.
+  u32 get_count(std::size_t min_elem_bytes) {
+    const u32 n = get_u32();
+    if (min_elem_bytes != 0 && n > remaining() / min_elem_bytes) {
+      throw DecodeError("sequence count exceeds input");
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// Every byte must be consumed (trailing garbage = corruption).
+  void expect_end() const {
+    if (pos_ != bytes_.size()) throw DecodeError("trailing bytes");
+  }
+
+ private:
+  u64 get_le(std::size_t n) {
+    if (remaining() < n) throw DecodeError("input truncated");
+    u64 v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<u64>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const u8> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ndroid::serde

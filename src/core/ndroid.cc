@@ -4,6 +4,7 @@
 
 #include "static/summary.h"
 #include "static/summary_cache.h"
+#include "static/summary_store.h"
 
 namespace ndroid::core {
 
@@ -253,6 +254,20 @@ const SummaryGate* NDroid::attach_static_analysis() {
       const u64 key = sa::library_key(image, lib_entries, region.start);
       libs.push_back(
           config_.summary_cache->acquire(key, region.start, lift));
+    } else if (config_.summary_store != nullptr) {
+      // Cache-less persistent path (isolated worker processes): a
+      // hash-verified store entry replaces the lift; corruption or absence
+      // falls back to lifting fresh and rewriting the entry.
+      std::vector<u8> image(region.end - region.start);
+      device_.memory.read_bytes(region.start, image);
+      const u64 key = sa::library_key(image, lib_entries, region.start);
+      std::shared_ptr<const sa::LibrarySummary> lib =
+          config_.summary_store->load(key);
+      if (lib == nullptr) {
+        lib = std::make_shared<const sa::LibrarySummary>(lift());
+        config_.summary_store->save(*lib);
+      }
+      libs.push_back(sa::bind_library(std::move(lib), region.start));
     } else {
       libs.push_back(sa::bind_library(
           std::make_shared<const sa::LibrarySummary>(lift()), region.start));

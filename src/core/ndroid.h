@@ -31,6 +31,7 @@
 
 namespace ndroid::static_analysis {
 class SummaryCache;
+class SummaryStore;
 }
 
 namespace ndroid::core {
@@ -75,6 +76,14 @@ struct NDroidConfig {
   /// must outlive this NDroid. Thread-safe: many NDroid instances on
   /// different threads may point at the same cache.
   static_analysis::SummaryCache* summary_cache = nullptr;
+  /// Optional persistent on-disk summary store. When `summary_cache` is
+  /// set, attach the store to the cache instead (SummaryCache::set_store);
+  /// this field covers the cache-less path: attach_static_analysis loads
+  /// each library's artifact from disk when a hash-verified entry exists
+  /// and writes back fresh lifts. This is how isolated farm worker
+  /// *processes* — whose in-memory caches die with them — amortise static
+  /// analysis across jobs, runs, and machines. Must outlive this NDroid.
+  static_analysis::SummaryStore* summary_store = nullptr;
 
   enum class Scope {
     kThirdParty,          // app .so files only (NDroid, §V-C)

@@ -46,6 +46,19 @@ class Channel {
     return v;
   }
 
+  /// Non-blocking pop: nullopt when the channel is currently empty (whether
+  /// or not it is closed). The single-threaded process-pool supervisor uses
+  /// this to drain results inline between poll() rounds — it is both
+  /// producer and consumer, so a blocking pop would deadlock.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(m_);
+    if (q_.empty()) return std::nullopt;
+    T v = std::move(q_.front());
+    q_.pop_front();
+    not_full_.notify_one();
+    return v;
+  }
+
   void close() {
     {
       std::lock_guard lock(m_);

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "farm/channel.h"
+#include "static/summary_store.h"
 
 namespace ndroid::farm {
 
@@ -17,6 +19,7 @@ const char* to_string(JobKind kind) {
     case JobKind::kCfBench: return "cfbench";
     case JobKind::kMarketApp: return "market_app";
     case JobKind::kRealApp: return "real_app";
+    case JobKind::kFuzz: return "fuzz";
   }
   return "?";
 }
@@ -67,16 +70,6 @@ void worker_loop(u32 me, std::vector<WorkerQueue>& queues,
   }
 }
 
-void aggregate(FarmReport& report, JobResult r) {
-  ++report.jobs;
-  if (!r.ok) ++report.failures;
-  report.native_leaks += static_cast<u32>(r.native_leaks.size());
-  report.framework_leaks += static_cast<u32>(r.framework_leaks.size());
-  report.tamper_alerts += r.tamper_alerts;
-  report.summary_gate_skips += r.summary_gate_skips;
-  report.results.push_back(std::move(r));
-}
-
 void append_leak(std::ostringstream& out, const std::string& sink,
                  const std::string& destination, Taint taint,
                  const std::string& data) {
@@ -106,6 +99,25 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+void aggregate_result(FarmReport& report, JobResult r) {
+  ++report.jobs;
+  if (!r.ok) ++report.failures;
+  report.retries += r.retries;
+  report.native_leaks += static_cast<u32>(r.native_leaks.size());
+  report.framework_leaks += static_cast<u32>(r.framework_leaks.size());
+  report.tamper_alerts += r.tamper_alerts;
+  report.summary_gate_skips += r.summary_gate_skips;
+  // Process-mode jobs ship their in-process cache activity back in the
+  // result (always zero in serial/thread modes, where run_farm reads the
+  // shared cache's counters directly).
+  report.cache.hits += r.cache_delta.hits;
+  report.cache.misses += r.cache_delta.misses;
+  report.cache.rebinds += r.cache_delta.rebinds;
+  report.cache.store_hits += r.cache_delta.store_hits;
+  report.cache.store_writes += r.cache_delta.store_writes;
+  report.results.push_back(std::move(r));
+}
+
 std::string FarmReport::leak_digest() const {
   std::ostringstream out;
   for (const JobResult& r : results) {
@@ -134,8 +146,12 @@ std::string FarmReport::to_json() const {
   std::ostringstream out;
   out << "{\n";
   out << "  \"workers\": " << workers << ",\n";
+  out << "  \"processes\": " << processes << ",\n";
   out << "  \"jobs\": " << jobs << ",\n";
   out << "  \"failures\": " << failures << ",\n";
+  out << "  \"retries\": " << retries << ",\n";
+  out << "  \"worker_deaths\": " << worker_deaths << ",\n";
+  out << "  \"warm_entries\": " << warm_entries << ",\n";
   out << "  \"native_leaks\": " << native_leaks << ",\n";
   out << "  \"framework_leaks\": " << framework_leaks << ",\n";
   out << "  \"tamper_alerts\": " << tamper_alerts << ",\n";
@@ -144,6 +160,8 @@ std::string FarmReport::to_json() const {
   out << "  \"apps_per_sec\": " << apps_per_sec << ",\n";
   out << "  \"cache\": {\"hits\": " << cache.hits
       << ", \"misses\": " << cache.misses << ", \"rebinds\": " << cache.rebinds
+      << ", \"store_hits\": " << cache.store_hits
+      << ", \"store_writes\": " << cache.store_writes
       << ", \"hit_rate\": " << cache.hit_rate() << "},\n";
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -166,41 +184,62 @@ std::string FarmReport::to_json() const {
 
 FarmReport run_farm(const std::vector<JobSpec>& jobs,
                     const FarmOptions& options) {
+  // Resolved copy: the store pointer (opened from store_dir if needed) rides
+  // inside so run_job / the process pool see one authoritative FarmOptions.
+  FarmOptions opts = options;
   FarmReport report;
-  report.workers = options.workers;
+  report.workers = opts.processes > 0 ? 0 : opts.workers;
+  report.processes = opts.processes;
+
+  std::unique_ptr<static_analysis::SummaryStore> local_store;
+  if (opts.store == nullptr && !opts.store_dir.empty()) {
+    local_store = std::make_unique<static_analysis::SummaryStore>(opts.store_dir);
+    opts.store = local_store.get();
+  }
 
   // Batch-local cache unless the caller shares one across batches.
   static_analysis::SummaryCache local_cache;
   static_analysis::SummaryCache* cache = nullptr;
-  if (options.share_summaries) {
-    cache = options.cache != nullptr ? options.cache : &local_cache;
+  if (opts.share_summaries) {
+    cache = opts.cache != nullptr ? opts.cache : &local_cache;
+  }
+  if (cache != nullptr && opts.store != nullptr) {
+    cache->set_store(opts.store);
+    // Pre-publish everything on disk now, before any worker exists: thread
+    // workers share the warmed slots directly, process workers inherit them
+    // through copy-on-write fork memory.
+    report.warm_entries = static_cast<u32>(cache->warm_from_store());
   }
   const auto stats_before =
       cache != nullptr ? cache->stats() : static_analysis::SummaryCache::Stats{};
 
   const auto t0 = Clock::now();
-  if (options.workers == 0) {
+  if (opts.processes > 0) {
+    const u32 warm = report.warm_entries;
+    report = run_farm_processes(jobs, opts, cache);
+    report.warm_entries = warm;
+  } else if (opts.workers == 0) {
     // Serial reference path: no threads, no channel.
     for (const JobSpec& spec : jobs) {
-      aggregate(report, run_job(spec, cache, options));
+      aggregate_result(report, run_job(spec, cache, opts));
     }
   } else {
-    std::vector<WorkerQueue> queues(options.workers);
+    std::vector<WorkerQueue> queues(opts.workers);
     for (std::size_t i = 0; i < jobs.size(); ++i) {
-      queues[i % options.workers].q.push_back(jobs[i]);
+      queues[i % opts.workers].q.push_back(jobs[i]);
     }
-    Channel<JobResult> results(options.channel_capacity);
+    Channel<JobResult> results(opts.channel_capacity);
     std::vector<std::thread> threads;
-    threads.reserve(options.workers);
-    for (u32 w = 0; w < options.workers; ++w) {
+    threads.reserve(opts.workers);
+    for (u32 w = 0; w < opts.workers; ++w) {
       threads.emplace_back(worker_loop, w, std::ref(queues), std::ref(results),
-                           cache, std::cref(options));
+                           cache, std::cref(opts));
     }
     // Streaming aggregation on the calling thread.
     for (std::size_t received = 0; received < jobs.size(); ++received) {
       std::optional<JobResult> r = results.pop();
       if (!r.has_value()) break;  // cannot happen before close(); safety
-      aggregate(report, std::move(*r));
+      aggregate_result(report, std::move(*r));
     }
     for (std::thread& t : threads) t.join();
     results.close();
@@ -212,9 +251,13 @@ FarmReport run_farm(const std::vector<JobSpec>& jobs,
 
   if (cache != nullptr) {
     const auto after = cache->stats();
-    report.cache.hits = after.hits - stats_before.hits;
-    report.cache.misses = after.misses - stats_before.misses;
-    report.cache.rebinds = after.rebinds - stats_before.rebinds;
+    report.cache.hits += after.hits - stats_before.hits;
+    report.cache.misses += after.misses - stats_before.misses;
+    report.cache.rebinds += after.rebinds - stats_before.rebinds;
+    report.cache.store_hits += after.store_hits - stats_before.store_hits;
+    report.cache.store_writes += after.store_writes - stats_before.store_writes;
+    // Don't leave an external cache pointing at a store we own.
+    if (local_store != nullptr) cache->set_store(nullptr);
   }
 
   std::sort(report.results.begin(), report.results.end(),

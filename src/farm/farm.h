@@ -11,8 +11,19 @@
 // which aggregates incrementally (no per-worker result buffers), then sorts
 // by job id — so a FarmReport is identical for any worker count, including
 // the inline serial path (workers == 0).
+//
+// Setting FarmOptions::processes instead shards the batch across worker
+// *processes* (see process_pool.cc): pre-forked zygote workers fork one
+// grandchild per job off a copy-on-write template snapshot, results come
+// back over a framed pipe protocol into the same bounded channel, and a
+// crashing or deadline-blowing job costs exactly that job — the supervisor
+// retries it once and then records the failure in the FarmReport. The
+// persistent SummaryStore (FarmOptions::store_dir) is what worker processes
+// share summaries through; leak_digest() is topology-independent across
+// serial, threaded, and process-sharded runs.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +56,36 @@ struct FarmOptions {
   /// Worker threads. 0 = run every job inline on the calling thread (the
   /// serial reference the determinism tests compare against).
   u32 workers = 0;
+  /// Worker *processes*. Non-zero selects the crash-isolated fork pool
+  /// (process_pool.cc) and ignores `workers`: the supervisor stays
+  /// single-threaded on the calling thread, each job runs in a grandchild
+  /// forked off a pre-built copy-on-write snapshot, and a crash/timeout
+  /// costs only that job (retried once, then marked failed).
+  u32 processes = 0;
+  /// Per-job wall-clock deadline in process mode (SIGALRM in the job's own
+  /// process). 0 = no deadline. Ignored in serial/thread modes, where a
+  /// runaway job cannot be killed safely.
+  u32 job_timeout_ms = 0;
+  /// Directory of the persistent content-addressed summary store. Non-empty
+  /// = the farm opens (creating if needed) a SummaryStore there, attaches it
+  /// below the SummaryCache, and pre-warms the cache from it before any
+  /// worker starts — in process mode the warmed cache is inherited by every
+  /// worker via fork, and fresh lifts are written back so later jobs,
+  /// batches, and *runs* hit on disk.
+  std::string store_dir;
+  /// Externally owned store (e.g. a test's). Overrides store_dir.
+  static_analysis::SummaryStore* store = nullptr;
+  /// Process mode: build one pristine template Device per zygote and hand
+  /// it to every job process through copy-on-write fork memory (jobs whose
+  /// kind uses a default Device then skip construction entirely). Off =
+  /// every job process builds its own Device — the ablation row bench_farm
+  /// uses to price the template.
+  bool zygote_template = true;
+  /// Fault-injection hook (tests only): runs inside the job's own process in
+  /// process mode, immediately before the job executes. A hook that
+  /// abort()s, SIGKILLs, or spins past the deadline exercises exactly the
+  /// crash paths the supervisor must contain.
+  std::function<void(const JobSpec&)> fault_hook;
   /// Share static summaries through a SummaryCache. Off = every job lifts
   /// its own libraries (the pre-farm per-attach behaviour; ablation).
   bool share_summaries = true;
@@ -79,14 +120,31 @@ struct JobResult {
   std::string market_type;           // kMarketApp: §III classification
   std::string first_leaking_method;  // kRealApp: monkey finding
   JobTiming timing;
+  /// Process mode: how many times this job was restarted after a worker
+  /// death or deadline overrun (0 or 1; excluded from leak_digest()).
+  u32 retries = 0;
+  /// Process mode: cache/store activity observed inside the job's own
+  /// process (its cache diverges from the supervisor's after fork, so the
+  /// delta ships back in the result frame for aggregation).
+  static_analysis::SummaryCache::Stats cache_delta;
 };
 
 struct FarmReport {
   std::vector<JobResult> results;  // sorted by spec.id
 
   u32 workers = 0;
+  u32 processes = 0;
   u32 jobs = 0;
   u32 failures = 0;
+  /// Process mode: jobs restarted after losing their worker (each counted
+  /// once; a job that fails its retry also shows up in `failures`).
+  u32 retries = 0;
+  /// Process mode: job processes that died abnormally (signal, deadline, or
+  /// torn result frame) plus zygote workers the supervisor had to respawn.
+  u32 worker_deaths = 0;
+  /// Snapshots pre-published from the persistent store before workers
+  /// started (warm-start evidence for the twice-run CI smoke).
+  u32 warm_entries = 0;
   u32 native_leaks = 0;
   u32 framework_leaks = 0;
   u32 tamper_alerts = 0;
@@ -105,11 +163,27 @@ struct FarmReport {
 };
 
 /// Runs one job hermetically (fresh Device + NDroid); never throws — build
-/// or drive failures are captured in JobResult::error.
+/// or drive failures are captured in JobResult::error. `snapshot`, when
+/// non-null, is a pristine default-constructed Device the job may consume
+/// instead of building its own (the fork pool's copy-on-write template;
+/// only jobs whose kind uses a default Device take it).
 JobResult run_job(const JobSpec& spec, static_analysis::SummaryCache* cache,
-                  const FarmOptions& options);
+                  const FarmOptions& options,
+                  android::Device* snapshot = nullptr);
 
 FarmReport run_farm(const std::vector<JobSpec>& jobs,
                     const FarmOptions& options = {});
+
+/// Streaming aggregation step shared by the thread and process schedulers:
+/// folds one result into the report's counters and appends it to
+/// `report.results` (caller sorts by id at the end).
+void aggregate_result(FarmReport& report, JobResult r);
+
+/// The crash-isolated process scheduler (see process_pool.cc). run_farm()
+/// dispatches here when options.processes > 0; callable directly in tests.
+/// `cache` may be null (share_summaries off).
+FarmReport run_farm_processes(const std::vector<JobSpec>& jobs,
+                              const FarmOptions& options,
+                              static_analysis::SummaryCache* cache);
 
 }  // namespace ndroid::farm

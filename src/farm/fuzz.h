@@ -1,0 +1,38 @@
+// Cross-engine differential fuzzing as a farm workload.
+//
+// Each kFuzz job generates one seeded random ARM/Thumb program (a bounded
+// loop of ALU / memory / conditional instructions that interworks into a
+// random Thumb leaf) and executes it under every CPU tier the farm can
+// sweep — interpreter, TB cache, TB + software TLB, threaded micro-ops —
+// with taint tracking live, diffing final r0, a guest-memory digest, the
+// traced-instruction count, and a shadow-state digest against the
+// interpreter baseline. The job's checksum folds the baseline digests, so
+// leak_digest() comparisons across farm topologies also diff the fuzz
+// outcomes; a divergence fails the job with an error naming the tier.
+//
+// In process mode each program runs inside a crash-disposable job process:
+// a seed that crashes the emulator (the exact bug class a fuzzer exists to
+// find) costs that seed only, and the supervisor's retry/failed bookkeeping
+// records it instead of taking down the batch.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace ndroid::farm::fuzz {
+
+struct Outcome {
+  bool ok = false;
+  std::string error;  // names the diverging tier/field; empty when ok
+  u32 checksum = 0;   // folded baseline digests (r0/mem/traced/shadow)
+  u64 instructions_traced = 0;
+};
+
+/// Generates the program for `seed` and runs the full differential sweep.
+/// Throws only on emulator faults (GuestFault etc.) — run_job turns those
+/// into a failed JobResult, and in process mode a hard crash becomes a
+/// death frame.
+Outcome run_differential(u64 seed);
+
+}  // namespace ndroid::farm::fuzz

@@ -19,6 +19,7 @@ enum class JobKind : u8 {
   kCfBench,    // one CF-Bench workload (paper §VI-E)
   kMarketApp,  // synthetic market-corpus app bundling popular libraries
   kRealApp,    // §VI real apps (QQPhoneBook, ePhone), monkey-driven
+  kFuzz,       // cross-engine differential fuzz program (src/farm/fuzz)
 };
 
 [[nodiscard]] const char* to_string(JobKind kind);

@@ -93,6 +93,22 @@ std::vector<JobSpec> real_app_jobs(u32 monkey_events, u64 seed) {
   return jobs;
 }
 
+std::vector<JobSpec> fuzz_jobs(u32 count, u64 seed) {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    JobSpec j;
+    j.id = i;
+    j.kind = JobKind::kFuzz;
+    // The program seed rides in monkey_seed (the spec's generic RNG-seed
+    // field); the name makes digests and logs self-describing.
+    j.monkey_seed = derive_seed(seed, i, 0);
+    j.name = "fuzz-" + std::to_string(j.monkey_seed);
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
 std::vector<JobSpec> default_mix(u32 cfbench_iterations, u32 market_apps,
                                  u32 monkey_events, u64 seed) {
   std::vector<JobSpec> jobs = table1_jobs();

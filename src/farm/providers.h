@@ -22,6 +22,9 @@ std::vector<JobSpec> table1_jobs();
 std::vector<JobSpec> cfbench_jobs(u32 iterations);
 std::vector<JobSpec> market_jobs(u32 count, u64 seed);
 std::vector<JobSpec> real_app_jobs(u32 monkey_events, u64 seed);
+/// `count` cross-engine differential fuzz programs (src/farm/fuzz), each a
+/// hermetic job whose program seed derives deterministically from (seed, i).
+std::vector<JobSpec> fuzz_jobs(u32 count, u64 seed);
 
 std::vector<JobSpec> default_mix(u32 cfbench_iterations, u32 market_apps,
                                  u32 monkey_events, u64 seed);

@@ -1,5 +1,6 @@
 // Per-job execution: one isolated Device + NDroid per JobSpec.
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 
 #include "apps/cfbench.h"
@@ -8,6 +9,7 @@
 #include "apps/real_apps.h"
 #include "core/ndroid.h"
 #include "farm/farm.h"
+#include "farm/fuzz.h"
 #include "farm/market_app.h"
 #include "market/analyzer.h"
 
@@ -56,8 +58,19 @@ void collect(JobResult& r, android::Device& device, core::NDroid& nd) {
   }
 }
 
+/// Picks the job's Device: the fork pool's pre-built copy-on-write template
+/// when one is offered (skipping Device construction entirely — the
+/// dominant share of setup_ms), else a fresh local one. The template is
+/// byte-identical to a default-constructed Device, so results cannot
+/// differ.
+android::Device& pick_device(std::optional<android::Device>& local,
+                             android::Device* snapshot) {
+  if (snapshot != nullptr) return *snapshot;
+  return local.emplace();
+}
+
 void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
-                   EngineTier engine) {
+                   EngineTier engine, android::Device* snapshot) {
   apps::LeakScenario (*builder)(android::Device&) = nullptr;
   for (const auto& [name, b] : apps::all_cases()) {
     if (name == spec.name) builder = b;
@@ -65,7 +78,8 @@ void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
   if (builder == nullptr) throw std::runtime_error("unknown case " + spec.name);
 
   const auto t0 = Clock::now();
-  android::Device device;
+  std::optional<android::Device> local;
+  android::Device& device = pick_device(local, snapshot);
   apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   const apps::LeakScenario scenario = builder(device);
@@ -82,9 +96,10 @@ void run_leak_case(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
 }
 
 void run_cfbench(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
-                 EngineTier engine) {
+                 EngineTier engine, android::Device* snapshot) {
   const auto t0 = Clock::now();
-  android::Device device;
+  std::optional<android::Device> local;
+  android::Device& device = pick_device(local, snapshot);
   apply_engine(device, engine);
   core::NDroid nd(device, cfg);
   apps::CfBenchApp app(device);
@@ -179,23 +194,45 @@ void run_real_app(JobResult& r, const JobSpec& spec, core::NDroidConfig cfg,
   collect(r, device, nd);
 }
 
+void run_fuzz(JobResult& r, const JobSpec& spec) {
+  // No Device, no NDroid: the job is the bare emulation substrate swept
+  // across every execution tier. The differential verdict lands in
+  // ok/error; the folded digests land in checksum so leak_digest() carries
+  // them across farm topologies.
+  const auto t0 = Clock::now();
+  const fuzz::Outcome out = fuzz::run_differential(spec.monkey_seed);
+  r.checksum = out.checksum;
+  r.summary_gate_skips = 0;
+  r.timing.run_ms = ms_since(t0);
+  if (!out.ok) {
+    throw std::runtime_error("fuzz seed " + std::to_string(spec.monkey_seed) +
+                             ": " + out.error);
+  }
+}
+
 }  // namespace
 
 JobResult run_job(const JobSpec& spec, static_analysis::SummaryCache* cache,
-                  const FarmOptions& options) {
+                  const FarmOptions& options, android::Device* snapshot) {
   JobResult r;
   r.spec = spec;
 
   core::NDroidConfig cfg;
   cfg.taint_protection = options.taint_protection;
   cfg.summary_cache = cache;
+  if (cache == nullptr) cfg.summary_store = options.store;
 
   try {
     switch (spec.kind) {
-      case JobKind::kLeakCase: run_leak_case(r, spec, cfg, options.engine); break;
-      case JobKind::kCfBench: run_cfbench(r, spec, cfg, options.engine); break;
+      case JobKind::kLeakCase:
+        run_leak_case(r, spec, cfg, options.engine, snapshot);
+        break;
+      case JobKind::kCfBench:
+        run_cfbench(r, spec, cfg, options.engine, snapshot);
+        break;
       case JobKind::kMarketApp: run_market_app(r, spec, cfg, options.engine); break;
       case JobKind::kRealApp: run_real_app(r, spec, cfg, options.engine); break;
+      case JobKind::kFuzz: run_fuzz(r, spec); break;
     }
     r.ok = true;
   } catch (const std::exception& e) {

@@ -1,5 +1,7 @@
 #include "static/summary_cache.h"
 
+#include "static/summary_store.h"
+
 namespace ndroid::static_analysis {
 
 std::shared_ptr<const LibrarySummary> SummaryCache::acquire(
@@ -17,15 +19,36 @@ std::shared_ptr<const LibrarySummary> SummaryCache::acquire(
     } else {
       slot = it->second;
       ++stats_.hits;
+      std::lock_guard<std::mutex> slot_lock(slot->m);
+      if (slot->ready && slot->from_store) ++stats_.store_hits;
     }
   }
 
   if (owner) {
     try {
-      auto lib = std::make_shared<const LibrarySummary>(lift());
+      // Two-level lookup: the persistent store first (hash-verified; any
+      // corruption reads as a miss and we lift fresh), then the lift.
+      std::shared_ptr<const LibrarySummary> lib;
+      bool from_store = false;
+      if (store_ != nullptr) {
+        lib = store_->load(key);
+        from_store = lib != nullptr;
+      }
+      if (lib == nullptr) {
+        lib = std::make_shared<const LibrarySummary>(lift());
+        if (store_ != nullptr && store_->save(*lib)) {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.store_writes;
+        }
+      }
+      if (from_store) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.store_hits;
+      }
       {
         std::lock_guard<std::mutex> lock(slot->m);
         slot->lib = std::move(lib);
+        slot->from_store = from_store;
         slot->ready = true;
       }
       slot->cv.notify_all();
@@ -65,6 +88,22 @@ std::shared_ptr<const LibrarySummary> SummaryCache::acquire(
     return bind_library(std::move(lib), base);
   }
   return lib;
+}
+
+std::size_t SummaryCache::warm_from_store() {
+  if (store_ == nullptr) return 0;
+  std::size_t published = 0;
+  for (const u64 key : store_->keys()) {
+    std::shared_ptr<const LibrarySummary> lib = store_->load(key);
+    if (lib == nullptr) continue;  // corrupt entry: left for a fresh lift
+    auto slot = std::make_shared<Slot>();
+    slot->lib = std::move(lib);
+    slot->from_store = true;
+    slot->ready = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slots_.emplace(key, std::move(slot)).second) ++published;
+  }
+  return published;
 }
 
 SummaryCache::Stats SummaryCache::stats() const {

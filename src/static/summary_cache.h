@@ -13,6 +13,14 @@
 // the requesting process's load base is returned as-is (zero-copy); a
 // mismatched base triggers a relocation copy (counted in Stats::rebinds and
 // never published back, so the canonical snapshot stays pristine).
+//
+// With a persistent SummaryStore attached (set_store), the cache becomes
+// the in-memory tier of a two-level hierarchy: a first-acquire miss
+// consults the on-disk store before lifting (Stats::store_hits), a fresh
+// lift is written back (Stats::store_writes), and warm_from_store()
+// pre-publishes every on-disk entry — the farm supervisor calls it before
+// forking worker processes so every worker inherits a fully warmed cache
+// through copy-on-write memory.
 #pragma once
 
 #include <condition_variable>
@@ -25,12 +33,19 @@
 
 namespace ndroid::static_analysis {
 
+class SummaryStore;
+
 class SummaryCache {
  public:
   struct Stats {
     u64 hits = 0;     // acquire() served from a published snapshot
-    u64 misses = 0;   // acquire() had to lift (== number of lifts started)
+    u64 misses = 0;   // acquire() not served from memory (store load or lift)
     u64 rebinds = 0;  // snapshot relocated to a different load base
+    /// Acquires whose artifact originated from the persistent store (a
+    /// direct on-miss load, or a hit on a slot published by the store /
+    /// warm_from_store). Zero when no store is attached.
+    u64 store_hits = 0;
+    u64 store_writes = 0;  // fresh lifts written back to the store
 
     [[nodiscard]] double hit_rate() const {
       const u64 total = hits + misses;
@@ -51,6 +66,18 @@ class SummaryCache {
   std::shared_ptr<const LibrarySummary> acquire(
       u64 key, GuestAddr base, const std::function<LibrarySummary()>& lift);
 
+  /// Attaches (or detaches, nullptr) the persistent backing store. The
+  /// store must outlive the cache. Not synchronised against in-flight
+  /// acquires — attach before handing the cache to workers.
+  void set_store(SummaryStore* store) { store_ = store; }
+  [[nodiscard]] SummaryStore* store() const { return store_; }
+
+  /// Publishes every entry the store currently holds (corrupt entries are
+  /// skipped). Returns the number of snapshots published. Call before
+  /// forking workers: the decoded snapshots ride into every child via
+  /// copy-on-write pages, so no worker pays the decode again.
+  std::size_t warm_from_store();
+
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] std::size_t size() const;
   /// Drops every snapshot and zeroes the counters (benchmark cold starts).
@@ -62,12 +89,14 @@ class SummaryCache {
     std::condition_variable cv;
     bool ready = false;
     bool failed = false;
+    bool from_store = false;  // artifact came off disk, not a local lift
     std::shared_ptr<const LibrarySummary> lib;
   };
 
   mutable std::mutex mu_;
   std::unordered_map<u64, std::shared_ptr<Slot>> slots_;
   Stats stats_;
+  SummaryStore* store_ = nullptr;
 };
 
 }  // namespace ndroid::static_analysis

@@ -12,6 +12,17 @@
 #include "arm/cpu.h"
 #include "arm/thumb_assembler.h"
 #include "core/instruction_tracer.h"
+#include "farm/farm.h"
+#include "farm/providers.h"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NDROID_NO_FORK_TESTS 1
+#endif
+#endif
+#if !defined(NDROID_NO_FORK_TESTS) && defined(__SANITIZE_THREAD__)
+#define NDROID_NO_FORK_TESTS 1
+#endif
 
 namespace ndroid::arm {
 namespace {
@@ -496,6 +507,36 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
 // Bounded for CI: 12 seeds x 9 engine configurations, each a few thousand
 // guest instructions.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(1u, 13u));
+
+// --- Fuzzing as a farm workload ----------------------------------------------
+//
+// src/farm/fuzz wraps the same tier-differential idea as the parameterized
+// sweep above into hermetic farm jobs (JobKind::kFuzz): each job generates a
+// seeded ARM/Thumb program, runs it across every execution tier (including
+// the fused-taint threaded tier), and fails on any architectural or shadow
+// divergence. Bounded for CI: 64 seeds serially plus the same 64 sharded
+// across worker processes.
+TEST(DifferentialFuzz, FarmFuzzWorkloadAgreesAcrossTiersAndTopologies) {
+  const std::vector<farm::JobSpec> jobs = farm::fuzz_jobs(64, 0xA5F00Dull);
+  farm::FarmOptions opts;
+  opts.share_summaries = false;  // fuzz jobs have no libraries to lift
+
+  const farm::FarmReport serial = farm::run_farm(jobs, opts);
+  EXPECT_EQ(serial.failures, 0u);
+  for (const farm::JobResult& r : serial.results) {
+    EXPECT_TRUE(r.ok) << r.spec.name << ": " << r.error;
+    EXPECT_NE(r.checksum, 0u) << r.spec.name;  // digests actually folded in
+  }
+
+#ifndef NDROID_NO_FORK_TESTS
+  // Crash-isolated processes must reproduce the serial digests bit-for-bit
+  // (the checksums ride through the wire protocol).
+  opts.processes = 2;
+  const farm::FarmReport procs = farm::run_farm(jobs, opts);
+  EXPECT_EQ(procs.failures, 0u);
+  EXPECT_EQ(procs.leak_digest(), serial.leak_digest());
+#endif
+}
 
 TEST(Extend, TaintFlowsThroughExtend) {
   // SXTB is a unary op for Table V: t(Rd) = t(Rm).

@@ -5,7 +5,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "arm/assembler.h"
@@ -13,6 +16,18 @@
 #include "farm/market_app.h"
 #include "farm/providers.h"
 #include "static/summary_cache.h"
+
+// Fork-based process topologies are incompatible with TSan's runtime (its
+// background thread makes every fork multithreaded); the thread topologies
+// above still run under TSan.
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define NDROID_NO_FORK_TESTS 1
+#endif
+#endif
+#if !defined(NDROID_NO_FORK_TESTS) && defined(__SANITIZE_THREAD__)
+#define NDROID_NO_FORK_TESTS 1
+#endif
 
 namespace ndroid {
 namespace {
@@ -156,6 +171,62 @@ TEST(Farm, MarketCorpusSharesSummariesAcrossApps) {
   }
   EXPECT_EQ(report.cache.misses, distinct.size());
   EXPECT_GT(report.cache.hit_rate(), 0.5);
+}
+
+TEST(Farm, DigestIdenticalAcrossAllTopologiesColdAndWarmStore) {
+#ifdef NDROID_NO_FORK_TESTS
+  GTEST_SKIP() << "fork-based process pool tests skipped under TSan";
+#endif
+  // The tentpole determinism claim: serial, thread, and process topologies
+  // — with no store, a cold persistent store, and a warm one — all produce
+  // bit-identical leak digests.
+  const std::vector<farm::JobSpec> jobs = small_mix();
+
+  farm::FarmOptions serial;
+  const std::string reference = farm::run_farm(jobs, serial).leak_digest();
+  ASSERT_FALSE(reference.empty());
+
+  for (const u32 processes : {1u, 2u, 4u}) {
+    farm::FarmOptions options;
+    options.processes = processes;
+    const farm::FarmReport report = farm::run_farm(jobs, options);
+    EXPECT_EQ(report.failures, 0u) << "processes=" << processes;
+    EXPECT_EQ(report.worker_deaths, 0u) << "processes=" << processes;
+    EXPECT_EQ(report.leak_digest(), reference) << "processes=" << processes;
+  }
+
+  char tmpl[] = "/tmp/ndroid_farm_store_XXXXXX";
+  const char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  // Cold store, process-sharded: every distinct library is lifted once in
+  // some worker process and written back through the shared directory.
+  farm::FarmOptions cold;
+  cold.processes = 2;
+  cold.store_dir = dir;
+  const farm::FarmReport cold_report = farm::run_farm(jobs, cold);
+  EXPECT_EQ(cold_report.failures, 0u);
+  EXPECT_EQ(cold_report.leak_digest(), reference);
+  EXPECT_GT(cold_report.cache.store_writes, 0u);
+  EXPECT_EQ(cold_report.warm_entries, 0u);
+
+  // Warm store, every topology: the supervisor pre-publishes the on-disk
+  // entries before workers exist, nothing is re-lifted or rewritten, and
+  // the digest still matches the storeless serial reference.
+  for (const auto& [workers, processes] :
+       std::vector<std::pair<u32, u32>>{{0, 0}, {2, 0}, {0, 2}}) {
+    farm::FarmOptions warm;
+    warm.workers = workers;
+    warm.processes = processes;
+    warm.store_dir = dir;
+    const farm::FarmReport report = farm::run_farm(jobs, warm);
+    EXPECT_EQ(report.failures, 0u) << workers << "w/" << processes << "p";
+    EXPECT_GT(report.warm_entries, 0u) << workers << "w/" << processes << "p";
+    EXPECT_EQ(report.cache.store_writes, 0u)
+        << workers << "w/" << processes << "p";
+    EXPECT_EQ(report.leak_digest(), reference)
+        << workers << "w/" << processes << "p";
+  }
 }
 
 TEST(Farm, GeneratedMarketLibrariesArePositionIndependent) {

@@ -71,7 +71,14 @@ export GIT_SHA
 
 cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
-  bench_micro bench_fig10_cfbench bench_farm
+  bench_micro bench_fig10_cfbench bench_farm ndroid-scan
+
+# Static-precision counters for this revision (aggregated PrecisionReport
+# over the synthetic corpus): stamped into every artifact's context so a
+# perf number can always be read next to the precision the static layer
+# delivered when it was produced.
+PRECISION_JSON="$("$BUILD_DIR/tools/ndroid-scan" --precision)"
+export PRECISION_JSON
 
 # The bundled google-benchmark predates the "0.3s" suffix syntax.
 "$BUILD_DIR/bench/bench_micro" \
@@ -88,18 +95,22 @@ cmake --build "$BUILD_DIR" -j "$(nproc)" --target \
 # exceed 90% (~15 distinct libraries across ~430 acquires).
 "$BUILD_DIR/bench/bench_farm" 12 --json BENCH_farm.json --engine "$ENGINE"
 
-# Stamp provenance into the artifacts bench_farm doesn't already stamp:
-# the producing git SHA and the build type of this repo's code.
-python3 - "$GIT_SHA" "$ENGINE" BENCH_micro.json BENCH_cfbench.json <<'EOF'
-import json, sys
+# Stamp provenance into the artifacts bench_farm doesn't already stamp
+# (the producing git SHA and the build type of this repo's code), plus the
+# static-precision counters into all three.
+python3 - "$GIT_SHA" "$ENGINE" BENCH_micro.json BENCH_cfbench.json BENCH_farm.json <<'EOF'
+import json, os, sys
 sha, engine = sys.argv[1], sys.argv[2]
+precision = json.loads(os.environ["PRECISION_JSON"])
 for path in sys.argv[3:]:
     with open(path) as f:
         doc = json.load(f)
     doc.setdefault("context", {})
-    doc["context"]["git_sha"] = sha
-    doc["context"]["repo_build_type"] = "release"
-    doc["context"]["engine"] = engine
+    if path != "BENCH_farm.json":
+        doc["context"]["git_sha"] = sha
+        doc["context"]["repo_build_type"] = "release"
+        doc["context"]["engine"] = engine
+    doc["context"]["static_precision"] = precision
     with open(path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")

@@ -549,6 +549,18 @@ Insn decode_thumb(u16 hw, u16 hw2) {
     return insn;
   }
 
+  if ((w & 0xFFF0u) == 0xE8D0u && (hw2 & 0xFFE0u) == 0xF000u) {
+    // Thumb-2 TBB/TBH [Rn, Rm]: table branch through a byte/halfword
+    // offset table. H (hw2 bit 4) selects halfword entries.
+    insn.set_flags = false;
+    insn.op = bit(hw2, 4) ? Op::kTbh : Op::kTbb;
+    insn.length = 4;
+    insn.raw = (static_cast<u32>(hw) << 16) | hw2;
+    insn.rn = static_cast<u8>(bits(w, 3, 0));
+    insn.rm = static_cast<u8>(bits(hw2, 3, 0));
+    return insn;
+  }
+
   if (top5 == 0b11110 && bits(hw2, 15, 11) == 0b11111) {
     // Classic two-halfword Thumb BL.
     insn.set_flags = false;

@@ -18,8 +18,8 @@ namespace ndroid::arm {
 [[nodiscard]] Insn decode_arm(u32 word);
 
 /// Decodes one Thumb instruction. `hw2` is the following halfword, consumed
-/// only by 32-bit encodings (the BL/BLX pair); `insn.length` reports how
-/// many bytes were consumed (2 or 4).
+/// only by 32-bit encodings (the BL/BLX pair and TBB/TBH table branches);
+/// `insn.length` reports how many bytes were consumed (2 or 4).
 [[nodiscard]] Insn decode_thumb(u16 hw, u16 hw2);
 
 /// True when `hw` is the first halfword of a 32-bit Thumb-2 encoding

@@ -462,6 +462,19 @@ void execute_body(const Insn& insn, CPUState& state, mem::AddressSpace& memory,
       return;
     }
 
+    case Op::kTbb:
+    case Op::kTbh: {
+      // Table branch: forward-only, always stays in Thumb state. A base of
+      // PC addresses the table placed inline after the instruction.
+      const u32 base = insn.rn == kRegPC ? pc + 4 : read_reg(state, insn.rn, pc);
+      const u32 index = read_reg(state, insn.rm, pc);
+      const u32 entry = insn.op == Op::kTbb
+                            ? memory.read8(base + index)
+                            : memory.read16(base + (index << 1));
+      state.set_pc(pc + 4 + 2 * entry);
+      return;
+    }
+
     case Op::kIt:
       state.itstate = static_cast<u8>(insn.imm);
       return;
@@ -521,6 +534,8 @@ bool ends_block(const Insn& insn) {
     case Op::kBl:
     case Op::kBx:
     case Op::kBlxReg:
+    case Op::kTbb:
+    case Op::kTbh:
     case Op::kSvc:
     case Op::kUndefined:
       return true;

@@ -59,6 +59,8 @@ TaintClass Insn::taint_class() const {
     case Op::kBl:
     case Op::kBx:
     case Op::kBlxReg:
+    case Op::kTbb:
+    case Op::kTbh:
     case Op::kSvc:
     case Op::kNop:
     case Op::kIt:
@@ -114,6 +116,8 @@ std::string to_string(Op op) {
     case Op::kBl: return "bl";
     case Op::kBx: return "bx";
     case Op::kBlxReg: return "blx";
+    case Op::kTbb: return "tbb";
+    case Op::kTbh: return "tbh";
     case Op::kSvc: return "svc";
     case Op::kNop: return "nop";
     case Op::kIt: return "it";
@@ -212,6 +216,13 @@ std::string disassemble(const Insn& insn, GuestAddr pc) {
         case Op::kBx:
         case Op::kBlxReg:
           os << reg_name(insn.rm);
+          break;
+        case Op::kTbb:
+          os << "[" << reg_name(insn.rn) << ", " << reg_name(insn.rm) << "]";
+          break;
+        case Op::kTbh:
+          os << "[" << reg_name(insn.rn) << ", " << reg_name(insn.rm)
+             << ", lsl #1]";
           break;
         case Op::kCmp:
         case Op::kCmn:

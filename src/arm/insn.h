@@ -82,6 +82,11 @@ enum class Op : u8 {
   kBl,
   kBx,
   kBlxReg,
+  /// Thumb-2 table branches: PC = (pc + 4) + 2 * mem8[Rn + Rm] (TBB) or
+  /// 2 * mem16[Rn + (Rm << 1)] (TBH). Rn == PC reads the table inline
+  /// after the instruction. Always stays in Thumb state.
+  kTbb,
+  kTbh,
   // System.
   kSvc,
   kNop,

@@ -230,6 +230,20 @@ void ThumbAssembler::bind(ThumbLabel& label) {
   label.fixups.clear();
 }
 
+void ThumbAssembler::tbb(Reg rn, Reg rm) {
+  emit(static_cast<u16>(0xE8D0 | rn.index));
+  emit(static_cast<u16>(0xF000 | rm.index));
+}
+
+void ThumbAssembler::tbh(Reg rn, Reg rm) {
+  emit(static_cast<u16>(0xE8D0 | rn.index));
+  emit(static_cast<u16>(0xF010 | rm.index));
+}
+
+void ThumbAssembler::align(u32 alignment) {
+  while ((base_ + buf_.size()) % alignment != 0) buf_.push_back(0);
+}
+
 void ThumbAssembler::svc(u8 number) {
   emit(static_cast<u16>(0xDF00 | number));
 }

@@ -96,6 +96,18 @@ class ThumbAssembler {
   void svc(u8 number);
   void nop();
 
+  /// Thumb-2 table branches (32-bit encodings). With rn == PC the offset
+  /// table sits inline directly after the instruction; emit it with
+  /// byte()/hword() (entries are half the forward distance in bytes).
+  void tbb(Reg rn, Reg rm);
+  void tbh(Reg rn, Reg rm);
+
+  /// Raw data emission for inline tables / literal pools.
+  void byte(u8 v) { buf_.push_back(v); }
+  void hword(u16 v) { emit(v); }
+  /// Pads with 0x00 bytes until `here()` is a multiple of `alignment`.
+  void align(u32 alignment);
+
   /// IT{x{y{z}}}: `suffixes` spells the optional then/else pattern for the
   /// following instructions ("" = IT, "T" = ITT, "TE" = ITTE, ...). The
   /// covered instructions use their normal (unconditional) encodings; use

@@ -40,6 +40,36 @@ Program generate(u64 seed) {
   const auto reg = [&] { return R(kBodyRegs[rng() % std::size(kBodyRegs)]); };
 
   ThumbAssembler t(kThumb);
+  // Half the leaves open with a Thumb-2 table dispatch (TBB or TBH) on the
+  // caller's r0 — the jump-table evasion shape, diffed across every tier.
+  if (rng() % 2 != 0) {
+    const bool half = rng() % 2 != 0;
+    arm::ThumbLabel join;
+    t.lsls(R(3), R(0), 30);
+    t.lsrs(R(3), R(3), 30);  // r3 = r0 & 3
+    const GuestAddr tb_pc = t.here();
+    if (half) {
+      t.tbh(arm::PC, R(3));
+    } else {
+      t.tbb(arm::PC, R(3));
+    }
+    const GuestAddr base = tb_pc + 4;
+    const GuestAddr case0 = base + (half ? 8 : 4);
+    for (u32 c = 0; c < 4; ++c) {
+      // Each case is movs (2 bytes) + narrow b (2 bytes).
+      const u16 entry = static_cast<u16>((case0 + 4 * c - base) / 2);
+      if (half) {
+        t.hword(entry);
+      } else {
+        t.byte(static_cast<u8>(entry));
+      }
+    }
+    for (u32 c = 0; c < 4; ++c) {
+      t.movs_imm(R(2), static_cast<u8>(rng() % 256));
+      t.b(join);
+    }
+    t.bind(join);
+  }
   const u32 thumb_steps = 4 + rng() % 10;
   for (u32 i = 0; i < thumb_steps; ++i) {
     const arm::Reg rd = R(static_cast<u8>(rng() % 4));
@@ -69,7 +99,7 @@ Program generate(u64 seed) {
   const u32 steps = 8 + rng() % 16;
   for (u32 i = 0; i < steps; ++i) {
     const arm::Reg rd = reg(), rn = reg(), rm = reg();
-    switch (rng() % 18) {
+    switch (rng() % 20) {
       case 0: a.add(rd, rn, rm); break;
       case 1: a.sub(rd, rn, rm); break;
       case 2: a.eor(rd, rn, rm); break;
@@ -99,6 +129,27 @@ Program generate(u64 seed) {
         break;
       }
       case 17: a.call(kThumb | 1); break;  // interwork into the leaf
+      case 18: {  // ARM word jump table: ldr pc, [pc, idx*4]
+        a.and_imm(R(6), rn, 3);
+        a.lsl(R(6), R(6), 2);
+        const GuestAddr ldr_pc = a.here();
+        a.ldr_reg(arm::PC, arm::PC, R(6));
+        a.word(0);  // pad: the table must sit at ldr_pc + 8 (PC-read base)
+        const GuestAddr case0 = ldr_pc + 8 + 16;
+        // Each case is add_imm (4 bytes) + b join (4 bytes).
+        for (u32 c = 0; c < 4; ++c) a.word(case0 + 8 * c);
+        Label& join = labels.emplace_back();
+        for (u32 c = 0; c < 4; ++c) {
+          a.add_imm(reg(), reg(), rng() % 256);
+          a.b(join);
+        }
+        a.bind(join);
+        break;
+      }
+      case 19:  // the leaf call again, but through a register (BLX rm)
+        a.mov_imm32(R(6), kThumb | 1);
+        a.blx(R(6));
+        break;
     }
   }
   a.sub_imm(R(5), R(5), 1, /*s=*/true);

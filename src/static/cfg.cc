@@ -2,16 +2,15 @@
 
 #include <algorithm>
 #include <bit>
-#include <optional>
 
 #include "arm/decoder.h"
+#include "static/vsa.h"
 
 namespace ndroid::static_analysis {
 
 using arm::Cond;
 using arm::Insn;
 using arm::Op;
-using arm::ShiftType;
 
 namespace {
 
@@ -84,67 +83,38 @@ GuestAddr branch_target(const Insn& insn, GuestAddr pc, bool thumb) {
   return pc + (thumb ? 4u : 8u) + static_cast<u32>(insn.branch_offset);
 }
 
-/// Block-local constant-propagation state. SP is deliberately never "known":
-/// stack addresses are classified by base register, not value.
-struct ConstState {
-  std::array<u32, 16> val{};
-  u16 known = 0;
-
-  [[nodiscard]] bool is_known(u8 r) const { return (known & (1u << r)) != 0; }
-  [[nodiscard]] u32 get(u8 r) const { return val[r]; }
-  void set(u8 r, u32 v) {
-    if (r >= kRegSP) return;  // SP/LR/PC stay symbolic
-    val[r] = v;
-    known |= (1u << r);
-  }
-  void kill(u8 r) { known &= static_cast<u16>(~(1u << r)); }
-  void kill_caller_saved() {
-    kill(0);
-    kill(1);
-    kill(2);
-    kill(3);
-    kill(12);
-    kill(kRegLR);
-  }
-};
-
-std::optional<u32> shifted_operand(const ConstState& st, const Insn& insn) {
-  if (insn.imm_operand) return insn.imm;  // ARM immediates arrive pre-rotated
-  if (insn.shift_by_reg || !st.is_known(insn.rm)) return std::nullopt;
-  const u32 v = st.get(insn.rm);
-  const u32 n = insn.shift_amount;
-  switch (insn.shift) {
-    case ShiftType::kLSL: return n >= 32 ? 0 : v << n;
-    case ShiftType::kLSR: return n >= 32 ? 0 : v >> n;
-    case ShiftType::kASR:
-      return static_cast<u32>(static_cast<i32>(v) >> std::min<u32>(n, 31));
-    default: return std::nullopt;  // ROR/RRX: not needed for lifting
-  }
-}
-
-std::optional<u32> eval_dp(const ConstState& st, const Insn& insn) {
-  const std::optional<u32> op2 = shifted_operand(st, insn);
-  if (!op2.has_value()) return std::nullopt;
-  switch (insn.op) {
-    case Op::kMov: return *op2;
-    case Op::kMvn: return ~*op2;
-    default: break;
-  }
-  if (!st.is_known(insn.rn)) return std::nullopt;
-  const u32 rn = st.get(insn.rn);
-  switch (insn.op) {
-    case Op::kAnd: return rn & *op2;
-    case Op::kEor: return rn ^ *op2;
-    case Op::kSub: return rn - *op2;
-    case Op::kRsb: return *op2 - rn;
-    case Op::kAdd: return rn + *op2;
-    case Op::kOrr: return rn | *op2;
-    case Op::kBic: return rn & ~*op2;
-    default: return std::nullopt;  // carry-dependent forms
-  }
-}
+/// Widest const window a strided access set may be flattened to before the
+/// access degrades to kUnknown.
+constexpr u32 kMaxWindowSpan = 4096;
 
 }  // namespace
+
+const char* to_string(DegradeReason reason) {
+  switch (reason) {
+    case DegradeReason::kTruncated: return "truncated";
+    case DegradeReason::kUnresolvedJump: return "unresolved_jump";
+    case DegradeReason::kBranchOutOfImage: return "branch_out_of_image";
+    case DegradeReason::kUnresolvedCall: return "unresolved_call";
+    case DegradeReason::kCallOutOfImage: return "call_out_of_image";
+    case DegradeReason::kUnknownMemAccess: return "unknown_mem_access";
+    case DegradeReason::kSvc: return "svc";
+    case DegradeReason::kStaleAbsoluteConst: return "stale_absolute_const";
+    case DegradeReason::kStaleJumpTable: return "stale_jump_table";
+    case DegradeReason::kStaleCallTarget: return "stale_call_target";
+  }
+  return "unknown";
+}
+
+const char* to_string(JumpTableKind kind) {
+  switch (kind) {
+    case JumpTableKind::kNone: return "none";
+    case JumpTableKind::kTbb: return "tbb";
+    case JumpTableKind::kTbh: return "tbh";
+    case JumpTableKind::kWordTable: return "word_table";
+    case JumpTableKind::kComputed: return "computed";
+  }
+  return "unknown";
+}
 
 const BasicBlock* FunctionCfg::block_at(GuestAddr pc) const {
   auto it = blocks.upper_bound(pc);
@@ -174,6 +144,13 @@ bool CfgLifter::in_code(GuestAddr addr) const {
                      [addr](const CodeRegion& r) {
                        return addr >= r.start && addr < r.end;
                      });
+}
+
+GuestAddr CfgLifter::region_base(GuestAddr addr) const {
+  for (const CodeRegion& r : regions_) {
+    if (addr >= r.start && addr < r.end) return r.start;
+  }
+  return 0;
 }
 
 Program CfgLifter::lift(const std::vector<FunctionEntry>& entries) const {
@@ -230,121 +207,193 @@ FunctionCfg CfgLifter::lift_function(GuestAddr entry, std::string name) const {
     nb.succs = std::move(b.succs);
     nb.is_return = b.is_return;
     nb.has_indirect_jump = b.has_indirect_jump;
+    nb.jump_table = b.jump_table;
     b.insns.resize(i);
     b.end = at;
     b.succs = {at};
     b.is_return = false;
     b.has_indirect_jump = false;
+    b.jump_table = JumpTable{};
     fn.blocks.emplace(at, std::move(nb));
     return true;
   };
 
-  std::vector<GuestAddr> work{fn.entry};
-  while (!work.empty()) {
-    const GuestAddr start = work.back();
-    work.pop_back();
-    if (!in_code(start)) continue;
-    if (fn.blocks.count(start) != 0) continue;
-    if (split_at(start)) continue;
+  // Decodes new blocks (and splits existing ones) from every address in
+  // `work` until the frontier drains or the instruction budget blows.
+  auto explore = [&](std::vector<GuestAddr> work) {
+    while (!work.empty()) {
+      const GuestAddr start = work.back();
+      work.pop_back();
+      if (!in_code(start)) continue;
+      if (fn.blocks.count(start) != 0) continue;
+      if (split_at(start)) continue;
 
-    BasicBlock bb;
-    bb.start = start;
-    GuestAddr cur = start;
-    u8 itstate = 0;
-    while (true) {
-      if (!in_code(cur) || fn.insn_count >= kMaxFunctionInsns) {
-        fn.truncated = fn.truncated || fn.insn_count >= kMaxFunctionInsns;
-        break;
-      }
-      if (cur != start && fn.blocks.count(cur) != 0) {
-        bb.succs.push_back(cur);
-        break;
-      }
-      const Insn insn = fetch(cur);
-      if (insn.op == Op::kUndefined) break;
-      const GuestAddr next = cur + insn.length;
-      const bool under_it = itstate != 0 && insn.op != Op::kIt;
-      const Cond cond =
-          under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
-      const bool conditional = cond != Cond::kAL;
-      if (insn.op == Op::kIt) {
-        itstate = static_cast<u8>(insn.imm);
-      } else if (under_it) {
-        itstate = advance_it(itstate);
-      }
-      bb.insns.push_back(insn);
-      ++fn.insn_count;
-
-      bool terminate = false;
-      switch (insn.op) {
-        case Op::kSvc:
-          fn.has_svc = true;
-          break;
-        case Op::kB: {
-          const GuestAddr target = branch_target(insn, cur, fn.thumb);
-          if (in_code(target)) {
-            bb.succs.push_back(target);
-            work.push_back(target);
-          } else {
-            bb.has_indirect_jump = true;  // branch out of the known image
-          }
-          if (conditional) {
-            bb.succs.push_back(next);
-            work.push_back(next);
-          }
-          terminate = true;
+      BasicBlock bb;
+      bb.start = start;
+      GuestAddr cur = start;
+      u8 itstate = 0;
+      while (true) {
+        if (!in_code(cur) || fn.insn_count >= kMaxFunctionInsns) {
+          fn.truncated = fn.truncated || fn.insn_count >= kMaxFunctionInsns;
           break;
         }
-        case Op::kBl:
-          // Call: fall through continues the block; the edge itself is
-          // recorded by analyze_blocks (with BLX-register resolution).
+        if (cur != start && fn.blocks.count(cur) != 0) {
+          bb.succs.push_back(cur);
           break;
-        case Op::kBx:
-          bb.is_return = insn.rm == kRegLR;
-          bb.has_indirect_jump = insn.rm != kRegLR;
-          if (conditional) {
-            bb.succs.push_back(next);
-            work.push_back(next);
-          }
-          terminate = true;
-          break;
-        case Op::kBlxReg:
-          break;  // call through register; analyze_blocks classifies it
-        case Op::kLdm:
-          if ((insn.reglist & (1u << kRegPC)) != 0) {
-            bb.is_return = true;  // POP {.., pc}
+        }
+        const Insn insn = fetch(cur);
+        if (insn.op == Op::kUndefined) break;
+        const GuestAddr next = cur + insn.length;
+        const bool under_it = itstate != 0 && insn.op != Op::kIt;
+        const Cond cond =
+            under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
+        const bool conditional = cond != Cond::kAL;
+        if (insn.op == Op::kIt) {
+          itstate = static_cast<u8>(insn.imm);
+        } else if (under_it) {
+          itstate = advance_it(itstate);
+        }
+        bb.insns.push_back(insn);
+        ++fn.insn_count;
+
+        bool terminate = false;
+        switch (insn.op) {
+          case Op::kSvc:
+            fn.has_svc = true;
+            break;
+          case Op::kB: {
+            const GuestAddr target = branch_target(insn, cur, fn.thumb);
+            if (in_code(target)) {
+              bb.succs.push_back(target);
+              work.push_back(target);
+            } else {
+              bb.has_indirect_jump = true;  // branch out of the known image
+            }
             if (conditional) {
               bb.succs.push_back(next);
               work.push_back(next);
             }
             terminate = true;
+            break;
           }
-          break;
-        case Op::kLdr:
-          if (insn.rd == kRegPC) {
+          case Op::kBl:
+            // Call: fall through continues the block; the edge itself is
+            // recorded by analyze_blocks (with BLX-register resolution).
+            break;
+          case Op::kBx:
+            bb.is_return = insn.rm == kRegLR;
+            bb.has_indirect_jump = insn.rm != kRegLR;
+            if (conditional) {
+              bb.succs.push_back(next);
+              work.push_back(next);
+            }
+            terminate = true;
+            break;
+          case Op::kBlxReg:
+            break;  // call through register; analyze_blocks classifies it
+          case Op::kTbb:
+          case Op::kTbh:
+            // Table branch: indirect until a VSA round resolves it.
             bb.has_indirect_jump = true;
             terminate = true;
-          }
-          break;
-        default:
-          if (is_dp(insn.op) && dp_writes_rd(insn.op) && insn.rd == kRegPC) {
-            // MOV pc, lr is the classic non-interworking return.
-            bb.is_return = insn.op == Op::kMov && !insn.imm_operand &&
-                           insn.rm == kRegLR;
-            bb.has_indirect_jump = !bb.is_return;
-            if (conditional) {
-              bb.succs.push_back(next);
-              work.push_back(next);
+            break;
+          case Op::kLdm:
+            if ((insn.reglist & (1u << kRegPC)) != 0) {
+              bb.is_return = true;  // POP {.., pc}
+              if (conditional) {
+                bb.succs.push_back(next);
+                work.push_back(next);
+              }
+              terminate = true;
             }
-            terminate = true;
-          }
-          break;
+            break;
+          case Op::kLdr:
+            if (insn.rd == kRegPC) {
+              bb.has_indirect_jump = true;
+              if (conditional) {
+                bb.succs.push_back(next);
+                work.push_back(next);
+              }
+              terminate = true;
+            }
+            break;
+          default:
+            if (is_dp(insn.op) && dp_writes_rd(insn.op) &&
+                insn.rd == kRegPC) {
+              // MOV pc, lr is the classic non-interworking return.
+              bb.is_return = insn.op == Op::kMov && !insn.imm_operand &&
+                             insn.rm == kRegLR;
+              bb.has_indirect_jump = !bb.is_return;
+              if (conditional) {
+                bb.succs.push_back(next);
+                work.push_back(next);
+              }
+              terminate = true;
+            }
+            break;
+        }
+        cur = next;
+        if (terminate) break;
       }
-      cur = next;
-      if (terminate) break;
+      bb.end = cur;
+      if (!bb.insns.empty()) fn.blocks.emplace(start, std::move(bb));
     }
-    bb.end = cur;
-    if (!bb.insns.empty()) fn.blocks.emplace(start, std::move(bb));
+  };
+
+  explore({fn.entry});
+
+  // Resolution rounds: run the value-set analysis over the lifted blocks,
+  // lower every indirect terminator it can bound to a real multi-way
+  // successor set, then re-explore the newly discovered targets (which may
+  // split existing blocks and shift the fixed point — hence the loop).
+  const Vsa vsa(memory_, regions_, region_base(fn.entry));
+  for (u32 round = 0; round < kResolveRounds; ++round) {
+    const auto states = vsa.analyze(fn);
+    std::vector<GuestAddr> frontier;
+    bool changed = false;
+    for (auto& [start, bb] : fn.blocks) {
+      if (!bb.has_indirect_jump || bb.insns.empty()) continue;
+      if (bb.jump_table.kind != JumpTableKind::kNone) continue;
+      if (bb.insns.back().op == Op::kB) continue;  // out-of-image: not ours
+      const auto sit = states.find(start);
+      if (sit == states.end()) continue;  // unreachable this round
+
+      // Walk to the state just before the terminator, tracking ITSTATE for
+      // its effective condition.
+      VsaState st = sit->second;
+      u8 itstate = 0;
+      GuestAddr pc = bb.start;
+      Cond cond = Cond::kAL;
+      for (std::size_t i = 0; i < bb.insns.size(); ++i) {
+        const Insn& insn = bb.insns[i];
+        const bool under_it = itstate != 0 && insn.op != Op::kIt;
+        cond = under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
+        if (insn.op == Op::kIt) {
+          itstate = static_cast<u8>(insn.imm);
+        } else if (under_it) {
+          itstate = advance_it(itstate);
+        }
+        if (i + 1 == bb.insns.size()) break;
+        vsa.step(st, insn, pc, fn.thumb, cond != Cond::kAL);
+        pc += insn.length;
+      }
+
+      const Vsa::ResolvedJump rj =
+          vsa.resolve_jump(st, bb.insns.back(), pc, fn.thumb, cond);
+      if (!rj.resolved || rj.targets.empty()) continue;
+      for (GuestAddr target : rj.targets) {
+        if (std::find(bb.succs.begin(), bb.succs.end(), target) ==
+            bb.succs.end()) {
+          bb.succs.push_back(target);
+        }
+        frontier.push_back(target);
+      }
+      bb.has_indirect_jump = false;
+      bb.jump_table = rj.table;
+      changed = true;
+    }
+    if (!changed) break;
+    explore(std::move(frontier));
   }
 
   if (!fn.blocks.empty()) {
@@ -354,80 +403,78 @@ FunctionCfg CfgLifter::lift_function(GuestAddr entry, std::string name) const {
   } else {
     fn.lo = fn.hi = fn.entry;
   }
-  analyze_blocks(fn);
+  analyze_blocks(fn, vsa);
   return fn;
 }
 
-void CfgLifter::analyze_blocks(FunctionCfg& fn) const {
+void CfgLifter::analyze_blocks(FunctionCfg& fn, const Vsa& vsa) const {
+  const auto states = vsa.analyze(fn);
+
+  fn.mem_accesses.clear();
+  fn.callees.clear();
+  fn.has_indirect_jumps = false;
+  fn.has_indirect_calls = false;
+  fn.resolved_indirect_branches = 0;
+  fn.unresolved_indirect_branches = 0;
+  fn.resolved_indirect_calls = 0;
+  fn.unresolved_indirect_calls = 0;
+  fn.degrade_sites.clear();
+  if (fn.truncated) fn.degrade(fn.hi, DegradeReason::kTruncated);
+
   for (auto& [start, bb] : fn.blocks) {
-    ConstState st;
+    bb.call_targets.clear();
+    bb.call_target_relocatable.clear();
+    bb.has_indirect_call = false;
+
+    // Unreachable blocks get the all-⊤ state: every fact stays worst-case.
+    VsaState st;
+    const auto sit = states.find(start);
+    if (sit != states.end()) st = sit->second;
+
     u8 itstate = 0;
     GuestAddr pc = bb.start;
+    GuestAddr last_pc = bb.start;
     for (const Insn& insn : bb.insns) {
-      const GuestAddr next = pc + insn.length;
       const bool under_it = itstate != 0 && insn.op != Op::kIt;
       const Cond cond =
           under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
-      // A conditionally executed definition may not happen; its target is
-      // unknown afterwards, never constant.
       const bool conditional = cond != Cond::kAL;
       if (insn.op == Op::kIt) {
         itstate = static_cast<u8>(insn.imm);
       } else if (under_it) {
         itstate = advance_it(itstate);
       }
+      last_pc = pc;
 
-      auto define = [&](u8 r, std::optional<u32> v) {
-        if (conditional || !v.has_value()) {
-          st.kill(r);
-        } else {
-          st.set(r, *v);
-        }
-      };
-
-      auto record_access = [&](bool is_store, u32 size,
-                               std::optional<GuestAddr> abs) {
+      // Flattens a strided abstract address into a const window, or
+      // degrades. `lowest` biases LDM/STM windows to their low edge.
+      auto classify = [&](const AbsVal& addr, u32 bytes, bool is_store) {
         MemAccess a;
         a.pc = pc;
-        a.size = size;
+        a.size = bytes;
         a.is_store = is_store;
-        if (abs.has_value()) {
+        const bool abs = addr.kind == AbsVal::Kind::kConst ||
+                         addr.kind == AbsVal::Kind::kImageRel;
+        const u64 span =
+            abs ? static_cast<u64>(addr.stride) * (addr.count - 1) : 0;
+        if (abs && span + bytes <= kMaxWindowSpan) {
           a.kind = MemAccess::Kind::kConstAddr;
-          a.addr = *abs;
-        } else if (insn.rn == kRegSP) {
+          a.addr = addr.base + (addr.kind == AbsVal::Kind::kImageRel
+                                    ? vsa.image_base()
+                                    : 0);
+          a.size = static_cast<u32>(span) + bytes;
+          a.image_rel = addr.kind == AbsVal::Kind::kImageRel;
+        } else if (addr.kind == AbsVal::Kind::kStackRel ||
+                   insn.rn == kRegSP) {
           a.kind = MemAccess::Kind::kSpRelative;
         } else {
           a.kind = MemAccess::Kind::kUnknown;
+          fn.degrade(pc, DegradeReason::kUnknownMemAccess);
         }
         fn.mem_accesses.push_back(a);
       };
 
       switch (insn.op) {
-        case Op::kMovw:
-          define(insn.rd, insn.imm);
-          break;
-        case Op::kMovt:
-          define(insn.rd, st.is_known(insn.rd)
-                              ? std::optional<u32>((st.get(insn.rd) & 0xFFFFu) |
-                                                   (insn.imm << 16))
-                              : std::nullopt);
-          break;
-        case Op::kMul:
-        case Op::kMla:
-        case Op::kSdiv:
-        case Op::kUdiv:
-        case Op::kClz:
-        case Op::kSxtb:
-        case Op::kSxth:
-        case Op::kUxtb:
-        case Op::kUxth:
-          st.kill(insn.rd);
-          break;
-        case Op::kUmull:
-        case Op::kSmull:
-          st.kill(insn.rd);
-          st.kill(insn.rn);  // RdHi
-          break;
         case Op::kLdr:
         case Op::kLdrb:
         case Op::kLdrh:
@@ -438,114 +485,77 @@ void CfgLifter::analyze_blocks(FunctionCfg& fn) const {
         case Op::kStrh: {
           const bool is_store = insn.op == Op::kStr ||
                                 insn.op == Op::kStrb || insn.op == Op::kStrh;
-          std::optional<u32> base;
-          if (insn.rn == kRegPC) {
-            // Literal addressing: base is the aligned PC.
-            base = (pc + (fn.thumb ? 4u : 8u)) & ~3u;
-          } else if (st.is_known(insn.rn)) {
-            base = st.get(insn.rn);
-          }
-          std::optional<u32> offset;
-          if (!insn.reg_offset) {
-            offset = insn.imm;
-          } else if (!insn.shift_by_reg && st.is_known(insn.rm)) {
-            offset = shifted_operand(st, insn);
-          }
-          std::optional<GuestAddr> addr;
-          if (base.has_value() && (!insn.pre_index || offset.has_value())) {
-            addr = insn.pre_index
-                       ? (insn.add_offset ? *base + *offset : *base - *offset)
-                       : *base;
-          }
-          record_access(is_store, access_bytes(insn.op), addr);
-          if (!is_store) {
-            // A PC-literal word load from inside the code image is a true
-            // constant (literal pools are read-only at lift time).
-            if (insn.op == Op::kLdr && addr.has_value() && in_code(*addr) &&
-                insn.rn == kRegPC) {
-              define(insn.rd, memory_.read32(*addr));
-            } else {
-              st.kill(insn.rd);
-            }
-          }
-          if (!insn.pre_index || insn.writeback) {
-            define(insn.rn, base.has_value() && offset.has_value()
-                                ? std::optional<u32>(insn.add_offset
-                                                         ? *base + *offset
-                                                         : *base - *offset)
-                                : std::nullopt);
-          }
+          classify(vsa.mem_addr(st, insn, pc, fn.thumb),
+                   access_bytes(insn.op), is_store);
           break;
         }
         case Op::kLdm:
         case Op::kStm: {
-          const u32 count = static_cast<u32>(std::popcount(insn.reglist)) * 4;
-          std::optional<GuestAddr> addr;
-          if (insn.rn != kRegSP && st.is_known(insn.rn) && count != 0) {
-            // Window covering both ascending and descending variants.
-            addr = st.get(insn.rn) - count;
+          const u32 n = static_cast<u32>(std::popcount(insn.reglist));
+          if (n == 0) break;
+          // Window starts at the lowest address the transfer touches.
+          AbsVal base = insn.rn < 16 ? st.regs[insn.rn] : AbsVal::top();
+          const u32 lo_delta = insn.base_increment
+                                   ? (insn.before ? 4u : 0u)
+                                   : -(4u * n) + (insn.before ? 0u : 4u);
+          AbsVal addr = base;
+          if (base.kind == AbsVal::Kind::kConst ||
+              base.kind == AbsVal::Kind::kImageRel ||
+              base.kind == AbsVal::Kind::kStackRel) {
+            addr.base = base.base + lo_delta;
           }
-          MemAccess a;
-          a.pc = pc;
-          a.size = 2 * count;
-          a.is_store = insn.op == Op::kStm;
-          if (addr.has_value()) {
-            a.kind = MemAccess::Kind::kConstAddr;
-            a.addr = *addr;
-          } else if (insn.rn == kRegSP) {
-            a.kind = MemAccess::Kind::kSpRelative;
-          } else {
-            a.kind = MemAccess::Kind::kUnknown;
-          }
-          if (count != 0) fn.mem_accesses.push_back(a);
-          if (insn.op == Op::kLdm) {
-            for (u8 r = 0; r < 16; ++r) {
-              if ((insn.reglist & (1u << r)) != 0) st.kill(r);
-            }
-          }
-          if (insn.writeback) st.kill(insn.rn);
+          classify(addr, 4 * n, insn.op == Op::kStm);
           break;
         }
         case Op::kBl: {
           const GuestAddr target = branch_target(insn, pc, fn.thumb);
           const GuestAddr mode_target = target | (fn.thumb ? 1u : 0u);
           bb.call_targets.push_back(mode_target);
+          bb.call_target_relocatable.push_back(1);  // PC-relative by nature
           if (in_code(target)) fn.callees.push_back(mode_target);
-          st.kill_caller_saved();
           break;
         }
-        case Op::kBlxReg:
-          if (st.is_known(insn.rm)) {
-            const GuestAddr target = st.get(insn.rm);
-            bb.call_targets.push_back(target);
-            if (in_code(target & ~1u)) fn.callees.push_back(target);
+        case Op::kBlxReg: {
+          const Vsa::ResolvedCall rc = vsa.resolve_call(st, insn);
+          if (rc.resolved) {
+            bb.call_targets.push_back(rc.target);
+            bb.call_target_relocatable.push_back(rc.image_rel ? 1 : 0);
+            ++fn.resolved_indirect_calls;
+            if (in_code(rc.target & ~1u)) {
+              fn.callees.push_back(rc.target);
+            } else {
+              fn.degrade(pc, DegradeReason::kCallOutOfImage);
+            }
           } else {
-            bb.call_targets.push_back(0);  // keep call sites positional
+            bb.call_targets.push_back(kUnresolvedCallTarget);
+            bb.call_target_relocatable.push_back(0);
             bb.has_indirect_call = true;
-            fn.has_indirect_calls = true;
+            ++fn.unresolved_indirect_calls;
+            fn.degrade(pc, DegradeReason::kUnresolvedCall);
           }
-          st.kill_caller_saved();
           break;
+        }
         case Op::kSvc:
-          st.kill(0);  // kernel return value
-          break;
-        case Op::kB:
-        case Op::kBx:
-        case Op::kIt:
-        case Op::kNop:
-        case Op::kUndefined:
+          fn.degrade(pc, DegradeReason::kSvc);
           break;
         default:
-          if (is_dp(insn.op)) {
-            if (dp_writes_rd(insn.op)) define(insn.rd, eval_dp(st, insn));
-          } else {
-            st.kill(insn.rd);  // unmodelled: drop whatever it may write
-          }
           break;
       }
-      pc = next;
+      vsa.step(st, insn, pc, fn.thumb, conditional);
+      pc += insn.length;
+    }
+
+    if (bb.has_indirect_jump) {
+      ++fn.unresolved_indirect_branches;
+      const Op term = bb.insns.empty() ? Op::kUndefined : bb.insns.back().op;
+      fn.degrade(last_pc, term == Op::kB
+                              ? DegradeReason::kBranchOutOfImage
+                              : DegradeReason::kUnresolvedJump);
+    } else if (bb.jump_table.kind != JumpTableKind::kNone) {
+      ++fn.resolved_indirect_branches;
     }
     fn.has_indirect_jumps = fn.has_indirect_jumps || bb.has_indirect_jump;
+    fn.has_indirect_calls = fn.has_indirect_calls || bb.has_indirect_call;
   }
 
   std::sort(fn.callees.begin(), fn.callees.end());

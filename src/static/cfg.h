@@ -4,17 +4,22 @@
 // third-party native function while taint is live. This layer recovers, once
 // and ahead of time, the control-flow structure of the native code the JNI
 // bridge can reach: per-function basic blocks for ARM and Thumb (reusing the
-// src/arm decoder), call-graph edges through BL and constant-resolvable BLX,
-// and per-access memory classification via block-local constant propagation
-// (MOVW/MOVT pairs, rotated MOV immediates, PC-literal loads, post-index
-// writeback). Code pages come from the OS view reconstructor's memory maps
-// (§V-F) and JNI entry points from the registered native methods — the same
-// two sources the dynamic engines trust.
+// src/arm decoder), call-graph edges through BL and VSA-resolvable BLX, and
+// per-access memory classification via the interprocedural value-set
+// analysis in vsa.h (cross-block constant propagation over registers and
+// spilled stack slots). Indirect branches through literal-pool jump tables,
+// Thumb-2 TBB/TBH and VSA-resolved register targets lower to real multi-way
+// successor sets instead of truncating the walk. Code pages come from the OS
+// view reconstructor's memory maps (§V-F) and JNI entry points from the
+// registered native methods — the same two sources the dynamic engines
+// trust.
 //
 // Everything here is conservative: an unresolved target, an address outside
 // the known code regions, or an undecodable instruction simply degrades the
-// result (indirect flags set, kUnknown accesses), never invents facts. The
-// taint summaries in summary.h only ever *weaken* toward "trace it".
+// result (indirect flags set, kUnknown accesses), never invents facts — and
+// every degradation is recorded as a DegradeSite so reports can explain
+// exactly where and why precision was lost. The taint summaries in summary.h
+// only ever *weaken* toward "trace it".
 #pragma once
 
 #include <map>
@@ -42,10 +47,10 @@ struct FunctionEntry {
 };
 
 /// One static load/store site, classified by how much of its address the
-/// block-local constant propagation could pin down.
+/// value-set analysis could pin down.
 struct MemAccess {
   enum class Kind : u8 {
-    kConstAddr,    // absolute address known at lift time
+    kConstAddr,    // absolute address (window) known at lift time
     kSpRelative,   // base is SP (current stack frame)
     kUnknown,      // anything else (pointer argument, computed address)
   };
@@ -54,6 +59,64 @@ struct MemAccess {
   GuestAddr addr = 0;  // absolute address window start (kConstAddr only)
   u32 size = 0;        // bytes covered (LDM/STM: whole transfer window)
   bool is_store = false;
+  /// kConstAddr only: the address was derived from PC (literal base, ADR),
+  /// so it shifts with the image under bind_library instead of going stale.
+  bool image_rel = false;
+};
+
+/// Sentinel in BasicBlock::call_targets for a call site whose target the
+/// lifter + VSA could not resolve (BLX through an unknown register value).
+/// This is a *call-target* gap only: the block's successor set is still
+/// complete (calls fall through), unlike `has_indirect_jump` which marks a
+/// truncated successor set.
+inline constexpr GuestAddr kUnresolvedCallTarget = 0;
+
+/// How a resolved indirect branch found its successor set (metadata kept so
+/// bind_library knows which resolutions survive relocation).
+enum class JumpTableKind : u8 {
+  kNone,       // block does not end in a resolved indirect branch
+  kTbb,        // Thumb-2 TBB: byte offset table, PC-relative entries
+  kTbh,        // Thumb-2 TBH: halfword offset table, PC-relative entries
+  kWordTable,  // LDR pc, [table + index]: absolute words in the image
+  kComputed,   // BX/MOV-to-PC through a VSA-singleton value (no table)
+};
+
+struct JumpTable {
+  JumpTableKind kind = JumpTableKind::kNone;
+  GuestAddr table = 0;  // table base (kComputed: the branch target itself)
+  u32 entries = 0;      // table entries enumerated (kComputed: 1)
+  /// Base address was PC-derived: relocating the image moves the table with
+  /// the code. TBB/TBH entries are offsets, so such tables survive a rebase;
+  /// kWordTable entries are absolute words and always go stale.
+  bool image_rel = false;
+};
+
+/// Why a function's facts are weaker than "fully resolved". Reports surface
+/// these as the first-degradation site + reason chain (`ndroid-scan
+/// --explain`); bind_library appends the kStale* reasons it introduces.
+enum class DegradeReason : u8 {
+  kTruncated,           // lift hit the per-function instruction budget
+  kUnresolvedJump,      // PC written from a value VSA could not bound
+  kBranchOutOfImage,    // direct branch leaves the known code regions
+  kUnresolvedCall,      // BLX through an unresolved register value
+  kCallOutOfImage,      // call target resolves outside the code regions
+  kUnknownMemAccess,    // load/store address not const/SP-relative
+  kSvc,                 // kernel boundary: effects not statically modelled
+  kStaleAbsoluteConst,  // rebased image: absolute const window went stale
+  kStaleJumpTable,      // rebased image: resolved table went stale
+  kStaleCallTarget,     // rebased image: resolved call target went stale
+};
+
+[[nodiscard]] const char* to_string(DegradeReason reason);
+[[nodiscard]] const char* to_string(JumpTableKind kind);
+
+/// Number of DegradeReason enumerators (histogram sizing).
+inline constexpr std::size_t kDegradeReasonCount =
+    static_cast<std::size_t>(DegradeReason::kStaleCallTarget) + 1;
+
+struct DegradeSite {
+  GuestAddr pc = 0;
+  DegradeReason reason = DegradeReason::kUnresolvedJump;
 };
 
 struct BasicBlock {
@@ -62,14 +125,27 @@ struct BasicBlock {
   std::vector<arm::Insn> insns;
   /// Successor block starts within the same function. A conditional branch
   /// (explicit condition or an IT-covered encoding) contributes both the
-  /// target and the fall-through; calls contribute their fall-through.
+  /// target and the fall-through; calls contribute their fall-through; a
+  /// resolved indirect branch contributes every enumerated table target.
   std::vector<GuestAddr> succs;
   /// BL/BLX call targets (bit 0 = Thumb), one entry per call site in block
-  /// order; 0 marks a BLX through an unresolved register.
+  /// order; kUnresolvedCallTarget marks an unresolved BLX site.
   std::vector<GuestAddr> call_targets;
-  bool has_indirect_call = false;  // BLX through an unresolved register
-  bool is_return = false;          // BX LR / POP{PC} / LDM with PC
-  bool has_indirect_jump = false;  // PC written from an unresolved value
+  /// Parallel to call_targets: the target shifts with the image on a rebase
+  /// (BL is PC-relative; resolved BLX only when VSA proved the value
+  /// PC-derived). Unresolved sites carry false.
+  std::vector<u8> call_target_relocatable;
+  /// At least one call site's *target* is unresolved (call_targets holds
+  /// kUnresolvedCallTarget there). The successor set is still complete —
+  /// this flag never implies truncation; see has_indirect_jump for that.
+  bool has_indirect_call = false;
+  bool is_return = false;  // BX LR / POP{PC} / LDM with PC
+  /// PC written from a value the lifter + VSA could not resolve (or a direct
+  /// branch out of the known image): the successor set is *incomplete* and
+  /// every consumer must treat the block as truncating the walk.
+  bool has_indirect_jump = false;
+  /// Set when has_indirect_jump was cleared by VSA resolution: how.
+  JumpTable jump_table;
 };
 
 struct FunctionCfg {
@@ -90,6 +166,21 @@ struct FunctionCfg {
   bool truncated = false;  // hit the per-function instruction budget
   u32 insn_count = 0;
 
+  // Precision surface: how the function's indirect control flow fared, plus
+  // the first-degradation chain (bounded; counters stay exact).
+  u32 resolved_indirect_branches = 0;
+  u32 unresolved_indirect_branches = 0;
+  u32 resolved_indirect_calls = 0;
+  u32 unresolved_indirect_calls = 0;
+  std::vector<DegradeSite> degrade_sites;
+
+  static constexpr std::size_t kMaxDegradeSites = 16;
+  void degrade(GuestAddr pc, DegradeReason reason) {
+    if (degrade_sites.size() < kMaxDegradeSites) {
+      degrade_sites.push_back({pc, reason});
+    }
+  }
+
   /// Block containing `pc` (Thumb bit stripped), or nullptr.
   [[nodiscard]] const BasicBlock* block_at(GuestAddr pc) const;
   [[nodiscard]] bool contains(GuestAddr pc) const {
@@ -107,11 +198,16 @@ struct Program {
   [[nodiscard]] const FunctionCfg* function_containing(GuestAddr pc) const;
 };
 
+class Vsa;  // vsa.h
+
 class CfgLifter {
  public:
   /// Per-function instruction budget; functions that blow it are flagged
   /// `truncated` and summarised as opaque.
   static constexpr u32 kMaxFunctionInsns = 16384;
+  /// Rounds of lift -> VSA -> resolve-indirects -> re-lift per function.
+  /// Each round only runs when the previous one discovered new blocks.
+  static constexpr u32 kResolveRounds = 4;
 
   CfgLifter(const mem::AddressSpace& memory, std::vector<CodeRegion> regions);
 
@@ -123,9 +219,13 @@ class CfgLifter {
 
  private:
   FunctionCfg lift_function(GuestAddr entry, std::string name) const;
-  /// Second pass over final blocks: constant propagation, memory-access
-  /// classification, BLX-register resolution. Fills mem_accesses/callees.
-  void analyze_blocks(FunctionCfg& fn) const;
+  /// Final pass over resolved blocks, walking each from its VSA entry
+  /// state: memory-access classification, BLX-register resolution, the
+  /// precision counters and degradation sites. Fills mem_accesses/callees.
+  void analyze_blocks(FunctionCfg& fn, const Vsa& vsa) const;
+  /// Base of the code region containing `addr` (image-relative anchor for
+  /// PC-derived values), or 0 when `addr` is outside every region.
+  [[nodiscard]] GuestAddr region_base(GuestAddr addr) const;
 
   const mem::AddressSpace& memory_;
   std::vector<CodeRegion> regions_;

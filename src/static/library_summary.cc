@@ -74,11 +74,15 @@ LibrarySummary analyze_library(const mem::AddressSpace& memory,
 
 namespace {
 
-/// Relocates one function's CFG by `delta`. PC-relative structure (block
-/// addresses, successors, BL targets) shifts exactly; BLX-through-constant
-/// targets keep pointing at the old absolute addresses, so they become
-/// unresolved indirect calls.
-FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta) {
+/// Relocates one function's CFG by `delta`. PC-relative structure — block
+/// addresses, successors, BL targets, and anything the value-set analysis
+/// proved image-relative (literal windows, PC-derived jump tables and call
+/// targets) — shifts exactly. Only facts anchored to *absolute* addresses
+/// (materialised MOVW/MOVT constants, word jump tables whose entries are
+/// absolute code pointers) go stale; each such loss is recorded as a
+/// kStale* degradation site.
+FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta,
+                         GuestAddr image_lo, GuestAddr image_hi) {
   FunctionCfg out;
   out.entry = fn.entry + delta;
   out.thumb = fn.thumb;
@@ -86,10 +90,13 @@ FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta) {
   out.lo = fn.lo + delta;
   out.hi = fn.hi + delta;
   out.has_svc = fn.has_svc;
-  out.has_indirect_jumps = fn.has_indirect_jumps;
   out.truncated = fn.truncated;
   out.insn_count = fn.insn_count;
-  out.has_indirect_calls = fn.has_indirect_calls;
+
+  // Original degradations travel with the code; stale ones are appended.
+  for (const DegradeSite& site : fn.degrade_sites) {
+    out.degrade(site.pc + delta, site.reason);
+  }
 
   for (const auto& [start, bb] : fn.blocks) {
     BasicBlock nb;
@@ -100,30 +107,67 @@ FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta) {
     nb.has_indirect_jump = bb.has_indirect_jump;
     nb.has_indirect_call = bb.has_indirect_call;
     for (const GuestAddr s : bb.succs) nb.succs.push_back(s + delta);
-    // Call sites in block order: kBl targets are PC-relative and move with
-    // the code; kBlxReg targets were materialised constants and do not.
+
+    // A resolved indirect branch survives the rebase iff its successor set
+    // shifts uniformly with the code: TBB/TBH and computed branches through
+    // a PC-derived base do (their targets are code-relative offsets), while
+    // word tables hold absolute code pointers and always go stale — the
+    // block degrades back to has_indirect_jump truncation.
+    GuestAddr term_pc = nb.end;
+    if (!nb.insns.empty()) term_pc -= nb.insns.back().length;
+    nb.jump_table = bb.jump_table;
+    if (bb.jump_table.kind != JumpTableKind::kNone) {
+      const bool survives =
+          bb.jump_table.image_rel &&
+          bb.jump_table.kind != JumpTableKind::kWordTable;
+      if (survives) {
+        nb.jump_table.table = bb.jump_table.table + delta;
+      } else {
+        nb.jump_table = JumpTable{};
+        nb.has_indirect_jump = true;
+        out.degrade(term_pc, DegradeReason::kStaleJumpTable);
+      }
+    }
+
+    // Call sites in block order, guided by the per-site relocatable flag:
+    // BL targets are PC-relative and always move; a resolved BLX target
+    // moves only when VSA proved the value PC-derived, else it points at
+    // the old absolute address and the site regresses to unresolved.
+    GuestAddr pc = bb.start;
     std::size_t call_idx = 0;
     for (const arm::Insn& insn : bb.insns) {
+      const GuestAddr site_pc = pc;
+      pc += insn.length;
       if (insn.op != arm::Op::kBl && insn.op != arm::Op::kBlxReg) continue;
       if (call_idx >= bb.call_targets.size()) break;
-      GuestAddr target = bb.call_targets[call_idx];
-      if (insn.op == arm::Op::kBl) {
-        nb.call_targets.push_back(target == 0 ? 0 : target + delta);
-      } else {
-        nb.call_targets.push_back(0);  // constant target: stale, unresolved
-        nb.has_indirect_call = true;
-        out.has_indirect_calls = true;
-      }
+      const GuestAddr target = bb.call_targets[call_idx];
+      const bool relocatable =
+          call_idx < bb.call_target_relocatable.size() &&
+          bb.call_target_relocatable[call_idx] != 0;
       ++call_idx;
+      if (target != kUnresolvedCallTarget &&
+          (insn.op == arm::Op::kBl || relocatable)) {
+        nb.call_targets.push_back(target + delta);
+        nb.call_target_relocatable.push_back(1);
+        continue;
+      }
+      nb.call_targets.push_back(kUnresolvedCallTarget);
+      nb.call_target_relocatable.push_back(0);
+      nb.has_indirect_call = true;
+      if (target != kUnresolvedCallTarget) {
+        // Was resolved before the rebase; the absolute constant went stale.
+        out.degrade(site_pc + delta, DegradeReason::kStaleCallTarget);
+      }
     }
     out.blocks.emplace(nb.start, std::move(nb));
   }
 
-  // Callees: rebuilt from the relocated call sites (BL edges only — the
-  // stale BLX constants were dropped above).
+  // Callees: rebuilt from the relocated, still-resolved call sites. The
+  // filter is the whole relocated image, matching the lifter's in_code().
   for (const auto& [start, bb] : out.blocks) {
     for (const GuestAddr t : bb.call_targets) {
-      if (t != 0 && (t & ~1u) >= out.lo && (t & ~1u) < out.hi) {
+      if (t != kUnresolvedCallTarget && (t & ~1u) >= image_lo &&
+          (t & ~1u) < image_hi) {
         out.callees.push_back(t);
       }
     }
@@ -132,64 +176,48 @@ FunctionCfg relocate_cfg(const FunctionCfg& fn, GuestAddr delta) {
   out.callees.erase(std::unique(out.callees.begin(), out.callees.end()),
                     out.callees.end());
 
-  // Access sites shift with their instructions; constant addresses computed
-  // by the (unmoved) MOVW/MOVT and literal values no longer describe the
-  // code's windows, so they degrade to unknown.
+  // Access sites shift with their instructions. Image-relative windows
+  // (literal pools, PC-derived bases) re-resolve at the new base; windows
+  // built from absolute constants no longer describe anything and degrade.
   for (const MemAccess& a : fn.mem_accesses) {
     MemAccess na = a;
     na.pc = a.pc + delta;
     if (na.kind == MemAccess::Kind::kConstAddr) {
-      na.kind = MemAccess::Kind::kUnknown;
-      na.addr = 0;
+      if (na.image_rel) {
+        na.addr = a.addr + delta;
+      } else {
+        na.kind = MemAccess::Kind::kUnknown;
+        na.addr = 0;
+        out.degrade(na.pc, DegradeReason::kStaleAbsoluteConst);
+      }
     }
     out.mem_accesses.push_back(na);
   }
-  return out;
-}
 
-/// Relocates one summary. Structural register facts survive; everything
-/// that can encode an absolute address degrades conservatively.
-TaintSummary relocate_summary(const TaintSummary& s, const FunctionCfg& fn,
-                              GuestAddr delta) {
-  TaintSummary out;
-  out.entry = s.entry + delta;
-  out.name = s.name;
-  out.touched_regs = s.touched_regs;
-  out.has_svc = s.has_svc;
-  out.truncated = s.truncated;
-
-  // Constant windows reference pre-relocation absolute addresses.
-  const bool had_const_windows =
-      s.mem_kind == MemKind::kStatic || !s.windows.empty();
-  if (had_const_windows) {
-    out.mem_kind = MemKind::kOpaque;
-  } else {
-    out.mem_kind = s.mem_kind;  // kNone / pure kStack / already kOpaque
-  }
-
-  bool has_calls = fn.has_indirect_calls;
-  for (const auto& [start, bb] : fn.blocks) {
-    has_calls = has_calls || !bb.call_targets.empty();
-  }
-  if (has_calls) {
-    // Callee facts may have flowed through BLX-constant edges that are now
-    // stale; take the worst-case bounds the dataflow uses for unresolved
-    // targets.
-    out.args_to_ret = 0x0F;
-    out.args_to_mem = 0x0F;
-    out.args_to_call = 0x0F;
-    out.ret_depends_on_mem = true;
-    out.unresolved_calls = true;
-    out.transparent = false;
-  } else {
-    out.args_to_ret = s.args_to_ret;
-    out.args_to_mem = s.args_to_mem;
-    out.args_to_call = s.args_to_call;
-    out.ret_depends_on_mem = s.ret_depends_on_mem;
-    out.unresolved_calls = s.unresolved_calls;
-    // Transparency required kNone memory and no calls, both of which
-    // relocate losslessly for call-free functions.
-    out.transparent = s.transparent && out.mem_kind == MemKind::kNone;
+  // Precision counters and roll-up flags, recomputed from the relocated
+  // blocks (stale resolutions moved between the buckets above).
+  for (const auto& [start, bb] : out.blocks) {
+    if (bb.has_indirect_jump) {
+      ++out.unresolved_indirect_branches;
+    } else if (bb.jump_table.kind != JumpTableKind::kNone) {
+      ++out.resolved_indirect_branches;
+    }
+    out.has_indirect_jumps = out.has_indirect_jumps || bb.has_indirect_jump;
+    out.has_indirect_calls = out.has_indirect_calls || bb.has_indirect_call;
+    std::size_t call_idx = 0;
+    for (const arm::Insn& insn : bb.insns) {
+      if (insn.op != arm::Op::kBlxReg) {
+        if (insn.op == arm::Op::kBl) ++call_idx;
+        continue;
+      }
+      if (call_idx >= bb.call_targets.size()) break;
+      if (bb.call_targets[call_idx] == kUnresolvedCallTarget) {
+        ++out.unresolved_indirect_calls;
+      } else {
+        ++out.resolved_indirect_calls;
+      }
+      ++call_idx;
+    }
   }
   return out;
 }
@@ -207,13 +235,16 @@ std::shared_ptr<const LibrarySummary> bind_library(
   bound->lifted_base = base;
   bound->image_size = lib->image_size;
   for (const auto& [entry, fn] : lib->program.functions) {
-    bound->program.functions.emplace(entry + delta, relocate_cfg(fn, delta));
+    bound->program.functions.emplace(
+        entry + delta,
+        relocate_cfg(fn, delta, base, base + lib->image_size));
   }
-  for (const auto& [entry, s] : lib->index.summaries) {
-    const FunctionCfg& fn = lib->program.functions.at(entry);
-    bound->index.summaries.emplace(entry + delta,
-                                   relocate_summary(s, fn, delta));
-  }
+  // Re-run the interprocedural summary fixed point over the relocated CFGs
+  // instead of degrading every call-site function to worst-case facts: the
+  // structure (including image-relative windows, surviving jump tables and
+  // relocatable call edges) is exact, so the dataflow recomputes genuine
+  // arg-flow facts — only the recorded kStale* degradations weaken.
+  bound->index = summarize(bound->program);
   for (const auto& [entry, bounds] : lib->boundaries) {
     std::unordered_set<GuestAddr>& shifted = bound->boundaries[entry + delta];
     shifted.reserve(bounds.size());

@@ -46,6 +46,14 @@ void emit_block(std::string& out, const BasicBlock& bb) {
   if (bb.is_return) out += ",\"return\":true";
   if (bb.has_indirect_call) out += ",\"indirect_call\":true";
   if (bb.has_indirect_jump) out += ",\"indirect_jump\":true";
+  if (bb.jump_table.kind != JumpTableKind::kNone) {
+    out += ",\"jump_table\":{\"kind\":\"";
+    out += to_string(bb.jump_table.kind);
+    out += "\",\"table\":";
+    hex(out, bb.jump_table.table);
+    out += ",\"entries\":" + std::to_string(bb.jump_table.entries);
+    out += '}';
+  }
   out += '}';
 }
 
@@ -75,6 +83,64 @@ void emit_summary(std::string& out, const TaintSummary& s) {
   out += '}';
 }
 
+void emit_function_precision(std::string& out, const FunctionCfg& fn) {
+  out += "{\"resolved_branches\":" +
+         std::to_string(fn.resolved_indirect_branches);
+  out += ",\"unresolved_branches\":" +
+         std::to_string(fn.unresolved_indirect_branches);
+  out += ",\"resolved_calls\":" + std::to_string(fn.resolved_indirect_calls);
+  out +=
+      ",\"unresolved_calls\":" + std::to_string(fn.unresolved_indirect_calls);
+  out += ",\"degrade\":";
+  array(out, fn.degrade_sites, [&out](const DegradeSite& site) {
+    out += "{\"pc\":";
+    hex(out, site.pc);
+    out += ",\"reason\":\"";
+    out += to_string(site.reason);
+    out += "\"}";
+  });
+  out += '}';
+}
+
+/// Why a function is not transparent when its lift never degraded: the
+/// facts are exact, the function simply has observable effects. Mirrors the
+/// transparency definition in summary.h so the union of these conditions
+/// plus the degrade chain always yields at least one reason.
+void synthesize_reasons(std::string& out, const FunctionCfg& fn,
+                        const TaintSummary& s, const char* indent) {
+  if (s.mem_kind != MemKind::kNone) {
+    out += indent;
+    out += "why: touches memory (";
+    out += to_string(s.mem_kind);
+    if (s.mem_kind == MemKind::kOpaque && fn.degrade_sites.empty()) {
+      out += ", inherited from a callee";
+    }
+    out += ")\n";
+  }
+  if (!fn.callees.empty() || fn.has_indirect_calls) {
+    out += indent;
+    out += "why: has call sites (";
+    out += std::to_string(fn.callees.size());
+    out += " resolved callee(s))\n";
+  }
+  if (s.has_svc) {
+    out += indent;
+    out += "why: crosses the kernel boundary (svc)\n";
+  }
+  if (s.unresolved_calls && fn.unresolved_indirect_calls == 0) {
+    out += indent;
+    out += "why: inherits unresolved calls from a callee\n";
+  }
+  if (arg_bits(s.args_to_ret) != 0) {
+    out += indent;
+    out += "why: return value depends on arguments\n";
+  }
+  if (s.ret_depends_on_mem) {
+    out += indent;
+    out += "why: return value depends on memory\n";
+  }
+}
+
 }  // namespace
 
 const char* to_string(MemKind kind) {
@@ -85,6 +151,80 @@ const char* to_string(MemKind kind) {
     case MemKind::kOpaque: return "opaque";
   }
   return "opaque";
+}
+
+void PrecisionReport::accumulate(const PrecisionReport& other) {
+  functions += other.functions;
+  transparent += other.transparent;
+  opaque_summaries += other.opaque_summaries;
+  truncated += other.truncated;
+  degraded += other.degraded;
+  for (std::size_t i = 0; i < 4; ++i) {
+    mem_kind_counts[i] += other.mem_kind_counts[i];
+  }
+  resolved_indirect_branches += other.resolved_indirect_branches;
+  unresolved_indirect_branches += other.unresolved_indirect_branches;
+  resolved_indirect_calls += other.resolved_indirect_calls;
+  unresolved_indirect_calls += other.unresolved_indirect_calls;
+  for (std::size_t i = 0; i < kDegradeReasonCount; ++i) {
+    reason_counts[i] += other.reason_counts[i];
+  }
+}
+
+PrecisionReport precision_report(const Program& program,
+                                 const SummaryIndex& index) {
+  PrecisionReport r;
+  for (const auto& [entry, fn] : program.functions) {
+    ++r.functions;
+    if (fn.truncated) ++r.truncated;
+    if (!fn.degrade_sites.empty()) ++r.degraded;
+    r.resolved_indirect_branches += fn.resolved_indirect_branches;
+    r.unresolved_indirect_branches += fn.unresolved_indirect_branches;
+    r.resolved_indirect_calls += fn.resolved_indirect_calls;
+    r.unresolved_indirect_calls += fn.unresolved_indirect_calls;
+    for (const DegradeSite& site : fn.degrade_sites) {
+      ++r.reason_counts[static_cast<std::size_t>(site.reason)];
+    }
+    const TaintSummary* s = index.find(entry);
+    if (s == nullptr) continue;
+    if (s->transparent) ++r.transparent;
+    if (s->opaque()) ++r.opaque_summaries;
+    ++r.mem_kind_counts[static_cast<std::size_t>(s->mem_kind)];
+  }
+  return r;
+}
+
+std::string to_json(const PrecisionReport& r) {
+  std::string out = "{\"functions\":" + std::to_string(r.functions);
+  out += ",\"transparent\":" + std::to_string(r.transparent);
+  out += ",\"opaque_summaries\":" + std::to_string(r.opaque_summaries);
+  out += ",\"truncated\":" + std::to_string(r.truncated);
+  out += ",\"degraded\":" + std::to_string(r.degraded);
+  out += ",\"mem_kinds\":{";
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    out += to_string(static_cast<MemKind>(i));
+    out += "\":" + std::to_string(r.mem_kind_counts[i]);
+  }
+  out += "},\"branches\":{\"resolved\":" +
+         std::to_string(r.resolved_indirect_branches);
+  out += ",\"unresolved\":" + std::to_string(r.unresolved_indirect_branches);
+  out += "},\"calls\":{\"resolved\":" +
+         std::to_string(r.resolved_indirect_calls);
+  out += ",\"unresolved\":" + std::to_string(r.unresolved_indirect_calls);
+  out += "},\"reasons\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kDegradeReasonCount; ++i) {
+    if (r.reason_counts[i] == 0) continue;
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += to_string(static_cast<DegradeReason>(i));
+    out += "\":" + std::to_string(r.reason_counts[i]);
+  }
+  out += "}}";
+  return out;
 }
 
 std::string to_json(const Program& program, const SummaryIndex& index) {
@@ -105,6 +245,8 @@ std::string to_json(const Program& program, const SummaryIndex& index) {
           [&out](const auto& kv) { emit_block(out, kv.second); });
     out += ",\"callees\":";
     array(out, fn.callees, [&out](GuestAddr a) { hex(out, a); });
+    out += ",\"precision\":";
+    emit_function_precision(out, fn);
     const TaintSummary* s = index.find(entry);
     if (s != nullptr) {
       out += ",\"summary\":";
@@ -112,7 +254,44 @@ std::string to_json(const Program& program, const SummaryIndex& index) {
     }
     out += '}';
   }
-  out += "]}";
+  out += "],\"precision\":";
+  out += to_json(precision_report(program, index));
+  out += '}';
+  return out;
+}
+
+std::string explain(const Program& program, const SummaryIndex& index) {
+  std::string out;
+  char buf[96];
+  for (const auto& [entry, fn] : program.functions) {
+    const TaintSummary* s = index.find(entry);
+    std::snprintf(buf, sizeof buf, "%s @0x%x %s:", fn.name.c_str(), entry,
+                  fn.thumb ? "thumb" : "arm");
+    out += buf;
+    if (s != nullptr) {
+      out += " mem=";
+      out += to_string(s->mem_kind);
+      if (s->transparent) {
+        out += " transparent\n";
+        continue;
+      }
+      if (s->opaque()) out += " OPAQUE";
+    }
+    std::snprintf(buf, sizeof buf,
+                  " branches=%u/%u calls=%u/%u\n",
+                  fn.resolved_indirect_branches,
+                  fn.resolved_indirect_branches +
+                      fn.unresolved_indirect_branches,
+                  fn.resolved_indirect_calls,
+                  fn.resolved_indirect_calls + fn.unresolved_indirect_calls);
+    out += buf;
+    for (const DegradeSite& site : fn.degrade_sites) {
+      std::snprintf(buf, sizeof buf, "  degraded @0x%x: %s\n", site.pc,
+                    to_string(site.reason));
+      out += buf;
+    }
+    if (s != nullptr) synthesize_reasons(out, fn, *s, "  ");
+  }
   return out;
 }
 

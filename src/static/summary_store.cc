@@ -97,9 +97,15 @@ void encode_block(serde::Writer& w, const BasicBlock& bb) {
   for (const GuestAddr s : bb.succs) w.put_u32(s);
   w.put_u32(static_cast<u32>(bb.call_targets.size()));
   for (const GuestAddr t : bb.call_targets) w.put_u32(t);
+  w.put_u32(static_cast<u32>(bb.call_target_relocatable.size()));
+  for (const u8 reloc : bb.call_target_relocatable) w.put_u8(reloc);
   w.put_bool(bb.has_indirect_call);
   w.put_bool(bb.is_return);
   w.put_bool(bb.has_indirect_jump);
+  w.put_u8(static_cast<u8>(bb.jump_table.kind));
+  w.put_u32(bb.jump_table.table);
+  w.put_u32(bb.jump_table.entries);
+  w.put_bool(bb.jump_table.image_rel);
 }
 
 BasicBlock decode_block(serde::Reader& r) {
@@ -115,9 +121,22 @@ BasicBlock decode_block(serde::Reader& r) {
   const u32 calls = r.get_count(4);
   bb.call_targets.reserve(calls);
   for (u32 i = 0; i < calls; ++i) bb.call_targets.push_back(r.get_u32());
+  const u32 relocs = r.get_count(4);
+  bb.call_target_relocatable.reserve(relocs);
+  for (u32 i = 0; i < relocs; ++i) {
+    bb.call_target_relocatable.push_back(r.get_u8());
+  }
   bb.has_indirect_call = r.get_bool();
   bb.is_return = r.get_bool();
   bb.has_indirect_jump = r.get_bool();
+  const u8 table_kind = r.get_u8();
+  if (table_kind > static_cast<u8>(JumpTableKind::kComputed)) {
+    throw serde::DecodeError("bad jump-table kind");
+  }
+  bb.jump_table.kind = static_cast<JumpTableKind>(table_kind);
+  bb.jump_table.table = r.get_u32();
+  bb.jump_table.entries = r.get_u32();
+  bb.jump_table.image_rel = r.get_bool();
   return bb;
 }
 
@@ -141,12 +160,22 @@ void encode_function(serde::Writer& w, const FunctionCfg& fn) {
     w.put_u32(m.addr);
     w.put_u32(m.size);
     w.put_bool(m.is_store);
+    w.put_bool(m.image_rel);
   }
   w.put_bool(fn.has_svc);
   w.put_bool(fn.has_indirect_calls);
   w.put_bool(fn.has_indirect_jumps);
   w.put_bool(fn.truncated);
   w.put_u32(fn.insn_count);
+  w.put_u32(fn.resolved_indirect_branches);
+  w.put_u32(fn.unresolved_indirect_branches);
+  w.put_u32(fn.resolved_indirect_calls);
+  w.put_u32(fn.unresolved_indirect_calls);
+  w.put_u32(static_cast<u32>(fn.degrade_sites.size()));
+  for (const DegradeSite& site : fn.degrade_sites) {
+    w.put_u32(site.pc);
+    w.put_u8(static_cast<u8>(site.reason));
+  }
 }
 
 FunctionCfg decode_function(serde::Reader& r) {
@@ -177,6 +206,7 @@ FunctionCfg decode_function(serde::Reader& r) {
     m.addr = r.get_u32();
     m.size = r.get_u32();
     m.is_store = r.get_bool();
+    m.image_rel = r.get_bool();
     fn.mem_accesses.push_back(m);
   }
   fn.has_svc = r.get_bool();
@@ -184,6 +214,22 @@ FunctionCfg decode_function(serde::Reader& r) {
   fn.has_indirect_jumps = r.get_bool();
   fn.truncated = r.get_bool();
   fn.insn_count = r.get_u32();
+  fn.resolved_indirect_branches = r.get_u32();
+  fn.unresolved_indirect_branches = r.get_u32();
+  fn.resolved_indirect_calls = r.get_u32();
+  fn.unresolved_indirect_calls = r.get_u32();
+  const u32 sites = r.get_count(8);
+  fn.degrade_sites.reserve(sites);
+  for (u32 i = 0; i < sites; ++i) {
+    DegradeSite site;
+    site.pc = r.get_u32();
+    const u8 reason = r.get_u8();
+    if (reason > static_cast<u8>(DegradeReason::kStaleCallTarget)) {
+      throw serde::DecodeError("bad degrade reason");
+    }
+    site.reason = static_cast<DegradeReason>(reason);
+    fn.degrade_sites.push_back(site);
+  }
   return fn;
 }
 

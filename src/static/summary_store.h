@@ -47,7 +47,9 @@ namespace ndroid::static_analysis {
 class SummaryStore {
  public:
   static constexpr u32 kMagic = 0x3153534Eu;  // "NSS1" little-endian
-  static constexpr u32 kFormatVersion = 1;
+  // v2: TBB/TBH ops, VSA jump tables, precision counters, degrade sites,
+  // image-relative windows and relocatable call targets.
+  static constexpr u32 kFormatVersion = 2;
   static constexpr std::size_t kHeaderSize = 32;
 
   struct Stats {

@@ -1,0 +1,774 @@
+#include "static/vsa.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace ndroid::static_analysis {
+
+using arm::Cond;
+using arm::Insn;
+using arm::Op;
+using arm::ShiftType;
+
+namespace {
+
+constexpr u8 kRegSP = 13;
+constexpr u8 kRegPC = 15;
+
+u8 advance_it(u8 it) {
+  return (it & 0x07) == 0 ? u8{0}
+                          : static_cast<u8>((it & 0xE0) | ((it << 1) & 0x1F));
+}
+
+bool is_dp(Op op) {
+  switch (op) {
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kSub:
+    case Op::kRsb:
+    case Op::kAdd:
+    case Op::kAdc:
+    case Op::kSbc:
+    case Op::kRsc:
+    case Op::kTst:
+    case Op::kTeq:
+    case Op::kCmp:
+    case Op::kCmn:
+    case Op::kOrr:
+    case Op::kMov:
+    case Op::kBic:
+    case Op::kMvn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool dp_writes_rd(Op op) {
+  switch (op) {
+    case Op::kTst:
+    case Op::kTeq:
+    case Op::kCmp:
+    case Op::kCmn:
+      return false;
+    default:
+      return true;
+  }
+}
+
+bool is_abs(const AbsVal& v) {
+  return v.kind == AbsVal::Kind::kConst || v.kind == AbsVal::Kind::kImageRel;
+}
+
+/// a + b over strided sets. Kind algebra: const+const=const,
+/// const+imgrel=imgrel, const+stack=stack (singletons only), everything else
+/// (imgrel+imgrel, anything with arg/top) is ⊤. At most one side may be a
+/// non-singleton set (sum of two sets is not strided in general).
+AbsVal add_sets(const AbsVal& a, const AbsVal& b) {
+  using K = AbsVal::Kind;
+  K kind;
+  if (a.kind == K::kConst && b.kind == K::kConst) {
+    kind = K::kConst;
+  } else if ((a.kind == K::kConst && b.kind == K::kImageRel) ||
+             (a.kind == K::kImageRel && b.kind == K::kConst)) {
+    kind = K::kImageRel;
+  } else if ((a.kind == K::kConst && b.kind == K::kStackRel) ||
+             (a.kind == K::kStackRel && b.kind == K::kConst)) {
+    kind = K::kStackRel;
+  } else {
+    return AbsVal::top();
+  }
+  if (!a.is_singleton() && !b.is_singleton()) return AbsVal::top();
+  if (kind == K::kStackRel && !(a.is_singleton() && b.is_singleton())) {
+    return AbsVal::top();  // strided stack windows are not tracked
+  }
+  const AbsVal& set = a.is_singleton() ? b : a;
+  return {kind, a.base + b.base, set.stride, set.count};
+}
+
+/// a - b. ImageRel - ImageRel cancels the base (a plain distance).
+AbsVal sub_sets(const AbsVal& a, const AbsVal& b) {
+  using K = AbsVal::Kind;
+  if (a.kind == K::kImageRel && b.kind == K::kImageRel && a.is_singleton() &&
+      b.is_singleton()) {
+    return AbsVal::const_(a.base - b.base);
+  }
+  if (b.kind != K::kConst || !b.is_singleton()) return AbsVal::top();
+  if (a.kind == K::kConst || a.kind == K::kImageRel) {
+    return {a.kind, a.base - b.base, a.stride, a.count};
+  }
+  if (a.kind == K::kStackRel && a.is_singleton()) {
+    return AbsVal::stack_rel(static_cast<i32>(a.base - b.base));
+  }
+  return AbsVal::top();
+}
+
+/// v << n. Exact on const sets (strides scale); everything else is ⊤.
+AbsVal lsl_set(const AbsVal& v, u32 n) {
+  if (n == 0) return v;
+  if (n >= 32) return AbsVal::const_(0);
+  if (v.kind != AbsVal::Kind::kConst) return AbsVal::top();
+  return {v.kind, v.base << n, v.stride << n, v.count};
+}
+
+AbsVal apply_shift(const AbsVal& v, ShiftType type, u32 n) {
+  switch (type) {
+    case ShiftType::kLSL:
+      return lsl_set(v, n);
+    case ShiftType::kLSR:
+      if (n >= 32) return AbsVal::const_(0);
+      if (v.kind == AbsVal::Kind::kConst && v.is_singleton()) {
+        return AbsVal::const_(v.base >> n);
+      }
+      return AbsVal::top();
+    case ShiftType::kASR:
+      if (v.kind == AbsVal::Kind::kConst && v.is_singleton()) {
+        return AbsVal::const_(static_cast<u32>(static_cast<i32>(v.base) >>
+                                               std::min<u32>(n, 31)));
+      }
+      return AbsVal::top();
+    default:
+      return AbsVal::top();  // ROR/RRX: not needed for resolution
+  }
+}
+
+/// Lowest byte offset touched by an LDM/STM given the decoded P/U bits.
+i32 block_transfer_lo(const AbsVal& base, u32 regs, bool increment,
+                      bool before) {
+  const i32 b = static_cast<i32>(base.base);
+  if (increment) return b + (before ? 4 : 0);
+  return b - static_cast<i32>(4 * regs) + (before ? 0 : 4);
+}
+
+/// Writes one tracked stack word. Conditional stores join with the
+/// incumbent; an unknown incumbent (untracked slot) joins to ⊤, i.e. stays
+/// untracked.
+void slot_store(VsaState& st, i32 off, const AbsVal& v, bool conditional) {
+  auto it = st.slots.find(off);
+  if (it != st.slots.end()) {
+    it->second = conditional ? join(it->second, v) : v;
+    if (it->second.is_top()) st.slots.erase(it);
+    return;
+  }
+  if (conditional || v.is_top()) return;
+  if (st.slots.size() >= Vsa::kMaxTrackedSlots) return;
+  st.slots.emplace(off, v);
+}
+
+/// Kills every tracked word overlapping the byte range [lo, hi) (sub-word or
+/// unaligned frame stores).
+void slot_kill_range(VsaState& st, i32 lo, i32 hi) {
+  for (auto it = st.slots.lower_bound(lo - 3);
+       it != st.slots.end() && it->first < hi;) {
+    it = st.slots.erase(it);
+  }
+}
+
+}  // namespace
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  using K = AbsVal::Kind;
+  if (a.kind == K::kBottom) return b;
+  if (b.kind == K::kBottom) return a;
+  if (a == b) return a;
+  if (a.kind != b.kind || !is_abs(a)) return AbsVal::top();
+  // Smallest strided superset: gcd of both strides and the base distance.
+  const u64 span_a = static_cast<u64>(a.stride) * (a.count - 1);
+  const u64 span_b = static_cast<u64>(b.stride) * (b.count - 1);
+  if (static_cast<u64>(a.base) + span_a > 0xFFFFFFFFull ||
+      static_cast<u64>(b.base) + span_b > 0xFFFFFFFFull) {
+    return AbsVal::top();  // wrapped sets are not ordered; give up
+  }
+  const u32 lo = std::min(a.base, b.base);
+  const u64 hi = std::max(a.base + span_a, b.base + span_b);
+  u32 g = std::gcd(a.stride, b.stride);
+  g = std::gcd(g, a.base > b.base ? a.base - b.base : b.base - a.base);
+  if (g == 0) return {a.kind, lo, 0, 1};
+  const u64 count = (hi - lo) / g + 1;
+  if (count > Vsa::kMaxValueCount) return AbsVal::top();
+  return {a.kind, lo, count == 1 ? 0u : g, static_cast<u32>(count)};
+}
+
+bool VsaState::join_from(const VsaState& other, bool widen) {
+  bool changed = false;
+  for (std::size_t r = 0; r < regs.size(); ++r) {
+    const AbsVal j = widen
+                         ? (regs[r] == other.regs[r] ? regs[r] : AbsVal::top())
+                         : join(regs[r], other.regs[r]);
+    if (!(j == regs[r])) {
+      regs[r] = j;
+      changed = true;
+    }
+  }
+  for (auto it = slots.begin(); it != slots.end();) {
+    const auto o = other.slots.find(it->first);
+    AbsVal j = AbsVal::top();
+    if (o != other.slots.end()) {
+      j = widen ? (it->second == o->second ? it->second : AbsVal::top())
+                : join(it->second, o->second);
+    }
+    if (j.is_top()) {
+      it = slots.erase(it);
+      changed = true;
+      continue;
+    }
+    if (!(j == it->second)) {
+      it->second = j;
+      changed = true;
+    }
+    ++it;
+  }
+  if (cmp_valid && (!other.cmp_valid || cmp_reg != other.cmp_reg ||
+                    cmp_imm != other.cmp_imm)) {
+    cmp_valid = false;
+    changed = true;
+  }
+  return changed;
+}
+
+Vsa::Vsa(const mem::AddressSpace& memory, const std::vector<CodeRegion>& regions,
+         GuestAddr image_base)
+    : memory_(memory), regions_(regions), image_base_(image_base) {}
+
+bool Vsa::in_code(GuestAddr addr) const {
+  return std::any_of(regions_.begin(), regions_.end(),
+                     [addr](const CodeRegion& r) {
+                       return addr >= r.start && addr < r.end;
+                     });
+}
+
+AbsVal Vsa::read_reg(const VsaState& st, u8 r, GuestAddr pc, bool thumb) const {
+  if (r >= 16) return AbsVal::top();
+  if (r == kRegPC) {
+    // Thumb PC reads vary in alignment by instruction (ADR aligns, MOV does
+    // not): stay conservative there. The explicit PC-base paths (literal
+    // loads, TBB/TBH) handle Thumb themselves. ARM PC is always pc + 8.
+    if (thumb) return AbsVal::top();
+    return AbsVal::image_rel(pc + 8 - image_base_);
+  }
+  return st.regs[r];
+}
+
+AbsVal Vsa::operand2(const VsaState& st, const Insn& insn, GuestAddr pc,
+                     bool thumb) const {
+  if (insn.imm_operand) return AbsVal::const_(insn.imm);
+  if (insn.shift_by_reg) return AbsVal::top();
+  return apply_shift(read_reg(st, insn.rm, pc, thumb), insn.shift,
+                     insn.shift_amount);
+}
+
+AbsVal Vsa::eval_dp(const VsaState& st, const Insn& insn, GuestAddr pc,
+                    bool thumb) const {
+  const AbsVal op2 = operand2(st, insn, pc, thumb);
+  switch (insn.op) {
+    case Op::kMov:
+      return op2;
+    case Op::kMvn:
+      return op2.kind == AbsVal::Kind::kConst && op2.is_singleton()
+                 ? AbsVal::const_(~op2.base)
+                 : AbsVal::top();
+    default:
+      break;
+  }
+  const AbsVal rn = read_reg(st, insn.rn, pc, thumb);
+  switch (insn.op) {
+    case Op::kAdd:
+      return add_sets(rn, op2);
+    case Op::kSub:
+      return sub_sets(rn, op2);
+    case Op::kRsb:
+      return sub_sets(op2, rn);
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kOrr:
+    case Op::kBic: {
+      if (rn.kind != AbsVal::Kind::kConst || !rn.is_singleton() ||
+          op2.kind != AbsVal::Kind::kConst || !op2.is_singleton()) {
+        return AbsVal::top();
+      }
+      switch (insn.op) {
+        case Op::kAnd: return AbsVal::const_(rn.base & op2.base);
+        case Op::kEor: return AbsVal::const_(rn.base ^ op2.base);
+        case Op::kOrr: return AbsVal::const_(rn.base | op2.base);
+        default:       return AbsVal::const_(rn.base & ~op2.base);
+      }
+    }
+    default:
+      return AbsVal::top();  // carry-dependent forms
+  }
+}
+
+AbsVal Vsa::mem_addr(const VsaState& st, const Insn& insn, GuestAddr pc,
+                     bool thumb) const {
+  AbsVal base;
+  if (insn.rn == kRegPC) {
+    // Literal addressing: base is the aligned PC, expressed image-relative
+    // so literal windows re-resolve after a rebase.
+    base = AbsVal::image_rel(((pc + (thumb ? 4u : 8u)) & ~3u) - image_base_);
+  } else {
+    base = st.regs[insn.rn];
+  }
+  if (!insn.pre_index) return base;
+  AbsVal off;
+  if (!insn.reg_offset) {
+    off = AbsVal::const_(insn.imm);
+  } else if (insn.shift_by_reg) {
+    off = AbsVal::top();
+  } else {
+    off = apply_shift(read_reg(st, insn.rm, pc, thumb), insn.shift,
+                      insn.shift_amount);
+  }
+  return insn.add_offset ? add_sets(base, off) : sub_sets(base, off);
+}
+
+void Vsa::step(VsaState& st, const Insn& insn, GuestAddr pc, bool thumb,
+               bool conditional) const {
+  auto define = [&](u8 r, const AbsVal& v) {
+    if (r >= 16 || r == kRegPC) return;
+    st.regs[r] = conditional ? join(st.regs[r], v) : v;
+    if (st.cmp_valid && st.cmp_reg == r) st.cmp_valid = false;
+  };
+
+  switch (insn.op) {
+    case Op::kMovw:
+      define(insn.rd, AbsVal::const_(insn.imm));
+      break;
+    case Op::kMovt: {
+      const AbsVal lo = st.regs[insn.rd];
+      define(insn.rd, lo.kind == AbsVal::Kind::kConst && lo.is_singleton()
+                          ? AbsVal::const_((lo.base & 0xFFFFu) |
+                                           (insn.imm << 16))
+                          : AbsVal::top());
+      break;
+    }
+    case Op::kUxtb:
+    case Op::kUxth: {
+      const AbsVal v = read_reg(st, insn.rm, pc, thumb);
+      const u32 mask = insn.op == Op::kUxtb ? 0xFFu : 0xFFFFu;
+      define(insn.rd, v.kind == AbsVal::Kind::kConst && v.is_singleton()
+                          ? AbsVal::const_(v.base & mask)
+                          : AbsVal::top());
+      break;
+    }
+    case Op::kMul:
+    case Op::kMla:
+    case Op::kSdiv:
+    case Op::kUdiv:
+    case Op::kClz:
+    case Op::kSxtb:
+    case Op::kSxth:
+      define(insn.rd, AbsVal::top());
+      break;
+    case Op::kUmull:
+    case Op::kSmull:
+      define(insn.rd, AbsVal::top());
+      define(insn.rn, AbsVal::top());  // RdHi
+      break;
+    case Op::kLdr:
+    case Op::kLdrb:
+    case Op::kLdrh:
+    case Op::kLdrsb:
+    case Op::kLdrsh:
+    case Op::kStr:
+    case Op::kStrb:
+    case Op::kStrh: {
+      const bool is_store = insn.op == Op::kStr || insn.op == Op::kStrb ||
+                            insn.op == Op::kStrh;
+      const u32 size = (insn.op == Op::kLdrb || insn.op == Op::kLdrsb ||
+                        insn.op == Op::kStrb)
+                           ? 1u
+                           : (insn.op == Op::kLdrh || insn.op == Op::kLdrsh ||
+                              insn.op == Op::kStrh)
+                                 ? 2u
+                                 : 4u;
+      const AbsVal addr = mem_addr(st, insn, pc, thumb);
+      if (is_store) {
+        if (addr.kind == AbsVal::Kind::kStackRel && addr.is_singleton()) {
+          const i32 off = static_cast<i32>(addr.base);
+          if (insn.op == Op::kStr && (off & 3) == 0) {
+            slot_store(st, off, read_reg(st, insn.rd, pc, thumb), conditional);
+          } else {
+            slot_kill_range(st, off, off + static_cast<i32>(size));
+          }
+        } else if (is_abs(addr) && addr.count <= kMaxTableEntries &&
+                   [&] {
+                     for (u32 i = 0; i < addr.count; ++i) {
+                       if (!in_code(abs_member(addr, i))) return false;
+                     }
+                     return true;
+                   }()) {
+          // Store into the (non-stack) image: frame slots survive. SMC is
+          // the dynamic write-watch's problem, not the static model's.
+        } else {
+          st.slots.clear();  // may alias the frame
+        }
+      } else {
+        AbsVal v = AbsVal::top();
+        if (addr.is_singleton()) {
+          if (is_abs(addr)) {
+            const u32 abs = abs_member(addr, 0);
+            // Loads from inside the code image read immutable bytes
+            // (literal pools, embedded tables).
+            if (in_code(abs) && in_code(abs + size - 1)) {
+              if (insn.op == Op::kLdr && (abs & 3) == 0) {
+                v = AbsVal::const_(memory_.read32(abs));
+              } else if (insn.op == Op::kLdrb) {
+                v = AbsVal::const_(memory_.read8(abs));
+              } else if (insn.op == Op::kLdrh && (abs & 1) == 0) {
+                v = AbsVal::const_(memory_.read16(abs));
+              }
+            }
+          } else if (addr.kind == AbsVal::Kind::kStackRel &&
+                     insn.op == Op::kLdr &&
+                     (static_cast<i32>(addr.base) & 3) == 0) {
+            const auto it = st.slots.find(static_cast<i32>(addr.base));
+            if (it != st.slots.end()) v = it->second;
+          }
+        }
+        define(insn.rd, v);
+      }
+      if (!insn.pre_index || insn.writeback) {
+        AbsVal base = insn.rn == kRegPC
+                          ? AbsVal::top()  // writeback to PC: unpredictable
+                          : st.regs[insn.rn];
+        AbsVal off;
+        if (!insn.reg_offset) {
+          off = AbsVal::const_(insn.imm);
+        } else if (insn.shift_by_reg) {
+          off = AbsVal::top();
+        } else {
+          off = apply_shift(read_reg(st, insn.rm, pc, thumb), insn.shift,
+                            insn.shift_amount);
+        }
+        define(insn.rn,
+               insn.add_offset ? add_sets(base, off) : sub_sets(base, off));
+      }
+      break;
+    }
+    case Op::kLdm: {
+      const u32 n = static_cast<u32>(std::popcount(insn.reglist));
+      const AbsVal base = st.regs[insn.rn];
+      const bool tracked = base.kind == AbsVal::Kind::kStackRel &&
+                           base.is_singleton() && n != 0;
+      const i32 lo = tracked ? block_transfer_lo(base, n, insn.base_increment,
+                                                 insn.before)
+                             : 0;
+      u32 j = 0;
+      for (u8 r = 0; r < 16; ++r) {
+        if ((insn.reglist & (1u << r)) == 0) continue;
+        if (r != kRegPC) {
+          AbsVal v = AbsVal::top();
+          if (tracked) {
+            const auto it = st.slots.find(lo + static_cast<i32>(4 * j));
+            if (it != st.slots.end()) v = it->second;
+          }
+          define(r, v);
+        }
+        ++j;
+      }
+      if (insn.writeback) {
+        const AbsVal delta = AbsVal::const_(4 * n);
+        define(insn.rn, insn.base_increment ? add_sets(base, delta)
+                                            : sub_sets(base, delta));
+      }
+      break;
+    }
+    case Op::kStm: {
+      const u32 n = static_cast<u32>(std::popcount(insn.reglist));
+      const AbsVal base = st.regs[insn.rn];
+      if (base.kind == AbsVal::Kind::kStackRel && base.is_singleton() &&
+          n != 0) {
+        const i32 lo =
+            block_transfer_lo(base, n, insn.base_increment, insn.before);
+        u32 j = 0;
+        for (u8 r = 0; r < 16; ++r) {
+          if ((insn.reglist & (1u << r)) == 0) continue;
+          slot_store(st, lo + static_cast<i32>(4 * j),
+                     read_reg(st, r, pc, thumb), conditional);
+          ++j;
+        }
+      } else {
+        st.slots.clear();  // may alias the frame
+      }
+      if (insn.writeback) {
+        const AbsVal delta = AbsVal::const_(4 * n);
+        define(insn.rn, insn.base_increment ? add_sets(base, delta)
+                                            : sub_sets(base, delta));
+      }
+      break;
+    }
+    case Op::kBl:
+    case Op::kBlxReg:
+      for (u8 r : {u8{0}, u8{1}, u8{2}, u8{3}, u8{12}, u8{14}}) {
+        define(r, AbsVal::top());
+      }
+      st.slots.clear();  // the callee may write through saved pointers
+      st.cmp_valid = false;
+      break;
+    case Op::kSvc:
+      define(0, AbsVal::top());  // kernel return value
+      st.slots.clear();
+      st.cmp_valid = false;
+      break;
+    case Op::kB:
+    case Op::kBx:
+    case Op::kTbb:
+    case Op::kTbh:
+    case Op::kIt:
+    case Op::kNop:
+    case Op::kUndefined:
+      break;
+    default:
+      if (is_dp(insn.op)) {
+        if (dp_writes_rd(insn.op) && insn.rd != kRegPC) {
+          define(insn.rd, eval_dp(st, insn, pc, thumb));
+        }
+      } else {
+        define(insn.rd, AbsVal::top());  // unmodelled: drop the target
+      }
+      break;
+  }
+
+  // Flag bookkeeping for edge refinement: any flag-setter retires the live
+  // cmp context; an unconditional `cmp rN, #imm` installs a fresh one.
+  const bool writes_flags = insn.set_flags || insn.op == Op::kCmp ||
+                            insn.op == Op::kCmn || insn.op == Op::kTst ||
+                            insn.op == Op::kTeq;
+  if (writes_flags) {
+    st.cmp_valid = false;
+    if (insn.op == Op::kCmp && insn.imm_operand && !conditional &&
+        insn.rn < 16) {
+      st.cmp_valid = true;
+      st.cmp_reg = insn.rn;
+      st.cmp_imm = insn.imm;
+    }
+  }
+}
+
+void Vsa::refine_edge(VsaState& st, Cond cond) {
+  if (!st.cmp_valid || st.cmp_reg >= 16) return;
+  AbsVal& v = st.regs[st.cmp_reg];
+  const u32 n = st.cmp_imm;
+  // v := v ∩ [0, ub] — the unsigned bounds-check idiom. Refining is an
+  // optional tightening: bailing out is always sound.
+  auto clamp_below = [&](u32 ub) {
+    if (static_cast<u64>(ub) + 1 > Vsa::kMaxValueCount) return;
+    if (v.kind == AbsVal::Kind::kTop || v.kind == AbsVal::Kind::kArg) {
+      v = ub == 0 ? AbsVal::const_(0)
+                  : AbsVal{AbsVal::Kind::kConst, 0, 1, ub + 1};
+    } else if (v.kind == AbsVal::Kind::kConst && v.stride != 0) {
+      if (v.base > ub) return;  // edge infeasible; keep the wider set
+      const u32 c = (ub - v.base) / v.stride + 1;
+      if (c < v.count) v.count = c;
+      if (v.count == 1) v.stride = 0;
+    }
+  };
+  switch (cond) {
+    case Cond::kLS:
+      clamp_below(n);
+      break;
+    case Cond::kCC:
+      if (n != 0) clamp_below(n - 1);
+      break;
+    case Cond::kEQ:
+      if (v.kind == AbsVal::Kind::kTop || v.kind == AbsVal::Kind::kArg) {
+        v = AbsVal::const_(n);
+      } else if (v.kind == AbsVal::Kind::kConst && v.stride != 0 &&
+                 n >= v.base && (n - v.base) % v.stride == 0 &&
+                 (n - v.base) / v.stride < v.count) {
+        v = AbsVal::const_(n);
+      }
+      break;
+    default:
+      break;  // lower bounds do not tighten a [0, ub] strided set
+  }
+}
+
+std::map<GuestAddr, VsaState> Vsa::analyze(const FunctionCfg& fn) const {
+  std::map<GuestAddr, VsaState> in;
+  if (fn.blocks.find(fn.entry) == fn.blocks.end()) return in;
+  VsaState entry;
+  for (u8 i = 0; i < 4; ++i) entry.regs[i] = AbsVal::arg(i);
+  entry.regs[kRegSP] = AbsVal::stack_rel(0);
+  in.emplace(fn.entry, std::move(entry));
+
+  std::map<GuestAddr, u32> joins;
+  std::vector<GuestAddr> work{fn.entry};
+  // Termination comes from widening; the budget is a belt-and-braces valve.
+  u64 budget = 64ull * (fn.blocks.size() + 1) * (kWidenLimit + 2);
+  while (!work.empty() && budget-- != 0) {
+    const GuestAddr start = work.back();
+    work.pop_back();
+    const auto bit = fn.blocks.find(start);
+    if (bit == fn.blocks.end()) continue;
+    const BasicBlock& bb = bit->second;
+    VsaState st = in.at(start);
+
+    u8 itstate = 0;
+    GuestAddr pc = bb.start;
+    Cond last_cond = Cond::kAL;
+    GuestAddr last_pc = bb.start;
+    const Insn* last = nullptr;
+    for (const Insn& insn : bb.insns) {
+      const bool under_it = itstate != 0 && insn.op != Op::kIt;
+      const Cond cond = under_it ? static_cast<Cond>(itstate >> 4) : insn.cond;
+      if (insn.op == Op::kIt) {
+        itstate = static_cast<u8>(insn.imm);
+      } else if (under_it) {
+        itstate = advance_it(itstate);
+      }
+      last = &insn;
+      last_cond = cond;
+      last_pc = pc;
+      step(st, insn, pc, fn.thumb, cond != Cond::kAL);
+      pc += insn.length;
+    }
+
+    // Edge refinement on a conditional direct branch: the taken edge gets
+    // the branch condition, the fall-through its inverse (cond codes pair
+    // via bit 0).
+    const bool cond_branch =
+        last != nullptr && last->op == Op::kB && last_cond != Cond::kAL;
+    const GuestAddr taken =
+        cond_branch ? last_pc + (fn.thumb ? 4u : 8u) +
+                          static_cast<u32>(last->branch_offset)
+                    : 0;
+    for (GuestAddr succ : bb.succs) {
+      if (fn.blocks.find(succ) == fn.blocks.end()) continue;
+      VsaState out = st;
+      if (cond_branch && st.cmp_valid) {
+        if (succ == taken) {
+          refine_edge(out, last_cond);
+        } else if (succ == bb.end) {
+          refine_edge(out, static_cast<Cond>(static_cast<u8>(last_cond) ^ 1));
+        }
+      }
+      const auto [slot, inserted] = in.emplace(succ, out);
+      if (inserted) {
+        work.push_back(succ);
+        continue;
+      }
+      u32& count = joins[succ];
+      ++count;
+      if (slot->second.join_from(out, count > kWidenLimit)) {
+        work.push_back(succ);
+      }
+    }
+  }
+  return in;
+}
+
+Vsa::ResolvedJump Vsa::resolve_jump(const VsaState& st0, const Insn& insn,
+                                    GuestAddr pc, bool thumb,
+                                    Cond cond) const {
+  ResolvedJump out;
+  VsaState st = st0;
+  // Conditional indirect terminator (`cmp; ldrls pc, [...]`): the branch
+  // only executes under its condition, so the live cmp context bounds the
+  // index on this path.
+  if (cond != Cond::kAL) refine_edge(st, cond);
+  auto add_target = [&](GuestAddr t) {
+    if (std::find(out.targets.begin(), out.targets.end(), t) ==
+        out.targets.end()) {
+      out.targets.push_back(t);
+    }
+  };
+
+  switch (insn.op) {
+    case Op::kTbb:
+    case Op::kTbh: {
+      const bool half = insn.op == Op::kTbh;
+      const AbsVal base = insn.rn == kRegPC
+                              ? AbsVal::image_rel(pc + 4 - image_base_)
+                              : st.regs[insn.rn];
+      const AbsVal idx = insn.rm < 16 ? st.regs[insn.rm] : AbsVal::top();
+      if (!is_abs(base) || !base.is_singleton()) return out;
+      if (idx.kind != AbsVal::Kind::kConst || idx.count > kMaxTableEntries) {
+        return out;
+      }
+      const u32 tbase = abs_member(base, 0);
+      for (u32 i = 0; i < idx.count; ++i) {
+        const u32 index = idx.member(i);
+        const u32 ea = tbase + (half ? index * 2 : index);
+        if (!in_code(ea) || (half && !in_code(ea + 1))) return out;
+        const u32 entry = half ? memory_.read16(ea) : memory_.read8(ea);
+        const GuestAddr target = pc + 4 + 2 * entry;
+        if (!in_code(target)) return out;
+        add_target(target);
+      }
+      out.resolved = true;
+      out.table = {half ? JumpTableKind::kTbh : JumpTableKind::kTbb, tbase,
+                   idx.count,
+                   insn.rn == kRegPC || base.kind == AbsVal::Kind::kImageRel};
+      return out;
+    }
+    case Op::kLdr: {  // LDR pc, [table + index]
+      const AbsVal addr = mem_addr(st, insn, pc, thumb);
+      if (!is_abs(addr) || addr.count > kMaxTableEntries) return out;
+      for (u32 i = 0; i < addr.count; ++i) {
+        const u32 ea = abs_member(addr, i);
+        if ((ea & 3) != 0 || !in_code(ea) || !in_code(ea + 3)) return out;
+        const u32 word = memory_.read32(ea);
+        // Loads to PC interwork: bit 0 selects the mode. Cross-mode edges
+        // would leave this function's decode mode — treat as unresolved.
+        if (((word & 1) != 0) != thumb) return out;
+        const GuestAddr target = word & ~1u;
+        if (!thumb && (word & 3) != 0) return out;
+        if (!in_code(target)) return out;
+        add_target(target);
+      }
+      out.resolved = true;
+      out.table = {JumpTableKind::kWordTable, abs_member(addr, 0), addr.count,
+                   addr.kind == AbsVal::Kind::kImageRel};
+      return out;
+    }
+    case Op::kBx: {
+      const AbsVal v = insn.rm < 16 ? st.regs[insn.rm] : AbsVal::top();
+      if (!is_abs(v) || !v.is_singleton()) return out;
+      const u32 raw = abs_member(v, 0);
+      if (((raw & 1) != 0) != thumb) return out;
+      const GuestAddr target = raw & ~1u;
+      if (!thumb && (raw & 3) != 0) return out;
+      if (!in_code(target)) return out;
+      add_target(target);
+      out.resolved = true;
+      out.table = {JumpTableKind::kComputed, target, 1,
+                   v.kind == AbsVal::Kind::kImageRel};
+      return out;
+    }
+    default: {
+      if (!is_dp(insn.op) || !dp_writes_rd(insn.op)) return out;
+      const AbsVal v = eval_dp(st, insn, pc, thumb);
+      if (!is_abs(v) || !v.is_singleton()) return out;
+      // The executor's DP-to-PC path interworks, same as BX.
+      const u32 raw = abs_member(v, 0);
+      if (((raw & 1) != 0) != thumb) return out;
+      const GuestAddr target = raw & ~1u;
+      if (!thumb && (raw & 3) != 0) return out;
+      if (!in_code(target)) return out;
+      add_target(target);
+      out.resolved = true;
+      out.table = {JumpTableKind::kComputed, target, 1,
+                   v.kind == AbsVal::Kind::kImageRel};
+      return out;
+    }
+  }
+}
+
+Vsa::ResolvedCall Vsa::resolve_call(const VsaState& st,
+                                    const Insn& insn) const {
+  ResolvedCall out;
+  if (insn.op != Op::kBlxReg || insn.rm >= 16) return out;
+  const AbsVal v = st.regs[insn.rm];
+  if (!is_abs(v) || !v.is_singleton()) return out;
+  const GuestAddr target = abs_member(v, 0);
+  // Address 0 collides with the unresolved-call sentinel; leave it gapped.
+  if (target == kUnresolvedCallTarget) return out;
+  out.resolved = true;
+  out.target = target;  // bit 0 = Thumb, as BLX interworks
+  out.image_rel = v.kind == AbsVal::Kind::kImageRel;
+  return out;
+}
+
+}  // namespace ndroid::static_analysis

@@ -1,0 +1,186 @@
+// Interprocedural value-set analysis over lifted function CFGs.
+//
+// The lifter's original constant propagation was block-local: any value that
+// crossed a block boundary — a jump-table base materialised before the bounds
+// check, an index refined by a `cmp; bls` pair, a spilled table pointer —
+// degraded to unknown, which in turn degraded the whole function to
+// `has_indirect_jump` truncation and an opaque summary. This pass tracks
+// abstract values through registers *and* spilled stack slots across block
+// boundaries to a fixed point, so the CFG lifter can
+//   * lower literal-pool jump tables and Thumb-2 TBB/TBH to resolved
+//     multi-way successor sets,
+//   * turn `BLX reg` through a resolved constant into a real call edge, and
+//   * classify memory windows as image-relative when their base is
+//     PC-derived (these re-resolve under bind_library instead of opaquing).
+//
+// The lattice (AbsVal) is, per register/slot:
+//
+//            ⊤  (any value)
+//         /  |   \      \
+//     const imgrel stack  arg      — each a bounded strided set
+//         \  |   /      /              { base + stride*i : 0 <= i < count }
+//            ⊥  (unreachable)
+//
+//   kConst    concrete 32-bit values, absolute at the lifted base
+//   kImageRel offsets from the image base: every PC read produces one, and
+//             PC-derived ± const stays one, so the set shifts by exactly the
+//             load-base delta when the image is rebased
+//   kStackRel byte offsets from the function-entry SP (frame slots)
+//   kArg      still exactly the value of argument register r`base` at entry
+//
+// Join of two strided sets is the smallest strided superset (gcd of strides
+// and base distance); joins at a block entry beyond kWidenLimit widen the
+// changed registers straight to ⊤, and any set wider than kMaxValueCount is
+// ⊤, so the fixed point terminates fast. Everything is an over-approximation
+// (⊇ the concrete value set): resolving a jump through an over-wide index
+// set yields a *superset* of the real successors, which keeps the CFG's
+// ⊇-property and the summary soundness argument intact. Conditional and
+// IT-covered writes join with the incumbent value instead of replacing it;
+// edge refinement narrows a register after `cmp rN, #imm` + conditional
+// branch (the dispatch-table bounds-check idiom) on both edge polarities.
+//
+// Soundness of the memory model: table words / literal pools are read from
+// the code regions at lift time and assumed immutable (the same assumption
+// PR-2's literal-pool propagation made; self-modifying code is handled
+// dynamically by the SMC write-watch, not statically). Stack slots die at
+// calls, SVCs and any store whose address could alias the stack.
+#pragma once
+
+#include <array>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "arm/insn.h"
+#include "mem/address_space.h"
+#include "static/cfg.h"
+
+namespace ndroid::static_analysis {
+
+struct AbsVal {
+  enum class Kind : u8 { kBottom, kConst, kImageRel, kStackRel, kArg, kTop };
+
+  Kind kind = Kind::kTop;
+  u32 base = 0;    // value / image offset / SP offset / argument index
+  u32 stride = 0;  // strided set step; 0 for singletons
+  u32 count = 1;   // number of members (>= 1 unless kBottom/kTop/kArg)
+
+  [[nodiscard]] static AbsVal top() { return {Kind::kTop, 0, 0, 1}; }
+  [[nodiscard]] static AbsVal bottom() { return {Kind::kBottom, 0, 0, 1}; }
+  [[nodiscard]] static AbsVal const_(u32 v) { return {Kind::kConst, v, 0, 1}; }
+  [[nodiscard]] static AbsVal image_rel(u32 off) {
+    return {Kind::kImageRel, off, 0, 1};
+  }
+  [[nodiscard]] static AbsVal stack_rel(i32 off) {
+    return {Kind::kStackRel, static_cast<u32>(off), 0, 1};
+  }
+  [[nodiscard]] static AbsVal arg(u8 index) {
+    return {Kind::kArg, index, 0, 1};
+  }
+
+  [[nodiscard]] bool is_top() const { return kind == Kind::kTop; }
+  [[nodiscard]] bool is_singleton() const { return count == 1; }
+  [[nodiscard]] u32 member(u32 i) const { return base + stride * i; }
+
+  bool operator==(const AbsVal& o) const {
+    return kind == o.kind && base == o.base && stride == o.stride &&
+           count == o.count;
+  }
+};
+
+/// Least strided-set upper bound; widens to ⊤ across kinds (except ⊥) and
+/// past kMaxValueCount members.
+[[nodiscard]] AbsVal join(const AbsVal& a, const AbsVal& b);
+
+struct VsaState {
+  std::array<AbsVal, 16> regs;
+  /// Spilled words, keyed by byte offset from the function-entry SP.
+  std::map<i32, AbsVal> slots;
+  /// Dominating unconditional `cmp rN, #imm` whose flags are still live
+  /// (no intervening flag-setter or write to rN): edge refinement context.
+  bool cmp_valid = false;
+  u8 cmp_reg = 0;
+  u32 cmp_imm = 0;
+
+  VsaState() { regs.fill(AbsVal::top()); }
+
+  /// Joins `other` into this state. With `widen`, any position that would
+  /// change goes straight to ⊤ (slots: dropped). Returns true on change.
+  bool join_from(const VsaState& other, bool widen);
+};
+
+class Vsa {
+ public:
+  /// Caps: table entries enumerated per resolved branch, strided-set width,
+  /// block-entry joins before widening, tracked spill slots per state.
+  static constexpr u32 kMaxTableEntries = 64;
+  static constexpr u32 kMaxValueCount = 4096;
+  static constexpr u32 kWidenLimit = 8;
+  static constexpr u32 kMaxTrackedSlots = 64;
+
+  Vsa(const mem::AddressSpace& memory, const std::vector<CodeRegion>& regions,
+      GuestAddr image_base);
+
+  /// Runs the fixed point over `fn`'s current blocks; returns the abstract
+  /// state at each reachable block's entry (absent key = unreachable).
+  [[nodiscard]] std::map<GuestAddr, VsaState> analyze(
+      const FunctionCfg& fn) const;
+
+  /// Transfer function for one instruction. `conditional` marks writes that
+  /// may not execute (explicit condition or IT coverage): they join instead
+  /// of replacing.
+  void step(VsaState& st, const arm::Insn& insn, GuestAddr pc, bool thumb,
+            bool conditional) const;
+
+  /// Abstract address of a load/store's effective address (the pre-indexed
+  /// address actually dereferenced).
+  [[nodiscard]] AbsVal mem_addr(const VsaState& st, const arm::Insn& insn,
+                                GuestAddr pc, bool thumb) const;
+
+  struct ResolvedJump {
+    bool resolved = false;
+    std::vector<GuestAddr> targets;  // block starts, Thumb bit stripped
+    JumpTable table;
+  };
+  /// Tries to resolve an indirect-branch terminator (TBB/TBH, LDR-to-PC,
+  /// BX reg, DP-to-PC) from the state just before it. `cond` is the
+  /// terminator's effective condition: a live `cmp` context in `st` refines
+  /// the index register under it first (the `cmp; ldrls pc, [...]` idiom).
+  [[nodiscard]] ResolvedJump resolve_jump(const VsaState& st,
+                                          const arm::Insn& insn, GuestAddr pc,
+                                          bool thumb, arm::Cond cond) const;
+
+  struct ResolvedCall {
+    bool resolved = false;
+    GuestAddr target = 0;   // bit 0 = Thumb, as BLX interworks
+    bool image_rel = false; // target shifts with the image on a rebase
+  };
+  /// Tries to resolve a `BLX reg` call target from the state before it.
+  [[nodiscard]] ResolvedCall resolve_call(const VsaState& st,
+                                          const arm::Insn& insn) const;
+
+  /// Narrows `st` under `cond` given a live cmp context (used on CFG edges:
+  /// taken edge with the branch condition, fall-through with its inverse).
+  static void refine_edge(VsaState& st, arm::Cond cond);
+
+  [[nodiscard]] bool in_code(GuestAddr addr) const;
+  [[nodiscard]] GuestAddr image_base() const { return image_base_; }
+
+ private:
+  [[nodiscard]] AbsVal read_reg(const VsaState& st, u8 r, GuestAddr pc,
+                                bool thumb) const;
+  [[nodiscard]] AbsVal operand2(const VsaState& st, const arm::Insn& insn,
+                                GuestAddr pc, bool thumb) const;
+  [[nodiscard]] AbsVal eval_dp(const VsaState& st, const arm::Insn& insn,
+                               GuestAddr pc, bool thumb) const;
+  /// Absolute guest address of a kConst/kImageRel member.
+  [[nodiscard]] u32 abs_member(const AbsVal& v, u32 i) const {
+    return v.member(i) + (v.kind == AbsVal::Kind::kImageRel ? image_base_ : 0);
+  }
+
+  const mem::AddressSpace& memory_;
+  const std::vector<CodeRegion>& regions_;
+  GuestAddr image_base_;
+};
+
+}  // namespace ndroid::static_analysis

@@ -508,6 +508,123 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
 // guest instructions.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(1u, 13u));
 
+// --- Dispatch-table differential ---------------------------------------------
+//
+// The indirect-control-flow idioms the static VSA layer resolves — Thumb-2
+// TBB/TBH, ARM literal-pool word tables, BLX through a register — exercised
+// dynamically across every execution tier. The table loads go through the
+// same data paths as ordinary loads (TLB probes, threaded micro-ops), so a
+// tier that mishandles a PC-destination load or an interworking register
+// call diverges here even if the straight-line fuzz above stays green.
+
+/// Seeded program where every control transfer is a dispatch shape: the
+/// Thumb leaf selects one of four cases via TBB or TBH on r0&3, and the ARM
+/// main loop runs a word-table `ldr pc, [pc, r6]` switch on r7&3 followed
+/// by a BLX-through-register interworking call into the leaf.
+FuzzProgram generate_dispatch_program(u32 seed) {
+  std::mt19937 rng(seed * 2654435761u + 0xD15BA7C4u);
+
+  ThumbAssembler t(kFuzzThumb);
+  const bool half = rng() % 2 != 0;
+  ThumbLabel join;
+  t.lsls(R(3), R(0), 30);  // r3 = r0 & 3
+  t.lsrs(R(3), R(3), 30);
+  const GuestAddr tb_pc = t.here();
+  if (half) {
+    t.tbh(PC, R(3));
+  } else {
+    t.tbb(PC, R(3));
+  }
+  const GuestAddr tb_base = tb_pc + 4;
+  const GuestAddr case0 = tb_base + (half ? 8 : 4);
+  for (u32 c = 0; c < 4; ++c) {
+    const u32 off = (case0 + 4 * c - tb_base) / 2;
+    if (half) {
+      t.hword(static_cast<u16>(off));
+    } else {
+      t.byte(static_cast<u8>(off));
+    }
+  }
+  for (u32 c = 0; c < 4; ++c) {
+    t.movs_imm(R(2), static_cast<u8>(rng() % 256));  // 2 bytes
+    t.b(join);                                       // narrow forward: 2 bytes
+  }
+  t.bind(join);
+  t.adds(R(0), R(0), R(2));
+  t.bx(LR);
+
+  Assembler a(kFuzzCode);
+  a.push({R(4), R(5), R(6), R(7), LR});
+  a.mov_imm32(R(4), kFuzzData);
+  a.mov_imm(R(5), 2 + rng() % 4);
+  a.mov_imm(R(7), rng() % 256);
+  Label loop;
+  a.bind(loop);
+  // Word-table switch on r7&3: `ldr pc, [pc, r6]` reads base pc+8, so one
+  // pad word puts the four-entry table exactly under the base.
+  a.and_imm(R(6), R(7), 3);
+  a.lsl(R(6), R(6), 2);
+  const GuestAddr ldr_pc = a.here();
+  a.ldr_reg(PC, PC, R(6));
+  a.word(0);
+  const GuestAddr acase0 = ldr_pc + 8 + 16;
+  for (u32 c = 0; c < 4; ++c) a.word(acase0 + 8 * c);
+  Label arm_join;
+  for (u32 c = 0; c < 4; ++c) {
+    a.add_imm(R(1), R(1), rng() % 256);  // 4 bytes
+    a.b(arm_join);                       // 4 bytes
+  }
+  a.bind(arm_join);
+  a.str(R(1), R(4), static_cast<i32>(4 * (rng() % 32)));
+  a.mov_imm32(R(6), kFuzzThumb | 1);  // BLX through a register into Thumb
+  a.blx(R(6));
+  a.add_imm(R(7), R(7), 1);
+  a.sub_imm(R(5), R(5), 1, /*s=*/true);
+  a.b(loop, Cond::kNE);
+  const u8 spill[] = {0, 1, 2, 3, 6, 7};
+  for (u32 i = 0; i < std::size(spill); ++i) {
+    a.str(R(spill[i]), R(4), static_cast<i32>(0x400 + 4 * i));
+  }
+  for (u8 r : {1, 2, 3, 7}) a.eor(R(0), R(0), R(r));
+  a.pop({R(4), R(5), R(6), R(7), LR});
+  a.ret();
+
+  FuzzProgram prog;
+  prog.arm_code = a.finish();
+  prog.thumb_code = t.finish();
+  return prog;
+}
+
+class DispatchTableFuzz : public ::testing::TestWithParam<u32> {};
+
+TEST_P(DispatchTableFuzz, EnginesAgreeOnDispatchHeavyPrograms) {
+  const u32 seed = GetParam();
+  const FuzzProgram prog = generate_dispatch_program(seed);
+
+  const FuzzResult base = run_fuzz(prog, FuzzEngine::kInterp, true, seed);
+
+  const struct {
+    FuzzEngine engine;
+    const char* name;
+  } tiers[] = {
+      {FuzzEngine::kTb, "tb"},
+      {FuzzEngine::kTbTlb, "tb+tlb"},
+      {FuzzEngine::kThreaded, "threaded"},
+      {FuzzEngine::kThreadedFused, "threaded+fused"},
+  };
+  for (const auto& tier : tiers) {
+    const FuzzResult got = run_fuzz(prog, tier.engine, true, seed);
+    EXPECT_EQ(got.r0, base.r0) << tier.name << " seed " << seed;
+    EXPECT_EQ(got.mem_digest, base.mem_digest)
+        << tier.name << " seed " << seed;
+    EXPECT_EQ(got.traced, base.traced) << tier.name << " seed " << seed;
+    EXPECT_EQ(got.shadow_digest, base.shadow_digest)
+        << tier.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispatchTableFuzz, ::testing::Range(1u, 9u));
+
 // --- Fuzzing as a farm workload ----------------------------------------------
 //
 // src/farm/fuzz wraps the same tier-differential idea as the parameterized

@@ -169,19 +169,34 @@ TEST(LibrarySummary, ConstantWindowsDegradeToOpaqueOnRebind) {
   EXPECT_TRUE(after->windows.empty());
 }
 
-TEST(LibrarySummary, FunctionsWithCallSitesTakeWorstCaseFactsOnRebind) {
+TEST(LibrarySummary, CallSitesReResolveOnRebind) {
   const TestLib lib = assemble(kBaseA);
   auto snapshot =
       std::make_shared<const sa::LibrarySummary>(analyze_at(kBaseA, lib));
+  const sa::TaintSummary* before = snapshot->index.find(lib.caller);
+  ASSERT_NE(before, nullptr);
+  ASSERT_FALSE(before->unresolved_calls)
+      << "fixture expects caller's BL edge resolved at the lifted base";
+
   const auto bound = sa::bind_library(snapshot, kBaseB);
-  const sa::TaintSummary* after =
-      bound->index.find(lib.caller + (kBaseB - kBaseA));
+  const GuestAddr delta = kBaseB - kBaseA;
+  const sa::TaintSummary* after = bound->index.find(lib.caller + delta);
   ASSERT_NE(after, nullptr);
-  EXPECT_FALSE(after->transparent);
-  EXPECT_TRUE(after->unresolved_calls);
-  EXPECT_EQ(after->args_to_ret, 0x0F);
-  EXPECT_EQ(after->args_to_mem, 0x0F);
-  EXPECT_TRUE(after->ret_depends_on_mem);
+  // BL edges are PC-relative: they shift with the code and the rebound
+  // summary fixed point recomputes genuine facts through them — no
+  // worst-case fallback.
+  EXPECT_FALSE(after->unresolved_calls);
+  EXPECT_EQ(after->args_to_ret, before->args_to_ret);
+  EXPECT_EQ(after->args_to_mem, before->args_to_mem);
+  EXPECT_EQ(after->ret_depends_on_mem, before->ret_depends_on_mem);
+  EXPECT_EQ(after->touched_regs, before->touched_regs);
+
+  // The relocated call graph really carries the shifted edge.
+  const sa::FunctionCfg* caller_fn =
+      bound->program.function(lib.caller + delta);
+  ASSERT_NE(caller_fn, nullptr);
+  ASSERT_EQ(caller_fn->callees.size(), 1u);
+  EXPECT_EQ(caller_fn->callees[0] & ~1u, lib.konst + delta);
 }
 
 TEST(SummaryCache, HitsShareOneSnapshotAndRebindsCount) {

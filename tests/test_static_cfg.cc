@@ -19,6 +19,7 @@
 #include "arm/thumb_assembler.h"
 #include "os/view_reconstructor.h"
 #include "static/cfg.h"
+#include "static/scan_report.h"
 #include "static/summary.h"
 
 namespace ndroid {
@@ -235,6 +236,173 @@ TEST_F(LifterFixture, SummaryArgFlowAndTransparency) {
   ASSERT_EQ(f->windows.size(), 1u);
   EXPECT_EQ(f->windows[0].lo, data);
   EXPECT_EQ(f->windows[0].hi, data + 4);
+}
+
+TEST_F(LifterFixture, IndirectCallAndIndirectJumpFlagsAreIndependent) {
+  // The two flags mark different gaps: has_indirect_call is a missing call
+  // *target* with a complete successor set; has_indirect_jump is a
+  // truncated successor set. Neither may imply the other.
+  Assembler a(kCode);
+  // blx through an argument register: unresolvable target, but the block
+  // still falls through — successors stay complete.
+  const GuestAddr call_fn = a.here();
+  a.push({R(4), LR});
+  a.blx(R(1));
+  a.pop({R(4), arm::PC});
+  // bx through an argument register (not LR): truncated successors, but
+  // there is no call site at all.
+  const GuestAddr jump_fn = a.here();
+  a.bx(R(1));
+  const sa::Program prog =
+      lift(a.finish(), {{call_fn, "call_fn"}, {jump_fn, "jump_fn"}});
+
+  const sa::FunctionCfg* cf = prog.function(call_fn);
+  ASSERT_NE(cf, nullptr);
+  EXPECT_TRUE(cf->has_indirect_calls);
+  EXPECT_FALSE(cf->has_indirect_jumps);
+  EXPECT_EQ(cf->unresolved_indirect_calls, 1u);
+  EXPECT_EQ(cf->unresolved_indirect_branches, 0u);
+  const sa::BasicBlock* call_bb = cf->block_at(call_fn + 4);
+  ASSERT_NE(call_bb, nullptr);
+  EXPECT_TRUE(call_bb->has_indirect_call);
+  EXPECT_FALSE(call_bb->has_indirect_jump);
+  ASSERT_EQ(call_bb->call_targets.size(), 1u);
+  EXPECT_EQ(call_bb->call_targets[0], sa::kUnresolvedCallTarget);
+  // Calls don't truncate the walk: the block runs on past the site to its
+  // real terminator (here the POP{pc} return) with successors complete.
+  EXPECT_TRUE(call_bb->is_return);
+  bool call_reason = false;
+  for (const sa::DegradeSite& s : cf->degrade_sites) {
+    call_reason =
+        call_reason || s.reason == sa::DegradeReason::kUnresolvedCall;
+  }
+  EXPECT_TRUE(call_reason);
+
+  const sa::FunctionCfg* jf = prog.function(jump_fn);
+  ASSERT_NE(jf, nullptr);
+  EXPECT_TRUE(jf->has_indirect_jumps);
+  EXPECT_FALSE(jf->has_indirect_calls);
+  EXPECT_EQ(jf->unresolved_indirect_branches, 1u);
+  EXPECT_EQ(jf->unresolved_indirect_calls, 0u);
+  const sa::BasicBlock* jump_bb = jf->block_at(jump_fn);
+  ASSERT_NE(jump_bb, nullptr);
+  EXPECT_TRUE(jump_bb->has_indirect_jump);
+  EXPECT_FALSE(jump_bb->has_indirect_call);
+  EXPECT_TRUE(jump_bb->call_targets.empty());
+  bool jump_reason = false;
+  for (const sa::DegradeSite& s : jf->degrade_sites) {
+    jump_reason =
+        jump_reason || s.reason == sa::DegradeReason::kUnresolvedJump;
+  }
+  EXPECT_TRUE(jump_reason);
+}
+
+TEST_F(LifterFixture, ResolvedTableIsSupersetOfDynamicTargets) {
+  // ⊇-property of the over-approximating resolution: the bounds check
+  // admits indices 0..3, so the lifter must enumerate all four table
+  // targets even though this run only ever exercises two of them.
+  const GuestAddr table = kCode + 0x200;
+  Assembler a(kCode);
+  Label dflt;
+  const GuestAddr entry = a.here();
+  a.cmp_imm(R(0), 3);
+  a.b(dflt, Cond::kHI);
+  a.mov_imm32(R(3), table);
+  a.lsl(R(1), R(0), 2);
+  const GuestAddr dispatch_pc = a.here();
+  a.ldr_reg(R(15), R(3), R(1));
+  std::vector<GuestAddr> cases;
+  for (const u8 marker : {10, 20, 30, 40}) {
+    cases.push_back(a.here());
+    a.mov_imm(R(0), marker);
+    a.ret();
+  }
+  a.bind(dflt);
+  a.mov_imm(R(0), 99);
+  a.ret();
+  while (a.here() < table) a.word(0);
+  for (const GuestAddr c : cases) a.word(c);
+  const sa::Program prog = lift(a.finish(), {{entry, "dispatch"}});
+
+  const sa::FunctionCfg* fn = prog.function(entry);
+  ASSERT_NE(fn, nullptr);
+  const sa::BasicBlock* dispatch = fn->block_at(dispatch_pc);
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_FALSE(dispatch->has_indirect_jump);
+  ASSERT_EQ(dispatch->succs.size(), 4u);
+
+  // Indices 1 and 3 only (0 would fall through to the adjacent case block
+  // without a branch event).
+  std::vector<GuestAddr> taken;
+  const int id = cpu_.add_branch_hook(
+      [&](arm::Cpu&, GuestAddr from, GuestAddr to) {
+        if (fn->block_at(from) == dispatch) taken.push_back(to & ~1u);
+      });
+  EXPECT_EQ(cpu_.call_function(entry, {1}), 20u);
+  EXPECT_EQ(cpu_.call_function(entry, {3}), 40u);
+  cpu_.remove_branch_hook(id);
+
+  ASSERT_EQ(taken.size(), 2u);
+  for (const GuestAddr t : taken) {
+    EXPECT_TRUE(std::find(dispatch->succs.begin(), dispatch->succs.end(),
+                          t) != dispatch->succs.end());
+  }
+  // Strict superset here: two dynamic targets, four static ones.
+  EXPECT_LT(taken.size(), dispatch->succs.size());
+}
+
+TEST_F(LifterFixture, PrecisionReportAggregatesVerdictsAndReasons) {
+  Assembler a(kCode);
+  const GuestAddr f_const = a.here();  // transparent
+  a.mov_imm(R(0), 42);
+  a.ret();
+  const GuestAddr f_unknown = a.here();  // opaque: pointer-arg load
+  a.ldr(R(0), R(1), 0);
+  a.ret();
+  const GuestAddr f_jump = a.here();  // truncated successors
+  a.bx(R(1));
+  const sa::Program prog = lift(
+      a.finish(),
+      {{f_const, "f_const"}, {f_unknown, "f_unknown"}, {f_jump, "f_jump"}});
+  const sa::SummaryIndex index = sa::summarize(prog);
+
+  const sa::PrecisionReport r = sa::precision_report(prog, index);
+  EXPECT_EQ(r.functions, 3u);
+  EXPECT_EQ(r.transparent, 1u);
+  EXPECT_GE(r.opaque_summaries, 1u);
+  // The truncated-successors function is never skippable either: the
+  // summarizer folds it into worst-case arg facts + unresolved calls.
+  const sa::TaintSummary* sj = index.find(f_jump);
+  ASSERT_NE(sj, nullptr);
+  EXPECT_TRUE(sj->unresolved_calls);
+  EXPECT_FALSE(sj->transparent);
+  EXPECT_GE(r.degraded, 2u);
+  EXPECT_EQ(r.unresolved_indirect_branches, 1u);
+  EXPECT_GE(r.reason_counts[static_cast<std::size_t>(
+                sa::DegradeReason::kUnknownMemAccess)],
+            1u);
+  EXPECT_EQ(r.reason_counts[static_cast<std::size_t>(
+                sa::DegradeReason::kUnresolvedJump)],
+            1u);
+
+  // The budget-gate counters survive aggregation.
+  sa::PrecisionReport total = r;
+  total.accumulate(r);
+  EXPECT_EQ(total.functions, 6u);
+  EXPECT_EQ(total.unresolved_indirect_branches, 2u);
+
+  // Every non-transparent function gets a reason chain in the audit.
+  const std::string text = sa::explain(prog, index);
+  EXPECT_NE(text.find("f_const"), std::string::npos);
+  EXPECT_NE(text.find("transparent"), std::string::npos);
+  EXPECT_NE(text.find("unknown_mem_access"), std::string::npos);
+  EXPECT_NE(text.find("unresolved_jump"), std::string::npos);
+
+  // And the JSON carries both the per-function chain and the aggregate.
+  const std::string json = sa::to_json(prog, index);
+  EXPECT_NE(json.find("\"precision\""), std::string::npos);
+  EXPECT_NE(json.find("\"degrade\""), std::string::npos);
+  EXPECT_NE(json.find("\"opaque_summaries\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -56,6 +56,9 @@ sa::LibrarySummary make_lib(u64 key, u32 image_size = 0x200) {
   bb.insns.push_back(insn);
   bb.succs.push_back(0x10008);
   bb.is_return = true;
+  bb.call_targets.push_back(0x10040);
+  bb.call_target_relocatable.push_back(1);
+  bb.jump_table = {sa::JumpTableKind::kTbb, 0x10010, 3, true};
 
   sa::FunctionCfg fn;
   fn.entry = 0x10000;
@@ -71,7 +74,14 @@ sa::LibrarySummary make_lib(u64 key, u32 image_size = 0x200) {
   access.addr = 0x20000;
   access.size = 4;
   access.is_store = true;
+  access.image_rel = true;
   fn.mem_accesses.push_back(access);
+  fn.resolved_indirect_branches = 1;
+  fn.unresolved_indirect_branches = 2;
+  fn.resolved_indirect_calls = 3;
+  fn.unresolved_indirect_calls = 4;
+  fn.degrade(0x10004, sa::DegradeReason::kUnknownMemAccess);
+  fn.degrade(0x10006, sa::DegradeReason::kStaleJumpTable);
   lib.program.functions.emplace(fn.entry, fn);
 
   sa::TaintSummary summary;
@@ -127,6 +137,23 @@ TEST(SummaryStore, PayloadCodecRoundTripsDeterministically) {
   EXPECT_TRUE(bb.insns[0].imm_operand);
   ASSERT_EQ(fn.mem_accesses.size(), 1u);
   EXPECT_EQ(fn.mem_accesses[0].kind, sa::MemAccess::Kind::kConstAddr);
+  // The v2 precision surface survives the round trip verbatim.
+  EXPECT_TRUE(fn.mem_accesses[0].image_rel);
+  EXPECT_EQ(bb.jump_table.kind, sa::JumpTableKind::kTbb);
+  EXPECT_EQ(bb.jump_table.table, 0x10010u);
+  EXPECT_EQ(bb.jump_table.entries, 3u);
+  EXPECT_TRUE(bb.jump_table.image_rel);
+  ASSERT_EQ(bb.call_target_relocatable.size(), 1u);
+  EXPECT_EQ(bb.call_target_relocatable[0], 1u);
+  EXPECT_EQ(fn.resolved_indirect_branches, 1u);
+  EXPECT_EQ(fn.unresolved_indirect_branches, 2u);
+  EXPECT_EQ(fn.resolved_indirect_calls, 3u);
+  EXPECT_EQ(fn.unresolved_indirect_calls, 4u);
+  ASSERT_EQ(fn.degrade_sites.size(), 2u);
+  EXPECT_EQ(fn.degrade_sites[0].pc, 0x10004u);
+  EXPECT_EQ(fn.degrade_sites[0].reason,
+            sa::DegradeReason::kUnknownMemAccess);
+  EXPECT_EQ(fn.degrade_sites[1].reason, sa::DegradeReason::kStaleJumpTable);
   ASSERT_EQ(back.index.summaries.size(), 1u);
   EXPECT_EQ(back.index.summaries.begin()->second.windows.size(), 1u);
   EXPECT_EQ(back.boundaries.at(0x10000).count(0x10004), 1u);

@@ -8,10 +8,23 @@
 // this is the "scan the APK's .so before running it" half of the paper's
 // pipeline, usable on its own.
 //
-//   ndroid-scan [app...]        app in: cfbench case1 case1p case2 case3
-//                               case4 (default: all)
-//   ndroid-scan --list          list known apps
+//   ndroid-scan [app...]          app in: cfbench case1 case1p case2 case3
+//                                 case4 (default: all)
+//   ndroid-scan --list            list known apps
+//   ndroid-scan --explain [app..] per-function precision audit: verdict and
+//                                 a degradation reason chain for every
+//                                 non-transparent function
+//   ndroid-scan --precision [app...]
+//                                 print only the aggregated PrecisionReport
+//                                 JSON (what bench.sh stamps into the bench
+//                                 artifact contexts)
+//   ndroid-scan --check-budget F [app...]
+//                                 CI precision gate: aggregate the corpus
+//                                 PrecisionReport and fail (exit 1) if any
+//                                 counter named in budget file F regressed
+//                                 above its checked-in ceiling
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -28,9 +41,14 @@ namespace {
 using namespace ndroid;
 namespace sa = ndroid::static_analysis;
 
+struct ScanOut {
+  sa::Program program;
+  sa::SummaryIndex index;
+};
+
 /// Mirrors NDroid::attach_static_analysis's discovery: third-party code
 /// regions via VMI, roots from the registered native methods.
-std::string scan_device(android::Device& device) {
+ScanOut scan_device(android::Device& device) {
   using android::Layout;
   os::ViewReconstructor vmi(device.memory, os::Kernel::kTaskRoot);
   const auto views = vmi.reconstruct();
@@ -52,24 +70,25 @@ std::string scan_device(android::Device& device) {
     }
   }
   const sa::CfgLifter lifter(device.memory, std::move(regions));
-  const sa::Program program = lifter.lift(entries);
-  const sa::SummaryIndex index = sa::summarize(program);
-  return sa::to_json(program, index);
+  ScanOut out;
+  out.program = lifter.lift(entries);
+  out.index = sa::summarize(out.program);
+  return out;
 }
 
 struct App {
   const char* name;
-  std::string (*scan)();
+  ScanOut (*scan)();
 };
 
 template <apps::LeakScenario (*Build)(android::Device&)>
-std::string scan_leak_case() {
+ScanOut scan_leak_case() {
   android::Device device;
   (void)Build(device);
   return scan_device(device);
 }
 
-std::string scan_cfbench() {
+ScanOut scan_cfbench() {
   android::Device device;
   apps::CfBenchApp app(device);
   return scan_device(device);
@@ -91,15 +110,104 @@ const App* find_app(const std::string& name) {
   return nullptr;
 }
 
+/// One line per budgeted counter: `<name> <max>`. '#' starts a comment.
+struct BudgetLine {
+  std::string name;
+  u32 max = 0;
+};
+
+bool read_budget(const char* path, std::vector<BudgetLine>& out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open budget file '%s'\n", path);
+    return false;
+  }
+  char line[256];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    char name[64];
+    unsigned max = 0;
+    if (line[0] == '#' || std::sscanf(line, "%63s %u", name, &max) != 2) {
+      continue;
+    }
+    out.push_back({name, static_cast<u32>(max)});
+  }
+  std::fclose(f);
+  return true;
+}
+
+/// Maps a budget counter name onto the aggregated report; unknown names are
+/// a budget-file bug and fail the gate loudly.
+bool counter_value(const sa::PrecisionReport& r, const std::string& name,
+                   u32& value) {
+  if (name == "opaque_summaries") value = r.opaque_summaries;
+  else if (name == "unresolved_branches") value = r.unresolved_indirect_branches;
+  else if (name == "unresolved_calls") value = r.unresolved_indirect_calls;
+  else if (name == "truncated") value = r.truncated;
+  else if (name == "degraded") value = r.degraded;
+  else return false;
+  return true;
+}
+
+sa::PrecisionReport aggregate(const std::vector<const App*>& selected) {
+  sa::PrecisionReport total;
+  for (const App* app : selected) {
+    const ScanOut out = app->scan();
+    total.accumulate(sa::precision_report(out.program, out.index));
+  }
+  return total;
+}
+
+int check_budget(const char* path, const std::vector<const App*>& selected) {
+  std::vector<BudgetLine> budget;
+  if (!read_budget(path, budget) || budget.empty()) {
+    std::fprintf(stderr, "empty or unreadable budget '%s'\n", path);
+    return 2;
+  }
+  const sa::PrecisionReport total = aggregate(selected);
+  std::printf("precision: %s\n", sa::to_json(total).c_str());
+  int failures = 0;
+  for (const BudgetLine& b : budget) {
+    u32 actual = 0;
+    if (!counter_value(total, b.name, actual)) {
+      std::fprintf(stderr, "unknown budget counter '%s'\n", b.name.c_str());
+      return 2;
+    }
+    const bool ok = actual <= b.max;
+    std::printf("%-20s %u <= %u %s\n", b.name.c_str(), actual, b.max,
+                ok ? "OK" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool explain = false;
+  bool precision_only = false;
+  const char* budget_path = nullptr;
   std::vector<const App*> selected;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
       for (const App& app : kApps) std::printf("%s\n", app.name);
       return 0;
+    }
+    if (arg == "--explain") {
+      explain = true;
+      continue;
+    }
+    if (arg == "--precision") {
+      precision_only = true;
+      continue;
+    }
+    if (arg == "--check-budget") {
+      if (++i >= argc) {
+        std::fprintf(stderr, "--check-budget needs a file argument\n");
+        return 2;
+      }
+      budget_path = argv[i];
+      continue;
     }
     const App* app = find_app(arg);
     if (app == nullptr) {
@@ -112,11 +220,28 @@ int main(int argc, char** argv) {
     for (const App& app : kApps) selected.push_back(&app);
   }
 
+  if (budget_path != nullptr) return check_budget(budget_path, selected);
+
+  if (precision_only) {
+    std::printf("%s\n", sa::to_json(aggregate(selected)).c_str());
+    return 0;
+  }
+
+  if (explain) {
+    for (const App* app : selected) {
+      const ScanOut out = app->scan();
+      std::printf("== %s ==\n%s", app->name,
+                  sa::explain(out.program, out.index).c_str());
+    }
+    return 0;
+  }
+
   std::printf("{");
   bool first = true;
   for (const App* app : selected) {
+    const ScanOut out = app->scan();
     std::printf("%s\"%s\":%s", first ? "" : ",", app->name,
-                app->scan().c_str());
+                sa::to_json(out.program, out.index).c_str());
     first = false;
   }
   std::printf("}\n");

@@ -32,7 +32,10 @@
 // CPUs: thread scaling cannot show wall-clock gains on fewer cores (this
 // repo's reference box has 1), and honest numbers beat fabricated ones.
 //
-//   bench_farm [reps] [--json out.json] [--engine interp|tb|tb+tlb|threaded]
+//   bench_farm [reps] [--json out.json]
+//              [--engine interp|tb|tb+tlb|threaded|jit]
+// (`--engine jit` degrades to the threaded tier on hosts without host-code
+// emission, so the row is valid — just not faster — everywhere.)
 #include <cstdio>
 #include <cstring>
 #include <filesystem>

@@ -47,6 +47,29 @@ void BM_EmulatorNativeMips(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorNativeMips);
 
+/// Taint-free native loop with the template JIT tier on: clean blocks run
+/// as emitted host x86-64 with version-fenced direct links. Acceptance:
+/// >= 1.3x BM_EmulatorNativeMips (the threaded tier). On hosts without
+/// host-code emission set_jit_enabled is a no-op and this measures the
+/// threaded tier exactly.
+void BM_JitNativeMips(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_jit_enabled(true);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+  const core::PerfCounters perf = core::collect_perf(env.device.cpu);
+  state.counters["jit_blocks"] = static_cast<double>(perf.jit_blocks);
+  state.counters["jit_bytes"] = static_cast<double>(perf.jit_bytes);
+  state.counters["jit_links"] = static_cast<double>(perf.jit_links);
+  state.counters["jit_patches"] = static_cast<double>(perf.jit_patches);
+  state.counters["jit_arena_flushes"] =
+      static_cast<double>(perf.jit_arena_flushes);
+}
+BENCHMARK(BM_JitNativeMips);
+
 /// Taint-free native loop on the PR-5 per-instruction TB+TLB engine
 /// (ablation `set_threaded_enabled(false)`): the baseline the threaded
 /// micro-op tier's >= 2x acceptance ratio is measured against.
@@ -119,6 +142,24 @@ void BM_EmulatorNativeMipsTracedTainted(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorNativeMipsTracedTainted);
 
+/// NDroid + live register taint with the JIT armed: the gated instruction
+/// hooks NDroid registers keep every block on the threaded streams (the
+/// trampoline only dispatches emitted code when no hooks exist), so this
+/// measures that arming the JIT costs nothing when analysis is live —
+/// parity with BM_EmulatorNativeMipsTracedTainted is the target.
+void BM_JitTracedTainted(benchmark::State& state) {
+  Env env;
+  env.device.cpu.set_jit_enabled(true);
+  core::NDroid nd(env.device);
+  nd.taint_engine().set_reg(4, 0x2);
+  const auto* w = env.bench.find("Native MIPS");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.bench.run(*w, 1000));
+  }
+  report_native_mips(state, env.device.cpu);
+}
+BENCHMARK(BM_JitTracedTainted);
+
 /// NDroid + TB engine with live register taint and NO gating at all
 /// (`taint_liveness_fastpath=false`, `static_summaries=false`): the seed
 /// full-trace configuration on the TB engine. Baseline for the gating trio
@@ -180,7 +221,6 @@ BENCHMARK(BM_EmulatorNativeMipsTracedTaintedTbTlb);
 /// with no memory traffic and no analysis attached.
 constexpr GuestAddr kDispatchCode = 0x10000;
 constexpr u32 kDispatchIters = 4096;
-constexpr u64 kDispatchInsns = kDispatchIters * 6;  // loop-body length
 
 void setup_dispatch_kernel(mem::AddressSpace& mem, mem::MemoryMap& map,
                            arm::Cpu& cpu) {
@@ -203,13 +243,19 @@ void setup_dispatch_kernel(mem::AddressSpace& mem, mem::MemoryMap& map,
   mem.write_bytes(kDispatchCode, a.finish());
 }
 
-void report_dispatch(benchmark::State& state, const arm::Cpu& cpu) {
-  state.SetItemsProcessed(state.iterations() * kDispatchInsns);
-  state.counters["ns_per_insn"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * kDispatchInsns),
-      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+/// `insns` is the measured retire count (instructions_retired() delta over
+/// the timed loop), not an estimate — per-instruction figures stay honest
+/// if the kernel or the call_function glue changes shape.
+void report_dispatch(benchmark::State& state, const arm::Cpu& cpu,
+                     u64 insns) {
+  state.SetItemsProcessed(static_cast<int64_t>(insns));
+  state.counters["ns_per_insn"] =
+      benchmark::Counter(static_cast<double>(insns),
+                         benchmark::Counter::kIsRate |
+                             benchmark::Counter::kInvert);
   const core::PerfCounters perf = core::collect_perf(cpu);
   state.counters["threaded_links"] = static_cast<double>(perf.threaded_links);
+  state.counters["jit_links"] = static_cast<double>(perf.jit_links);
 }
 
 void BM_ThreadedDispatch(benchmark::State& state) {
@@ -217,11 +263,12 @@ void BM_ThreadedDispatch(benchmark::State& state) {
   mem::MemoryMap map;
   arm::Cpu cpu(mem, map);
   setup_dispatch_kernel(mem, map, cpu);
+  const u64 before = cpu.instructions_retired();
   for (auto _ : state) {
     benchmark::DoNotOptimize(cpu.call_function(kDispatchCode,
                                                {kDispatchIters}));
   }
-  report_dispatch(state, cpu);
+  report_dispatch(state, cpu, cpu.instructions_retired() - before);
 }
 BENCHMARK(BM_ThreadedDispatch);
 
@@ -233,13 +280,32 @@ void BM_ThreadedDispatchTbTlb(benchmark::State& state) {
   arm::Cpu cpu(mem, map);
   cpu.set_threaded_enabled(false);
   setup_dispatch_kernel(mem, map, cpu);
+  const u64 before = cpu.instructions_retired();
   for (auto _ : state) {
     benchmark::DoNotOptimize(cpu.call_function(kDispatchCode,
                                                {kDispatchIters}));
   }
-  report_dispatch(state, cpu);
+  report_dispatch(state, cpu, cpu.instructions_retired() - before);
 }
 BENCHMARK(BM_ThreadedDispatchTbTlb);
+
+/// The same kernel with the template JIT on: after warmup every transition
+/// is a version-fenced host jump, so this is the floor of the dispatch
+/// ladder (on non-x86-64 hosts it degrades to BM_ThreadedDispatch).
+void BM_JitDispatch(benchmark::State& state) {
+  mem::AddressSpace mem;
+  mem::MemoryMap map;
+  arm::Cpu cpu(mem, map);
+  cpu.set_jit_enabled(true);
+  setup_dispatch_kernel(mem, map, cpu);
+  const u64 before = cpu.instructions_retired();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpu.call_function(kDispatchCode,
+                                               {kDispatchIters}));
+  }
+  report_dispatch(state, cpu, cpu.instructions_retired() - before);
+}
+BENCHMARK(BM_JitDispatch);
 
 void BM_InterpreterJavaMips(benchmark::State& state) {
   Env env;
@@ -415,7 +481,7 @@ BENCHMARK(BM_DalvikAllocation);
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   static char filter[] =
-      "--benchmark_filter=BM_Mem|BM_Shadow|BM_GuestMemcpy|BM_Threaded";
+      "--benchmark_filter=BM_Mem|BM_Shadow|BM_GuestMemcpy|BM_Threaded|BM_Jit";
   static char min_time[] = "--benchmark_min_time=0.05";
   for (auto& arg : args) {
     if (std::strcmp(arg, "--smoke") == 0) {

@@ -14,8 +14,10 @@
 # Usage: scripts/bench.sh [build-dir] [--engine TIER]
 #   build-dir        defaults to ./build-bench
 #   --engine TIER    CPU execution tier for the farm rows and the engine
-#                    stamp in every JSON: interp | tb | tb+tlb | threaded
-#                    (default threaded, the production tier)
+#                    stamp in every JSON:
+#                    interp | tb | tb+tlb | threaded | jit
+#                    (default threaded, the production tier; jit degrades
+#                    to threaded on hosts without host-code emission)
 #
 # The build directory is configured and built here with
 # CMAKE_BUILD_TYPE=Release — perf numbers from unoptimised binaries are not
@@ -42,6 +44,15 @@
 #                   within noise of BM_EmulatorNativeMips (clean blocks pay
 #                   no taint cost). BM_ThreadedDispatch isolates the
 #                   dispatch loop itself against BM_ThreadedDispatchTbTlb.
+#   * Template JIT: BM_JitNativeMips (host x86-64 emission) vs
+#                   BM_EmulatorNativeMips (threaded tier), target >= 1.3x
+#                   on x86-64 hosts; BM_JitDispatch isolates the dispatch
+#                   loop under patched host jumps, and BM_JitTracedTainted
+#                   must land within noise of BM_EmulatorNativeMipsTraced-
+#                   Tainted (live hooks ride the threaded streams). The
+#                   code-arena statistics from BM_JitNativeMips (blocks,
+#                   bytes, link patches, arena flushes) are copied into
+#                   every artifact's context as "jit_tier" below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,9 +71,9 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 case "$ENGINE" in
-  interp|tb|tb+tlb|threaded) ;;
+  interp|tb|tb+tlb|threaded|jit) ;;
   *)
-    echo "unknown engine tier: $ENGINE (expected interp|tb|tb+tlb|threaded)" >&2
+    echo "unknown engine tier: $ENGINE (expected interp|tb|tb+tlb|threaded|jit)" >&2
     exit 2
     ;;
 esac
@@ -97,11 +108,26 @@ export PRECISION_JSON
 
 # Stamp provenance into the artifacts bench_farm doesn't already stamp
 # (the producing git SHA and the build type of this repo's code), plus the
-# static-precision counters into all three.
+# static-precision counters and the JIT tier's code-arena statistics
+# (scraped from BM_JitNativeMips's counters in BENCH_micro.json) into all
+# three, so any perf number can be read next to how much host code backed it.
 python3 - "$GIT_SHA" "$ENGINE" BENCH_micro.json BENCH_cfbench.json BENCH_farm.json <<'EOF'
 import json, os, sys
 sha, engine = sys.argv[1], sys.argv[2]
 precision = json.loads(os.environ["PRECISION_JSON"])
+
+with open("BENCH_micro.json") as f:
+    micro = json.load(f)
+jit_tier = {}
+for b in micro.get("benchmarks", []):
+    if b.get("name") == "BM_JitNativeMips":
+        jit_tier = {k: b[k] for k in
+                    ("jit_blocks", "jit_bytes", "jit_links", "jit_patches",
+                     "jit_arena_flushes") if k in b}
+# jit_blocks == 0 means the host has no code emission and the jit tier
+# degraded to threaded: record that explicitly.
+jit_tier["jit_available"] = bool(jit_tier.get("jit_blocks", 0))
+
 for path in sys.argv[3:]:
     with open(path) as f:
         doc = json.load(f)
@@ -111,6 +137,7 @@ for path in sys.argv[3:]:
         doc["context"]["repo_build_type"] = "release"
         doc["context"]["engine"] = engine
     doc["context"]["static_precision"] = precision
+    doc["context"]["jit_tier"] = jit_tier
     with open(path, "w") as f:
         json.dump(doc, f, indent=2)
         f.write("\n")

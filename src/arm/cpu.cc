@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "arm/jit.h"  // complete JitEngine for ~Cpu / jit_engine_ resets
+
 namespace ndroid::arm {
 
 Cpu::Cpu(mem::AddressSpace& memory, mem::MemoryMap& memmap)
@@ -595,7 +597,8 @@ bool Cpu::run(u64 max_steps) {
   // blocks killed while executing can finally be destroyed.
   if (exec_depth_ == 0) tb_cache_.drain_graveyard();
   if (!use_tb_cache_) return run_interpretive(max_steps);
-  return threaded_enabled_ ? run_threaded(max_steps) : run_tb(max_steps);
+  if (!threaded_enabled_) return run_tb(max_steps);
+  return jit_enabled_ ? run_jit(max_steps) : run_threaded(max_steps);
 }
 
 u32 Cpu::call_function(GuestAddr addr, const std::vector<u32>& args) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,7 @@
 namespace ndroid::arm {
 
 class Cpu;
+struct JitEngine;  // arm/jit.h — host-code-emission backend state
 
 using InsnHook = std::function<void(Cpu&, const Insn&, GuestAddr pc)>;
 using BranchHook = std::function<void(Cpu&, GuestAddr from, GuestAddr to)>;
@@ -181,6 +183,38 @@ class Cpu {
   [[nodiscard]] u64 fastpath_blocks() const { return fastpath_blocks_; }
   [[nodiscard]] u64 fastpath_insns() const { return fastpath_insns_; }
 
+  // --- Template JIT tier ------------------------------------------------
+
+  /// Selects the host-code-emission tier layered over the threaded streams:
+  /// blocks additionally compile to x86-64 machine code and clean execution
+  /// (no live instruction hooks) dispatches into it; analysis-live blocks
+  /// keep riding the threaded/traced streams unchanged. Requires the TB
+  /// cache and the threaded tier; toggling flushes cached blocks so stale
+  /// host code cannot leak across modes. Off by default (`--engine jit`
+  /// opts in). A no-op when jit_available() is false — the threaded tier
+  /// (with superword fusion) stays in charge.
+  void set_jit_enabled(bool on);
+  [[nodiscard]] bool jit_enabled() const { return jit_enabled_; }
+
+  /// True when this build can emit host code (x86-64, not NDROID_NO_JIT).
+  [[nodiscard]] static bool jit_available();
+
+  /// Test hook: code-arena capacity and write-protection discipline. `wx`
+  /// selects strict W^X (arena RW only while compiling, RX while
+  /// executable) over the default single RWX mapping. Call while no guest
+  /// frame is live; drops the current arena and flushes cached blocks.
+  void set_jit_config(std::size_t arena_bytes, bool wx);
+
+  /// Jit statistics: links/patches mirror the threaded counters; blocks /
+  /// bytes / arena_flushes describe the code-arena lifecycle.
+  [[nodiscard]] u64 jit_links() const { return jit_links_; }
+  [[nodiscard]] u64 jit_link_patches() const { return jit_link_patches_; }
+  [[nodiscard]] u64 jit_blocks_compiled() const {
+    return jit_blocks_compiled_;
+  }
+  [[nodiscard]] u64 jit_bytes_emitted() const { return jit_bytes_emitted_; }
+  [[nodiscard]] u64 jit_arena_flushes() const { return jit_arena_flushes_; }
+
   /// Decode-cache statistics (shared by both execution engines).
   [[nodiscard]] u64 decode_lookups() const { return decode_lookups_; }
   [[nodiscard]] u64 decode_hits() const { return decode_hits_; }
@@ -190,6 +224,8 @@ class Cpu {
   /// is part of the execution engine: it shares the hook/gate/front-cache
   /// state and the fast-path counters.
   friend struct ThreadedRun;
+  /// Likewise for the jit tier (arm/jit.cc).
+  friend struct JitRun;
 
   void fire_branch_hooks(GuestAddr from, GuestAddr to);
   bool run_interpretive(u64 max_steps);
@@ -197,6 +233,11 @@ class Cpu {
   /// run_tb's twin for the threaded tier: dispatches into micro-op streams
   /// (emitting them on first execution) instead of exec_block.
   bool run_threaded(u64 max_steps);
+  /// run_threaded's twin for the jit tier (defined in arm/jit.cc):
+  /// dispatches into compiled host code, falling back to the threaded
+  /// streams per block while instruction hooks are live or the arena is
+  /// exhausted.
+  bool run_jit(u64 max_steps);
   /// Runs a helper if one is registered at `pc`; returns false otherwise.
   bool run_helper(GuestAddr pc);
   std::shared_ptr<TranslationBlock> translate(GuestAddr pc, bool thumb);
@@ -263,6 +304,17 @@ class Cpu {
   TraceEmitter trace_emitter_;
   u64 threaded_links_ = 0;
   u64 threaded_patches_ = 0;
+  bool jit_enabled_ = false;
+  std::size_t jit_arena_bytes_ = 4u << 20;
+  bool jit_wx_ = false;
+  u64 jit_links_ = 0;
+  u64 jit_link_patches_ = 0;
+  u64 jit_blocks_compiled_ = 0;
+  u64 jit_bytes_emitted_ = 0;
+  u64 jit_arena_flushes_ = 0;
+  /// Lazily created on the first jit dispatch; owns the code arena. Lives
+  /// behind a pointer so non-jit configurations pay nothing.
+  std::unique_ptr<JitEngine> jit_engine_;
   TbCache tb_cache_;
   /// Direct-mapped raw-pointer front over the TB cache: a hit costs one
   /// probe and no shared_ptr refcount traffic. Entries are tagged with the

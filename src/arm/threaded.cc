@@ -17,114 +17,20 @@
 #include <cstring>
 
 #include "arm/cpu.h"
+#include "arm/uop_kernels.h"
 
 namespace ndroid::arm {
-namespace {
-
-// Micro-op kinds. The X-macro keeps the enum and the computed-goto label
-// table in one list so they can never drift out of order.
-#define UOP_LIST(X)                                                        \
-  X(enter)                                                                 \
-  X(and_i) X(and_r) X(eor_i) X(eor_r) X(sub_i) X(sub_r) X(rsb_i) X(rsb_r) \
-  X(add_i) X(add_r) X(adc_i) X(adc_r) X(sbc_i) X(sbc_r) X(rsc_i) X(rsc_r) \
-  X(orr_i) X(orr_r) X(mov_i) X(mov_r) X(bic_i) X(bic_r) X(mvn_i) X(mvn_r) \
-  X(cmp_i0) X(cmp_i) X(cmp_r) X(cmn_i) X(cmn_r)                            \
-  X(subs_i) X(subs_r) X(adds_i) X(adds_r)                                  \
-  X(movw) X(movt) X(mul) X(sxtb) X(sxth) X(uxtb) X(uxth)                   \
-  X(lsl_i) X(lsr_i) X(asr_i) X(ror_i) X(umull) X(smull)                    \
-  X(ldr_off) X(ldr_pre) X(ldr_post)                                        \
-  X(ldrb_off) X(ldrb_pre) X(ldrb_post)                                     \
-  X(ldrh_off) X(ldrh_pre) X(ldrh_post)                                     \
-  X(ldrsb_off) X(ldrsb_pre) X(ldrsb_post)                                  \
-  X(ldrsh_off) X(ldrsh_pre) X(ldrsh_post)                                  \
-  X(str_off) X(str_pre) X(str_post)                                        \
-  X(strb_off) X(strb_pre) X(strb_post)                                     \
-  X(strh_off) X(strh_pre) X(strh_post)                                     \
-  X(exec) X(exec_dead)                                                     \
-  X(cmp0_b) X(cmp_i_b) X(cmp_r_b) X(subs_i_b)                              \
-  X(b_al) X(bl_al) X(b_cond) X(bx_term) X(svc_term) X(exec_term) X(end)
-
-enum class UK : u32 {
-#define UOP_ENUM(name) k_##name,
-  UOP_LIST(UOP_ENUM)
-#undef UOP_ENUM
-      kCount
-};
-
-// Inline TLB-probing memory kernels. A read/write probe hit is one bounds
-// test, one tag compare, and a host memcpy; the miss path is the ordinary
-// read*/write* call (which refills the TLB and, for writes, runs the
-// write-watch). st_* returns true on a probe hit: the write TLB never
-// caches watched pages, so a hit store provably cannot have flipped
-// tb.dead and the caller skips the self-modification check entirely.
-inline u32 ld_u32(mem::AddressSpace& m, GuestAddr a) {
-  const u8* h = m.tlb_probe_read(a, 4);
-  if (h != nullptr) [[likely]] {
-    u32 v;
-    std::memcpy(&v, h, 4);
-    return v;
-  }
-  return m.read32(a);
-}
-inline u32 ld_u16(mem::AddressSpace& m, GuestAddr a) {
-  const u8* h = m.tlb_probe_read(a, 2);
-  if (h != nullptr) [[likely]] {
-    u16 v;
-    std::memcpy(&v, h, 2);
-    return v;
-  }
-  return m.read16(a);
-}
-inline u32 ld_u8(mem::AddressSpace& m, GuestAddr a) {
-  const u8* h = m.tlb_probe_read(a, 1);
-  if (h != nullptr) [[likely]] return *h;
-  return m.read8(a);
-}
-inline u32 ld_s16(mem::AddressSpace& m, GuestAddr a) {
-  return static_cast<u32>(static_cast<i32>(static_cast<i16>(ld_u16(m, a))));
-}
-inline u32 ld_s8(mem::AddressSpace& m, GuestAddr a) {
-  return static_cast<u32>(static_cast<i32>(static_cast<i8>(ld_u8(m, a))));
-}
-inline bool st_u32(mem::AddressSpace& m, GuestAddr a, u32 v) {
-  u8* h = m.tlb_probe_write(a, 4);
-  if (h != nullptr) [[likely]] {
-    std::memcpy(h, &v, 4);
-    return true;
-  }
-  m.write32(a, v);
-  return false;
-}
-inline bool st_u16(mem::AddressSpace& m, GuestAddr a, u32 v) {
-  u8* h = m.tlb_probe_write(a, 2);
-  if (h != nullptr) [[likely]] {
-    const u16 t = static_cast<u16>(v);
-    std::memcpy(h, &t, 2);
-    return true;
-  }
-  m.write16(a, static_cast<u16>(v));
-  return false;
-}
-inline bool st_u8(mem::AddressSpace& m, GuestAddr a, u32 v) {
-  u8* h = m.tlb_probe_write(a, 1);
-  if (h != nullptr) [[likely]] {
-    *h = static_cast<u8>(v);
-    return true;
-  }
-  m.write8(a, static_cast<u8>(v));
-  return false;
-}
-
-}  // namespace
 
 // The dispatch loop and the label table live in one function (GNU
 // labels-as-values). Called with table_out != nullptr it only exports the
-// label table for the emitter and executes nothing.
+// label table for the emitter and executes nothing. The micro-op kind list
+// (NDROID_UOP_LIST) and the TLB-probing ld_*/st_* kernels live in
+// threaded.h / uop_kernels.h, shared with the jit backend.
 u64 ThreadedRun::exec_impl(Cpu* cpu_p, ThreadedBlock* entry, u64 budget,
                            void* const** table_out) {
   static void* const labels[] = {
 #define UOP_LABEL(name) &&L_##name,
-      UOP_LIST(UOP_LABEL)
+      NDROID_UOP_LIST(UOP_LABEL)
 #undef UOP_LABEL
   };
   static_assert(sizeof(labels) / sizeof(labels[0]) ==
@@ -422,6 +328,49 @@ u64 ThreadedRun::exec_impl(Cpu* cpu_p, ThreadedBlock* entry, u64 budget,
     ST_TRIPLE(str, st_u32)
     ST_TRIPLE(strb, st_u8)
     ST_TRIPLE(strh, st_u16)
+
+  // Superword-fused micro-ops: two guest instructions (or one LDM/STM worth
+  // of transfers) retire per dispatch, cutting the dominant remaining cost
+  // of this tier — dispatch density — without host codegen.
+  L_movw_movt: {
+    // movw rd,#lo16 ; movt rd,#hi16 — a full 32-bit constant load.
+    r[op->a] = op->imm;
+    done += 2;
+    ++op;
+    goto* op->label;
+  }
+  L_ldr_addi: {
+    // ldr rd,[rn,#imm] ; add rm,rm,#step (flagless). Sequential effect:
+    // the load lands first, then the increment — correct for every
+    // aliasing of rd/rn/rm.
+    const GuestAddr addr = r[op->b] + op->imm;
+    r[op->a] = ld_u32(m, addr);
+    r[op->d] += op->x;
+    done += 2;
+    ++op;
+    goto* op->label;
+  }
+  L_stm: {
+    // Dense STM (push prologue). Same partial-exit protocol as ST_BODY:
+    // all transfers and the writeback complete, the insn fully retires,
+    // then a TLB-missing store re-checks the self-modification dead mark
+    // (resume PC pre-resolved in op->x).
+    const auto* ti = static_cast<const TbInsn*>(op->p);
+    const bool all_hit = stm_dense(s, m, ti->insn);
+    ++done;
+    if (!all_hit && blk->tb->dead) [[unlikely]] {
+      s.set_pc(op->x);
+      goto block_exit;
+    }
+    ++op;
+    goto* op->label;
+  }
+  L_ldm: {
+    // Dense LDM (pop without PC).
+    const auto* ti = static_cast<const TbInsn*>(op->p);
+    ldm_dense(s, m, ti->insn);
+    NEXT;
+  }
 
   L_exec: {
     // General-path instruction (shifted operands, conditional execution,
@@ -818,6 +767,16 @@ Uop make_body(const TbInsn& ti, bool in_it, void* const* L) {
       u.label = lab(in.op == Op::kUmull ? UK::k_umull : UK::k_smull);
       return u;
     }
+    // Dense block transfers (push/pop without PC): one dispatch per LDM/STM
+    // instead of the interpretive k_exec(_dead) round trip. Excluding the
+    // base register from the list sidesteps every base-restore subtlety.
+    if ((in.op == Op::kStm || in.op == Op::kLdm) && in.rn != kRegPC &&
+        in.reglist != 0 && (in.reglist & (1u << kRegPC)) == 0 &&
+        (in.reglist & (1u << in.rn)) == 0) {
+      u.x = ti.pc + in.length;  // stm partial-exit resume point
+      u.label = lab(in.op == Op::kStm ? UK::k_stm : UK::k_ldm);
+      return u;
+    }
   }
   if (ti.fast == nullptr) return make_generic(ti, L);
   switch (in.op) {
@@ -1057,6 +1016,42 @@ std::optional<Uop> make_fused_terminal(const TranslationBlock& tb,
   return u;
 }
 
+// Superword pair fusion over the straight-line body (the ROADMAP
+// dispatch-density plan): movw+movt (a 32-bit constant load) and the
+// ldr+add#imm load-then-advance loop idiom collapse into one micro-op that
+// retires two instructions. Both halves must be dense-eligible
+// (ti.fast != nullptr carries the cond==AL / no-PC / plain-operand
+// guarantees) and the caller ensures both sit outside IT blocks.
+std::optional<Uop> make_fused_pair(const TbInsn& a_ti, const TbInsn& b_ti,
+                                   void* const* L) {
+  const Insn& a = a_ti.insn;
+  const Insn& b = b_ti.insn;
+  Uop u;
+  auto lab = [&](UK k) { return L[static_cast<u32>(k)]; };
+  if (a.op == Op::kMovw && b.op == Op::kMovt && a.rd == b.rd &&
+      a_ti.fast != nullptr && b_ti.fast != nullptr) {
+    u.a = a.rd;
+    u.imm = (a.imm & 0xFFFFu) | (b.imm << 16);
+    u.p = &a_ti;
+    u.label = lab(UK::k_movw_movt);
+    return u;
+  }
+  if (a.op == Op::kLdr && a_ti.fast != nullptr && a.pre_index &&
+      !a.writeback && !a.reg_offset && b.op == Op::kAdd && b.imm_operand &&
+      !b.set_flags && b.rd == b.rn && b.rd != kRegPC &&
+      b_ti.fast != nullptr) {
+    u.a = a.rd;
+    u.b = a.rn;
+    u.imm = a.add_offset ? a.imm : 0u - a.imm;
+    u.d = b.rd;
+    u.x = b.imm;  // the post-load register step
+    u.p = &a_ti;
+    u.label = lab(UK::k_ldr_addi);
+    return u;
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 void ThreadedRun::emit(Cpu&, TranslationBlock& tb) {
@@ -1089,6 +1084,25 @@ void ThreadedRun::emit(Cpu&, TranslationBlock& tb) {
               make_fused_terminal(tb, ti, tb.insns[n - 1], L)) {
         blk->ops.push_back(*fused);
         break;
+      }
+    }
+    // Superword pair fusion (movw+movt, ldr+add#imm). `it_left == 0`
+    // guarantees the partner instruction is also outside any IT block; the
+    // fusable shapes never terminate a block, so consuming the partner
+    // cannot swallow a terminal.
+    if (!in_it && it_left == 0 && i + 1 < n &&
+        !(i + 1 == n - 1 && ends_block(tb.insns[i + 1].insn))) {
+      if (std::optional<Uop> fused =
+              make_fused_pair(ti, tb.insns[i + 1], L)) {
+        blk->ops.push_back(*fused);
+        ++i;  // partner consumed
+        if (i == n - 1) {
+          Uop end;
+          end.label = L[static_cast<u32>(UK::k_end)];
+          end.imm = tb.pc + tb.byte_length;
+          blk->ops.push_back(end);
+        }
+        continue;
       }
     }
     if (i == n - 1 && ends_block(ti.insn)) {

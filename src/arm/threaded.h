@@ -44,6 +44,40 @@
 namespace ndroid::arm {
 
 class Cpu;
+struct JitBlock;  // arm/jit.h — host-code lowering of a ThreadedBlock
+
+// Micro-op kinds. The X-macro keeps the enum, the computed-goto label table
+// (threaded.cc), and the JIT's template dispatch (jit.cc) in one list so
+// they can never drift out of order. The *_off/_pre/_post triples must stay
+// contiguous (emission indexes base + variant).
+#define NDROID_UOP_LIST(X)                                                 \
+  X(enter)                                                                 \
+  X(and_i) X(and_r) X(eor_i) X(eor_r) X(sub_i) X(sub_r) X(rsb_i) X(rsb_r) \
+  X(add_i) X(add_r) X(adc_i) X(adc_r) X(sbc_i) X(sbc_r) X(rsc_i) X(rsc_r) \
+  X(orr_i) X(orr_r) X(mov_i) X(mov_r) X(bic_i) X(bic_r) X(mvn_i) X(mvn_r) \
+  X(cmp_i0) X(cmp_i) X(cmp_r) X(cmn_i) X(cmn_r)                            \
+  X(subs_i) X(subs_r) X(adds_i) X(adds_r)                                  \
+  X(movw) X(movt) X(mul) X(sxtb) X(sxth) X(uxtb) X(uxth)                   \
+  X(lsl_i) X(lsr_i) X(asr_i) X(ror_i) X(umull) X(smull)                    \
+  X(ldr_off) X(ldr_pre) X(ldr_post)                                        \
+  X(ldrb_off) X(ldrb_pre) X(ldrb_post)                                     \
+  X(ldrh_off) X(ldrh_pre) X(ldrh_post)                                     \
+  X(ldrsb_off) X(ldrsb_pre) X(ldrsb_post)                                  \
+  X(ldrsh_off) X(ldrsh_pre) X(ldrsh_post)                                  \
+  X(str_off) X(str_pre) X(str_post)                                        \
+  X(strb_off) X(strb_pre) X(strb_post)                                     \
+  X(strh_off) X(strh_pre) X(strh_post)                                     \
+  X(movw_movt) X(ldr_addi) X(stm) X(ldm)                                   \
+  X(exec) X(exec_dead)                                                     \
+  X(cmp0_b) X(cmp_i_b) X(cmp_r_b) X(subs_i_b)                              \
+  X(b_al) X(bl_al) X(b_cond) X(bx_term) X(svc_term) X(exec_term) X(end)
+
+enum class UK : u32 {
+#define NDROID_UOP_ENUM(name) k_##name,
+  NDROID_UOP_LIST(NDROID_UOP_ENUM)
+#undef NDROID_UOP_ENUM
+      kCount
+};
 
 /// A pre-resolved analysis thunk for one instruction: `fn(ctx, ...)` must
 /// reproduce the combined effect of every registered instruction hook on
@@ -120,6 +154,10 @@ struct ThreadedBlock {
   /// Fused trace stream, built lazily on the first gated execution.
   bool traced_ready = false;
   std::vector<TraceStep> traced;
+  /// Host-code lowering (arm/jit.cc), compiled lazily by the jit engine.
+  /// Rides this block's lifetime so the graveyard protocol keeps emitted
+  /// code reachable until no executor frame is live.
+  std::shared_ptr<JitBlock> jit;
 };
 
 /// Static entry points of the threaded tier (friend of Cpu).
@@ -139,6 +177,10 @@ struct ThreadedRun {
   /// mirroring Cpu::exec_block's careful path bit for bit.
   static u64 exec_traced(Cpu& cpu, ThreadedBlock& blk, u64 budget);
 
+  /// Computed-goto label table indexed by UK; jit.cc reverse-maps
+  /// Uop::label through this to recover each op's kind.
+  static void* const* label_table();
+
  private:
   // Implementation details (threaded.cc); members so Cpu's friendship on
   // ThreadedRun covers the inner loop's access to the engine state.
@@ -146,7 +188,6 @@ struct ThreadedRun {
                        void* const** table_out);
   static u64 exec_traced_impl(Cpu& cpu, ThreadedBlock& blk, u64 budget);
   static void build_traced(Cpu& cpu, ThreadedBlock& blk);
-  static void* const* label_table();
 };
 
 }  // namespace ndroid::arm

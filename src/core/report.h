@@ -29,6 +29,11 @@ struct PerfCounters {
   u64 decode_hits = 0;
   u64 threaded_links = 0;    // block transitions that stayed in-loop
   u64 threaded_patches = 0;  // direct-link exit slots (re)patched
+  u64 jit_links = 0;            // host-code transitions that stayed native
+  u64 jit_patches = 0;          // host link slots (re)patched
+  u64 jit_blocks = 0;           // blocks compiled to host code
+  u64 jit_bytes = 0;            // bytes of host code emitted
+  u64 jit_arena_flushes = 0;    // whole-arena recycles (exhaustion)
 
   [[nodiscard]] double tb_hit_rate() const {
     return tb_lookups == 0
@@ -51,6 +56,11 @@ inline PerfCounters collect_perf(const arm::Cpu& cpu) {
   c.decode_hits = cpu.decode_hits();
   c.threaded_links = cpu.threaded_links();
   c.threaded_patches = cpu.threaded_patches();
+  c.jit_links = cpu.jit_links();
+  c.jit_patches = cpu.jit_link_patches();
+  c.jit_blocks = cpu.jit_blocks_compiled();
+  c.jit_bytes = cpu.jit_bytes_emitted();
+  c.jit_arena_flushes = cpu.jit_arena_flushes();
   return c;
 }
 

@@ -358,7 +358,13 @@ Slot Dvm::invoke_native(const Method& method, const std::vector<Slot>& args) {
                           policy_.propagate_java ? args[i].taint
                                                  : kTaintClear);
   }
-  const GuestAddr result_addr = data_alloc(8);  // JValue scratch
+  // JValue scratch, allocated once and reused: the guest stub only writes
+  // the result right before returning and the caller reads it immediately
+  // after, so strictly-nested (LIFO, single-threaded) native calls can
+  // share one slot — a per-call data_alloc would leak the arena dry on
+  // long benchmark runs.
+  if (jvalue_scratch_ == 0) jvalue_scratch_ = data_alloc(8);
+  const GuestAddr result_addr = jvalue_scratch_;
   cpu_.call_function(
       sym("dvmCallJNIMethod"),
       {outs, result_addr, method.guest_addr, thread_self_addr_});

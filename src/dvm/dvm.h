@@ -208,6 +208,7 @@ class Dvm {
   GuestAddr data_end_ = 0;
   GuestAddr jnienv_addr_ = 0;
   GuestAddr thread_self_addr_ = 0;
+  GuestAddr jvalue_scratch_ = 0;
 
   ClassObject* string_class_ = nullptr;
 

@@ -42,10 +42,11 @@ namespace ndroid::farm {
 /// the previous plus one mechanism), so sweeping them isolates the
 /// contribution of the TB cache, the software TLB, and the threaded
 /// micro-op tier. `kThreaded` is the production default.
-enum class EngineTier { kInterp, kTb, kTbTlb, kThreaded };
+enum class EngineTier { kInterp, kTb, kTbTlb, kThreaded, kJit };
 
-/// Parses "interp" | "tb" | "tb+tlb" | "threaded"; throws
-/// std::invalid_argument on anything else.
+/// Parses "interp" | "tb" | "tb+tlb" | "threaded" | "jit"; throws
+/// std::invalid_argument on anything else. "jit" degrades to the threaded
+/// tier on hosts without host-code emission (Cpu::jit_available() false).
 EngineTier parse_engine(const std::string& name);
 const char* to_string(EngineTier tier);
 

@@ -169,7 +169,7 @@ Program generate(u64 seed) {
   return prog;
 }
 
-enum class Tier { kInterp, kTb, kTbTlb, kThreaded, kThreadedFused };
+enum class Tier { kInterp, kTb, kTbTlb, kThreaded, kThreadedFused, kJit };
 
 const char* tier_name(Tier t) {
   switch (t) {
@@ -178,6 +178,7 @@ const char* tier_name(Tier t) {
     case Tier::kTbTlb: return "tb+tlb";
     case Tier::kThreaded: return "threaded";
     case Tier::kThreadedFused: return "threaded+fused";
+    case Tier::kJit: return "jit";
   }
   return "?";
 }
@@ -206,9 +207,11 @@ TierResult run_tier(const Program& prog, Tier tier, bool taint, u64 seed) {
   cpu.set_initial_sp(0x80000);
   cpu.set_use_tb_cache(tier != Tier::kInterp);
   cpu.set_threaded_enabled(tier == Tier::kThreaded ||
-                           tier == Tier::kThreadedFused);
+                           tier == Tier::kThreadedFused ||
+                           tier == Tier::kJit);
   mem.set_tlb_enabled(tier == Tier::kTbTlb || tier == Tier::kThreaded ||
-                      tier == Tier::kThreadedFused);
+                      tier == Tier::kThreadedFused || tier == Tier::kJit);
+  cpu.set_jit_enabled(tier == Tier::kJit);  // no-op without host emission
   mem.write_bytes(kCode, prog.arm_code);
   mem.write_bytes(kThumb, prog.thumb_code);
 
@@ -270,7 +273,7 @@ Outcome run_differential(u64 seed) {
   out.checksum = static_cast<u32>(h ^ (h >> 32));
 
   for (const Tier tier : {Tier::kTb, Tier::kTbTlb, Tier::kThreaded,
-                          Tier::kThreadedFused}) {
+                          Tier::kThreadedFused, Tier::kJit}) {
     const TierResult got = run_tier(prog, tier, true, seed);
     if (got.r0 != base.r0) {
       out.error = std::string(tier_name(tier)) + " diverged on r0";
@@ -291,8 +294,8 @@ Outcome run_differential(u64 seed) {
   }
 
   // Taint tracking must be a pure observer of architectural state.
-  for (const Tier tier :
-       {Tier::kInterp, Tier::kTb, Tier::kTbTlb, Tier::kThreaded}) {
+  for (const Tier tier : {Tier::kInterp, Tier::kTb, Tier::kTbTlb,
+                          Tier::kThreaded, Tier::kJit}) {
     const TierResult got = run_tier(prog, tier, false, seed);
     if (got.r0 != base.r0 || got.mem_digest != base.mem_digest) {
       out.error =

@@ -383,7 +383,14 @@ FuzzProgram generate_program(u32 seed) {
   return prog;
 }
 
-enum class FuzzEngine { kInterp, kTb, kTbTlb, kThreaded, kThreadedFused };
+enum class FuzzEngine {
+  kInterp,
+  kTb,
+  kTbTlb,
+  kThreaded,
+  kThreadedFused,
+  kJit,  // host-code emission; threaded with fusion on non-x86-64 hosts
+};
 
 struct FuzzResult {
   u32 r0 = 0;
@@ -410,10 +417,13 @@ FuzzResult run_fuzz(const FuzzProgram& prog, FuzzEngine engine, bool taint,
   cpu.set_initial_sp(0x80000);
   cpu.set_use_tb_cache(engine != FuzzEngine::kInterp);
   cpu.set_threaded_enabled(engine == FuzzEngine::kThreaded ||
-                           engine == FuzzEngine::kThreadedFused);
+                           engine == FuzzEngine::kThreadedFused ||
+                           engine == FuzzEngine::kJit);
   mem.set_tlb_enabled(engine == FuzzEngine::kTbTlb ||
                       engine == FuzzEngine::kThreaded ||
-                      engine == FuzzEngine::kThreadedFused);
+                      engine == FuzzEngine::kThreadedFused ||
+                      engine == FuzzEngine::kJit);
+  cpu.set_jit_enabled(engine == FuzzEngine::kJit);
   mem.write_bytes(kFuzzCode, prog.arm_code);
   mem.write_bytes(kFuzzThumb, prog.thumb_code);
 
@@ -482,6 +492,7 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
       {FuzzEngine::kTbTlb, "tb+tlb"},
       {FuzzEngine::kThreaded, "threaded"},
       {FuzzEngine::kThreadedFused, "threaded+fused"},
+      {FuzzEngine::kJit, "jit"},
   };
   for (const auto& tier : tiers) {
     const FuzzResult got = run_fuzz(prog, tier.engine, true, seed);
@@ -494,17 +505,18 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
   }
 
   // Taint tracking must be a pure observer: with it off (every tier runs
-  // its clean streams) the architectural results are unchanged.
+  // its clean streams — the jit actually executing host code here) the
+  // architectural results are unchanged.
   for (const FuzzEngine engine :
        {FuzzEngine::kInterp, FuzzEngine::kTb, FuzzEngine::kTbTlb,
-        FuzzEngine::kThreaded}) {
+        FuzzEngine::kThreaded, FuzzEngine::kJit}) {
     const FuzzResult got = run_fuzz(prog, engine, false, seed);
     EXPECT_EQ(got.r0, base.r0) << "taint-off seed " << seed;
     EXPECT_EQ(got.mem_digest, base.mem_digest) << "taint-off seed " << seed;
   }
 }
 
-// Bounded for CI: 12 seeds x 9 engine configurations, each a few thousand
+// Bounded for CI: 12 seeds x 11 engine configurations, each a few thousand
 // guest instructions.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(1u, 13u));
 
@@ -611,6 +623,7 @@ TEST_P(DispatchTableFuzz, EnginesAgreeOnDispatchHeavyPrograms) {
       {FuzzEngine::kTbTlb, "tb+tlb"},
       {FuzzEngine::kThreaded, "threaded"},
       {FuzzEngine::kThreadedFused, "threaded+fused"},
+      {FuzzEngine::kJit, "jit"},
   };
   for (const auto& tier : tiers) {
     const FuzzResult got = run_fuzz(prog, tier.engine, true, seed);
@@ -620,6 +633,14 @@ TEST_P(DispatchTableFuzz, EnginesAgreeOnDispatchHeavyPrograms) {
     EXPECT_EQ(got.traced, base.traced) << tier.name << " seed " << seed;
     EXPECT_EQ(got.shadow_digest, base.shadow_digest)
         << tier.name << " seed " << seed;
+  }
+
+  // Dispatch-heavy programs with taint off: every dynamic-target terminal
+  // (bx/blx, the ldr-pc table switch) resolves inside emitted code paths.
+  for (const FuzzEngine engine : {FuzzEngine::kThreaded, FuzzEngine::kJit}) {
+    const FuzzResult got = run_fuzz(prog, engine, false, seed);
+    EXPECT_EQ(got.r0, base.r0) << "taint-off seed " << seed;
+    EXPECT_EQ(got.mem_digest, base.mem_digest) << "taint-off seed " << seed;
   }
 }
 

@@ -112,38 +112,46 @@ TEST(GoldenLogs, Fig9PocCase3Sequence) {
 }
 
 TEST(GoldenLogs, InterpretiveAblationIsBitForBitIdentical) {
-  // Four engine configurations must produce the same full analysis log of
+  // Five engine configurations must produce the same full analysis log of
   // a case study line for line — not just the same milestones:
   //   * the seed interpretive engine (`use_tb_cache=false`, TLB off),
   //   * the TB-cache engine with the software TLB disabled,
   //   * the TB-cache engine with the software TLB enabled,
-  //   * the threaded micro-op tier on top of both (production default).
-  auto run_case = [](bool use_tb, bool use_tlb, bool use_threaded) {
+  //   * the threaded micro-op tier on top of both (production default),
+  //   * the template JIT on top of everything (clean blocks as host code;
+  //     threaded with superword fusion on hosts without code emission).
+  auto run_case = [](bool use_tb, bool use_tlb, bool use_threaded,
+                     bool use_jit) {
     Device device;
     device.cpu.set_use_tb_cache(use_tb);
     device.cpu.set_threaded_enabled(use_threaded);
     device.memory.set_tlb_enabled(use_tlb);
+    device.cpu.set_jit_enabled(use_jit);
     NDroid nd(device);
     const auto app = apps::build_case2(device);
     device.dvm.call(*app.entry, {});
     return nd.log().lines();
   };
-  const std::vector<std::string> interp_log = run_case(false, false, false);
+  const std::vector<std::string> interp_log =
+      run_case(false, false, false, false);
   ASSERT_FALSE(interp_log.empty());
   struct Tier {
     bool use_tlb;
     bool use_threaded;
+    bool use_jit;
   };
-  for (const Tier tier : {Tier{false, false}, Tier{true, false},
-                          Tier{true, true}}) {
+  for (const Tier tier :
+       {Tier{false, false, false}, Tier{true, false, false},
+        Tier{true, true, false}, Tier{true, true, true}}) {
     const std::vector<std::string> tb_log =
-        run_case(true, tier.use_tlb, tier.use_threaded);
+        run_case(true, tier.use_tlb, tier.use_threaded, tier.use_jit);
     ASSERT_EQ(tb_log.size(), interp_log.size())
-        << "tlb=" << tier.use_tlb << " threaded=" << tier.use_threaded;
+        << "tlb=" << tier.use_tlb << " threaded=" << tier.use_threaded
+        << " jit=" << tier.use_jit;
     for (std::size_t i = 0; i < tb_log.size(); ++i) {
       EXPECT_EQ(tb_log[i], interp_log[i])
           << "tlb=" << tier.use_tlb << " threaded=" << tier.use_threaded
-          << ", first divergence at line " << i;
+          << " jit=" << tier.use_jit << ", first divergence at line " << i;
     }
   }
 }

@@ -142,11 +142,14 @@ void BM_EmulatorNativeMipsTracedTainted(benchmark::State& state) {
 }
 BENCHMARK(BM_EmulatorNativeMipsTracedTainted);
 
-/// NDroid + live register taint with the JIT armed: the gated instruction
-/// hooks NDroid registers keep every block on the threaded streams (the
-/// trampoline only dispatches emitted code when no hooks exist), so this
-/// measures that arming the JIT costs nothing when analysis is live —
-/// parity with BM_EmulatorNativeMipsTracedTainted is the target.
+/// NDroid + live register taint with the JIT armed: gate-fired blocks run
+/// their taint-fused *traced* host stream (Table V transfers inlined over
+/// the raw label file, shadow-TLB label probes, deferred bookkeeping
+/// resync). Acceptance: >= 3x faster than BM_EmulatorNativeMipsTracedTainted
+/// (the threaded fused-trace tier). The emitted counters prove which tier
+/// actually executed: `jit_traced_blocks` counts gate-fired dispatches that
+/// ran traced host code and must dominate; `jit_fallback_blocks` counts
+/// hooked dispatches that fell back to the threaded streams.
 void BM_JitTracedTainted(benchmark::State& state) {
   Env env;
   env.device.cpu.set_jit_enabled(true);
@@ -157,6 +160,11 @@ void BM_JitTracedTainted(benchmark::State& state) {
     benchmark::DoNotOptimize(env.bench.run(*w, 1000));
   }
   report_native_mips(state, env.device.cpu);
+  const core::PerfCounters perf = core::collect_perf(env.device.cpu);
+  state.counters["jit_traced_blocks"] =
+      static_cast<double>(perf.jit_traced_blocks);
+  state.counters["jit_fallback_blocks"] =
+      static_cast<double>(perf.jit_fallback_blocks);
 }
 BENCHMARK(BM_JitTracedTainted);
 

@@ -47,12 +47,17 @@
 #   * Template JIT: BM_JitNativeMips (host x86-64 emission) vs
 #                   BM_EmulatorNativeMips (threaded tier), target >= 1.3x
 #                   on x86-64 hosts; BM_JitDispatch isolates the dispatch
-#                   loop under patched host jumps, and BM_JitTracedTainted
-#                   must land within noise of BM_EmulatorNativeMipsTraced-
-#                   Tainted (live hooks ride the threaded streams). The
-#                   code-arena statistics from BM_JitNativeMips (blocks,
-#                   bytes, link patches, arena flushes) are copied into
-#                   every artifact's context as "jit_tier" below.
+#                   loop under patched host jumps.
+#   * Taint-fused JIT: BM_JitTracedTainted (taint-live blocks on the
+#                   traced host stream: inlined Table V transfers, shadow-
+#                   TLB label probes, deferred bookkeeping resync) vs
+#                   BM_EmulatorNativeMipsTracedTainted (threaded fused-
+#                   trace tier), target >= 3x on x86-64 hosts. Its
+#                   jit_traced_blocks / jit_fallback_blocks counters prove
+#                   which tier executed and are copied into every
+#                   artifact's context alongside the code-arena statistics
+#                   from BM_JitNativeMips (blocks, bytes, link patches,
+#                   arena flushes) as "jit_tier" below.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -124,6 +129,11 @@ for b in micro.get("benchmarks", []):
         jit_tier = {k: b[k] for k in
                     ("jit_blocks", "jit_bytes", "jit_links", "jit_patches",
                      "jit_arena_flushes") if k in b}
+for b in micro.get("benchmarks", []):
+    if b.get("name") == "BM_JitTracedTainted":
+        jit_tier.update({k: b[k] for k in
+                         ("jit_traced_blocks", "jit_fallback_blocks")
+                         if k in b})
 # jit_blocks == 0 means the host has no code emission and the jit tier
 # degraded to threaded: record that explicitly.
 jit_tier["jit_available"] = bool(jit_tier.get("jit_blocks", 0))

@@ -60,6 +60,41 @@ using BlockGate = std::function<bool(Cpu&, TranslationBlock& tb)>;
 /// without leaving the block executor).
 using BranchGate = std::function<bool(Cpu&, GuestAddr from, GuestAddr to)>;
 
+/// Everything the taint-fused JIT streams need from the analysis layer,
+/// flattened to raw pointers so emitted host code can bake them in as
+/// immediates. The arm layer stays ignorant of the taint engine: the client
+/// (core::NDroid) fills this in and owns every pointed-to object for as long
+/// as the view is installed. With a view installed (reg_labels != nullptr),
+/// gate-skipped blocks run their *clean* host stream and gate-fired blocks
+/// run a *traced* host stream that propagates Table V taint inline — instead
+/// of falling back to the threaded tier wholesale.
+struct TaintJitView {
+  /// The 16-slot register label file (TaintEngine shadow registers). Traced
+  /// streams read and write it raw; `sync` reconciles the engine's
+  /// incremental bookkeeping (counts, masks, epochs) afterwards.
+  u32* reg_labels = nullptr;
+  /// Called at every traced-block exit and before every out-of-line trace
+  /// callout with a bitmask of registers whose labels emitted code may have
+  /// written since the last sync.
+  void (*sync)(void* ctx, u32 written_mask) = nullptr;
+  void* sync_ctx = nullptr;
+  /// ShadowMemory's JIT shadow TLB: direct-mapped, 16-byte entries, page
+  /// number at +0 and label-array pointer at +8 (the data-TLB probe shape).
+  const void* shadow_tlb = nullptr;
+  u32 shadow_tlb_slots = 0;
+  /// Slow paths for taint loads/stores that miss the shadow TLB or straddle
+  /// a page: fill the TLB and do the bookkeeping-complete range op.
+  u32 (*shadow_read)(void* ctx, u32 addr, u32 len) = nullptr;
+  void (*shadow_write)(void* ctx, u32 addr, u32 len, u32 taint) = nullptr;
+  void* mem_ctx = nullptr;
+  /// Tracer statistics slots; constant increments are folded into traced
+  /// exits so the counts stay exactly what the interpreted tracer would
+  /// report. cache_ctr == nullptr means the handler cache is disabled.
+  u64* traced_ctr = nullptr;
+  u64* cache_ctr = nullptr;
+  u64* prop_ctr = nullptr;
+};
+
 /// Address the run loop treats as "return to host": calling convention glue
 /// sets LR to this before entering guest code.
 inline constexpr GuestAddr kHostReturnAddr = 0xFFFF0000u;
@@ -215,6 +250,26 @@ class Cpu {
   [[nodiscard]] u64 jit_bytes_emitted() const { return jit_bytes_emitted_; }
   [[nodiscard]] u64 jit_arena_flushes() const { return jit_arena_flushes_; }
 
+  /// Installs (or clears, with nullptr) the taint view the jit tier compiles
+  /// traced host streams against. Flushes cached blocks: emitted streams
+  /// bake the view's pointers in as immediates.
+  void set_taint_jit_view(const TaintJitView* view) {
+    taint_jit_view_ = view != nullptr ? *view : TaintJitView{};
+    flush_blocks();
+  }
+  [[nodiscard]] bool has_taint_jit_view() const {
+    return taint_jit_view_.reg_labels != nullptr;
+  }
+
+  /// Traced-tier dispatch statistics: blocks entered through a traced host
+  /// stream vs. blocks that fell back to the threaded/traced micro-op
+  /// streams while instruction hooks were live (no view installed, traced
+  /// emission bailed, or the hook configuration is not the fusable shape).
+  [[nodiscard]] u64 jit_traced_blocks() const { return jit_traced_blocks_; }
+  [[nodiscard]] u64 jit_fallback_blocks() const {
+    return jit_fallback_blocks_;
+  }
+
   /// Decode-cache statistics (shared by both execution engines).
   [[nodiscard]] u64 decode_lookups() const { return decode_lookups_; }
   [[nodiscard]] u64 decode_hits() const { return decode_hits_; }
@@ -312,6 +367,9 @@ class Cpu {
   u64 jit_blocks_compiled_ = 0;
   u64 jit_bytes_emitted_ = 0;
   u64 jit_arena_flushes_ = 0;
+  TaintJitView taint_jit_view_{};
+  u64 jit_traced_blocks_ = 0;
+  u64 jit_fallback_blocks_ = 0;
   /// Lazily created on the first jit dispatch; owns the code arena. Lives
   /// behind a pointer so non-jit configurations pay nothing.
   std::unique_ptr<JitEngine> jit_engine_;

@@ -109,6 +109,28 @@ void Cpu::set_jit_config(std::size_t arena_bytes, bool wx) {
   jit_engine_.reset();
 }
 
+// The threaded L_enter gate transliterated (threaded.cc keeps the
+// reference copy): hooks fire unless every hook is gated and the
+// epoch-memoised block gate declares the block hook-free. Shared by both
+// build flavours so tests can probe the memo protocol without a jit.
+bool JitRun::gate_fire(Cpu& cpu, TranslationBlock& tb) {
+  bool fire = !cpu.insn_hooks_.empty();
+  if (fire && cpu.block_gate_ &&
+      cpu.gated_hooks_ == static_cast<int>(cpu.insn_hooks_.size())) {
+    if (cpu.block_gate_epoch_ != nullptr &&
+        tb.gate_epoch == *cpu.block_gate_epoch_) {
+      fire = tb.gate_fire;
+    } else {
+      fire = cpu.block_gate_(cpu, tb);
+      if (cpu.block_gate_epoch_ != nullptr) {
+        tb.gate_epoch = *cpu.block_gate_epoch_;
+        tb.gate_fire = fire;
+      }
+    }
+  }
+  return fire;
+}
+
 #ifdef NDROID_JIT_X64
 
 namespace {
@@ -372,28 +394,34 @@ UK uop_kind(const void* label) {
 }
 
 // Per-generation prologue/epilogue glue, emitted at the arena base. The
-// prologue saves the callee-saved pin registers (5 pushes leave rsp
-// 16-aligned inside block code, so a slow path's `call` meets the SysV
-// alignment rule), loads the pins, and tail-jumps into block code; the
-// epilogue restores and returns to JitRun::exec.
+// prologue saves the callee-saved pin registers (6 pushes plus the rsp
+// adjustment leave rsp 16-aligned inside block code, so a slow path's
+// `call` meets the SysV alignment rule), loads the pins, and tail-jumps
+// into block code; the epilogue restores and returns to JitRun::exec. RBP
+// is saved here but only pinned (to the taint register-label file) at each
+// traced body's entry — clean bodies never touch it.
 bool emit_stubs(Cpu& cpu, JitEngine& eng) {
   const mem::AddressSpace::TlbView view = cpu.memory().tlb_view();
   Asm a;
   a.push_r(RBX);
+  a.push_r(RBP);
   a.push_r(R12);
   a.push_r(R13);
   a.push_r(R14);
   a.push_r(R15);
+  a.alu_ri64(5, RSP, 8);
   a.mov_rr64(R15, RDI);
   a.mov_rm64(RBX, RDI, kCtxS);
   a.mov_ri64(R13, reinterpret_cast<u64>(view.read_base));
   a.mov_ri64(R14, reinterpret_cast<u64>(view.write_base));
   a.jmp_r(RSI);
   const std::size_t epi = a.size();
+  a.alu_ri64(0, RSP, 8);
   a.pop_r(R15);
   a.pop_r(R14);
   a.pop_r(R13);
   a.pop_r(R12);
+  a.pop_r(RBP);
   a.pop_r(RBX);
   a.ret();
 
@@ -435,6 +463,36 @@ const void* JitRun::resolve(void* ctx_, void* jb_, u32 slot_idx, u32 from,
   const u64 key = TbCache::key(to, s.thumb);
   const u64 ver = cpu.tb_cache_.version();
   HostSlot& slot = jb->slots[slot_idx];
+  if (!cpu.insn_hooks_.empty()) {
+    // Gate-live mode: every crossing re-decides the stream, so slots are
+    // never consulted or patched (a cached target would freeze a stale
+    // gate answer into the edge). The inline fast path is already fenced
+    // off — exec forces edge_slow while instruction hooks are live.
+    const Cpu::TbFrontEntry& fe = cpu.tb_front_[static_cast<u32>(
+        (key * 0x9E3779B97F4A7C15ull) >> (64 - Cpu::kTbFrontBits))];
+    if (fe.key == key && fe.version == ver && fe.tb->threaded != nullptr &&
+        fe.tb->threaded->jit != nullptr &&
+        fe.tb->threaded->jit->code != nullptr &&
+        fe.tb->threaded->jit->arena_gen == eng.generation) {
+      ThreadedBlock& sb = *fe.tb->threaded;
+      if (gate_fire(cpu, *fe.tb)) {
+        if (sb.jit->traced_entry != nullptr) {
+          ++cpu.jit_links_;
+          return sb.jit->traced_entry;
+        }
+        // Gate fired but no traced stream was emitted: surface so the
+        // trampoline dispatches this block through the threaded tier.
+        s.set_pc(to);
+        return nullptr;
+      }
+      ++cpu.fastpath_blocks_;
+      cpu.fastpath_insns_ += sb.n_insns;
+      ++cpu.jit_links_;
+      return sb.jit->code;
+    }
+    s.set_pc(to);
+    return nullptr;
+  }
   if (slot.version == ver && slot.key == key) {
     // Counted as a TB hit when exec folds the jit_links_ delta in.
     ++cpu.jit_links_;
@@ -544,6 +602,48 @@ const void* JitRun::co_svc_term(void* ctx_, void* jb_, const void* uop_) {
   }
 }
 
+// --- Traced-stream callouts ---------------------------------------------
+
+u64 JitRun::co_trace_step(void* ctx_, const void* op_, const void* ti_,
+                          u32 written) {
+  // One non-inlineable TraceStep (threaded exec_traced_impl's fused-thunk
+  // dispatch). The engine's incremental bookkeeping must be reconciled
+  // before the handler runs: it may call set_reg, whose count/mask deltas
+  // assume the stored state matches the label file.
+  auto* c = static_cast<JitCtx*>(ctx_);
+  const TaintJitView& v = c->cpu->taint_jit_view_;
+  if (written != 0) v.sync(v.sync_ctx, written);
+  const auto* op = static_cast<const TraceOp*>(op_);
+  const auto* ti = static_cast<const TbInsn*>(ti_);
+  try {
+    op->fn(op->ctx, *c->cpu, ti->insn, ti->pc);
+    return 0;
+  } catch (...) {
+    c->s->set_pc(ti->pc);  // the hook ran before its instruction retired
+    *c->eptr = std::current_exception();
+    c->exit_exc = 1;
+    return 1;
+  }
+}
+
+void JitRun::co_taint_sync(void* ctx_, u32 written) {
+  auto* c = static_cast<JitCtx*>(ctx_);
+  const TaintJitView& v = c->cpu->taint_jit_view_;
+  v.sync(v.sync_ctx, written);
+}
+
+u32 JitRun::co_shadow_read(void* ctx_, u32 addr, u32 len) {
+  auto* c = static_cast<JitCtx*>(ctx_);
+  const TaintJitView& v = c->cpu->taint_jit_view_;
+  return v.shadow_read(v.mem_ctx, addr, len);
+}
+
+void JitRun::co_shadow_write(void* ctx_, u32 addr, u32 len, u32 taint) {
+  auto* c = static_cast<JitCtx*>(ctx_);
+  const TaintJitView& v = c->cpu->taint_jit_view_;
+  v.shadow_write(v.mem_ctx, addr, len, taint);
+}
+
 // --- Block compilation --------------------------------------------------
 
 namespace {
@@ -564,13 +664,23 @@ void emit_epilogue_jump(Asm& a, const EmitEnv& e) {
   a.jmp_r(RAX);
 }
 
+// Traced-pass emitter state (defined with the traced-stream section below).
+// Forward-declared so the shared partial-exit emitters can spill the
+// deferred taint bookkeeping on exits that occur mid-traced-body.
+struct TraceEmit;
+void emit_trace_spill(Asm& a, const TraceEmit& ts);
+
 // Partial exit after a slow store / dense STM that may have killed the
 // block: check tb.dead, and when set retire `ri + 1` instructions and
-// surface with the resume PC (the store instruction fully retired).
-void emit_dead_check(Asm& a, const EmitEnv& e, u32 ri, u32 resume_pc) {
+// surface with the resume PC (the store instruction fully retired). In a
+// traced body the exit first spills the pending label sync / counter folds
+// (`ts`); the fall-through keeps them pending (only one path runs).
+void emit_dead_check(Asm& a, const EmitEnv& e, u32 ri, u32 resume_pc,
+                     const TraceEmit* ts) {
   a.mov_ri64(RAX, reinterpret_cast<u64>(&e.blk->tb->dead));
   a.cmp_mi8(RAX, 0, 0);
   const std::size_t alive = a.jcc(CC_E);
+  if (ts != nullptr) emit_trace_spill(a, *ts);
   a.add_mi64(R15, kCtxDone, ri + 1);
   a.mov_mi32(RBX, kPcOff, resume_pc);
   emit_epilogue_jump(a, e);
@@ -642,7 +752,7 @@ void emit_load(Asm& a, const Uop& u, MemVar var, u32 len, bool is_signed) {
 // cached code (watched pages are never write-TLB cached) and skips the dead
 // check; the slow path re-checks tb.dead and takes the partial exit.
 void emit_store(Asm& a, const EmitEnv& e, const Uop& u, MemVar var, u32 len,
-                u32 ri) {
+                u32 ri, const TraceEmit* ts) {
   a.mov_rm32(RSI, RBX, reg_off(u.b));
   if (var != MemVar::kPost && u.imm != 0) a.alu_ri32(0, RSI, u.imm);
   if (var == MemVar::kPre) a.mov_rr32(R12, RSI);
@@ -666,7 +776,7 @@ void emit_store(Asm& a, const EmitEnv& e, const Uop& u, MemVar var, u32 len,
   a.mov_ri64(RAX, reinterpret_cast<u64>(fn));
   a.call_r(RAX);
   if (var != MemVar::kOff) a.mov_mr32(RBX, reg_off(u.b), R12);
-  emit_dead_check(a, e, ri, u.x);
+  emit_dead_check(a, e, ri, u.x, ts);
   a.bind(next);
 }
 
@@ -839,6 +949,455 @@ void emit_flags_add(Asm& a) {
   a.setcc_m(CC_O, RBX, kFlagV);
 }
 
+// --- Traced-stream emission ---------------------------------------------
+//
+// The traced body prefixes every instruction's clean template with its
+// Table V taint transfer, written raw over the engine's register label file
+// (base pinned in RBP). Engine bookkeeping (count/mask/epoch) and the
+// tracer's statistics counters are deferred: `pending_w` accumulates the
+// label slots written since the last sync callout, `fold_insns` the
+// inline-handled steps since the last counter fold, and every path that
+// leaves the body (exits, out-of-line step callouts) reconciles both.
+// Instructions the emitter cannot inline exactly call out per step
+// (co_trace_step), which replays the threaded traced dispatch verbatim.
+
+struct TraceEmit {
+  const TaintJitView* view = nullptr;
+  u32 pending_w = 0;   // label slots written raw since the last sync
+  u32 fold_insns = 0;  // inline-handled steps since the last counter fold
+  /// Per-instruction dead label-file writes (block-local backward liveness;
+  /// plan_elision). An elided write skips only the raw store — the step
+  /// still folds its counters, since the tracer would have run its handler.
+  std::vector<u16> elide;
+};
+
+// Block-local dead-write elimination over the register label file. A write
+// is dead when every path to the next observation point overwrites it:
+// "wild" steps (anything that can exit the body, call into the engine, or
+// move labels to memory) make all sixteen slots observable, so liveness
+// resets to full across them. Reads/writes come from the same Table V
+// classification the tracer uses; steps whose thunk is null touch nothing.
+std::vector<u16> plan_elision(const ThreadedBlock& blk) {
+  const u32 n = blk.n_insns;
+  std::vector<u16> reads(n, 0), writes(n, 0), elide(n, 0);
+  std::vector<u8> wild(n, 0);
+  const std::vector<TraceStep>& steps = blk.traced;
+  const std::vector<TbInsn>& insns = blk.tb->insns;
+
+  const auto alu_effects = [&](u32 idx) {
+    const TraceStep& st = steps[idx];
+    if (st.generic) {
+      wild[idx] = 1;
+      return;
+    }
+    if (st.op.fn == nullptr) return;
+    const Insn& in = insns[idx].insn;
+    switch (in.taint_class()) {
+      case TaintClass::kBinaryOp3: {
+        u16 r = static_cast<u16>(1u << in.rn);
+        if (!in.imm_operand) r |= static_cast<u16>(1u << in.rm);
+        if (in.op == Op::kMla || in.op == Op::kUmull ||
+            in.op == Op::kSmull) {
+          r |= static_cast<u16>(1u << in.rs);
+        }
+        u16 w = static_cast<u16>(1u << in.rd);
+        if (in.op == Op::kUmull || in.op == Op::kSmull) {
+          w |= static_cast<u16>(1u << in.rn);  // RdHi
+        }
+        reads[idx] = r;
+        writes[idx] = w;
+        break;
+      }
+      case TaintClass::kBinaryOp2:
+        if (!in.imm_operand) {
+          reads[idx] = static_cast<u16>((1u << in.rd) | (1u << in.rm));
+          writes[idx] = static_cast<u16>(1u << in.rd);
+        }
+        break;  // imm form: t(Rd) unchanged — no effect at all
+      case TaintClass::kUnary:
+      case TaintClass::kMovReg:
+        reads[idx] = static_cast<u16>(1u << in.rm);
+        writes[idx] = static_cast<u16>(1u << in.rd);
+        break;
+      case TaintClass::kMovImm:
+        writes[idx] = static_cast<u16>(1u << in.rd);
+        break;
+      default:
+        wild[idx] = 1;  // an out-of-line handler may observe any slot
+        break;
+    }
+  };
+  const auto load_effects = [&](u32 idx) {
+    const TraceStep& st = steps[idx];
+    if (st.generic) {
+      wild[idx] = 1;
+      return;
+    }
+    if (st.op.fn == nullptr) return;
+    const Insn& in = insns[idx].insn;
+    reads[idx] = static_cast<u16>(1u << in.rn);
+    writes[idx] = static_cast<u16>(1u << in.rd);
+  };
+
+  u32 ri = 0;
+  const u32 kAluLo = static_cast<u32>(UK::k_and_i);
+  const u32 kAluHi = static_cast<u32>(UK::k_smull);
+  const u32 kLdLo = static_cast<u32>(UK::k_ldr_off);
+  const u32 kLdHi = static_cast<u32>(UK::k_ldrsh_post);
+  for (std::size_t i = 1; i < blk.ops.size() && ri < n; ++i) {
+    const u32 k = static_cast<u32>(uop_kind(blk.ops[i].label));
+    if (k >= kAluLo && k <= kAluHi) {
+      alu_effects(ri);
+      ++ri;
+    } else if (k >= kLdLo && k <= kLdHi) {
+      load_effects(ri);
+      ++ri;
+    } else if (k == static_cast<u32>(UK::k_movw_movt)) {
+      alu_effects(ri);
+      if (ri + 1 < n) alu_effects(ri + 1);
+      ri += 2;
+    } else if (k == static_cast<u32>(UK::k_ldr_addi)) {
+      load_effects(ri);
+      if (ri + 1 < n) alu_effects(ri + 1);
+      ri += 2;
+    } else if (k == static_cast<u32>(UK::k_ldm)) {
+      // Clean LDM never exits, so a null-thunk step is fully transparent;
+      // a live thunk calls out (the handler writes many slots).
+      if (steps[ri].generic || steps[ri].op.fn != nullptr) wild[ri] = 1;
+      ++ri;
+    } else if (k >= static_cast<u32>(UK::k_cmp0_b) &&
+               k <= static_cast<u32>(UK::k_subs_i_b)) {
+      wild[ri] = 1;
+      if (ri + 1 < n) wild[ri + 1] = 1;
+      ri += 2;
+    } else if (k == static_cast<u32>(UK::k_end)) {
+      break;
+    } else {
+      // Stores, STM, exec ops, dynamic terminals, unknown shapes: each can
+      // exit the body or move labels out of the register file.
+      wild[ri] = 1;
+      ++ri;
+    }
+  }
+
+  u16 live = 0xFFFFu;
+  for (u32 j = n; j-- > 0;) {
+    if (wild[j]) {
+      live = 0xFFFFu;
+      continue;
+    }
+    elide[j] = static_cast<u16>(writes[j] & static_cast<u16>(~live));
+    live = static_cast<u16>(
+        (live & static_cast<u16>(~writes[j])) | reads[j]);
+  }
+  return elide;
+}
+
+// Reconcile-without-clearing: emits the sync callout for the accumulated
+// raw writes and the folded counter adds, leaving `ts` untouched. Used on
+// conditional exit branches — at runtime exactly one path executes, so the
+// fall-through keeping the state pending can never double-count.
+void emit_trace_spill(Asm& a, const TraceEmit& ts) {
+  if (ts.pending_w != 0) {
+    a.mov_rr64(RDI, R15);
+    a.mov_ri32(RSI, ts.pending_w);
+    a.mov_ri64(RAX, reinterpret_cast<u64>(&JitRun::co_taint_sync));
+    a.call_r(RAX);
+  }
+  if (ts.fold_insns != 0) {
+    const TaintJitView& v = *ts.view;
+    a.mov_ri64(RAX, reinterpret_cast<u64>(v.traced_ctr));
+    a.add_mi64(RAX, 0, ts.fold_insns);
+    a.mov_ri64(RAX, reinterpret_cast<u64>(v.prop_ctr));
+    a.add_mi64(RAX, 0, ts.fold_insns);
+    if (v.cache_ctr != nullptr) {
+      a.mov_ri64(RAX, reinterpret_cast<u64>(v.cache_ctr));
+      a.add_mi64(RAX, 0, ts.fold_insns);
+    }
+  }
+}
+
+// Spill-and-clear, emitted on the fall-through path before every terminal
+// (the link tails and their callouts run with nothing deferred).
+void emit_trace_flush(Asm& a, TraceEmit& ts) {
+  emit_trace_spill(a, ts);
+  ts.pending_w = 0;
+  ts.fold_insns = 0;
+}
+
+// Out-of-line step: co_trace_step pre-syncs the pending raw writes (baked
+// as an immediate), dispatches the prepared thunk, and returns nonzero with
+// an exception parked — the exit retires the instructions before this one.
+// The thunk self-counts, so only the folds spill on the exception path.
+void emit_trace_callout(Asm& a, const EmitEnv& e, TraceEmit& ts, u32 idx,
+                        u32 ri) {
+  const TraceStep& st = e.blk->traced[idx];
+  const TbInsn& ti = e.blk->tb->insns[idx];
+  a.mov_rr64(RDI, R15);
+  a.mov_ri64(RSI, reinterpret_cast<u64>(&st.op));
+  a.mov_ri64(RDX, reinterpret_cast<u64>(&ti));
+  a.mov_ri32(RCX, ts.pending_w);
+  a.mov_ri64(RAX, reinterpret_cast<u64>(&JitRun::co_trace_step));
+  a.call_r(RAX);
+  ts.pending_w = 0;  // synced by the callout on both outcomes
+  a.test_rr64(RAX, RAX);
+  const std::size_t ok = a.jcc(CC_E);
+  emit_trace_spill(a, ts);
+  if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
+  emit_epilogue_jump(a, e);
+  a.bind(ok);
+}
+
+// Inline Table V register-to-register transfer for `in` (the tracer handler
+// transliterated over the raw label file at RBP), honouring the per-step
+// dead-write mask `em`. Returns false when the class is not a pure register
+// transfer (the caller falls back to a step callout).
+bool emit_taint_alu(Asm& a, const Insn& in, u16 em, TraceEmit& ts) {
+  switch (in.taint_class()) {
+    case TaintClass::kBinaryOp3: {
+      const bool acc = in.op == Op::kMla || in.op == Op::kUmull ||
+                       in.op == Op::kSmull;
+      const bool dhi = in.op == Op::kUmull || in.op == Op::kSmull;
+      u16 w = static_cast<u16>(1u << in.rd);
+      if (dhi) w |= static_cast<u16>(1u << in.rn);
+      w &= static_cast<u16>(~em);
+      ++ts.fold_insns;
+      if (w == 0) return true;  // every write dead: reads have no effect
+      a.mov_rm32(RAX, RBP, 4 * in.rn);
+      if (!in.imm_operand) a.alu_rm32(0x0B, RAX, RBP, 4 * in.rm);
+      if (acc) a.alu_rm32(0x0B, RAX, RBP, 4 * in.rs);
+      if ((w & (1u << in.rd)) != 0) a.mov_mr32(RBP, 4 * in.rd, RAX);
+      if (dhi && (w & (1u << in.rn)) != 0) a.mov_mr32(RBP, 4 * in.rn, RAX);
+      ts.pending_w |= w;
+      return true;
+    }
+    case TaintClass::kBinaryOp2:
+      ++ts.fold_insns;
+      // Immediate form sets t(Rd) to its own value — a provable no-op on
+      // the raw file (the engine's derived state cannot change either).
+      if (in.imm_operand || (em & (1u << in.rd)) != 0) return true;
+      a.mov_rm32(RAX, RBP, 4 * in.rd);
+      a.alu_rm32(0x0B, RAX, RBP, 4 * in.rm);
+      a.mov_mr32(RBP, 4 * in.rd, RAX);
+      ts.pending_w |= 1u << in.rd;
+      return true;
+    case TaintClass::kUnary:
+    case TaintClass::kMovReg:
+      ++ts.fold_insns;
+      if ((em & (1u << in.rd)) != 0) return true;
+      a.mov_rm32(RAX, RBP, 4 * in.rm);
+      a.mov_mr32(RBP, 4 * in.rd, RAX);
+      ts.pending_w |= 1u << in.rd;
+      return true;
+    case TaintClass::kMovImm:
+      ++ts.fold_insns;
+      if ((em & (1u << in.rd)) != 0) return true;
+      a.mov_mi32(RBP, 4 * in.rd, kTaintClear);
+      ts.pending_w |= 1u << in.rd;
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Inline shadow-TLB probe shared by the taint load/store prefixes. On entry
+// esi holds the effective address; on a hit RDX holds the page's label
+// array and eax the byte offset (scaled by the caller). Misses and page
+// straddles collect into `slow`. Uses only RAX/RCX/RDX (+ RSI preserved),
+// so the clean template's pins stay untouched.
+void emit_shadow_probe(Asm& a, const TaintJitView& v, u32 len,
+                       std::vector<std::size_t>& slow) {
+  if (len > 1) {
+    a.mov_rr32(RAX, RSI);
+    a.alu_ri32(4, RAX, kPageMask);
+    a.alu_ri32(7, RAX, kPageSize - len);
+    slow.push_back(a.jcc(CC_A));
+  }
+  a.mov_rr32(RCX, RSI);
+  a.shift_ri32(5, RCX, 12);  // page number (shadow pages are 4K too)
+  a.mov_rr32(RAX, RCX);
+  a.alu_ri32(4, RAX, v.shadow_tlb_slots - 1);
+  a.shift_ri32(4, RAX, 4);  // * 16-byte entries (page at +0, labels at +8)
+  a.mov_ri64(RDX, reinterpret_cast<u64>(v.shadow_tlb));
+  a.alu_rmx32(0x3B, RCX, RDX, RAX, 0);
+  slow.push_back(a.jcc(CC_NE));
+  a.mov_rm64x(RDX, RDX, RAX, 8);
+  a.mov_rr32(RAX, RSI);
+  a.alu_ri32(4, RAX, kPageMask);
+}
+
+// Taint prefix of a dense load: t(Rd) = t(M[addr, len]) | t(Rn), with the
+// per-byte labels read straight off the shadow page on a TLB hit and the
+// bookkeeping-complete co_shadow_read on a miss/straddle. The effective
+// address replays the clean template's pre-execution computation (the
+// prefix runs before the instruction, like the hook it replaces).
+void emit_taint_load(Asm& a, const TaintJitView& v, const Uop& u, MemVar var,
+                     u32 len, u16 em, TraceEmit& ts) {
+  ++ts.fold_insns;
+  if ((em & (1u << u.a)) != 0) return;  // dead destination: reads effect-free
+  a.mov_rm32(RSI, RBX, reg_off(u.b));
+  if (var != MemVar::kPost && u.imm != 0) a.alu_ri32(0, RSI, u.imm);
+  std::vector<std::size_t> slow;
+  emit_shadow_probe(a, v, len, slow);
+  a.shift_ri32(4, RAX, 2);  // label slots are u32, one per guest byte
+  a.mov_rm32x(RCX, RDX, RAX, 0);
+  if (len >= 2) a.alu_rmx32(0x0B, RCX, RDX, RAX, 4);
+  if (len == 4) {
+    a.alu_rmx32(0x0B, RCX, RDX, RAX, 8);
+    a.alu_rmx32(0x0B, RCX, RDX, RAX, 12);
+  }
+  const std::size_t join = a.jmp();
+  for (const std::size_t f : slow) a.bind(f);
+  a.mov_rr64(RDI, R15);  // esi = addr already in place
+  a.mov_ri32(RDX, len);
+  a.mov_ri64(RAX, reinterpret_cast<u64>(&JitRun::co_shadow_read));
+  a.call_r(RAX);
+  a.mov_rr32(RCX, RAX);
+  a.bind(join);
+  a.alu_rm32(0x0B, RCX, RBP, 4 * u.b);  // | t(Rn)
+  a.mov_mr32(RBP, 4 * u.a, RCX);
+  ts.pending_w |= 1u << u.a;
+}
+
+// Taint prefix of a dense store: t(M[addr, len]) = t(Rd). The fast path
+// proves the transfer a no-op (clean source label, clean target range —
+// set_range with kTaintClear over already-clear bytes does no bookkeeping);
+// everything else routes through co_shadow_write. Never elided: memory
+// labels are globally observable.
+void emit_taint_store(Asm& a, const TaintJitView& v, const Uop& u,
+                      MemVar var, u32 len, TraceEmit& ts) {
+  ++ts.fold_insns;
+  a.mov_rm32(RSI, RBX, reg_off(u.b));
+  if (var != MemVar::kPost && u.imm != 0) a.alu_ri32(0, RSI, u.imm);
+  std::vector<std::size_t> slow;
+  a.cmp_mi32(RBP, 4 * u.a, kTaintClear);
+  slow.push_back(a.jcc(CC_NE));
+  emit_shadow_probe(a, v, len, slow);
+  a.shift_ri32(4, RAX, 2);
+  a.mov_rm32x(RCX, RDX, RAX, 0);
+  if (len >= 2) a.alu_rmx32(0x0B, RCX, RDX, RAX, 4);
+  if (len == 4) {
+    a.alu_rmx32(0x0B, RCX, RDX, RAX, 8);
+    a.alu_rmx32(0x0B, RCX, RDX, RAX, 12);
+  }
+  a.test_rr32(RCX, RCX);
+  const std::size_t done = a.jcc(CC_E);  // clear over clear: exact no-op
+  for (const std::size_t f : slow) a.bind(f);  // fall-through joins the slow path
+  a.mov_rr64(RDI, R15);  // esi = addr already in place
+  a.mov_ri32(RDX, len);
+  a.mov_rm32(RCX, RBP, 4 * u.a);
+  a.mov_ri64(RAX, reinterpret_cast<u64>(&JitRun::co_shadow_write));
+  a.call_r(RAX);
+  a.bind(done);
+}
+
+// Per-op traced prefix, emitted immediately before the op's clean template.
+// Handles the whole traced-pass delta for the op — inline transfers, step
+// callouts, and the pre-terminal flush — so the clean switch cases need no
+// per-case knowledge of the traced stream. Returns false when the block
+// cannot carry an exact traced body (generic steps, shapes whose early
+// dispatch would diverge); the caller abandons the traced pass and keeps
+// the clean body.
+bool emit_trace_prefix(Asm& a, const EmitEnv& e, TraceEmit& ts, const Uop& u,
+                       UK k, u32 ri) {
+  const std::vector<TraceStep>& steps = e.blk->traced;
+  const std::vector<TbInsn>& insns = e.blk->tb->insns;
+  const u32 n = e.blk->n_insns;
+
+  // Inline-or-callout for one register-transfer step. Early dispatch of a
+  // callout is exact here: prepared thunks re-check their own condition
+  // against state no earlier instruction of the same op has modified.
+  const auto fused_alu = [&](u32 idx) -> bool {
+    const TraceStep& st = steps[idx];
+    if (st.generic) return false;
+    if (st.op.fn == nullptr) return true;
+    if (emit_taint_alu(a, insns[idx].insn, ts.elide[idx], ts)) return true;
+    emit_trace_callout(a, e, ts, idx, ri);
+    return true;
+  };
+  const auto fused_load = [&](u32 idx, MemVar var, u32 len) -> bool {
+    const TraceStep& st = steps[idx];
+    if (st.generic) return false;
+    if (st.op.fn != nullptr) {
+      emit_taint_load(a, *ts.view, u, var, len, ts.elide[idx], ts);
+    }
+    return true;
+  };
+  const auto step_callout = [&](u32 idx) -> bool {
+    const TraceStep& st = steps[idx];
+    if (st.generic) return false;
+    if (st.op.fn != nullptr) emit_trace_callout(a, e, ts, idx, ri);
+    return true;
+  };
+
+  const u32 ku = static_cast<u32>(k);
+  if (ku >= static_cast<u32>(UK::k_and_i) &&
+      ku <= static_cast<u32>(UK::k_smull)) {
+    return fused_alu(ri);
+  }
+  if (ku >= static_cast<u32>(UK::k_ldr_off) &&
+      ku <= static_cast<u32>(UK::k_ldrsh_post)) {
+    const u32 idx = ku - static_cast<u32>(UK::k_ldr_off);
+    const u32 group = idx / 3;
+    const u32 len = group == 0 ? 4 : (group == 2 || group == 4) ? 2 : 1;
+    return fused_load(ri, static_cast<MemVar>(idx % 3), len);
+  }
+  if (ku >= static_cast<u32>(UK::k_str_off) &&
+      ku <= static_cast<u32>(UK::k_strh_post)) {
+    const TraceStep& st = steps[ri];
+    if (st.generic) return false;
+    if (st.op.fn != nullptr) {
+      const u32 idx = ku - static_cast<u32>(UK::k_str_off);
+      const u32 group = idx / 3;
+      const u32 len = group == 0 ? 4 : group == 1 ? 1 : 2;
+      emit_taint_store(a, *ts.view, u, static_cast<MemVar>(idx % 3), len,
+                       ts);
+    }
+    return true;
+  }
+  switch (k) {
+    case UK::k_movw_movt:
+      return fused_alu(ri) && ri + 1 < n && fused_alu(ri + 1);
+    case UK::k_ldr_addi:
+      return fused_load(ri, MemVar::kOff, 4) && ri + 1 < n &&
+             fused_alu(ri + 1);
+    case UK::k_stm:
+    case UK::k_ldm:
+    case UK::k_exec:
+    case UK::k_exec_dead:
+      return step_callout(ri);
+    case UK::k_cmp0_b:
+    case UK::k_cmp_i_b:
+    case UK::k_cmp_r_b:
+    case UK::k_subs_i_b: {
+      // The compare/subtract step prefixes normally (it is unconditional by
+      // lowering). The branch step must be a provable no-op: running it
+      // here would test the condition against the *old* flags.
+      if (!fused_alu(ri)) return false;
+      if (ri + 1 >= n || steps[ri + 1].generic ||
+          steps[ri + 1].op.fn != nullptr) {
+        return false;
+      }
+      emit_trace_flush(a, ts);
+      return true;
+    }
+    case UK::k_b_al:
+    case UK::k_bl_al:
+    case UK::k_b_cond:
+    case UK::k_bx_term:
+    case UK::k_svc_term:
+    case UK::k_exec_term:
+      if (!step_callout(ri)) return false;
+      emit_trace_flush(a, ts);
+      return true;
+    case UK::k_end:
+      emit_trace_flush(a, ts);
+      return true;
+    default:
+      return false;  // k_enter / kCount: the clean pass bails too
+  }
+}
+
 }  // namespace
 
 bool JitRun::compile(Cpu& cpu, ThreadedBlock& blk) {
@@ -857,464 +1416,509 @@ bool JitRun::compile(Cpu& cpu, ThreadedBlock& blk) {
   const u32 n_total = blk.n_insns;
   Asm a;
 
-  // --- Block entry: budget fence + exec_count (threaded L_enter with the
-  // gate elided — the trampoline never dispatches hooked execution here,
-  // and hook topology cannot change inside a segment without surfacing).
-  a.mov_rm64(RAX, R15, kCtxDone);
-  a.alu_ri64(0, RAX, n_total);
-  a.cmp_rm64(RAX, R15, kCtxBudget);
-  const std::size_t budget_ok = a.jcc(CC_BE);
-  a.mov_mi8(RBX, kThumbOff, tb.thumb ? 1 : 0);
-  a.mov_mi32(RBX, kPcOff, tb.pc);
-  emit_epilogue_jump(a, e);
-  a.bind(budget_ok);
-  a.mov_ri64(RAX, reinterpret_cast<u64>(&blk.tb->exec_count));
-  a.inc_m64(RAX, 0);
+  // A traced body is worth emitting only under the fusable hook shape the
+  // trampoline dispatches here: exactly one instruction hook, fused through
+  // the trace emitter, with the client's taint view installed.
+  const bool want_traced = cpu.taint_jit_view_.reg_labels != nullptr &&
+                           cpu.trace_emitter_ && cpu.insn_hooks_.size() == 1;
+  if (want_traced) ThreadedRun::build_traced(cpu, blk);
 
-  // --- Body + terminal. `ri` counts the instructions retired by the body
-  // templates emitted so far (they add nothing to ctx.done at runtime; the
-  // exit sites bake the totals).
-  u32 ri = 0;
-  bool terminated = false;
-  for (std::size_t i = 1; i < blk.ops.size() && !terminated; ++i) {
-    const Uop& u = blk.ops[i];
-    const UK k = uop_kind(u.label);
-    switch (k) {
-      // --- Flagless data processing ------------------------------------
-      case UK::k_and_i:
-      case UK::k_eor_i:
-      case UK::k_sub_i:
-      case UK::k_add_i:
-      case UK::k_orr_i: {
-        const u8 ext = k == UK::k_and_i ? 4
-                     : k == UK::k_eor_i ? 6
-                     : k == UK::k_sub_i ? 5
-                     : k == UK::k_add_i ? 0
-                                        : 1;
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(ext, RAX, u.imm);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      }
-      case UK::k_and_r:
-      case UK::k_eor_r:
-      case UK::k_sub_r:
-      case UK::k_add_r:
-      case UK::k_orr_r: {
-        const u8 opc = k == UK::k_and_r ? 0x23
-                     : k == UK::k_eor_r ? 0x33
-                     : k == UK::k_sub_r ? 0x2B
-                     : k == UK::k_add_r ? 0x03
-                                        : 0x0B;
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_rm32(opc, RAX, RBX, reg_off(u.c));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      }
-      case UK::k_rsb_i:
-        a.mov_ri32(RAX, u.imm);
-        a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_rsb_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_adc_i:
-      case UK::k_adc_r:
-        a.movzx8_rm(RCX, RBX, kFlagC);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        if (k == UK::k_adc_i) a.alu_ri32(0, RAX, u.imm);
-        else a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
-        a.alu_rr32(0x03, RAX, RCX);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_sbc_i:
-      case UK::k_sbc_r:
-        a.movzx8_rm(RCX, RBX, kFlagC);
-        a.alu_ri32(6, RCX, 1);  // borrow = !c
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        if (k == UK::k_sbc_i) a.alu_ri32(5, RAX, u.imm);
-        else a.alu_rm32(0x2B, RAX, RBX, reg_off(u.c));
-        a.alu_rr32(0x2B, RAX, RCX);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_rsc_i:
-      case UK::k_rsc_r:
-        a.movzx8_rm(RCX, RBX, kFlagC);
-        a.alu_ri32(6, RCX, 1);  // borrow = !c
-        if (k == UK::k_rsc_i) a.mov_ri32(RAX, u.imm);
-        else a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
-        a.alu_rr32(0x2B, RAX, RCX);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_mov_i:
-        a.mov_mi32(RBX, reg_off(u.a), u.imm);
-        ++ri;
-        break;
-      case UK::k_mov_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_bic_i:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(4, RAX, ~u.imm);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_bic_r:
-        a.mov_rm32(RCX, RBX, reg_off(u.c));
-        a.not_r32(RCX);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_rr32(0x23, RAX, RCX);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_mvn_i:
-        a.mov_mi32(RBX, reg_off(u.a), ~u.imm);
-        ++ri;
-        break;
-      case UK::k_mvn_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.not_r32(RAX);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
+  // Both bodies (clean, traced) share one emission pass over the op stream;
+  // `ts == nullptr` is the clean pass. Returns false when the stream has no
+  // dense lowering (clean pass: the block stays threaded) or the traced
+  // prefix cannot be exact (traced pass: the clean body alone is kept).
+  const auto emit_body = [&](TraceEmit* ts) -> bool {
+    // --- Block entry: budget fence + exec_count (threaded L_enter with the
+    // gate elided — stream selection happened before dispatch, and hook
+    // topology cannot change inside a segment without surfacing).
+    a.mov_rm64(RAX, R15, kCtxDone);
+    a.alu_ri64(0, RAX, n_total);
+    a.cmp_rm64(RAX, R15, kCtxBudget);
+    const std::size_t budget_ok = a.jcc(CC_BE);
+    a.mov_mi8(RBX, kThumbOff, tb.thumb ? 1 : 0);
+    a.mov_mi32(RBX, kPcOff, tb.pc);
+    emit_epilogue_jump(a, e);
+    a.bind(budget_ok);
+    a.mov_ri64(RAX, reinterpret_cast<u64>(&blk.tb->exec_count));
+    a.inc_m64(RAX, 0);
+    if (ts != nullptr) {
+      a.mov_ri64(RAX, reinterpret_cast<u64>(&cpu.jit_traced_blocks_));
+      a.inc_m64(RAX, 0);
+      // Pin the register label file for the whole traced body. Callouts
+      // preserve it (callee-saved); clean templates never touch RBP.
+      a.mov_ri64(RBP,
+                 reinterpret_cast<u64>(cpu.taint_jit_view_.reg_labels));
+    }
 
-      // --- Flag-setting compares / arithmetic --------------------------
-      case UK::k_cmp_i0:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.test_rr32(RAX, RAX);
-        a.setcc_m(CC_S, RBX, kFlagN);
-        a.setcc_m(CC_E, RBX, kFlagZ);
-        a.mov_mi8(RBX, kFlagC, 1);
-        a.mov_mi8(RBX, kFlagV, 0);
-        ++ri;
-        break;
-      case UK::k_cmp_i:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(7, RAX, u.imm);
-        emit_flags_sub(a);
-        ++ri;
-        break;
-      case UK::k_cmp_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_rm32(0x3B, RAX, RBX, reg_off(u.c));
-        emit_flags_sub(a);
-        ++ri;
-        break;
-      case UK::k_cmn_i:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(0, RAX, u.imm);
-        emit_flags_add(a);
-        ++ri;
-        break;
-      case UK::k_cmn_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
-        emit_flags_add(a);
-        ++ri;
-        break;
-      case UK::k_subs_i:
-      case UK::k_subs_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        if (k == UK::k_subs_i) a.alu_ri32(5, RAX, u.imm);
-        else a.alu_rm32(0x2B, RAX, RBX, reg_off(u.c));
-        emit_flags_sub(a);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_adds_i:
-      case UK::k_adds_r:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        if (k == UK::k_adds_i) a.alu_ri32(0, RAX, u.imm);
-        else a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
-        emit_flags_add(a);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-
-      // --- Wide moves / multiplies / extends / shifts ------------------
-      case UK::k_movw:
-        a.mov_mi32(RBX, reg_off(u.a), u.imm);
-        ++ri;
-        break;
-      case UK::k_movt:
-        // (r & 0xFFFF) | (imm << 16) == a 16-bit store to the high half.
-        a.mov_mi16(RBX, reg_off(u.a) + 2, static_cast<u16>(u.imm));
-        ++ri;
-        break;
-      case UK::k_mul:
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.imul_rm32(RAX, RBX, reg_off(u.c));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_sxtb:
-        a.movsx8_rm(RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_sxth:
-        a.movsx16_rm(RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_uxtb:
-        a.movzx8_rm(RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_uxth:
-        a.movzx16_rm(RAX, RBX, reg_off(u.b));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
-      case UK::k_lsl_i:
-      case UK::k_lsr_i:
-      case UK::k_asr_i:
-      case UK::k_ror_i: {
-        const u8 ext = k == UK::k_lsl_i ? 4
-                     : k == UK::k_lsr_i ? 5
-                     : k == UK::k_asr_i ? 7
-                                        : 1;
-        a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.shift_ri32(ext, RAX, static_cast<u8>(u.imm));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);
-        ++ri;
-        break;
+    // --- Body + terminal. `ri` counts the instructions retired by the body
+    // templates emitted so far (they add nothing to ctx.done at runtime;
+    // the exit sites bake the totals).
+    u32 ri = 0;
+    bool terminated = false;
+    for (std::size_t i = 1; i < blk.ops.size() && !terminated; ++i) {
+      const Uop& u = blk.ops[i];
+      const UK k = uop_kind(u.label);
+      if (ts != nullptr && !emit_trace_prefix(a, e, *ts, u, k, ri)) {
+        return false;
       }
-      case UK::k_umull:
-      case UK::k_smull:
-        a.mov_rm32(RAX, RBX, reg_off(u.c));
-        a.mul1_m32(k == UK::k_umull ? 4 : 5, RBX, reg_off(u.d));
-        a.mov_mr32(RBX, reg_off(u.a), RAX);  // lo then hi, like execute()
-        a.mov_mr32(RBX, reg_off(u.b), RDX);
-        ++ri;
-        break;
-
-      // --- Loads / stores (inline TLB probe) ---------------------------
-      case UK::k_ldr_off:
-      case UK::k_ldr_pre:
-      case UK::k_ldr_post:
-      case UK::k_ldrb_off:
-      case UK::k_ldrb_pre:
-      case UK::k_ldrb_post:
-      case UK::k_ldrh_off:
-      case UK::k_ldrh_pre:
-      case UK::k_ldrh_post:
-      case UK::k_ldrsb_off:
-      case UK::k_ldrsb_pre:
-      case UK::k_ldrsb_post:
-      case UK::k_ldrsh_off:
-      case UK::k_ldrsh_pre:
-      case UK::k_ldrsh_post: {
-        const u32 idx =
-            static_cast<u32>(k) - static_cast<u32>(UK::k_ldr_off);
-        const u32 group = idx / 3;  // ldr, ldrb, ldrh, ldrsb, ldrsh
-        const auto var = static_cast<MemVar>(idx % 3);
-        const u32 len = group == 0 ? 4 : (group == 2 || group == 4) ? 2 : 1;
-        emit_load(a, u, var, len, /*is_signed=*/group >= 3);
-        ++ri;
-        break;
-      }
-      case UK::k_str_off:
-      case UK::k_str_pre:
-      case UK::k_str_post:
-      case UK::k_strb_off:
-      case UK::k_strb_pre:
-      case UK::k_strb_post:
-      case UK::k_strh_off:
-      case UK::k_strh_pre:
-      case UK::k_strh_post: {
-        const u32 idx =
-            static_cast<u32>(k) - static_cast<u32>(UK::k_str_off);
-        const u32 group = idx / 3;  // str, strb, strh
-        const auto var = static_cast<MemVar>(idx % 3);
-        const u32 len = group == 0 ? 4 : group == 1 ? 1 : 2;
-        emit_store(a, e, u, var, len, ri);
-        ++ri;
-        break;
-      }
-
-      // --- Superword-fused pairs ---------------------------------------
-      case UK::k_movw_movt:
-        a.mov_mi32(RBX, reg_off(u.a), u.imm);
-        ri += 2;
-        break;
-      case UK::k_ldr_addi:
-        emit_load(a, u, MemVar::kOff, 4, false);
-        a.add_mi32(RBX, reg_off(u.d), u.x);
-        ri += 2;
-        break;
-      case UK::k_stm: {
-        a.mov_rr64(RDI, R15);
-        a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
-        a.mov_ri64(RAX, reinterpret_cast<u64>(&co_stm));
-        a.call_r(RAX);
-        a.test_rr32(RAX, RAX);
-        const std::size_t all_hit = a.jcc(CC_NE);
-        emit_dead_check(a, e, ri, u.x);
-        a.bind(all_hit);
-        ++ri;
-        break;
-      }
-      case UK::k_ldm:
-        a.mov_rr64(RDI, R15);
-        a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
-        a.mov_ri64(RAX, reinterpret_cast<u64>(&co_ldm));
-        a.call_r(RAX);
-        ++ri;
-        break;
-
-      // --- Generic body instructions -----------------------------------
-      case UK::k_exec:
-      case UK::k_exec_dead: {
-        a.mov_rr64(RDI, R15);
-        a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
-        a.mov_ri32(RDX, u.imm);  // the PC execute() expects
-        a.mov_ri64(RAX, reinterpret_cast<u64>(&co_exec));
-        a.call_r(RAX);
-        a.test_rr64(RAX, RAX);
-        const std::size_t ok = a.jcc(CC_E);
-        // Exception: the faulting instruction did not retire and the PC
-        // already points at it (co_exec materialised it).
-        if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
-        emit_epilogue_jump(a, e);
-        a.bind(ok);
-        if (k == UK::k_exec_dead) {
-          // execute() already advanced the PC, so the dead exit surfaces
-          // without rewriting it; the retire count still lands.
-          a.mov_ri64(RAX, reinterpret_cast<u64>(&blk.tb->dead));
-          a.cmp_mi8(RAX, 0, 0);
-          const std::size_t alive = a.jcc(CC_E);
-          a.add_mi64(R15, kCtxDone, ri + 1);
-          emit_epilogue_jump(a, e);
-          a.bind(alive);
+      switch (k) {
+        // --- Flagless data processing ------------------------------------
+        case UK::k_and_i:
+        case UK::k_eor_i:
+        case UK::k_sub_i:
+        case UK::k_add_i:
+        case UK::k_orr_i: {
+          const u8 ext = k == UK::k_and_i ? 4
+                       : k == UK::k_eor_i ? 6
+                       : k == UK::k_sub_i ? 5
+                       : k == UK::k_add_i ? 0
+                                          : 1;
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(ext, RAX, u.imm);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
         }
-        ++ri;
-        break;
-      }
+        case UK::k_and_r:
+        case UK::k_eor_r:
+        case UK::k_sub_r:
+        case UK::k_add_r:
+        case UK::k_orr_r: {
+          const u8 opc = k == UK::k_and_r ? 0x23
+                       : k == UK::k_eor_r ? 0x33
+                       : k == UK::k_sub_r ? 0x2B
+                       : k == UK::k_add_r ? 0x03
+                                          : 0x0B;
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_rm32(opc, RAX, RBX, reg_off(u.c));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        }
+        case UK::k_rsb_i:
+          a.mov_ri32(RAX, u.imm);
+          a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_rsb_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_adc_i:
+        case UK::k_adc_r:
+          a.movzx8_rm(RCX, RBX, kFlagC);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          if (k == UK::k_adc_i) a.alu_ri32(0, RAX, u.imm);
+          else a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
+          a.alu_rr32(0x03, RAX, RCX);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_sbc_i:
+        case UK::k_sbc_r:
+          a.movzx8_rm(RCX, RBX, kFlagC);
+          a.alu_ri32(6, RCX, 1);  // borrow = !c
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          if (k == UK::k_sbc_i) a.alu_ri32(5, RAX, u.imm);
+          else a.alu_rm32(0x2B, RAX, RBX, reg_off(u.c));
+          a.alu_rr32(0x2B, RAX, RCX);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_rsc_i:
+        case UK::k_rsc_r:
+          a.movzx8_rm(RCX, RBX, kFlagC);
+          a.alu_ri32(6, RCX, 1);  // borrow = !c
+          if (k == UK::k_rsc_i) a.mov_ri32(RAX, u.imm);
+          else a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.alu_rm32(0x2B, RAX, RBX, reg_off(u.b));
+          a.alu_rr32(0x2B, RAX, RCX);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_mov_i:
+          a.mov_mi32(RBX, reg_off(u.a), u.imm);
+          ++ri;
+          break;
+        case UK::k_mov_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_bic_i:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(4, RAX, ~u.imm);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_bic_r:
+          a.mov_rm32(RCX, RBX, reg_off(u.c));
+          a.not_r32(RCX);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_rr32(0x23, RAX, RCX);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_mvn_i:
+          a.mov_mi32(RBX, reg_off(u.a), ~u.imm);
+          ++ri;
+          break;
+        case UK::k_mvn_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.not_r32(RAX);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
 
-      // --- Fused compare-and-branch terminals --------------------------
-      // Retire accounting lands *before* the flag computation (the 64-bit
-      // add clobbers the host flags); setcc/mov preserve them, so the
-      // conditional arms consume the live host flags directly.
-      case UK::k_cmp0_b: {
-        a.add_mi64(R15, kCtxDone, ri + 2);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.test_rr32(RAX, RAX);
-        a.setcc_m(CC_S, RBX, kFlagN);
-        a.setcc_m(CC_E, RBX, kFlagZ);
-        a.mov_mi8(RBX, kFlagC, 1);
-        a.mov_mi8(RBX, kFlagV, 0);
-        const u32 from = static_cast<const TbInsn*>(u.p)->pc;
-        emit_cond_arms(a, e, kCcCmp0[u.a], from, u.imm, u.x);
-        terminated = true;
-        break;
-      }
-      case UK::k_cmp_i_b: {
-        const auto* ti = static_cast<const TbInsn*>(u.p);
-        a.add_mi64(R15, kCtxDone, ri + 2);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(7, RAX, ti->insn.imm);
-        emit_flags_sub(a);
-        emit_cond_arms(a, e, kCcSub[u.a], ti->pc + ti->insn.length, u.imm,
-                       u.x);
-        terminated = true;
-        break;
-      }
-      case UK::k_cmp_r_b: {
-        a.add_mi64(R15, kCtxDone, ri + 2);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_rm32(0x3B, RAX, RBX, reg_off(u.c));
-        emit_flags_sub(a);
-        const u32 from = static_cast<const TbInsn*>(u.p)->pc;
-        emit_cond_arms(a, e, kCcSub[u.a], from, u.imm, u.x);
-        terminated = true;
-        break;
-      }
-      case UK::k_subs_i_b: {
-        const auto* ti = static_cast<const TbInsn*>(u.p);
-        a.add_mi64(R15, kCtxDone, ri + 2);
-        a.mov_rm32(RAX, RBX, reg_off(u.b));
-        a.alu_ri32(5, RAX, ti->insn.imm);
-        emit_flags_sub(a);
-        a.mov_mr32(RBX, reg_off(u.a), RAX);  // mov preserves host flags
-        emit_cond_arms(a, e, kCcSub[u.d], ti->pc + ti->insn.length, u.imm,
-                       u.x);
-        terminated = true;
-        break;
-      }
+        // --- Flag-setting compares / arithmetic --------------------------
+        case UK::k_cmp_i0:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.test_rr32(RAX, RAX);
+          a.setcc_m(CC_S, RBX, kFlagN);
+          a.setcc_m(CC_E, RBX, kFlagZ);
+          a.mov_mi8(RBX, kFlagC, 1);
+          a.mov_mi8(RBX, kFlagV, 0);
+          ++ri;
+          break;
+        case UK::k_cmp_i:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(7, RAX, u.imm);
+          emit_flags_sub(a);
+          ++ri;
+          break;
+        case UK::k_cmp_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_rm32(0x3B, RAX, RBX, reg_off(u.c));
+          emit_flags_sub(a);
+          ++ri;
+          break;
+        case UK::k_cmn_i:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(0, RAX, u.imm);
+          emit_flags_add(a);
+          ++ri;
+          break;
+        case UK::k_cmn_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
+          emit_flags_add(a);
+          ++ri;
+          break;
+        case UK::k_subs_i:
+        case UK::k_subs_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          if (k == UK::k_subs_i) a.alu_ri32(5, RAX, u.imm);
+          else a.alu_rm32(0x2B, RAX, RBX, reg_off(u.c));
+          emit_flags_sub(a);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_adds_i:
+        case UK::k_adds_r:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          if (k == UK::k_adds_i) a.alu_ri32(0, RAX, u.imm);
+          else a.alu_rm32(0x03, RAX, RBX, reg_off(u.c));
+          emit_flags_add(a);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
 
-      // --- Branch terminals --------------------------------------------
-      case UK::k_b_al: {
-        a.add_mi64(R15, kCtxDone, ri + 1);
-        const u32 from = static_cast<const TbInsn*>(u.p)->pc;
-        emit_link(a, e, 0, from, u.imm, true);
-        terminated = true;
-        break;
-      }
-      case UK::k_bl_al: {
-        a.mov_mi32(RBX, reg_off(kRegLR), tb.thumb ? (u.x | 1u) : u.x);
-        a.add_mi64(R15, kCtxDone, ri + 1);
-        const u32 from = static_cast<const TbInsn*>(u.p)->pc;
-        emit_link(a, e, 0, from, u.imm, true);
-        terminated = true;
-        break;
-      }
-      case UK::k_b_cond: {
-        a.add_mi64(R15, kCtxDone, ri + 1);
-        emit_cond_eval(a, static_cast<Cond>(u.a));
-        const u32 from = static_cast<const TbInsn*>(u.p)->pc;
-        const std::size_t taken_j = a.jcc(CC_NE);  // al != 0
-        emit_link(a, e, 1, from, u.x, false);
-        a.bind(taken_j);
-        emit_link(a, e, 0, from, u.imm, true);
-        terminated = true;
-        break;
-      }
-      case UK::k_bx_term:
-        a.add_mi64(R15, kCtxDone, ri + 1);  // bx always retires
-        emit_dynamic_terminal(
-            a, e, u, reinterpret_cast<const void*>(&JitRun::co_bx));
-        terminated = true;
-        break;
-      case UK::k_exec_term:
-        // The callout retires the terminal itself iff execute() succeeds.
-        if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
-        emit_dynamic_terminal(
-            a, e, u, reinterpret_cast<const void*>(&JitRun::co_exec_term));
-        terminated = true;
-        break;
-      case UK::k_svc_term:
-        if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
-        emit_dynamic_terminal(
-            a, e, u, reinterpret_cast<const void*>(&JitRun::co_svc_term));
-        terminated = true;
-        break;
-      case UK::k_end:
-        if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
-        emit_link(a, e, 1, 0, u.imm, false);
-        terminated = true;
-        break;
+        // --- Wide moves / multiplies / extends / shifts ------------------
+        case UK::k_movw:
+          a.mov_mi32(RBX, reg_off(u.a), u.imm);
+          ++ri;
+          break;
+        case UK::k_movt:
+          // (r & 0xFFFF) | (imm << 16) == a 16-bit store to the high half.
+          a.mov_mi16(RBX, reg_off(u.a) + 2, static_cast<u16>(u.imm));
+          ++ri;
+          break;
+        case UK::k_mul:
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.imul_rm32(RAX, RBX, reg_off(u.c));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_sxtb:
+          a.movsx8_rm(RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_sxth:
+          a.movsx16_rm(RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_uxtb:
+          a.movzx8_rm(RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_uxth:
+          a.movzx16_rm(RAX, RBX, reg_off(u.b));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        case UK::k_lsl_i:
+        case UK::k_lsr_i:
+        case UK::k_asr_i:
+        case UK::k_ror_i: {
+          const u8 ext = k == UK::k_lsl_i ? 4
+                       : k == UK::k_lsr_i ? 5
+                       : k == UK::k_asr_i ? 7
+                                          : 1;
+          a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.shift_ri32(ext, RAX, static_cast<u8>(u.imm));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);
+          ++ri;
+          break;
+        }
+        case UK::k_umull:
+        case UK::k_smull:
+          a.mov_rm32(RAX, RBX, reg_off(u.c));
+          a.mul1_m32(k == UK::k_umull ? 4 : 5, RBX, reg_off(u.d));
+          a.mov_mr32(RBX, reg_off(u.a), RAX);  // lo then hi, like execute()
+          a.mov_mr32(RBX, reg_off(u.b), RDX);
+          ++ri;
+          break;
 
-      case UK::k_enter:
-      case UK::kCount:
-        return false;  // malformed stream; the block stays threaded
+        // --- Loads / stores (inline TLB probe) ---------------------------
+        case UK::k_ldr_off:
+        case UK::k_ldr_pre:
+        case UK::k_ldr_post:
+        case UK::k_ldrb_off:
+        case UK::k_ldrb_pre:
+        case UK::k_ldrb_post:
+        case UK::k_ldrh_off:
+        case UK::k_ldrh_pre:
+        case UK::k_ldrh_post:
+        case UK::k_ldrsb_off:
+        case UK::k_ldrsb_pre:
+        case UK::k_ldrsb_post:
+        case UK::k_ldrsh_off:
+        case UK::k_ldrsh_pre:
+        case UK::k_ldrsh_post: {
+          const u32 idx =
+              static_cast<u32>(k) - static_cast<u32>(UK::k_ldr_off);
+          const u32 group = idx / 3;  // ldr, ldrb, ldrh, ldrsb, ldrsh
+          const auto var = static_cast<MemVar>(idx % 3);
+          const u32 len = group == 0 ? 4 : (group == 2 || group == 4) ? 2 : 1;
+          emit_load(a, u, var, len, /*is_signed=*/group >= 3);
+          ++ri;
+          break;
+        }
+        case UK::k_str_off:
+        case UK::k_str_pre:
+        case UK::k_str_post:
+        case UK::k_strb_off:
+        case UK::k_strb_pre:
+        case UK::k_strb_post:
+        case UK::k_strh_off:
+        case UK::k_strh_pre:
+        case UK::k_strh_post: {
+          const u32 idx =
+              static_cast<u32>(k) - static_cast<u32>(UK::k_str_off);
+          const u32 group = idx / 3;  // str, strb, strh
+          const auto var = static_cast<MemVar>(idx % 3);
+          const u32 len = group == 0 ? 4 : group == 1 ? 1 : 2;
+          emit_store(a, e, u, var, len, ri, ts);
+          ++ri;
+          break;
+        }
+
+        // --- Superword-fused pairs ---------------------------------------
+        case UK::k_movw_movt:
+          a.mov_mi32(RBX, reg_off(u.a), u.imm);
+          ri += 2;
+          break;
+        case UK::k_ldr_addi:
+          emit_load(a, u, MemVar::kOff, 4, false);
+          a.add_mi32(RBX, reg_off(u.d), u.x);
+          ri += 2;
+          break;
+        case UK::k_stm: {
+          a.mov_rr64(RDI, R15);
+          a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
+          a.mov_ri64(RAX, reinterpret_cast<u64>(&co_stm));
+          a.call_r(RAX);
+          a.test_rr32(RAX, RAX);
+          const std::size_t all_hit = a.jcc(CC_NE);
+          emit_dead_check(a, e, ri, u.x, ts);
+          a.bind(all_hit);
+          ++ri;
+          break;
+        }
+        case UK::k_ldm:
+          a.mov_rr64(RDI, R15);
+          a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
+          a.mov_ri64(RAX, reinterpret_cast<u64>(&co_ldm));
+          a.call_r(RAX);
+          ++ri;
+          break;
+
+        // --- Generic body instructions -----------------------------------
+        case UK::k_exec:
+        case UK::k_exec_dead: {
+          a.mov_rr64(RDI, R15);
+          a.mov_ri64(RSI, reinterpret_cast<u64>(u.p));
+          a.mov_ri32(RDX, u.imm);  // the PC execute() expects
+          a.mov_ri64(RAX, reinterpret_cast<u64>(&co_exec));
+          a.call_r(RAX);
+          a.test_rr64(RAX, RAX);
+          const std::size_t ok = a.jcc(CC_E);
+          // Exception: the faulting instruction did not retire and the PC
+          // already points at it (co_exec materialised it).
+          if (ts != nullptr) emit_trace_spill(a, *ts);
+          if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
+          emit_epilogue_jump(a, e);
+          a.bind(ok);
+          if (k == UK::k_exec_dead) {
+            // execute() already advanced the PC, so the dead exit surfaces
+            // without rewriting it; the retire count still lands.
+            a.mov_ri64(RAX, reinterpret_cast<u64>(&blk.tb->dead));
+            a.cmp_mi8(RAX, 0, 0);
+            const std::size_t alive = a.jcc(CC_E);
+            if (ts != nullptr) emit_trace_spill(a, *ts);
+            a.add_mi64(R15, kCtxDone, ri + 1);
+            emit_epilogue_jump(a, e);
+            a.bind(alive);
+          }
+          ++ri;
+          break;
+        }
+
+        // --- Fused compare-and-branch terminals --------------------------
+        // Retire accounting lands *before* the flag computation (the 64-bit
+        // add clobbers the host flags); setcc/mov preserve them, so the
+        // conditional arms consume the live host flags directly.
+        case UK::k_cmp0_b: {
+          a.add_mi64(R15, kCtxDone, ri + 2);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.test_rr32(RAX, RAX);
+          a.setcc_m(CC_S, RBX, kFlagN);
+          a.setcc_m(CC_E, RBX, kFlagZ);
+          a.mov_mi8(RBX, kFlagC, 1);
+          a.mov_mi8(RBX, kFlagV, 0);
+          const u32 from = static_cast<const TbInsn*>(u.p)->pc;
+          emit_cond_arms(a, e, kCcCmp0[u.a], from, u.imm, u.x);
+          terminated = true;
+          break;
+        }
+        case UK::k_cmp_i_b: {
+          const auto* ti = static_cast<const TbInsn*>(u.p);
+          a.add_mi64(R15, kCtxDone, ri + 2);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(7, RAX, ti->insn.imm);
+          emit_flags_sub(a);
+          emit_cond_arms(a, e, kCcSub[u.a], ti->pc + ti->insn.length, u.imm,
+                         u.x);
+          terminated = true;
+          break;
+        }
+        case UK::k_cmp_r_b: {
+          a.add_mi64(R15, kCtxDone, ri + 2);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_rm32(0x3B, RAX, RBX, reg_off(u.c));
+          emit_flags_sub(a);
+          const u32 from = static_cast<const TbInsn*>(u.p)->pc;
+          emit_cond_arms(a, e, kCcSub[u.a], from, u.imm, u.x);
+          terminated = true;
+          break;
+        }
+        case UK::k_subs_i_b: {
+          const auto* ti = static_cast<const TbInsn*>(u.p);
+          a.add_mi64(R15, kCtxDone, ri + 2);
+          a.mov_rm32(RAX, RBX, reg_off(u.b));
+          a.alu_ri32(5, RAX, ti->insn.imm);
+          emit_flags_sub(a);
+          a.mov_mr32(RBX, reg_off(u.a), RAX);  // mov preserves host flags
+          emit_cond_arms(a, e, kCcSub[u.d], ti->pc + ti->insn.length, u.imm,
+                         u.x);
+          terminated = true;
+          break;
+        }
+
+        // --- Branch terminals --------------------------------------------
+        case UK::k_b_al: {
+          a.add_mi64(R15, kCtxDone, ri + 1);
+          const u32 from = static_cast<const TbInsn*>(u.p)->pc;
+          emit_link(a, e, 0, from, u.imm, true);
+          terminated = true;
+          break;
+        }
+        case UK::k_bl_al: {
+          a.mov_mi32(RBX, reg_off(kRegLR), tb.thumb ? (u.x | 1u) : u.x);
+          a.add_mi64(R15, kCtxDone, ri + 1);
+          const u32 from = static_cast<const TbInsn*>(u.p)->pc;
+          emit_link(a, e, 0, from, u.imm, true);
+          terminated = true;
+          break;
+        }
+        case UK::k_b_cond: {
+          a.add_mi64(R15, kCtxDone, ri + 1);
+          emit_cond_eval(a, static_cast<Cond>(u.a));
+          const u32 from = static_cast<const TbInsn*>(u.p)->pc;
+          const std::size_t taken_j = a.jcc(CC_NE);  // al != 0
+          emit_link(a, e, 1, from, u.x, false);
+          a.bind(taken_j);
+          emit_link(a, e, 0, from, u.imm, true);
+          terminated = true;
+          break;
+        }
+        case UK::k_bx_term:
+          a.add_mi64(R15, kCtxDone, ri + 1);  // bx always retires
+          emit_dynamic_terminal(
+              a, e, u, reinterpret_cast<const void*>(&JitRun::co_bx));
+          terminated = true;
+          break;
+        case UK::k_exec_term:
+          // The callout retires the terminal itself iff execute() succeeds.
+          if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
+          emit_dynamic_terminal(
+              a, e, u, reinterpret_cast<const void*>(&JitRun::co_exec_term));
+          terminated = true;
+          break;
+        case UK::k_svc_term:
+          if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
+          emit_dynamic_terminal(
+              a, e, u, reinterpret_cast<const void*>(&JitRun::co_svc_term));
+          terminated = true;
+          break;
+        case UK::k_end:
+          if (ri > 0) a.add_mi64(R15, kCtxDone, ri);
+          emit_link(a, e, 1, 0, u.imm, false);
+          terminated = true;
+          break;
+
+        case UK::k_enter:
+        case UK::kCount:
+          return false;  // malformed stream; the block stays threaded
+      }
+    }
+    return terminated;
+  };
+
+  if (!emit_body(nullptr)) return false;
+  std::size_t traced_pos = 0;
+  bool have_traced = false;
+  if (want_traced) {
+    // Second pass: the traced body lands in the same Asm buffer (and so the
+    // same arena allocation) right after the clean body. A bail truncates
+    // back to the clean body alone — gate-fired executions then fall back
+    // to the threaded traced stream.
+    traced_pos = a.size();
+    TraceEmit ts;
+    ts.view = &cpu.taint_jit_view_;
+    ts.elide = plan_elision(blk);
+    if (emit_body(&ts)) {
+      have_traced = true;
+    } else {
+      a.out.resize(traced_pos);
     }
   }
-  if (!terminated) return false;
 
   u8* code = eng.arena.alloc(a.size());
   if (code == nullptr) {
@@ -1333,6 +1937,7 @@ bool JitRun::compile(Cpu& cpu, ThreadedBlock& blk) {
   std::memcpy(code, a.out.data(), a.size());
   eng.arena.end_write();
   jb->code = code;
+  jb->traced_entry = have_traced ? code + traced_pos : nullptr;
   jb->code_size = static_cast<u32>(a.size());
   jb->arena_gen = eng.generation;
   blk.jit = std::move(jb);
@@ -1343,7 +1948,7 @@ bool JitRun::compile(Cpu& cpu, ThreadedBlock& blk) {
 
 // --- Execution ----------------------------------------------------------
 
-u64 JitRun::exec(Cpu& cpu, ThreadedBlock& entry, u64 budget) {
+u64 JitRun::exec(Cpu& cpu, ThreadedBlock& entry, const u8* at, u64 budget) {
   JitEngine& eng = *cpu.jit_engine_;
   std::exception_ptr eptr;
   JitCtx ctx;
@@ -1351,11 +1956,17 @@ u64 JitRun::exec(Cpu& cpu, ThreadedBlock& entry, u64 budget) {
   ctx.s = &cpu.state_;
   ctx.mem = &cpu.memory_;
   ctx.budget = budget;
-  ctx.edge_slow =
-      (!cpu.branch_hooks_.empty() || cpu.has_low_helpers_) ? 1 : 0;
+  // Live instruction hooks force every inter-block edge through the slow
+  // resolver: stream selection (clean vs traced) must be re-decided per
+  // crossing, so inline link fast paths (whose patched targets are always
+  // clean entries) stay disengaged.
+  ctx.edge_slow = (!cpu.branch_hooks_.empty() || cpu.has_low_helpers_ ||
+                   !cpu.insn_hooks_.empty())
+                      ? 1
+                      : 0;
   ctx.eptr = &eptr;
   const u64 links_before = cpu.jit_links_;
-  eng.entry(&ctx, entry.jit->code);
+  eng.entry(&ctx, at);
   cpu.retired_ += ctx.done - ctx.flushed;
   // Every link follow (inline host jumps and resolve()-served ones alike)
   // is a block transition that never touched the TB cache: fold them into
@@ -1456,19 +2067,41 @@ bool Cpu::run_jit(u64 max_steps) {
     }
     if (tb->threaded == nullptr) ThreadedRun::emit(*this, *tb);
     ThreadedBlock& blk = *tb->threaded;
-    // Clean execution only: live instruction hooks ride the threaded tier
-    // (its gate/traced machinery is the semantic reference).
-    bool use_jit = insn_hooks_.empty();
+    // Live instruction hooks ride the jit only in the fusable shape the
+    // traced streams were compiled for: a single fused-emitting hook behind
+    // the epoch-memoised block gate, with the taint view installed. Every
+    // other hook configuration rides the threaded tier (its gate/traced
+    // machinery is the semantic reference).
+    const bool hooks = !insn_hooks_.empty();
+    bool use_jit =
+        !hooks ||
+        (has_taint_jit_view() && trace_emitter_ && insn_hooks_.size() == 1 &&
+         gated_hooks_ == static_cast<int>(insn_hooks_.size()) && block_gate_);
     if (use_jit &&
         (blk.jit == nullptr || blk.jit->arena_gen != eng.generation)) {
       use_jit = JitRun::compile(*this, blk);
     }
     if (use_jit) use_jit = blk.jit != nullptr && blk.jit->code != nullptr;
+    const u8* at = use_jit ? blk.jit->code : nullptr;
+    if (use_jit && hooks) {
+      if (JitRun::gate_fire(*this, *tb)) {
+        // Traced stream (the body counts its own entry); null means the
+        // traced emission bailed and this block falls back per dispatch.
+        at = blk.jit->traced_entry;
+        use_jit = at != nullptr;
+      } else {
+        // Gate skip: the clean stream, with the threaded tier's fast-path
+        // accounting (per-crossing bookkeeping continues in resolve()).
+        ++fastpath_blocks_;
+        fastpath_insns_ += blk.n_insns;
+      }
+    }
+    if (hooks && !use_jit) ++jit_fallback_blocks_;
     ++exec_depth_;
     u64 block_done = 0;
     try {
       block_done = use_jit
-                       ? JitRun::exec(*this, blk, max_steps - done)
+                       ? JitRun::exec(*this, blk, at, max_steps - done)
                        : ThreadedRun::exec(*this, blk, max_steps - done);
     } catch (...) {
       --exec_depth_;
@@ -1503,7 +2136,7 @@ bool Cpu::run_jit(u64 max_steps) {
 bool Cpu::run_jit(u64 max_steps) { return run_threaded(max_steps); }
 
 bool JitRun::compile(Cpu&, ThreadedBlock&) { return false; }
-u64 JitRun::exec(Cpu&, ThreadedBlock&, u64) { return 0; }
+u64 JitRun::exec(Cpu&, ThreadedBlock&, const u8*, u64) { return 0; }
 bool JitRun::ensure_engine(Cpu&) { return false; }
 bool JitRun::arena_flush(Cpu&) { return false; }
 const void* JitRun::resolve(void*, void*, u32, u32, u32, u32) {
@@ -1519,6 +2152,10 @@ const void* JitRun::co_exec_term(void*, void*, const void*) {
 const void* JitRun::co_svc_term(void*, void*, const void*) {
   return nullptr;
 }
+u64 JitRun::co_trace_step(void*, const void*, const void*, u32) { return 0; }
+void JitRun::co_taint_sync(void*, u32) {}
+u32 JitRun::co_shadow_read(void*, u32, u32) { return 0; }
+void JitRun::co_shadow_write(void*, u32, u32, u32) {}
 
 #endif  // NDROID_JIT_X64
 

@@ -30,11 +30,22 @@
 // (exec_depth_ == 0): flush all blocks, drain the graveyard, reset the
 // arena, bump the arena generation, and recompile on demand.
 //
-// Analysis-live execution (registered instruction hooks) never enters
-// emitted code: the trampoline dispatches those blocks through the threaded
-// tier, whose gate/traced machinery is the semantic reference. The jit is
-// the clean-path accelerator, in the same spirit as the taint-liveness fast
-// path.
+// Taint-fused traced stream: when the analysis client installs a
+// Cpu::TaintJitView (single fused instruction hook + block gate), compile
+// emits a *second* host-code body per block — the traced stream — into the
+// same arena allocation, right after the clean body. Traced templates
+// prefix each instruction with its Table V taint transfer inlined over the
+// engine's raw register-label file (base pinned in RBP), probe a
+// direct-mapped shadow-page TLB for load label reads (same 16-byte slot
+// shape as the data TLB), fold the tracer's statistics counters into each
+// exit, and defer register count/mask/epoch bookkeeping to a sync callout
+// (TaintEngine::jit_resync) at every exit. Instructions the emitter could
+// not prove inlineable call out per instruction instead of abandoning the
+// whole block. Stream selection replays the threaded tier's epoch-memoised
+// gate in C++ (resolve / run_jit) with every inter-block edge forced
+// through the slow resolver while instruction hooks are live, so taint
+// liveness flipping re-routes edges between the two streams without
+// re-emission — the same version-fenced link protocol either way.
 //
 // `NDROID_NO_JIT` (or a non-x86-64 host) compiles the backend down to
 // stubs: jit_available() is false, set_jit_enabled is a no-op, and
@@ -71,8 +82,14 @@ struct HostSlot {
 /// executor frame is live.
 struct JitBlock {
   ThreadedBlock* blk = nullptr;
-  const u8* code = nullptr;  // entry of the emitted block body
-  u32 code_size = 0;
+  const u8* code = nullptr;  // entry of the emitted clean block body
+  /// Entry of the taint-fused traced body, emitted into the *same* arena
+  /// allocation right after the clean body (one alloc per compile, so an
+  /// arena flush can never strand one stream of a pair). Null when no
+  /// TaintJitView was installed at compile time or the traced emission
+  /// bailed (gate-fired executions then fall back to the threaded tier).
+  const u8* traced_entry = nullptr;
+  u32 code_size = 0;  // total: clean body + traced body
   u64 arena_gen = 0;  // arena generation the code was emitted into
   HostSlot slots[2];  // [0] = taken edge, [1] = fall-through edge
 };
@@ -135,11 +152,12 @@ struct JitRun {
   /// set and the caller executes the block through the threaded tier).
   static bool compile(Cpu& cpu, ThreadedBlock& blk);
 
-  /// Runs compiled code starting at `entry`, following patched host links,
+  /// Runs compiled code starting at `at` (the entry block's clean body or
+  /// its traced body, as the gate decided), following patched host links,
   /// for at most `budget` instructions. Same contract as
   /// ThreadedRun::exec: PC architecturally correct on return, returns
   /// instructions retired (0 = budget could not cover the entry block).
-  static u64 exec(Cpu& cpu, ThreadedBlock& entry, u64 budget);
+  static u64 exec(Cpu& cpu, ThreadedBlock& entry, const u8* at, u64 budget);
 
   /// Creates the Cpu's JitEngine on first use and (re-)emits the per-
   /// generation prologue/epilogue glue. False when host code cannot run
@@ -167,6 +185,26 @@ struct JitRun {
   static const void* co_bx(void* ctx, void* jb, const void* uop);
   static const void* co_exec_term(void* ctx, void* jb, const void* uop);
   static const void* co_svc_term(void* ctx, void* jb, const void* uop);
+
+  // Traced-stream callouts. `co_trace_step` dispatches one non-inlineable
+  // TraceOp (after syncing the raw label writes accumulated since the
+  // last callout — `written` — so the handler observes consistent
+  // bookkeeping); it returns 0 on success, 1 with an exception parked.
+  // `co_taint_sync` is the bare exit resync; `co_shadow_read` /
+  // `co_shadow_write` are the shadow-TLB slow paths (miss, page straddle,
+  // or a store that must move labels).
+  static u64 co_trace_step(void* ctx, const void* op, const void* ti,
+                           u32 written);
+  static void co_taint_sync(void* ctx, u32 written);
+  static u32 co_shadow_read(void* ctx, u32 addr, u32 len);
+  static void co_shadow_write(void* ctx, u32 addr, u32 len, u32 taint);
+
+  /// The threaded L_enter gate, replicated for host-code dispatch: decides
+  /// (with the same epoch memoisation on `tb`) whether the registered
+  /// instruction hooks fire on this block. run_jit consults it for the
+  /// entry block and resolve() per inter-block crossing, selecting the
+  /// traced or clean host stream.
+  static bool gate_fire(Cpu& cpu, TranslationBlock& tb);
 };
 
 }  // namespace ndroid::arm

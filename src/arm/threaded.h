@@ -181,13 +181,18 @@ struct ThreadedRun {
   /// Uop::label through this to recover each op's kind.
   static void* const* label_table();
 
+  /// Resolves the per-instruction TraceStep table for `blk` (scope + Table V
+  /// classification via the installed TraceEmitter) if not already built.
+  /// Shared with the jit tier: traced host streams are emitted against the
+  /// same resolved steps the threaded traced loop replays.
+  static void build_traced(Cpu& cpu, ThreadedBlock& blk);
+
  private:
   // Implementation details (threaded.cc); members so Cpu's friendship on
   // ThreadedRun covers the inner loop's access to the engine state.
   static u64 exec_impl(Cpu* cpu, ThreadedBlock* entry, u64 budget,
                        void* const** table_out);
   static u64 exec_traced_impl(Cpu& cpu, ThreadedBlock& blk, u64 budget);
-  static void build_traced(Cpu& cpu, ThreadedBlock& blk);
 };
 
 }  // namespace ndroid::arm

@@ -56,6 +56,17 @@ class InstructionTracer {
   [[nodiscard]] u64 instructions_traced() const { return traced_; }
   [[nodiscard]] u64 cache_hits() const { return cache_hits_; }
 
+  // --- Traced-JIT counter export --------------------------------------------
+  // The taint-fused JIT inlines Table V handlers into host code and keeps the
+  // tracer's statistics exact by folding constant increments into each traced
+  // exit. These expose the counter slots (and the flags that decide what an
+  // inline-handled instruction would have bumped / whether inlining is legal
+  // at all) for baking into emitted code.
+  [[nodiscard]] u64* traced_slot() { return &traced_; }
+  [[nodiscard]] u64* cache_hits_slot() { return &cache_hits_; }
+  [[nodiscard]] bool cache_enabled() const { return use_cache_; }
+  [[nodiscard]] bool logs_disassembly() const { return disasm_log_ != nullptr; }
+
  private:
   /// Pre-classified handler for one raw instruction encoding.
   using Handler = void (InstructionTracer::*)(arm::Cpu&, const arm::Insn&,

@@ -34,6 +34,8 @@ struct PerfCounters {
   u64 jit_blocks = 0;           // blocks compiled to host code
   u64 jit_bytes = 0;            // bytes of host code emitted
   u64 jit_arena_flushes = 0;    // whole-arena recycles (exhaustion)
+  u64 jit_traced_blocks = 0;    // gate-fired blocks run on traced host code
+  u64 jit_fallback_blocks = 0;  // hooked dispatches that left the jit tier
 
   [[nodiscard]] double tb_hit_rate() const {
     return tb_lookups == 0
@@ -61,6 +63,8 @@ inline PerfCounters collect_perf(const arm::Cpu& cpu) {
   c.jit_blocks = cpu.jit_blocks_compiled();
   c.jit_bytes = cpu.jit_bytes_emitted();
   c.jit_arena_flushes = cpu.jit_arena_flushes();
+  c.jit_traced_blocks = cpu.jit_traced_blocks();
+  c.jit_fallback_blocks = cpu.jit_fallback_blocks();
   return c;
 }
 

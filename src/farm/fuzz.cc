@@ -169,7 +169,19 @@ Program generate(u64 seed) {
   return prog;
 }
 
-enum class Tier { kInterp, kTb, kTbTlb, kThreaded, kThreadedFused, kJit };
+enum class Tier {
+  kInterp,
+  kTb,
+  kTbTlb,
+  kThreaded,
+  kThreadedFused,
+  kJit,
+  /// Host emission with the taint-fused traced stream: gated hook, an
+  /// always-firing block gate, and a full TaintJitView, so every block runs
+  /// inlined Table V transfers over the raw label file. Degrades to the
+  /// threaded fused tier without host emission.
+  kJitTraced,
+};
 
 const char* tier_name(Tier t) {
   switch (t) {
@@ -179,6 +191,7 @@ const char* tier_name(Tier t) {
     case Tier::kThreaded: return "threaded";
     case Tier::kThreadedFused: return "threaded+fused";
     case Tier::kJit: return "jit";
+    case Tier::kJitTraced: return "jit+traced";
   }
   return "?";
 }
@@ -208,10 +221,12 @@ TierResult run_tier(const Program& prog, Tier tier, bool taint, u64 seed) {
   cpu.set_use_tb_cache(tier != Tier::kInterp);
   cpu.set_threaded_enabled(tier == Tier::kThreaded ||
                            tier == Tier::kThreadedFused ||
-                           tier == Tier::kJit);
+                           tier == Tier::kJit || tier == Tier::kJitTraced);
   mem.set_tlb_enabled(tier == Tier::kTbTlb || tier == Tier::kThreaded ||
-                      tier == Tier::kThreadedFused || tier == Tier::kJit);
-  cpu.set_jit_enabled(tier == Tier::kJit);  // no-op without host emission
+                      tier == Tier::kThreadedFused || tier == Tier::kJit ||
+                      tier == Tier::kJitTraced);
+  // No-op without host emission.
+  cpu.set_jit_enabled(tier == Tier::kJit || tier == Tier::kJitTraced);
   mem.write_bytes(kCode, prog.arm_code);
   mem.write_bytes(kThumb, prog.thumb_code);
 
@@ -226,13 +241,45 @@ TierResult run_tier(const Program& prog, Tier tier, bool taint, u64 seed) {
     for (u32 k = 0; k < 8; ++k) {
       taint_engine.map().set_range(kData + 8 * k, 4, 1u << ((seed + k) % 8));
     }
-    cpu.add_insn_hook([&tracer](arm::Cpu& c, const arm::Insn& insn,
-                                GuestAddr pc) { tracer->on_insn(c, insn, pc); });
-    if (tier == Tier::kThreadedFused) {
+    const bool traced_jit = tier == Tier::kJitTraced;
+    cpu.add_insn_hook(
+        [&tracer](arm::Cpu& c, const arm::Insn& insn, GuestAddr pc) {
+          tracer->on_insn(c, insn, pc);
+        },
+        /*gated=*/traced_jit);
+    if (tier == Tier::kThreadedFused || traced_jit) {
       cpu.set_trace_emitter(
           [&tracer](const arm::TranslationBlock&, const arm::TbInsn& ti) {
             return std::optional<arm::TraceOp>(tracer->prepare(ti));
           });
+    }
+    if (traced_jit) {
+      cpu.set_block_gate([](arm::Cpu&, arm::TranslationBlock&) {
+        return true;
+      });
+      arm::TaintJitView view;
+      view.reg_labels = taint_engine.jit_reg_labels();
+      view.sync = [](void* ctx, u32 written) {
+        static_cast<core::TaintEngine*>(ctx)->jit_resync(
+            static_cast<u16>(written));
+      };
+      view.sync_ctx = &taint_engine;
+      view.shadow_tlb = taint_engine.map().jit_tlb_base();
+      view.shadow_tlb_slots = mem::ShadowMemory::kJitTlbSlots;
+      view.shadow_read = [](void* ctx, u32 addr, u32 len) -> u32 {
+        auto* m = static_cast<mem::ShadowMemory*>(ctx);
+        m->jit_fill(addr);
+        return m->get_range(addr, len);
+      };
+      view.shadow_write = [](void* ctx, u32 addr, u32 len, u32 t) {
+        static_cast<mem::ShadowMemory*>(ctx)->set_range(addr, len, t);
+      };
+      view.mem_ctx = &taint_engine.map();
+      view.traced_ctr = tracer->traced_slot();
+      view.cache_ctr =
+          tracer->cache_enabled() ? tracer->cache_hits_slot() : nullptr;
+      view.prop_ctr = &taint_engine.propagations;
+      cpu.set_taint_jit_view(&view);
     }
   }
 
@@ -252,7 +299,8 @@ TierResult run_tier(const Program& prog, Tier tier, bool taint, u64 seed) {
       sh = fold(sh, taint_engine.map().get_range(addr, 4));
     }
     res.shadow_digest = sh;
-    cpu.set_trace_emitter(nullptr);  // tracer dies before the cpu
+    cpu.set_taint_jit_view(nullptr);  // view points into tracer/engine state
+    cpu.set_trace_emitter(nullptr);   // tracer dies before the cpu
   }
   return res;
 }
@@ -273,7 +321,8 @@ Outcome run_differential(u64 seed) {
   out.checksum = static_cast<u32>(h ^ (h >> 32));
 
   for (const Tier tier : {Tier::kTb, Tier::kTbTlb, Tier::kThreaded,
-                          Tier::kThreadedFused, Tier::kJit}) {
+                          Tier::kThreadedFused, Tier::kJit,
+                          Tier::kJitTraced}) {
     const TierResult got = run_tier(prog, tier, true, seed);
     if (got.r0 != base.r0) {
       out.error = std::string(tier_name(tier)) + " diverged on r0";

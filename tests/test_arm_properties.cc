@@ -276,9 +276,11 @@ TEST(Extend, ArmModeExtendInstructions) {
 //
 // Seeded random ARM programs (a bounded loop of ALU / memory / conditional
 // instructions that calls a random Thumb leaf) are executed under every
-// engine configuration — interpreter, TB cache, TB + software TLB, and the
-// threaded micro-op tier (generic and fused taint emission) — with taint
-// tracking off and on. Final r0, a digest of guest memory, the tracer's
+// engine configuration — interpreter, TB cache, TB + software TLB, the
+// threaded micro-op tier (generic and fused taint emission), and the
+// template JIT (clean host streams, and the taint-fused traced host
+// streams with the full TaintJitView wired) — with taint tracking off and
+// on. Final r0, a digest of guest memory, the tracer's
 // instruction count, and a digest of the full shadow state (register taints
 // plus the data-region taint map, the inputs every leak report is computed
 // from) must agree bit-for-bit with the interpreter baseline. Leak *events*
@@ -390,6 +392,11 @@ enum class FuzzEngine {
   kThreaded,
   kThreadedFused,
   kJit,  // host-code emission; threaded with fusion on non-x86-64 hosts
+  /// Host-code emission with the taint-fused traced stream engaged: gated
+  /// hook + always-firing block gate + TaintJitView, so gate-fired blocks
+  /// run inlined Table V transfers over the raw label file instead of the
+  /// threaded trace loop. Degrades to kThreadedFused without host emission.
+  kJitTraced,
 };
 
 struct FuzzResult {
@@ -397,6 +404,7 @@ struct FuzzResult {
   u64 mem_digest = 0;
   u64 traced = 0;
   u64 shadow_digest = 0;
+  u64 jit_traced_blocks = 0;  // dispatches that ran taint-fused host code
 };
 
 u64 fnv1a(u64 h, u64 v) {
@@ -418,12 +426,15 @@ FuzzResult run_fuzz(const FuzzProgram& prog, FuzzEngine engine, bool taint,
   cpu.set_use_tb_cache(engine != FuzzEngine::kInterp);
   cpu.set_threaded_enabled(engine == FuzzEngine::kThreaded ||
                            engine == FuzzEngine::kThreadedFused ||
-                           engine == FuzzEngine::kJit);
+                           engine == FuzzEngine::kJit ||
+                           engine == FuzzEngine::kJitTraced);
   mem.set_tlb_enabled(engine == FuzzEngine::kTbTlb ||
                       engine == FuzzEngine::kThreaded ||
                       engine == FuzzEngine::kThreadedFused ||
-                      engine == FuzzEngine::kJit);
-  cpu.set_jit_enabled(engine == FuzzEngine::kJit);
+                      engine == FuzzEngine::kJit ||
+                      engine == FuzzEngine::kJitTraced);
+  cpu.set_jit_enabled(engine == FuzzEngine::kJit ||
+                      engine == FuzzEngine::kJitTraced);
   mem.write_bytes(kFuzzCode, prog.arm_code);
   mem.write_bytes(kFuzzThumb, prog.thumb_code);
 
@@ -441,14 +452,48 @@ FuzzResult run_fuzz(const FuzzProgram& prog, FuzzEngine engine, bool taint,
       taint_engine.map().set_range(kFuzzData + 8 * k, 4,
                                    1u << ((seed + k) % 8));
     }
-    cpu.add_insn_hook([&tracer](Cpu& c, const Insn& insn, GuestAddr pc) {
-      tracer->on_insn(c, insn, pc);
-    });
-    if (engine == FuzzEngine::kThreadedFused) {
+    const bool traced_jit = engine == FuzzEngine::kJitTraced;
+    cpu.add_insn_hook(
+        [&tracer](Cpu& c, const Insn& insn, GuestAddr pc) {
+          tracer->on_insn(c, insn, pc);
+        },
+        /*gated=*/traced_jit);
+    if (engine == FuzzEngine::kThreadedFused || traced_jit) {
       cpu.set_trace_emitter(
           [&tracer](const TranslationBlock&, const TbInsn& ti) {
             return std::optional<TraceOp>(tracer->prepare(ti));
           });
+    }
+    if (traced_jit) {
+      // The full NDroid-shaped fused-analysis wiring, minus liveness
+      // gating: the gate fires on every block, so every dispatch of every
+      // block runs the taint-fused traced host stream (or its threaded
+      // equivalent where emission bailed) — maximum traced coverage for
+      // the differential check.
+      cpu.set_block_gate([](Cpu&, TranslationBlock&) { return true; });
+      TaintJitView view;
+      view.reg_labels = taint_engine.jit_reg_labels();
+      view.sync = [](void* ctx, u32 written) {
+        static_cast<core::TaintEngine*>(ctx)->jit_resync(
+            static_cast<u16>(written));
+      };
+      view.sync_ctx = &taint_engine;
+      view.shadow_tlb = taint_engine.map().jit_tlb_base();
+      view.shadow_tlb_slots = mem::ShadowMemory::kJitTlbSlots;
+      view.shadow_read = [](void* ctx, u32 addr, u32 len) -> u32 {
+        auto* m = static_cast<mem::ShadowMemory*>(ctx);
+        m->jit_fill(addr);
+        return m->get_range(addr, len);
+      };
+      view.shadow_write = [](void* ctx, u32 addr, u32 len, u32 t) {
+        static_cast<mem::ShadowMemory*>(ctx)->set_range(addr, len, t);
+      };
+      view.mem_ctx = &taint_engine.map();
+      view.traced_ctr = tracer->traced_slot();
+      view.cache_ctr =
+          tracer->cache_enabled() ? tracer->cache_hits_slot() : nullptr;
+      view.prop_ctr = &taint_engine.propagations;
+      cpu.set_taint_jit_view(&view);
     }
   }
 
@@ -470,7 +515,9 @@ FuzzResult run_fuzz(const FuzzProgram& prog, FuzzEngine engine, bool taint,
       sh = fnv1a(sh, taint_engine.map().get_range(addr, 4));
     }
     res.shadow_digest = sh;
-    cpu.set_trace_emitter(nullptr);  // tracer dies before the cpu
+    res.jit_traced_blocks = cpu.jit_traced_blocks();
+    cpu.set_taint_jit_view(nullptr);  // view points into tracer/engine state
+    cpu.set_trace_emitter(nullptr);   // tracer dies before the cpu
   }
   return res;
 }
@@ -493,6 +540,7 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
       {FuzzEngine::kThreaded, "threaded"},
       {FuzzEngine::kThreadedFused, "threaded+fused"},
       {FuzzEngine::kJit, "jit"},
+      {FuzzEngine::kJitTraced, "jit+traced"},
   };
   for (const auto& tier : tiers) {
     const FuzzResult got = run_fuzz(prog, tier.engine, true, seed);
@@ -502,6 +550,12 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
     EXPECT_EQ(got.traced, base.traced) << tier.name << " seed " << seed;
     EXPECT_EQ(got.shadow_digest, base.shadow_digest)
         << tier.name << " seed " << seed;
+    // Agreement is only evidence if the tier under test actually ran: the
+    // traced configuration must have executed taint-fused host code, not
+    // silently fallen back to the threaded streams.
+    if (tier.engine == FuzzEngine::kJitTraced && Cpu::jit_available()) {
+      EXPECT_GT(got.jit_traced_blocks, 0u) << "seed " << seed;
+    }
   }
 
   // Taint tracking must be a pure observer: with it off (every tier runs
@@ -516,7 +570,7 @@ TEST_P(DifferentialFuzz, EnginesAgreeOnStateAndShadow) {
   }
 }
 
-// Bounded for CI: 12 seeds x 11 engine configurations, each a few thousand
+// Bounded for CI: 12 seeds x 12 engine configurations, each a few thousand
 // guest instructions.
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz, ::testing::Range(1u, 13u));
 
@@ -624,6 +678,7 @@ TEST_P(DispatchTableFuzz, EnginesAgreeOnDispatchHeavyPrograms) {
       {FuzzEngine::kThreaded, "threaded"},
       {FuzzEngine::kThreadedFused, "threaded+fused"},
       {FuzzEngine::kJit, "jit"},
+      {FuzzEngine::kJitTraced, "jit+traced"},
   };
   for (const auto& tier : tiers) {
     const FuzzResult got = run_fuzz(prog, tier.engine, true, seed);

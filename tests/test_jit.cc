@@ -9,6 +9,7 @@
 
 #include "arm/assembler.h"
 #include "arm/cpu.h"
+#include "core/ndroid.h"
 #include "core/report.h"
 
 namespace ndroid {
@@ -195,10 +196,13 @@ TEST_F(JitFixture, AblationMatchesThreadedTier) {
   EXPECT_EQ(cpu_.call_function(kCode, {123}), jit_result);
 }
 
-TEST_F(JitFixture, HooksRideThreadedTierAndFireExactly) {
-  // Live instruction hooks must keep per-instruction semantics: the
-  // trampoline routes hooked execution through the threaded streams, never
-  // through emitted code.
+TEST_F(JitFixture, UnfusedHooksFallBackToThreadedAndFireExactly) {
+  // A raw (un-fused) instruction hook has no TraceEmitter or TaintJitView
+  // behind it, so emitted code cannot reproduce it: the trampoline must
+  // route every hooked dispatch off the jit tier to the threaded streams
+  // (per-instruction semantics), recording the detour in the fallback
+  // counter. Only the fused single-hook analysis shape (below) earns the
+  // traced host stream.
   u64 fired = 0;
   cpu_.add_insn_hook(
       [&fired](Cpu&, const arm::Insn&, GuestAddr) { ++fired; });
@@ -210,6 +214,114 @@ TEST_F(JitFixture, HooksRideThreadedTierAndFireExactly) {
   a.ret();
   EXPECT_EQ(run(a), 7u);
   EXPECT_EQ(fired, 4u);  // three ALU ops + the return
+  if (Cpu::jit_available()) {
+    const core::PerfCounters perf = core::collect_perf(cpu_);
+    EXPECT_GT(perf.jit_fallback_blocks, 0u);
+    EXPECT_EQ(perf.jit_traced_blocks, 0u);
+  }
+}
+
+// --- Taint-fused traced streams (NDroid-shaped fused analysis) ------------
+
+/// One full-analysis run of a tainted word-copy kernel: NDroid attached,
+/// source range + a callee-saved register tainted (liveness never clears,
+/// so the gate fires on every block), `n` words copied src -> dst with an
+/// ALU hop in between. Returns the result, the per-byte destination labels,
+/// and the perf counters, so callers can diff tiers bit for bit.
+struct TaintRun {
+  u32 result = 0;
+  std::vector<Taint> dst_labels;
+  u64 propagations = 0;
+  core::PerfCounters perf;
+};
+
+TaintRun run_tainted_copy(bool jit, u32 n, std::size_t arena_bytes = 0,
+                          u32 pad = 0) {
+  android::Device device("jit-traced-test");
+  device.cpu.set_jit_enabled(jit);
+  if (arena_bytes != 0) {
+    device.cpu.set_jit_config(arena_bytes, /*wx=*/false);
+  }
+  core::NDroid nd(device);
+
+  const GuestAddr src = device.libc.malloc_guest(4 * n);
+  const GuestAddr dst = device.libc.malloc_guest(4 * n);
+  device.memory.fill(src, 0x5A, 4 * n);
+  nd.taint_engine().map().set_range(src, 4 * n, 0x2);
+  nd.taint_engine().set_reg(4, 0x2);  // liveness anchor (never written)
+
+  const GuestAddr base = device.next_lib_base();
+  Assembler a(base);
+  Label loop, done;
+  // r0 = words, r1 = src, r2 = dst: ldr -> add (Table V ALU hop) -> str.
+  a.mov_imm(R(3), 0);
+  a.bind(loop);
+  a.cmp_imm(R(0), 0);
+  a.b(done, Cond::kEQ);
+  a.ldr_post(R(3), R(1), 4);
+  a.add_imm(R(3), R(3), 1);
+  // Optional straight-line padding (taint- and value-neutral): inflates the
+  // loop body across several translation blocks so the emitted dual-stream
+  // host code can outgrow a deliberately undersized arena mid-run.
+  for (u32 i = 0; i < pad; ++i) a.add_imm(R(3), R(3), 0);
+  a.str_post(R(3), R(2), 4);
+  a.sub_imm(R(0), R(0), 1);
+  a.b(loop);
+  a.bind(done);
+  a.mov(R(0), R(3));
+  a.ret();
+  device.load_native_lib("libtaintcopy.so", a.finish());
+
+  TaintRun out;
+  out.result = device.cpu.call_function(base, {n, src, dst});
+  out.dst_labels.reserve(4 * n);
+  for (u32 i = 0; i < 4 * n; ++i) {
+    out.dst_labels.push_back(nd.taint_engine().map().get(dst + i));
+  }
+  out.propagations = nd.taint_engine().propagations;
+  out.perf = core::collect_perf(device.cpu);
+  return out;
+}
+
+TEST(JitTraced, TracedStreamMatchesThreadedTaintBitForBit) {
+  // The taint-fused host stream must be observationally identical to the
+  // threaded fused-trace tier: same guest result, same per-byte destination
+  // labels (zero missed propagations), same rule-application count.
+  const TaintRun threaded = run_tainted_copy(/*jit=*/false, 64);
+  const TaintRun jit = run_tainted_copy(/*jit=*/true, 64);
+
+  EXPECT_EQ(jit.result, threaded.result);
+  ASSERT_EQ(jit.dst_labels.size(), threaded.dst_labels.size());
+  EXPECT_EQ(jit.dst_labels, threaded.dst_labels);
+  for (const Taint t : jit.dst_labels) EXPECT_EQ(t, 0x2u);
+  EXPECT_EQ(jit.propagations, threaded.propagations);
+
+  EXPECT_EQ(threaded.perf.jit_traced_blocks, 0u);
+  if (Cpu::jit_available()) {
+    // The gate fired on every block, and the traced host stream (not the
+    // threaded fallback) is what actually executed the hot loop.
+    EXPECT_GT(jit.perf.jit_traced_blocks, 0u);
+    EXPECT_GT(jit.perf.jit_traced_blocks, jit.perf.jit_fallback_blocks);
+  }
+}
+
+TEST(JitTraced, ArenaFlushWithDualStreamsLiveLinked) {
+  if (!Cpu::jit_available()) GTEST_SKIP() << "no host code emission";
+  // Dual-stream arena accounting: clean + traced bodies share ONE arena
+  // allocation, so an exhaustion flush while both streams are live-linked
+  // must recycle them atomically — no stream of a pair may survive the
+  // other. An undersized arena forces repeated flush/recompile cycles in
+  // the middle of the tainted loop; results and labels must not change.
+  const TaintRun big = run_tainted_copy(/*jit=*/true, 96, /*arena_bytes=*/0,
+                                        /*pad=*/160);
+  const TaintRun tiny = run_tainted_copy(/*jit=*/true, 96,
+                                         /*arena_bytes=*/8 * 1024,
+                                         /*pad=*/160);
+  EXPECT_EQ(tiny.result, big.result);
+  EXPECT_EQ(tiny.dst_labels, big.dst_labels);
+  EXPECT_EQ(tiny.propagations, big.propagations);
+  EXPECT_GT(tiny.perf.jit_arena_flushes, 0u);
+  EXPECT_GT(tiny.perf.jit_traced_blocks, 0u);
 }
 
 }  // namespace
